@@ -1,0 +1,141 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Each ablation removes one mechanism the paper (or its software system)
+relies on and measures what it was buying:
+
+* reorganizer features: load-delay *scheduling* vs plain no-op padding,
+  and profile-guided vs heuristic branch prediction;
+* squashing itself: the shipped squash-optional scheme vs a no-squash
+  machine (what Table 1 is about, here measured end-to-end in cycles);
+* Icache replacement policy (LRU vs FIFO vs random) and sub-block
+  placement's fetch granularity (the paper's one-valid-bit-per-word
+  design vs whole-block fills).
+"""
+
+import dataclasses
+
+from repro.analysis.common import naive_unit, workload_profile
+from repro.core import IcacheConfig, Machine, perfect_memory_config
+from repro.icache.explorer import evaluate
+from repro.reorg.delay_slots import MIPSX_SCHEME, BranchScheme
+from repro.reorg.reorganizer import reorganize
+from repro.traces.synthetic import paper_regime_program
+from repro.workloads import PASCAL_SUITE, get
+
+
+def _run_variant(name, scheme=MIPSX_SCHEME, profile=True,
+                 schedule_loads=True):
+    workload = get(name)
+    directions = dict(workload_profile(name)) if profile else None
+    result = reorganize(naive_unit(workload), scheme, profile=directions,
+                        schedule_loads=schedule_loads)
+    machine = Machine(perfect_memory_config())
+    machine.load_program(result.unit.assemble())
+    machine.run(30_000_000)
+    assert machine.halted
+    return machine.stats
+
+
+def _reorganizer_ablation(names):
+    variants = {
+        "full (schedule + profile + squash)": {},
+        "no load scheduling": {"schedule_loads": False},
+        "no profiling (BTFN heuristic)": {"profile": False},
+        "no squashing at all": {"scheme": BranchScheme(2, "none")},
+    }
+    rows = []
+    for label, kwargs in variants.items():
+        cycles = 0
+        noops = 0
+        retired = 0
+        for name in names:
+            stats = _run_variant(name, **kwargs)
+            cycles += stats.cycles
+            noops += stats.noops
+            retired += stats.retired
+        rows.append((label, cycles, round(noops / retired, 3)))
+    return rows
+
+
+def test_reorganizer_feature_ablation(benchmark, report):
+    report.name = "ablation_reorganizer"
+    names = ["fib", "sieve", "towers", "listops", "queens"]
+    rows = benchmark.pedantic(_reorganizer_ablation, args=(names,),
+                              rounds=1, iterations=1)
+    report.table(["reorganizer variant", "total cycles", "no-op fraction"],
+                 rows, "Reorganizer feature ablation (5 workloads, "
+                       "perfect memory)")
+    by_label = {label: (cycles, noops) for label, cycles, noops in rows}
+    full_cycles, full_noops = by_label[
+        "full (schedule + profile + squash)"]
+    # every removed feature costs cycles
+    assert by_label["no load scheduling"][0] >= full_cycles
+    assert by_label["no profiling (BTFN heuristic)"][0] >= full_cycles
+    assert by_label["no squashing at all"][0] > full_cycles
+    # scheduling specifically removes no-ops
+    assert by_label["no load scheduling"][1] > full_noops
+
+
+def _replacement_ablation(trace):
+    rows = []
+    for policy in ("lru", "fifo", "random"):
+        result = evaluate(IcacheConfig(replacement=policy), trace)
+        rows.append((policy, round(result.miss_ratio, 4),
+                     round(result.fetch_cost, 4)))
+    return rows
+
+
+def test_icache_replacement_ablation(benchmark, report):
+    report.name = "ablation_replacement"
+    trace = list(paper_regime_program().instruction_trace(250_000))
+    rows = benchmark.pedantic(_replacement_ablation, args=(trace,),
+                              rounds=1, iterations=1)
+    report.table(["replacement", "miss ratio", "fetch cost"], rows,
+                 "Icache replacement policy (Smith 1982: ~12% spread "
+                 "between LRU and non-usage-based policies)")
+    by_policy = {policy: miss for policy, miss, _ in rows}
+    # LRU at least matches the non-usage-based policies (and the spread
+    # stays modest, as in Smith's measurements)
+    assert by_policy["lru"] <= by_policy["fifo"] * 1.02
+    assert by_policy["lru"] <= by_policy["random"] * 1.02
+    assert by_policy["fifo"] < by_policy["lru"] * 1.35
+    assert by_policy["random"] < by_policy["lru"] * 1.35
+
+
+def _subblock_ablation(trace):
+    """Sub-block placement vs whole-block fills under equal block size.
+
+    Without sub-block valid bits a miss must fetch the whole 16-word
+    block; with the paper's 16-word blocks that is an 16-cycle service
+    (one word per cycle of cache write bandwidth) versus the 2-cycle
+    double fetch-back."""
+    subblock = evaluate(IcacheConfig(), trace)
+    whole = evaluate(
+        IcacheConfig(fetchback=16, miss_cycles=16), trace)
+    small_blocks = evaluate(
+        IcacheConfig(sets=16, ways=8, block_words=4, fetchback=4,
+                     miss_cycles=4), trace)
+    return [
+        ("sub-block, 2-word fetch-back (paper)", subblock.miss_ratio,
+         subblock.fetch_cost),
+        ("whole 16-word block fills", whole.miss_ratio, whole.fetch_cost),
+        ("4-word blocks, whole-block fills", small_blocks.miss_ratio,
+         small_blocks.fetch_cost),
+    ]
+
+
+def test_subblock_placement_ablation(benchmark, report):
+    report.name = "ablation_subblock"
+    trace = list(paper_regime_program().instruction_trace(250_000))
+    rows = benchmark.pedantic(_subblock_ablation, args=(trace,),
+                              rounds=1, iterations=1)
+    report.table(["fill policy", "miss ratio", "fetch cost"],
+                 [(label, round(miss, 3), round(cost, 3))
+                  for label, miss, cost in rows],
+                 "Sub-block placement ablation: why one valid bit per word")
+    paper_cost = rows[0][2]
+    whole_cost = rows[1][2]
+    # whole-block fills improve the miss ratio but lose on fetch cost:
+    # exactly why MIPS-X kept large blocks only via sub-block placement
+    assert rows[1][1] < rows[0][1]
+    assert whole_cost > paper_cost

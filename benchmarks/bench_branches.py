@@ -1,0 +1,99 @@
+"""E8/E9 -- branch statistics, quick-compare coverage, and prediction.
+
+Paper claims reproduced:
+
+* ~80% of branches need an explicit compare (condition codes would rarely
+  be set as a by-product) -- the argument for dropping condition codes;
+* 70-80% of branches could use the quick compare (equality and sign
+  tests), the rest needing a two-step sequence -- and it was still
+  dropped for cycle-time reasons;
+* reorganized branch cost: ~1.5 cycles with traditional optimization,
+  1.27 with the improved (profiled) optimizer;
+* a branch cache must be much larger than 16 entries and "never did much
+  better than static prediction".
+"""
+
+from repro.analysis.branch_schemes import evaluate_scheme
+from repro.analysis.prediction import run_study
+from repro.analysis.quick_compare import suite_stats
+from repro.reorg.delay_slots import MIPSX_SCHEME
+from repro.workloads import LISP_SUITE, PASCAL_SUITE
+
+ALL = list(PASCAL_SUITE) + list(LISP_SUITE)
+
+
+def test_branch_condition_statistics(benchmark, report):
+    report.name = "branch_conditions"
+    stats = benchmark.pedantic(suite_stats, rounds=1, iterations=1)
+    report.table(
+        ["metric", "measured", "paper"],
+        [
+            ("explicit compare needed", round(stats.explicit_compare_fraction, 2),
+             "~0.80"),
+            ("quick compare (as proposed)", round(stats.quick_fraction_strict, 2),
+             "-"),
+            ("quick compare (with compiler change)", round(stats.quick_fraction, 2),
+             "0.70-0.80"),
+        ],
+        "E8: dynamic branch condition statistics",
+    )
+    report.table(
+        ["class", "count"],
+        [
+            ("equality (beq/bne)", stats.equality),
+            ("sign test vs zero", stats.sign_test),
+            ("near-sign test vs zero (bgt/ble r0)", stats.near_sign_test),
+            ("ordered register-register", stats.ordered_reg),
+        ],
+        "Branch condition classes",
+    )
+    # most branches need an explicit compare on a CC machine
+    assert stats.explicit_compare_fraction > 0.6
+    # a majority -- but far from all -- are quick-comparable
+    assert 0.5 < stats.quick_fraction < 0.9
+    assert stats.quick_fraction_strict < stats.quick_fraction
+    assert stats.total > 10_000
+
+
+def _branch_costs():
+    profiled = evaluate_scheme(MIPSX_SCHEME, ALL)
+    return profiled
+
+
+def test_reorganized_branch_cost(benchmark, report):
+    report.name = "branch_cost"
+    profiled = benchmark.pedantic(_branch_costs, rounds=1, iterations=1)
+    rows = [(c.name, c.executions, round(c.cycles_per_branch, 2))
+            for c in profiled.per_workload]
+    report.table(["workload", "branch executions", "cycles/branch"], rows,
+                 "Branch cost under the shipped scheme "
+                 "(2-slot squash optional, profiled prediction)")
+    report.table(
+        ["metric", "measured", "paper"],
+        [("average cycles/branch", round(profiled.cycles_per_branch, 2),
+          "1.5 traditional -> 1.27 improved")],
+        "E8: reorganized branch cost",
+    )
+    # the improved-optimizer operating point (paper: 1.27-1.5)
+    assert 1.1 < profiled.cycles_per_branch < 1.75
+
+
+def test_branch_cache_vs_static_prediction(benchmark, report):
+    report.name = "branch_prediction"
+    study = benchmark.pedantic(run_study, rounds=1, iterations=1)
+    report.table(["predictor", "mispredict rate"], study.rows(),
+                 "E9: branch cache vs static prediction")
+
+    by_entries = {}
+    for result in study.caches:
+        entries = int(result.name.split("(")[1].split()[0])
+        by_entries[entries] = result.mispredict_rate
+    static = study.static_profile.mispredict_rate
+
+    # "never did much better than static prediction": even the largest
+    # branch cache does not beat profiled static prediction
+    assert min(by_entries.values()) >= static - 0.005
+    # 16 entries is not enough: visibly worse than the asymptote
+    assert by_entries[16] > min(by_entries.values()) + 0.005
+    # BTFN (unprofiled static) is clearly worse than profiled static
+    assert study.static_btfn.mispredict_rate > static

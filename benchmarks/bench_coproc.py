@@ -1,0 +1,79 @@
+"""E12 -- the coprocessor interface schemes on FP-intensive code.
+
+The paper's narrative: the non-cached scheme looked fine on integer
+benchmarks, but FP-intensive traces showed "a significant percentage of
+the instructions were floating point instructions", making the per-
+instruction Icache-miss overhead unacceptable; the final address-line
+interface keeps coprocessor instructions cacheable for one extra pin and
+gives the FPU direct memory access via ldf/stf.
+"""
+
+from repro.analysis.common import run_measured
+from repro.coproc.schemes import (
+    comparison_rows,
+    evaluate_schemes,
+    mix_from_machine,
+    schemes,
+)
+from repro.workloads import FP_SUITE
+
+
+def _measure_mixes():
+    mixes = []
+    for name in FP_SUITE:
+        machine = run_measured(name)
+        mixes.append(mix_from_machine(name, machine))
+    return mixes
+
+
+def test_coprocessor_interface_schemes(benchmark, report):
+    report.name = "coproc_schemes"
+    mixes = benchmark.pedantic(_measure_mixes, rounds=1, iterations=1)
+
+    mix_rows = [(m.name, m.instructions, m.coproc_ops, m.fp_memory_ops,
+                 round(m.fp_fraction, 2)) for m in mixes]
+    report.table(["workload", "instructions", "coproc ops", "fp mem ops",
+                  "fp fraction"], mix_rows,
+                 "Measured FP instruction mixes")
+
+    report.table(["interface scheme", "extra pins", "relative perf",
+                  "cacheable"], comparison_rows(mixes),
+                 "E12: interface schemes (performance relative to the "
+                 "final address-line interface)")
+
+    detail = []
+    for mix in mixes:
+        for outcome in evaluate_schemes(mix):
+            detail.append((mix.name, outcome.scheme.name,
+                           int(outcome.cycles),
+                           round(outcome.relative_performance, 3)))
+    report.table(["workload", "scheme", "cycles", "relative perf"], detail,
+                 "Per-workload detail")
+
+    # FP-intensive: a significant fraction of instructions talk to the FPU
+    for mix in mixes:
+        assert mix.fp_fraction > 0.25, mix.name
+
+    by_name = {}
+    for mix in mixes:
+        for outcome in evaluate_schemes(mix):
+            by_name.setdefault(outcome.scheme.name, []).append(
+                outcome.relative_performance)
+
+    def average(name):
+        values = by_name[name]
+        return sum(values) / len(values)
+
+    final = average("address-line interface (final)")
+    non_cached = average("non-cached coprocessor instructions")
+    bus = average("coprocessor bit + dedicated bus")
+    # the final scheme is the reference
+    assert abs(final - 1.0) < 1e-9
+    # the non-cached scheme loses significantly on FP-heavy code
+    assert non_cached < 0.75
+    # the dedicated bus only loses the ldf/stf fast path (small), but
+    # costs ~20 pins
+    assert 0.8 < bus <= 1.0
+    pins = {s.name: s.extra_pins for s in schemes()}
+    assert pins["address-line interface (final)"] == 1
+    assert pins["coprocessor bit + dedicated bus"] == 20

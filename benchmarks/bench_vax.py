@@ -1,0 +1,51 @@
+"""E13 -- the VAX 11/780 comparison.
+
+Paper: with the Stanford compiler on both machines, MIPS-X executed ~25%
+more instructions but ran ~14x faster (unoptimized code); against the
+Berkeley Pascal compiler the path length gap was 80% and the speedup 10x.
+Static code size: MIPS-X ~25% larger.
+
+Our compiler is naive, so the measured path-length gap lands near the
+paper's *Berkeley* datapoint (~1.8x); the speedup must stay around an
+order of magnitude.
+"""
+
+from repro.analysis.vax import compare_suite
+
+
+def test_vax_comparison(benchmark, report):
+    report.name = "vax_comparison"
+    comparisons = benchmark.pedantic(compare_suite, rounds=1, iterations=1)
+
+    rows = [(c.name, c.mipsx_instructions, c.vax.instructions,
+             round(c.path_length_ratio, 2), round(c.speedup, 1),
+             round(c.code_size_ratio, 2)) for c in comparisons]
+    report.table(["workload", "MIPS-X instrs", "VAX instrs", "path ratio",
+                  "speedup", "code size ratio"], rows,
+                 "E13: MIPS-X (20 MHz, full machine) vs VAX 11/780 model")
+
+    n = len(comparisons)
+    mean_path = sum(c.path_length_ratio for c in comparisons) / n
+    mean_speedup = sum(c.speedup for c in comparisons) / n
+    mean_code = sum(c.code_size_ratio for c in comparisons) / n
+    report.table(
+        ["metric", "measured", "paper (Stanford / Berkeley compiler)"],
+        [
+            ("path length ratio", round(mean_path, 2), "1.25 / 1.8"),
+            ("speedup", round(mean_speedup, 1), "14x / 10x"),
+            ("static code ratio", round(mean_code, 2), "1.25"),
+        ],
+        "Suite means",
+    )
+
+    # MIPS-X executes MORE instructions on every workload...
+    for c in comparisons:
+        assert c.path_length_ratio > 1.0, c.name
+    # ... near the paper's Berkeley-backend gap for a naive compiler
+    assert 1.2 < mean_path < 2.3
+    # ... but wins by roughly an order of magnitude on wall clock
+    assert 8.0 < mean_speedup < 22.0
+    for c in comparisons:
+        assert c.speedup > 5.0, c.name
+    # static code is larger on the RISC
+    assert mean_code > 1.0

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""The coprocessor interface in action: an FPU dot product.
+
+Demonstrates the paper's final (address-line) interface:
+
+* ``cop`` sends a coprocessor instruction over the address lines
+  (``r[base] + offset`` *is* the instruction; one pin tells the memory
+  system to ignore the cycle);
+* ``ldf``/``stf`` move memory words directly into/out of the privileged
+  coprocessor's registers in a single instruction;
+* ``movfrc`` reads a coprocessor register or status over the data bus
+  (with load timing: one delay slot);
+* branching on an FPU condition = fcmp, read the status register, branch
+  -- the sequence that replaced the dropped coprocessor-branch opcodes.
+"""
+
+import struct
+
+from repro.asm import assemble
+from repro.coproc import Fpu, FpuOp, float_to_word, fpu_op, word_to_float
+from repro.core import Machine, MachineConfig
+
+N = 16
+a_values = [0.5 + 0.25 * i for i in range(N)]
+b_values = [2.0 - 0.125 * i for i in range(N)]
+
+fmul = fpu_op(FpuOp.FMUL, 1, 2)     # f1 <- f1 * f2
+fadd = fpu_op(FpuOp.FADD, 0, 1)     # f0 <- f0 + f1
+fcmp = fpu_op(FpuOp.FCMP, 0, 3)     # compare f0 with f3
+read_acc = fpu_op(FpuOp.MFC_RAW, 0)
+read_status = fpu_op(FpuOp.MFC_STATUS)
+
+SOURCE = f"""
+_start:
+    la   t0, vec_a
+    la   t1, vec_b
+    li   t2, {N}
+    movtoc r0, {fpu_op(FpuOp.MTC_RAW, 0)}(r0)   ; f0 <- 0.0
+loop:
+    ldf  f1, 0(t0)          ; a[i] straight into the FPU
+    ldf  f2, 0(t1)
+    cop  {fmul}(r0)         ; coprocessor instruction on the address lines
+    cop  {fadd}(r0)
+    addi t0, t0, 1
+    addi t1, t1, 1
+    addi t2, t2, -1
+    bgt  t2, r0, loop
+    nop
+    nop
+    ; compare the accumulated dot product against 40.0 and branch on it
+    la   t3, threshold
+    ldf  f3, 0(t3)
+    cop  {fcmp}(r0)
+    movfrc t4, {read_status}(r0)
+    nop                     ; movfrc has load timing: one delay slot
+    li   t5, 4              ; STATUS_GT
+    and  t4, t4, t5
+    beq  t4, r0, small
+    nop
+    nop
+    li   t6, 1              ; flag: dot product > 40.0
+    br   out
+    nop
+    nop
+small:
+    li   t6, 0
+out:
+    movfrc t7, {read_acc}(r0)
+    nop
+    li   a0, 0x3FFFF0
+    st   t7, 0(a0)          ; raw float bits of the result
+    st   t6, 0(a0)          ; comparison flag
+    halt
+
+threshold: .word {float_to_word(40.0)}
+vec_a: .word {", ".join(str(float_to_word(v)) for v in a_values)}
+vec_b: .word {", ".join(str(float_to_word(v)) for v in b_values)}
+"""
+
+machine = Machine(MachineConfig())
+machine.attach_coprocessor(Fpu())
+machine.load_program(assemble(SOURCE))
+stats = machine.run()
+
+raw_bits, flag = machine.console.values
+result = word_to_float(raw_bits & 0xFFFFFFFF)
+
+
+def single(x):
+    return struct.unpack("<f", struct.pack("<f", x))[0]
+
+
+expected = 0.0
+for a, b in zip(a_values, b_values):
+    expected = single(expected + single(single(a) * single(b)))
+
+print(f"dot product (FPU)    : {result}")
+print(f"dot product (Python) : {expected}")
+print(f"greater than 40.0?   : {bool(flag)}")
+print(f"coprocessor ops      : {stats.coproc_ops}")
+print(f"FPU memory transfers : {stats.loads} ldf")
+print(f"cycles               : {stats.cycles}  (CPI {stats.cpi:.2f})")
+print()
+print("note: every coprocessor instruction above was CACHED like a normal")
+print("instruction -- the property the address-line interface bought for")
+print(f"one extra pin (icache miss rate this run: "
+      f"{machine.icache.stats.miss_rate:.1%})")
+
+assert abs(result - expected) < 1e-3
+assert bool(flag) == (expected > 40.0)

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Exception handling: the halted pipeline, the PC chain, and the
+three-jump restart.
+
+This walks the paper's exception design with a live machine:
+
+1. the program enables the maskable trap-on-overflow (PSW.TE) and then
+   overflows an add;
+2. the pipeline halts: nothing in flight completes, the PC chain freezes
+   with the PCs of the three uncompleted instructions, PSW -> PSWold, and
+   fetch vectors to address 0 in system space;
+3. the handler reads the chain, records the event, fixes the cause (here:
+   clears TE in PSWold), reloads the chain, and returns with
+   ``jpc; jpc; jpcrs`` -- each jump redirecting to the next chain entry
+   while the following jumps ride in its delay slots;
+4. the three frozen instructions re-execute exactly once and the program
+   continues as if nothing happened.
+"""
+
+from repro.asm import assemble
+from repro.core import Machine, PswBit, perfect_memory_config
+
+PSW_TE = (1 << PswBit.MODE) | (1 << PswBit.SHIFT_EN) | (1 << PswBit.TE)
+
+SOURCE = f"""
+; ---- exception vector (address 0, system space) -------------------------
+.org 0
+    br handler
+    nop
+    nop
+
+.org 0x40
+handler:
+    ; save the frozen PC chain where the host can inspect it
+    movfrs s0, pc1
+    movfrs s1, pc2
+    movfrs s2, pc3
+    la   t0, saved_pcs
+    st   s0, 0(t0)
+    st   s1, 1(t0)
+    st   s2, 2(t0)
+    ; record the trap
+    la   t1, trap_count
+    ld   t2, 0(t1)
+    nop
+    addi t2, t2, 1
+    st   t2, 0(t1)
+    ; clear TE in PSWold so the re-executed add completes this time
+    movfrs t3, pswold
+    li   t4, {1 << PswBit.TE}
+    not  t4, t4
+    and  t3, t3, t4
+    movtos pswold, t3
+    ; reload the chain (it is still frozen with the right values) and
+    ; perform the three special jumps; jpcrs restores the PSW last
+    jpc
+    jpc
+    jpcrs
+
+; ---- the program ---------------------------------------------------------
+.org 0x100
+_start:
+    li   t9, {PSW_TE}
+    movtos psw, t9
+    li   t5, 0x7FFFFFFF
+    li   t6, 1
+marker:
+    add  t7, t5, t6      ; overflows -> trap; re-executes after the handler
+    li   t8, 1234        ; proof that execution continued
+    li   a0, 0x3FFFF0
+    st   t7, 0(a0)
+    st   t8, 0(a0)
+    halt
+
+saved_pcs:  .space 3
+trap_count: .word 0
+"""
+
+program = assemble(SOURCE)
+machine = Machine(perfect_memory_config())
+machine.load_program(program)
+stats = machine.run()
+
+saved = [machine.memory.system.read(program.symbols["saved_pcs"] + i)
+         for i in range(3)]
+marker = program.symbols["marker"]
+
+print(f"traps taken            : {stats.exceptions}")
+print(f"trap_count in memory   : "
+      f"{machine.memory.system.read(program.symbols['trap_count'])}")
+print(f"frozen PC chain        : {[hex(pc) for pc in saved]}")
+print(f"faulting instruction at: {hex(marker)} (middle chain entry)")
+print(f"console output         : {machine.console.values}")
+print(f"PSW after return+halt  : {machine.psw!r}")
+
+# the chain holds [pc(MEM), pc(ALU=faulter), pc(RF)]
+assert saved[1] == marker
+assert saved[0] == marker - 1 and saved[2] == marker + 1
+# the re-executed add completed with the wrapped value, and execution
+# continued normally (t7 printed as a signed word: INT_MIN)
+assert machine.console.values == [-(1 << 31), 1234]
+assert stats.exceptions == 1
+print("\nrestart verified: the three frozen instructions re-executed "
+      "exactly once and the program finished normally")

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""The Lisp story: car/cdr chains and load-load interlocks.
+
+The paper: "For Lisp, this number increases slightly to 18.3% due to a
+larger number of jumps and many load-load interlocks caused by chasing car
+and cdr chains."  This example makes the effect visible: a cons-cell list
+reversal whose inner loop is a dependent load chain the reorganizer cannot
+hide, compared against an array-sum loop it hides almost completely.
+"""
+
+from repro.core import Machine, perfect_memory_config
+from repro.lang import compile_spl
+
+LIST_CHASE = """
+program chase;
+var car[2001], cdr[2001], freeptr, lst, n;
+
+func cons(a, d);
+var cell;
+begin
+    cell := freeptr;
+    freeptr := freeptr + 1;
+    car[cell] := a;
+    cdr[cell] := d;
+    return cell;
+end;
+
+func sumlist(p);
+var total;
+begin
+    total := 0;
+    while p <> 0 do begin
+        total := total + car[p];   { load car[p] ... }
+        p := cdr[p];               { ... then chase cdr[p]: a load chain }
+    end;
+    return total;
+end;
+
+begin
+    freeptr := 1;
+    lst := 0;
+    for n := 500 downto 1 do lst := cons(n, lst);
+    write(sumlist(lst));
+end.
+"""
+
+ARRAY_SUM = """
+program arraysum;
+var data[501], n, total;
+
+begin
+    for n := 1 to 500 do data[n] := n;
+    total := 0;
+    for n := 1 to 500 do total := total + data[n];
+    write(total);
+end.
+"""
+
+
+def run(source, label):
+    machine = Machine(perfect_memory_config())
+    machine.load_program(compile_spl(source).program())
+    stats = machine.run()
+    print(f"=== {label} ===")
+    print(f"output          : {machine.console.values}")
+    print(f"instructions    : {stats.retired}")
+    print(f"no-ops executed : {stats.noops} ({stats.noop_fraction:.1%})")
+    print(f"loads           : {stats.loads} "
+          f"({stats.loads / stats.retired:.2f} per instruction)")
+    print(f"jumps + branches: {stats.jumps + stats.branches}")
+    print()
+    return stats
+
+
+chase = run(LIST_CHASE, "cons-cell list chase (Lisp-like)")
+arrays = run(ARRAY_SUM, "array sum (Pascal-like)")
+
+print("the Lisp effect, quantified:")
+print(f"  list-chase no-op fraction : {chase.noop_fraction:.1%}")
+print(f"  array-sum  no-op fraction : {arrays.noop_fraction:.1%}")
+print("  the cdr chain is a dependent load every iteration: nothing can")
+print("  be scheduled into its delay slot, so the no-ops stay -- the")
+print("  paper's 18.3% vs 15.6%.")
+
+assert chase.noop_fraction > arrays.noop_fraction

@@ -1,0 +1,19 @@
+"""Reproduction of "Architectural Tradeoffs in the Design of MIPS-X"
+(Paul Chow and Mark Horowitz, ISCA 1987).
+
+Top-level convenience re-exports; see the subpackages for the full API:
+
+* :mod:`repro.isa` -- the instruction set;
+* :mod:`repro.asm` -- assembler and disassembler;
+* :mod:`repro.core` -- the cycle-accurate processor model;
+* :mod:`repro.icache` / :mod:`repro.ecache` -- the memory hierarchy;
+* :mod:`repro.coproc` -- the coprocessor interface and FPU;
+* :mod:`repro.reorg` -- the post-pass code reorganizer;
+* :mod:`repro.lang` -- the mini-Pascal compiler used to build workloads;
+* :mod:`repro.workloads` -- the benchmark programs;
+* :mod:`repro.traces` -- trace capture and synthetic trace generation;
+* :mod:`repro.analysis` -- the experiment machinery behind every table
+  and figure (see DESIGN.md for the per-experiment index).
+"""
+
+__version__ = "1.0.0"

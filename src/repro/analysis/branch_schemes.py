@@ -1,0 +1,105 @@
+"""Table 1: average cycles per branch under the six branch schemes.
+
+Method (the same trace-driven evaluation the design team ran before
+committing to squash-optional):
+
+1. each workload is compiled once and *profiled* -- per-branch dynamic
+   (taken, not-taken) counts, which are invariant across schemes;
+2. for each scheme, the reorganizer produces per-branch
+   :class:`~repro.reorg.delay_slots.BranchPlan` fill decisions under
+   profile-guided static prediction;
+3. a branch execution costs ``1 + wasted slots``: a slot is wasted when it
+   holds a no-op, or a squash fill that went the wrong way (footnote 2 of
+   the paper: no-ops in delay slots are attributed to the branch, so a
+   branch with two no-op slots costs 3).
+
+``squash-if-go`` fills are costed even though MIPS-X hardware cannot run
+them -- exactly how the paper's Table 1 could evaluate schemes the final
+machine dropped.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.reorg.delay_slots import TABLE1_SCHEMES, BranchScheme
+from repro.workloads import PASCAL_SUITE
+
+from repro.analysis.common import (
+    conditional_plans_by_index,
+    profiled_result,
+    workload_branch_counts,
+)
+
+
+@dataclasses.dataclass
+class WorkloadBranchCost:
+    name: str
+    executions: int
+    cycles: int
+
+    @property
+    def cycles_per_branch(self) -> float:
+        return self.cycles / self.executions if self.executions else 0.0
+
+
+@dataclasses.dataclass
+class SchemeEvaluation:
+    scheme: BranchScheme
+    per_workload: List[WorkloadBranchCost]
+
+    @property
+    def executions(self) -> int:
+        return sum(w.executions for w in self.per_workload)
+
+    @property
+    def cycles(self) -> int:
+        return sum(w.cycles for w in self.per_workload)
+
+    @property
+    def cycles_per_branch(self) -> float:
+        return self.cycles / self.executions if self.executions else 0.0
+
+
+def evaluate_scheme(scheme: BranchScheme,
+                    names: Sequence[str]) -> SchemeEvaluation:
+    """Cost one scheme over a set of workloads."""
+    per_workload = []
+    for name in names:
+        counts = dict(workload_branch_counts(name))
+        result = profiled_result(name, scheme)
+        plans = conditional_plans_by_index(result)
+        executions = 0
+        cycles = 0
+        for index, (taken, not_taken) in counts.items():
+            plan = plans.get(index)
+            if plan is None:
+                continue
+            executions += taken + not_taken
+            cycles += taken * plan.cost(True) + not_taken * plan.cost(False)
+        per_workload.append(WorkloadBranchCost(name, executions, cycles))
+    return SchemeEvaluation(scheme=scheme, per_workload=per_workload)
+
+
+def table1(names: Optional[Sequence[str]] = None) -> List[SchemeEvaluation]:
+    """Reproduce Table 1 over the Pascal suite (default)."""
+    names = list(names) if names is not None else list(PASCAL_SUITE)
+    return [evaluate_scheme(scheme, names) for scheme in TABLE1_SCHEMES]
+
+
+def table1_rows(names: Optional[Sequence[str]] = None) -> List[tuple]:
+    """(scheme name, cycles/branch) rows in the paper's order."""
+    return [(evaluation.scheme.name, round(evaluation.cycles_per_branch, 2))
+            for evaluation in table1(names)]
+
+
+# Paper's Table 1 for reference (cycles per branch):
+PAPER_TABLE1: Dict[str, float] = {
+    "2-slot no squash": 2.0,
+    "2-slot always squash": 1.5,
+    "2-slot squash optional": 1.3,
+    "1-slot no squash": 1.4,
+    "1-slot always squash": 1.3,
+    "1-slot squash optional": 1.1,
+}

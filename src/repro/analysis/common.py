@@ -1,0 +1,127 @@
+"""Shared helpers for the experiment machinery.
+
+Experiments need *profiled* reorganization (the paper's best results use
+profile-guided static prediction), workload runs on arbitrary machine
+configurations, and consistent branch-index bookkeeping.  Everything here
+is cached where determinism allows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+from typing import Dict, Optional, Tuple
+
+from repro.asm.assembler import parse as parse_asm
+from repro.coproc.fpu import Fpu
+from repro.core.config import MachineConfig, perfect_memory_config
+from repro.core.processor import Machine
+from repro.lang.compiler import compile_spl
+from repro.reorg.delay_slots import MIPSX_SCHEME, BranchScheme
+from repro.reorg.profiler import (
+    ProfileData,
+    branch_index_map,
+    collect_profile,
+)
+from repro.reorg.reorganizer import ReorgResult, reorganize
+from repro.traces.capture import TraceCollector
+from repro.workloads import Workload, get
+
+
+def naive_unit(workload: Workload):
+    """Fresh naive (un-reorganized) symbolic unit for a workload."""
+    if workload.is_assembly:
+        return parse_asm(workload.source)
+    return parse_asm(compile_spl(workload.source, scheme=None).asm_text)
+
+
+@functools.lru_cache(maxsize=None)
+def workload_profile(name: str) -> Tuple[Tuple[int, bool], ...]:
+    """Profiled branch directions for a workload (hashable, cached).
+
+    Profiling runs the statically-predicted build once on a perfect-memory
+    machine; branch outcomes do not depend on the memory system.
+    """
+    workload = get(name)
+    first = reorganize(naive_unit(workload), MIPSX_SCHEME)
+    cops = (Fpu(),) if workload.needs_fpu else ()
+    profile = collect_profile(first, _profile_config(workload),
+                              coprocessors=cops)
+    return tuple(sorted(profile.directions.items()))
+
+
+@functools.lru_cache(maxsize=None)
+def workload_branch_counts(name: str) -> Tuple[Tuple[int, Tuple[int, int]], ...]:
+    """Per-conditional-branch-index (taken, not-taken) dynamic counts.
+
+    Branch *outcomes* are invariant across schemes and memory systems, so
+    one canonical run serves every scheme evaluation.
+    """
+    workload = get(name)
+    first = reorganize(naive_unit(workload), MIPSX_SCHEME)
+    cops = (Fpu(),) if workload.needs_fpu else ()
+    profile = collect_profile(first, _profile_config(workload),
+                              coprocessors=cops)
+    return tuple(sorted(profile.counts.items()))
+
+
+def _profile_config(workload: Workload) -> MachineConfig:
+    return perfect_memory_config()
+
+
+@functools.lru_cache(maxsize=None)
+def profiled_result_cached(name: str, slots: int, squash: str,
+                           squash_if_go: bool) -> ReorgResult:
+    """Reorganize a workload under a scheme with its profiled directions."""
+    scheme = BranchScheme(slots, squash, squash_if_go=squash_if_go)
+    directions = dict(workload_profile(name))
+    return reorganize(naive_unit(get(name)), scheme, profile=directions)
+
+
+def profiled_result(name: str,
+                    scheme: BranchScheme = MIPSX_SCHEME) -> ReorgResult:
+    return profiled_result_cached(name, scheme.slots, scheme.squash,
+                                  scheme.squash_if_go)
+
+
+def run_measured(name: str, config: Optional[MachineConfig] = None,
+                 scheme: BranchScheme = MIPSX_SCHEME,
+                 trace: Optional[TraceCollector] = None,
+                 max_cycles: int = 60_000_000) -> Machine:
+    """Run the profiled build of a workload on a given machine config."""
+    workload = get(name)
+    result = profiled_result(name, scheme)
+    machine = Machine(config)
+    if workload.needs_fpu:
+        machine.attach_coprocessor(Fpu())
+    if trace is not None:
+        machine.set_trace(trace)
+    machine.load_program(result.unit.assemble())
+    machine.run(max_cycles)
+    if not machine.halted:
+        raise RuntimeError(f"{name} did not halt within {max_cycles} cycles")
+    return machine
+
+
+def conditional_plans_by_index(result: ReorgResult) -> Dict[int, object]:
+    """Map conditional-branch index -> BranchPlan for one reorganization."""
+    from repro.asm.unit import Op
+
+    plan_by_op = {id(plan.op): plan for plan in result.plans}
+    plans: Dict[int, object] = {}
+    index = 0
+    for item in result.unit.items:
+        if isinstance(item, Op) and item.instr.is_branch:
+            # index counts *source* conditional branches: always-taken br
+            # pseudo-branches were never profiled, matching reorganize()
+            plan = plan_by_op.get(id(item))
+            if plan is not None and plan.conditional:
+                plans[index] = plan
+            if _counts_for_profile(item):
+                index += 1
+    return plans
+
+
+def _counts_for_profile(item) -> bool:
+    """Mirror the branch-index convention of repro.reorg.profiler."""
+    return item.instr.is_branch

@@ -1,0 +1,76 @@
+"""Multiprogramming / task-switch effects on the instruction cache.
+
+The paper derived its external-cache effects from Smith's methodology
+(*Cache Memories*, reference [15]), whose trace-driven studies switch
+between program traces every Q references to model multiprogramming.
+The same sweep on our Icache reproduces the survey's three regimes:
+
+* very small Q -- processes time-share the cache finely enough that each
+  finds some of its working set still resident when it resumes;
+* intermediate Q -- the worst case: a process runs long enough for the
+  others to evict it, but not long enough to amortize reloading;
+* very large Q -- the reload cost amortizes over a long run, so the miss
+  ratio approaches the single-program (warm) value.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from repro.core.config import IcacheConfig
+from repro.icache.cache import Icache
+from repro.traces.capture import TraceCollector
+from repro.traces.synthetic import combined_fetch_trace
+
+
+@dataclasses.dataclass
+class QuantumPoint:
+    quantum: int
+    miss_ratio: float
+    cold_misses: int    #: misses in the first pass over each program
+
+
+def collect_workload_traces(names: Sequence[str]) -> List[List[int]]:
+    """Fetch traces for a set of workloads (one pipeline run each)."""
+    from repro.analysis.common import run_measured
+
+    traces = []
+    for name in names:
+        collector = TraceCollector(fetches=True, data=False, branches=False)
+        run_measured(name, trace=collector)
+        traces.append(collector.fetch_trace)
+    return traces
+
+
+def quantum_sweep(traces: List[List[int]],
+                  quanta: Sequence[int] = (250, 1000, 4000, 16000, 64000),
+                  config: Optional[IcacheConfig] = None
+                  ) -> List[QuantumPoint]:
+    """Miss ratio of the combined trace as a function of the switch
+    quantum Q (Smith's Figures 23/24 methodology)."""
+    points = []
+    for quantum in quanta:
+        combined = combined_fetch_trace(traces, quantum=quantum)
+        cache = Icache(config or IcacheConfig())
+        cache.simulate_trace(combined)
+        points.append(QuantumPoint(
+            quantum=quantum,
+            miss_ratio=cache.stats.miss_rate,
+            cold_misses=cache.stats.tag_allocations,
+        ))
+    return points
+
+
+def warm_miss_ratio(traces: List[List[int]],
+                    config: Optional[IcacheConfig] = None) -> float:
+    """Single-program (no switching) aggregate miss ratio: the floor the
+    large-Q regime approaches."""
+    accesses = 0
+    misses = 0
+    for trace in traces:
+        cache = Icache(config or IcacheConfig())
+        cache.simulate_trace(trace)
+        accesses += cache.stats.accesses
+        misses += cache.stats.misses
+    return misses / accesses if accesses else 0.0

@@ -1,0 +1,138 @@
+"""Branch condition statistics (the quick-compare and condition-code
+discussions of the paper).
+
+Two claims are reproduced:
+
+* "In roughly 80% of the branches an explicit compare operation must be
+  performed to set the condition codes" -- i.e. on a condition-code
+  machine, the value a branch tests is rarely the by-product of an
+  arithmetic instruction that would have set the codes anyway;
+* "the number of branches that could be handled using a quick compare was
+  between 70% and 80%" -- the quick compare (a comparator on the register
+  file outputs) supports only equality and sign tests.
+
+Both are measured dynamically over branch traces of the compiled
+workloads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Sequence
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.traces.capture import TraceCollector
+from repro.workloads import LISP_SUITE, PASCAL_SUITE
+
+from repro.analysis.common import profiled_result, run_measured
+
+
+@dataclasses.dataclass
+class BranchConditionStats:
+    total: int = 0
+    #: equality tests (any registers) -- quick-comparable
+    equality: int = 0
+    #: sign tests (ordered compare against r0) -- quick-comparable
+    sign_test: int = 0
+    #: ordered compare against r0 that is not a pure sign test (bgt/ble):
+    #: quick-comparable "by changing the compiler slightly" (test >=1 as >0)
+    near_sign_test: int = 0
+    #: ordered register-register compares -- need the full ALU compare
+    ordered_reg: int = 0
+    #: branches whose tested value was just produced by a nearby ALU op
+    #: (a condition-code machine would reuse the codes: no explicit compare)
+    cc_free: int = 0
+
+    @property
+    def quick_fraction_strict(self) -> float:
+        """Fraction handled by the quick compare as literally proposed."""
+        if not self.total:
+            return 0.0
+        return (self.equality + self.sign_test) / self.total
+
+    @property
+    def quick_fraction(self) -> float:
+        """Fraction quick-comparable after the small compiler change the
+        paper describes (Katevenis's ~80% number)."""
+        if not self.total:
+            return 0.0
+        return (self.equality + self.sign_test
+                + self.near_sign_test) / self.total
+
+    @property
+    def explicit_compare_fraction(self) -> float:
+        """Fraction needing an explicit compare on a condition-code
+        machine (paper: roughly 80%)."""
+        if not self.total:
+            return 0.0
+        return 1.0 - self.cc_free / self.total
+
+
+_SIGN_TESTS = {Opcode.BLT, Opcode.BGE}
+_NEAR_SIGN_TESTS = {Opcode.BGT, Opcode.BLE}
+_ALU_PRODUCER_WINDOW = 2  # how close a producer must be to reuse its codes
+
+
+def classify_branches(name: str,
+                      stats: Optional[BranchConditionStats] = None
+                      ) -> BranchConditionStats:
+    """Accumulate dynamic branch-condition statistics for one workload."""
+    stats = stats or BranchConditionStats()
+    collector = TraceCollector(fetches=False, data=False, branches=True)
+    run_measured(name, trace=collector)
+    result = profiled_result(name)
+    program = result.unit.assemble()
+    listing = program.listing
+    for event in collector.branch_events:
+        instr = listing.get(event.pc)
+        if instr is None or not instr.is_branch:
+            continue
+        if instr.src1 == 0 and instr.src2 == 0:
+            continue  # `br` pseudo-jump
+        stats.total += 1
+        if instr.opcode in (Opcode.BEQ, Opcode.BNE):
+            stats.equality += 1
+        elif instr.src2 == 0 or instr.src1 == 0:
+            if instr.opcode in _SIGN_TESTS:
+                stats.sign_test += 1
+            else:
+                stats.near_sign_test += 1
+        else:
+            stats.ordered_reg += 1
+        if _condition_codes_free(listing, event.pc, instr):
+            stats.cc_free += 1
+    return stats
+
+
+def _condition_codes_free(listing: Dict[int, Instruction], pc: int,
+                          branch: Instruction) -> bool:
+    """Would a CC machine have the codes already set for this branch?
+
+    True when a compute instruction within the preceding couple of words
+    writes the tested register and the branch compares it against zero --
+    the case where the arithmetic op's condition codes suffice.
+    """
+    if branch.src2 != 0 and branch.src1 != 0:
+        return False  # register-register compare always needs a compare op
+    tested = branch.src1 if branch.src2 == 0 else branch.src2
+    for distance in range(1, _ALU_PRODUCER_WINDOW + 1):
+        producer = listing.get(pc - distance)
+        if producer is None:
+            break
+        if producer.is_control:
+            break
+        if producer.writes_register() == tested:
+            return (producer.opcode == Opcode.COMPUTE
+                    or producer.opcode == Opcode.ADDI)
+    return False
+
+
+def suite_stats(names: Optional[Sequence[str]] = None) -> BranchConditionStats:
+    """Aggregate branch-condition statistics over a workload suite."""
+    names = list(names) if names is not None else (
+        list(PASCAL_SUITE) + list(LISP_SUITE))
+    stats = BranchConditionStats()
+    for name in names:
+        classify_branches(name, stats)
+    return stats

@@ -1,0 +1,39 @@
+"""Plain-text table formatting for the benchmark harnesses."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "") -> str:
+    """Render an aligned text table (numbers right-aligned)."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered_rows.append([
+            f"{cell:.3f}" if isinstance(cell, float) else str(cell)
+            for cell in row
+        ])
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells, pad=" "):
+        parts = []
+        for index, cell in enumerate(cells):
+            if index == 0:
+                parts.append(cell.ljust(widths[index], pad))
+            else:
+                parts.append(cell.rjust(widths[index], pad))
+        return "  ".join(parts)
+
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(list(headers)))
+    out.append(line(["-" * w for w in widths], pad="-"))
+    for row in rendered_rows:
+        out.append(line(row))
+    return "\n".join(out)

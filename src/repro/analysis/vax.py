@@ -1,0 +1,451 @@
+"""VAX 11/780 comparison (E13).
+
+The paper: "Comparison of Pascal programs with a VAX 11/780 shows that
+MIPS-X executes about 25% more instructions but executes the programs
+about 14 times faster for unoptimized code.  The static code size for
+MIPS-X is also about 25% greater than VAX code."  (Against the Berkeley
+compiler the path length gap was 80% and the speedup 10x.)
+
+Substitution: the 11/780 is modelled by an execution-driven cost model --
+a tree-walking interpreter of the same SPL ASTs that counts VAX
+instructions, cycles, and static bytes per construct.  The per-construct
+costs below are calibrated to DEC-published 11/780 characteristics (a
+5 MHz clock, multi-cycle microcoded instructions averaging roughly 10
+cycles, memory-to-memory three-operand ALU forms, the famously expensive
+CALLS/RET pair, and compact variable-length encodings averaging under 4
+bytes per instruction).  The *shape* of the comparison -- VAX executes
+fewer, fatter instructions; MIPS-X wins by roughly an order of magnitude
+on wall clock -- is what this reproduces.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.datapath import to_signed, to_unsigned
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse_program
+from repro.lang.symbols import ProgramSymbols, analyze
+from repro.workloads import PASCAL_SUITE, get
+
+from repro.analysis.common import profiled_result, run_measured
+
+VAX_CLOCK_MHZ = 5.0
+MIPSX_CLOCK_MHZ = 20.0
+
+
+@dataclasses.dataclass(frozen=True)
+class VaxCost:
+    """(instructions, cycles, static bytes) for one construct."""
+
+    instructions: int
+    cycles: int
+    bytes: int
+
+
+#: calibrated per-construct costs for the unoptimized-code comparison.
+#: An unoptimized (pcc-style) VAX compiler loads operands into registers
+#: with MOVLs and uses two-operand register ALU forms, so expression
+#: evaluation charges an operand move per variable reference plus an ALU
+#: instruction per operator.
+COSTS: Dict[str, VaxCost] = {
+    # MOVL mem, Rn -- operand load by the unoptimized compiler
+    "operand_move": VaxCost(1, 5, 4),
+    # two-operand register ALU: ADDL2/SUBL2/...
+    "alu3": VaxCost(1, 4, 4),
+    # multiply / divide are single (slow) instructions
+    "mul": VaxCost(1, 15, 5),
+    "div": VaxCost(1, 38, 5),
+    "mod": VaxCost(2, 46, 9),         # EDIV or DIV+MUL+SUB sequence
+    # MOVL for plain copies / stores back to memory
+    "move": VaxCost(1, 5, 5),
+    # CMPL + conditional branch
+    "compare_branch": VaxCost(2, 8, 6),
+    # unconditional BRB/JMP
+    "jump": VaxCost(1, 4, 3),
+    # the 11/780 procedure call pair (CALLS builds a full frame)
+    "call": VaxCost(1, 40, 5),
+    "ret": VaxCost(1, 22, 1),
+    "push_arg": VaxCost(1, 5, 4),
+    # AOBLEQ/SOBGEQ-style loop close (add, test and branch in one)
+    "loop_close": VaxCost(1, 7, 4),
+    # array indexing uses an index-mode operand: extra cycles, no instr
+    "index_mode": VaxCost(0, 2, 2),
+    # console write: MOVL to an I/O address
+    "write": VaxCost(1, 7, 6),
+}
+
+
+class VaxRuntimeError(RuntimeError):
+    pass
+
+
+@dataclasses.dataclass
+class VaxMeasurement:
+    name: str
+    instructions: int
+    cycles: int
+    static_bytes: int
+    console: List[int]
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / (VAX_CLOCK_MHZ * 1e6)
+
+
+class _Return(Exception):
+    def __init__(self, value: int):
+        self.value = value
+
+
+class VaxEstimator:
+    """Execution-driven VAX cost model: interpret the AST, count costs.
+
+    Doubles as an independent reference implementation of SPL semantics
+    (32-bit wraparound, truncating division) -- the tests exploit that.
+    """
+
+    def __init__(self, program: ast.Program,
+                 symbols: Optional[ProgramSymbols] = None):
+        self.program = program
+        self.symbols = symbols or analyze(program)
+        self.globals: Dict[str, object] = {}
+        for decl in program.globals:
+            if decl.size is not None:
+                self.globals[decl.name] = [0] * decl.size
+            else:
+                self.globals[decl.name] = 0
+        self.functions = {f.name: f for f in program.functions}
+        self.console: List[int] = []
+        self.instructions = 0
+        self.cycles = 0
+        self._step_budget = 50_000_000
+
+    # ------------------------------------------------------------ charging
+    def charge(self, kind: str) -> None:
+        cost = COSTS[kind]
+        self.instructions += cost.instructions
+        self.cycles += cost.cycles
+        self._step_budget -= 1
+        if self._step_budget < 0:
+            raise VaxRuntimeError("VAX model exceeded its step budget")
+
+    # ------------------------------------------------------------- running
+    def run(self) -> VaxMeasurement:
+        self._exec_block(self.program.main, {})
+        return VaxMeasurement(
+            name=self.program.name,
+            instructions=self.instructions,
+            cycles=self.cycles,
+            static_bytes=static_bytes(self.program),
+            console=self.console,
+        )
+
+    # ----------------------------------------------------------- statements
+    def _exec_block(self, block: ast.Block, frame: Dict[str, object]) -> None:
+        for stmt in block.body:
+            self._exec_stmt(stmt, frame)
+
+    def _exec_stmt(self, stmt: ast.Stmt, frame) -> None:  # noqa: C901
+        if isinstance(stmt, ast.Block):
+            self._exec_block(stmt, frame)
+        elif isinstance(stmt, ast.Assign):
+            value = self._eval(stmt.value, frame)
+            # a three-operand ALU form writes the destination directly; a
+            # plain value needs a MOVL
+            if not isinstance(stmt.value, ast.Binary):
+                self.charge("move")
+            if isinstance(stmt.target, ast.Index):
+                self.charge("index_mode")
+                index = self._eval_operand(stmt.target.index, frame)
+                self._array(stmt.target.name, frame)[index] = value
+            else:
+                self._store(stmt.target.name, value, frame)
+        elif isinstance(stmt, ast.If):
+            self.charge("compare_branch")
+            if self._truth(stmt.condition, frame):
+                self._exec_stmt(stmt.then_body, frame)
+            elif stmt.else_body is not None:
+                self.charge("jump")
+                self._exec_stmt(stmt.else_body, frame)
+        elif isinstance(stmt, ast.While):
+            while True:
+                self.charge("compare_branch")
+                if not self._truth(stmt.condition, frame):
+                    break
+                self._exec_stmt(stmt.body, frame)
+                self.charge("jump")
+        elif isinstance(stmt, ast.For):
+            start = self._eval(stmt.start, frame)
+            self.charge("move")
+            self._store(stmt.variable, start, frame)
+            while True:
+                stop = self._eval_operand(stmt.stop, frame)
+                current = self._load(stmt.variable, frame)
+                done = current < stop if stmt.down else current > stop
+                self.charge("loop_close")
+                if done:
+                    break
+                self._exec_stmt(stmt.body, frame)
+                step = -1 if stmt.down else 1
+                self._store(stmt.variable,
+                            to_signed(to_unsigned(current + step)), frame)
+        elif isinstance(stmt, ast.Repeat):
+            while True:
+                for inner in stmt.body:
+                    self._exec_stmt(inner, frame)
+                self.charge("compare_branch")
+                if self._truth(stmt.condition, frame):
+                    break
+        elif isinstance(stmt, ast.Return):
+            value = self._eval(stmt.value, frame) if stmt.value else 0
+            raise _Return(value)
+        elif isinstance(stmt, ast.Write):
+            self.charge("write")
+            self.console.append(self._eval(stmt.value, frame))
+        elif isinstance(stmt, ast.ExprStmt):
+            self._eval(stmt.expr, frame)
+        else:  # pragma: no cover
+            raise VaxRuntimeError(f"unknown statement {stmt!r}")
+
+    # ---------------------------------------------------------- expressions
+    def _truth(self, expr: ast.Expr, frame) -> bool:
+        # the compare is charged by the caller (compare_branch)
+        return self._eval_raw(expr, frame) != 0
+
+    def _eval(self, expr: ast.Expr, frame) -> int:
+        return self._eval_raw(expr, frame)
+
+    def _eval_operand(self, expr: ast.Expr, frame) -> int:
+        """Operands that fold into an addressing mode (no extra charge for
+        literals and scalars)."""
+        return self._eval_raw(expr, frame, operand_position=True)
+
+    def _eval_raw(self, expr, frame, operand_position=False):  # noqa: C901
+        if isinstance(expr, ast.Number):
+            return to_signed(to_unsigned(expr.value))
+        if isinstance(expr, ast.Name):
+            if not operand_position:
+                self.charge("operand_move")
+            return self._load(expr.name, frame)
+        if isinstance(expr, ast.Index):
+            if not operand_position:
+                self.charge("operand_move")
+            self.charge("index_mode")
+            index = self._eval_operand(expr.index, frame)
+            array = self._array(expr.name, frame)
+            if not 0 <= index < len(array):
+                raise VaxRuntimeError(
+                    f"index {index} out of bounds for {expr.name}")
+            return array[index]
+        if isinstance(expr, ast.Unary):
+            value = self._eval_raw(expr.operand, frame)
+            self.charge("alu3")
+            if expr.op == "-":
+                return to_signed(to_unsigned(-value))
+            return 0 if value else 1
+        if isinstance(expr, ast.Binary):
+            return self._binary(expr, frame)
+        if isinstance(expr, ast.Call):
+            return self._call(expr, frame)
+        raise VaxRuntimeError(f"unknown expression {expr!r}")  # pragma: no cover
+
+    def _binary(self, expr: ast.Binary, frame) -> int:
+        op = expr.op
+        if op == "and":
+            self.charge("compare_branch")
+            if self._eval_raw(expr.left, frame) == 0:
+                return 0
+            self.charge("compare_branch")
+            return 1 if self._eval_raw(expr.right, frame) != 0 else 0
+        if op == "or":
+            self.charge("compare_branch")
+            if self._eval_raw(expr.left, frame) != 0:
+                return 1
+            self.charge("compare_branch")
+            return 1 if self._eval_raw(expr.right, frame) != 0 else 0
+        left = self._eval_raw(expr.left, frame)
+        right = self._eval_raw(expr.right, frame)
+        if op == "+":
+            self.charge("alu3")
+            return to_signed(to_unsigned(left + right))
+        if op == "-":
+            self.charge("alu3")
+            return to_signed(to_unsigned(left - right))
+        if op == "*":
+            self.charge("mul")
+            return to_signed(to_unsigned(left * right))
+        if op == "div":
+            self.charge("div")
+            return 0 if right == 0 else to_signed(to_unsigned(
+                int(left / right)))
+        if op == "mod":
+            self.charge("mod")
+            if right == 0:
+                return left
+            return to_signed(to_unsigned(left - int(left / right) * right))
+        self.charge("compare_branch")
+        return 1 if {
+            "=": left == right, "<>": left != right, "<": left < right,
+            "<=": left <= right, ">": left > right, ">=": left >= right,
+        }[expr.op] else 0
+
+    def _call(self, expr: ast.Call, frame) -> int:
+        func = self.functions[expr.name]
+        values = []
+        for arg in expr.args:
+            values.append(self._eval_raw(arg, frame))
+            self.charge("push_arg")
+        self.charge("call")
+        new_frame: Dict[str, object] = {}
+        for param, value in zip(func.params, values):
+            new_frame[param] = value
+        for decl in func.locals:
+            new_frame[decl.name] = ([0] * decl.size
+                                    if decl.size is not None else 0)
+        try:
+            self._exec_block(func.body, new_frame)
+            result = 0
+        except _Return as ret:
+            result = ret.value
+        self.charge("ret")
+        return result
+
+    # ------------------------------------------------------------- storage
+    def _load(self, name: str, frame) -> int:
+        if name in frame:
+            return frame[name]
+        return self.globals[name]
+
+    def _store(self, name: str, value: int, frame) -> None:
+        value = to_signed(to_unsigned(value))
+        if name in frame:
+            frame[name] = value
+        else:
+            self.globals[name] = value
+
+    def _array(self, name: str, frame):
+        if name in frame:
+            return frame[name]
+        return self.globals[name]
+
+
+def static_bytes(program: ast.Program) -> int:
+    """Static VAX code size: walk the AST charging bytes per construct."""
+    total = 0
+
+    def expr_bytes(expr) -> int:
+        if isinstance(expr, ast.Number):
+            return 0
+        if isinstance(expr, ast.Name):
+            return COSTS["operand_move"].bytes
+        if isinstance(expr, ast.Index):
+            return (COSTS["operand_move"].bytes + COSTS["index_mode"].bytes
+                    + expr_bytes(expr.index))
+        if isinstance(expr, ast.Unary):
+            return COSTS["alu3"].bytes + expr_bytes(expr.operand)
+        if isinstance(expr, ast.Binary):
+            kind = {"*": "mul", "div": "div", "mod": "mod"}.get(
+                expr.op, "alu3" if expr.op in "+-" else "compare_branch")
+            return (COSTS[kind].bytes + expr_bytes(expr.left)
+                    + expr_bytes(expr.right))
+        if isinstance(expr, ast.Call):
+            return (COSTS["call"].bytes
+                    + sum(COSTS["push_arg"].bytes + expr_bytes(a)
+                          for a in expr.args))
+        return 0
+
+    def stmt_bytes(stmt) -> int:
+        if isinstance(stmt, ast.Block):
+            return sum(stmt_bytes(s) for s in stmt.body)
+        if isinstance(stmt, ast.Assign):
+            extra = 0 if isinstance(stmt.value, ast.Binary) else \
+                COSTS["move"].bytes
+            target = (COSTS["index_mode"].bytes
+                      if isinstance(stmt.target, ast.Index) else 0)
+            return extra + target + expr_bytes(stmt.value)
+        if isinstance(stmt, ast.If):
+            total = COSTS["compare_branch"].bytes + expr_bytes(stmt.condition)
+            total += stmt_bytes(stmt.then_body)
+            if stmt.else_body is not None:
+                total += COSTS["jump"].bytes + stmt_bytes(stmt.else_body)
+            return total
+        if isinstance(stmt, ast.While):
+            return (COSTS["compare_branch"].bytes + COSTS["jump"].bytes
+                    + expr_bytes(stmt.condition) + stmt_bytes(stmt.body))
+        if isinstance(stmt, ast.For):
+            return (COSTS["move"].bytes + COSTS["loop_close"].bytes
+                    + expr_bytes(stmt.start) + expr_bytes(stmt.stop)
+                    + stmt_bytes(stmt.body))
+        if isinstance(stmt, ast.Repeat):
+            return (COSTS["compare_branch"].bytes
+                    + expr_bytes(stmt.condition)
+                    + sum(stmt_bytes(s) for s in stmt.body))
+        if isinstance(stmt, ast.Return):
+            return COSTS["ret"].bytes + (
+                expr_bytes(stmt.value) if stmt.value else 0)
+        if isinstance(stmt, ast.Write):
+            return COSTS["write"].bytes + expr_bytes(stmt.value)
+        if isinstance(stmt, ast.ExprStmt):
+            return expr_bytes(stmt.expr)
+        return 0
+
+    total += stmt_bytes(program.main)
+    for func in program.functions:
+        total += COSTS["ret"].bytes + 4  # entry mask + return
+        total += stmt_bytes(func.body)
+    return total
+
+
+# ------------------------------------------------------------- comparison
+@dataclasses.dataclass
+class Comparison:
+    name: str
+    vax: VaxMeasurement
+    mipsx_instructions: int
+    mipsx_cycles: int
+    mipsx_code_bytes: int
+
+    @property
+    def path_length_ratio(self) -> float:
+        """MIPS-X dynamic instructions / VAX dynamic instructions."""
+        return self.mipsx_instructions / self.vax.instructions
+
+    @property
+    def speedup(self) -> float:
+        """Wall-clock speedup of MIPS-X (20 MHz) over the VAX (5 MHz)."""
+        mipsx_seconds = self.mipsx_cycles / (MIPSX_CLOCK_MHZ * 1e6)
+        return self.vax.seconds / mipsx_seconds
+
+    @property
+    def code_size_ratio(self) -> float:
+        return self.mipsx_code_bytes / self.vax.static_bytes
+
+
+def compare_workload(name: str) -> Comparison:
+    """MIPS-X (full machine) vs the VAX model on one Pascal workload."""
+    workload = get(name)
+    if workload.is_assembly:
+        raise ValueError("the VAX comparison needs an SPL workload")
+    tree = parse_program(workload.source)
+    vax = VaxEstimator(tree).run()
+    machine = run_measured(name)
+    program = profiled_result(name).unit.assemble()
+    comparison = Comparison(
+        name=name,
+        vax=vax,
+        mipsx_instructions=machine.stats.retired,
+        mipsx_cycles=machine.stats.cycles,
+        mipsx_code_bytes=program.code_size * 4,
+    )
+    if vax.console != machine.console.values:
+        raise VaxRuntimeError(
+            f"VAX model and MIPS-X disagree on {name}: "
+            f"{vax.console} vs {machine.console.values}")
+    return comparison
+
+
+def compare_suite(names: Optional[Sequence[str]] = None) -> List[Comparison]:
+    names = list(names) if names is not None else list(PASCAL_SUITE)
+    return [compare_workload(name) for name in names]

@@ -1,0 +1,23 @@
+"""Assembler / disassembler for the MIPS-X reproduction ISA."""
+
+from repro.asm.assembler import Assembler, AsmSyntaxError, assemble, parse
+from repro.asm.disassembler import disassemble, disassemble_word, listing
+from repro.asm.unit import AsmUnit, AssemblyError, Label, Op, Org, Program, Space, Word
+
+__all__ = [
+    "AsmSyntaxError",
+    "AsmUnit",
+    "Assembler",
+    "AssemblyError",
+    "Label",
+    "Op",
+    "Org",
+    "Program",
+    "Space",
+    "Word",
+    "assemble",
+    "disassemble",
+    "disassemble_word",
+    "listing",
+    "parse",
+]

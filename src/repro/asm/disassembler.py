@@ -1,0 +1,46 @@
+"""Disassembler: 32-bit words back to readable assembly text."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.asm.unit import Program
+from repro.isa.encoding import DecodeError, decode
+from repro.isa.instruction import Instruction
+
+
+def disassemble_word(word: int) -> str:
+    """Disassemble one instruction word; data words render as ``.word``."""
+    try:
+        return str(decode(word))
+    except DecodeError:
+        return f".word {word:#010x}"
+
+
+def disassemble(words: Iterable[int], base: int = 0) -> List[Tuple[int, str]]:
+    """Disassemble a sequence of words starting at word address ``base``."""
+    return [(base + idx, disassemble_word(word))
+            for idx, word in enumerate(words)]
+
+
+def listing(program: Program,
+            limit: Optional[int] = None) -> str:
+    """Render a program listing with addresses, symbols, and text.
+
+    Useful in examples and when debugging reorganizer output.
+    """
+    by_address: Dict[int, List[str]] = {}
+    for name, address in program.symbols.items():
+        by_address.setdefault(address, []).append(name)
+    lines = []
+    for address in sorted(program.image):
+        for name in by_address.get(address, []):
+            lines.append(f"{name}:")
+        instr: Optional[Instruction] = program.listing.get(address)
+        text = str(instr) if instr is not None else (
+            f".word {program.image[address]:#010x}")
+        lines.append(f"  {address:#06x}: {text}")
+        if limit is not None and len(lines) >= limit:
+            lines.append("  ...")
+            break
+    return "\n".join(lines)

@@ -1,0 +1,216 @@
+"""Symbolic assembly units and assembled program images.
+
+An :class:`AsmUnit` is an ordered list of assembly items -- labels,
+instructions (possibly with unresolved symbolic targets), and data
+directives.  It is the common currency between the assembler front end, the
+compiler's code generator, and the code reorganizer: the reorganizer moves
+instructions around *before* addresses are assigned, so branch displacements
+stay symbolic until :meth:`AsmUnit.assemble` resolves them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.isa.encoding import encode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Format
+
+
+@dataclasses.dataclass(eq=False)
+class Op:
+    """One instruction, optionally with a symbolic immediate.
+
+    When ``target`` is set, the final immediate is the address of that
+    symbol (plus the ``imm`` already in ``instr``, which acts as an addend);
+    for branch-format instructions the displacement ``target - pc`` is used
+    instead.
+
+    ``eq=False``: two ops with identical instructions are still *distinct
+    occurrences* -- the reorganizer moves ops between lists by identity,
+    and value equality would let ``list.remove`` pick the wrong twin.
+    """
+
+    instr: Instruction
+    target: Optional[str] = None
+    source: str = ""
+
+    def clone(self, **changes) -> "Op":
+        instr = dataclasses.replace(self.instr, **changes)
+        return Op(instr, target=self.target, source=self.source)
+
+
+@dataclasses.dataclass
+class Label:
+    name: str
+
+
+@dataclasses.dataclass
+class Word:
+    """``.word`` directive; values may be integers or symbol names."""
+
+    values: List[Union[int, str]]
+
+
+@dataclasses.dataclass
+class Space:
+    """``.space`` directive: reserve ``count`` zeroed words."""
+
+    count: int
+
+
+@dataclasses.dataclass
+class Org:
+    """``.org`` directive: continue assembly at an absolute word address."""
+
+    address: int
+
+
+Item = Union[Op, Label, Word, Space, Org]
+
+
+class AssemblyError(ValueError):
+    """Raised for duplicate labels, unresolved symbols, or range errors."""
+
+
+@dataclasses.dataclass
+class Program:
+    """A fully resolved program image.
+
+    ``image`` maps word addresses to 32-bit memory words (sparse).
+    ``listing`` pairs each instruction address with its decoded form, which
+    the trace and analysis machinery uses to avoid re-decoding.
+    """
+
+    image: Dict[int, int]
+    symbols: Dict[str, int]
+    entry: int
+    listing: Dict[int, Instruction]
+
+    def words(self) -> Iterable[Tuple[int, int]]:
+        return self.image.items()
+
+    @property
+    def size(self) -> int:
+        """Number of occupied memory words (static code + data size)."""
+        return len(self.image)
+
+    @property
+    def code_size(self) -> int:
+        """Number of instruction words (the paper's static code size)."""
+        return len(self.listing)
+
+    def symbol(self, name: str) -> int:
+        if name not in self.symbols:
+            raise KeyError(f"undefined symbol {name!r}")
+        return self.symbols[name]
+
+
+class AsmUnit:
+    """An ordered, still-symbolic assembly translation unit."""
+
+    def __init__(self, items: Optional[List[Item]] = None):
+        self.items: List[Item] = list(items) if items else []
+
+    # ------------------------------------------------------------- building
+    def emit(self, instr: Instruction, target: Optional[str] = None,
+             source: str = "") -> Op:
+        op = Op(instr, target=target, source=source)
+        self.items.append(op)
+        return op
+
+    def label(self, name: str) -> None:
+        self.items.append(Label(name))
+
+    def word(self, *values: Union[int, str]) -> None:
+        self.items.append(Word(list(values)))
+
+    def space(self, count: int) -> None:
+        self.items.append(Space(count))
+
+    def org(self, address: int) -> None:
+        self.items.append(Org(address))
+
+    def extend(self, other: "AsmUnit") -> None:
+        self.items.extend(other.items)
+
+    # -------------------------------------------------------------- queries
+    def ops(self) -> List[Op]:
+        return [item for item in self.items if isinstance(item, Op)]
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    # ------------------------------------------------------------ assembly
+    def layout(self, base: int = 0) -> Tuple[Dict[str, int], Dict[int, Item]]:
+        """Assign addresses: returns (symbol table, address -> item map)."""
+        symbols: Dict[str, int] = {}
+        placed: Dict[int, Item] = {}
+        address = base
+        for item in self.items:
+            if isinstance(item, Label):
+                if item.name in symbols:
+                    raise AssemblyError(f"duplicate label {item.name!r}")
+                symbols[item.name] = address
+            elif isinstance(item, Org):
+                address = item.address
+            elif isinstance(item, Op):
+                placed[address] = item
+                address += 1
+            elif isinstance(item, Word):
+                for offset, value in enumerate(item.values):
+                    placed[address + offset] = Word([value])
+                address += len(item.values)
+            elif isinstance(item, Space):
+                for offset in range(item.count):
+                    placed[address + offset] = Word([0])
+                address += item.count
+            else:  # pragma: no cover - defensive
+                raise AssemblyError(f"unknown assembly item {item!r}")
+        return symbols, placed
+
+    def assemble(self, base: int = 0, entry: Optional[str] = None) -> Program:
+        """Resolve symbols and produce a :class:`Program`.
+
+        ``entry`` names the start symbol; it defaults to ``_start`` when
+        that label exists and otherwise to the lowest instruction address.
+        """
+        symbols, placed = self.layout(base)
+        image: Dict[int, int] = {}
+        listing: Dict[int, Instruction] = {}
+        for address, item in placed.items():
+            if isinstance(item, Word):
+                value = item.values[0]
+                if isinstance(value, str):
+                    if value not in symbols:
+                        raise AssemblyError(f"undefined symbol {value!r} in .word")
+                    value = symbols[value]
+                image[address] = value & 0xFFFFFFFF
+                continue
+            instr = item.instr
+            if item.target is not None:
+                if item.target not in symbols:
+                    raise AssemblyError(
+                        f"undefined symbol {item.target!r} "
+                        f"(near {item.source or instr})"
+                    )
+                resolved = symbols[item.target] + instr.imm
+                if instr.format is Format.BRANCH:
+                    resolved = symbols[item.target] - address
+                instr = dataclasses.replace(instr, imm=resolved)
+            try:
+                image[address] = encode(instr)
+            except ValueError as exc:
+                raise AssemblyError(f"{exc} (near {item.source or instr})") from exc
+            listing[address] = instr
+        if entry is None:
+            entry = "_start" if "_start" in symbols else None
+        if entry is not None:
+            if entry not in symbols:
+                raise AssemblyError(f"entry symbol {entry!r} not defined")
+            entry_address = symbols[entry]
+        else:
+            entry_address = min(listing) if listing else base
+        return Program(image=image, symbols=symbols, entry=entry_address,
+                       listing=listing)

@@ -1,0 +1,29 @@
+"""Coprocessor interface (the paper's address-line scheme) and FPU."""
+
+from repro.coproc.fpu import Fpu, FpuOp, float_to_word, fpu_op, word_to_float
+from repro.coproc.interface import (
+    Coprocessor,
+    CoprocessorError,
+    CoprocessorSet,
+    cop_number,
+    cop_opcode,
+    cop_rd,
+    cop_rs,
+    make_payload,
+)
+
+__all__ = [
+    "Coprocessor",
+    "CoprocessorError",
+    "CoprocessorSet",
+    "Fpu",
+    "FpuOp",
+    "cop_number",
+    "cop_opcode",
+    "cop_rd",
+    "cop_rs",
+    "float_to_word",
+    "fpu_op",
+    "make_payload",
+    "word_to_float",
+]

@@ -1,0 +1,165 @@
+"""A floating-point unit on the coprocessor interface.
+
+The paper assumes the privileged coprocessor "will be a floating point
+unit (FPU)": it owns ``ldf``/``stf`` so its sixteen registers load and
+store directly to memory in a single instruction, while all other
+coprocessors move data through CPU registers at one extra cycle per
+transfer.
+
+Values are IEEE-754 single precision; ``ldf``/``stf`` and the RAW data
+moves operate on raw 32-bit patterns, and the INT moves convert, so integer
+operands reach the FPU the way a real compiler would route them.
+
+Branching on an FPU condition follows the paper's final design: ``fcmp``
+latches comparison flags into the status register, ``movfrc`` reads the
+status into a CPU register (load timing: one delay slot), and an ordinary
+CPU branch tests it -- the dedicated coprocessor-branch instructions were
+dropped precisely because this sequence is simpler across exceptions.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import List
+
+from repro.coproc.interface import (
+    Coprocessor,
+    CoprocessorError,
+    cop_opcode,
+    cop_rd,
+    cop_rs,
+    make_payload,
+)
+
+
+def float_to_word(value: float) -> int:
+    """IEEE-754 single-precision bit pattern of ``value``."""
+    try:
+        return struct.unpack("<I", struct.pack("<f", value))[0]
+    except OverflowError:
+        sign = 0x80000000 if math.copysign(1.0, value) < 0 else 0
+        return sign | 0x7F800000  # +-inf
+
+
+def word_to_float(word: int) -> float:
+    return struct.unpack("<f", struct.pack("<I", word & 0xFFFFFFFF))[0]
+
+
+class FpuOp:
+    """FPU opcode values (payload bits [6:3])."""
+
+    FADD = 0   #: fd <- fd + fs
+    FSUB = 1   #: fd <- fd - fs
+    FMUL = 2   #: fd <- fd * fs
+    FDIV = 3   #: fd <- fd / fs
+    FMOV = 4   #: fd <- fs
+    FNEG = 5   #: fd <- -fs
+    FABS = 6   #: fd <- |fs|
+    FCMP = 7   #: status <- compare(fd, fs)
+    # data-move sub-opcodes (used with movtoc / movfrc)
+    MTC_RAW = 8    #: register <- raw CPU word
+    MTC_INT = 9    #: register <- float(signed CPU word)
+    MFC_RAW = 10   #: CPU word <- raw register bits
+    MFC_INT = 11   #: CPU word <- int(register), truncated toward zero
+    MFC_STATUS = 12  #: CPU word <- comparison status
+
+
+#: status-register flag bits written by FCMP
+STATUS_LT = 1
+STATUS_EQ = 2
+STATUS_GT = 4
+STATUS_UNORDERED = 8
+
+
+class Fpu(Coprocessor):
+    """Sixteen-register single-precision FPU, coprocessor number 1."""
+
+    number = 1
+    NUM_REGISTERS = 16
+
+    def __init__(self, number: int = 1):
+        self.number = number
+        self.regs: List[float] = [0.0] * self.NUM_REGISTERS
+        self.status = 0
+        self.op_count = 0
+
+    # ----------------------------------------------------------- cop (ops)
+    def execute(self, payload: int) -> None:
+        opcode = cop_opcode(payload)
+        rd, rs = cop_rd(payload), cop_rs(payload)
+        self.op_count += 1
+        a, b = self.regs[rd], self.regs[rs]
+        if opcode == FpuOp.FADD:
+            self.regs[rd] = self._round(a + b)
+        elif opcode == FpuOp.FSUB:
+            self.regs[rd] = self._round(a - b)
+        elif opcode == FpuOp.FMUL:
+            self.regs[rd] = self._round(a * b)
+        elif opcode == FpuOp.FDIV:
+            self.regs[rd] = self._round(math.inf if b == 0 and a != 0
+                                        else (math.nan if b == 0 else a / b))
+        elif opcode == FpuOp.FMOV:
+            self.regs[rd] = b
+        elif opcode == FpuOp.FNEG:
+            self.regs[rd] = -b
+        elif opcode == FpuOp.FABS:
+            self.regs[rd] = abs(b)
+        elif opcode == FpuOp.FCMP:
+            self._compare(a, b)
+        else:
+            raise CoprocessorError(f"undefined FPU opcode {opcode}")
+
+    def _compare(self, a: float, b: float) -> None:
+        if math.isnan(a) or math.isnan(b):
+            self.status = STATUS_UNORDERED
+        elif a < b:
+            self.status = STATUS_LT
+        elif a == b:
+            self.status = STATUS_EQ
+        else:
+            self.status = STATUS_GT
+
+    @staticmethod
+    def _round(value: float) -> float:
+        """Round a Python double to single precision (what the chip keeps)."""
+        return word_to_float(float_to_word(value))
+
+    # ------------------------------------------------------- data transfers
+    def write_data(self, payload: int, value: int) -> None:
+        opcode = cop_opcode(payload)
+        rd = cop_rd(payload)
+        if opcode == FpuOp.MTC_RAW:
+            self.regs[rd] = word_to_float(value)
+        elif opcode == FpuOp.MTC_INT:
+            signed = value - (1 << 32) if value & 0x80000000 else value
+            self.regs[rd] = self._round(float(signed))
+        else:
+            raise CoprocessorError(f"bad FPU data-write opcode {opcode}")
+
+    def read_data(self, payload: int) -> int:
+        opcode = cop_opcode(payload)
+        rs = cop_rd(payload)  # the rd field names the register being read
+        if opcode == FpuOp.MFC_RAW:
+            return float_to_word(self.regs[rs])
+        if opcode == FpuOp.MFC_INT:
+            value = self.regs[rs]
+            if math.isnan(value) or math.isinf(value):
+                return 0x80000000
+            return int(value) & 0xFFFFFFFF
+        if opcode == FpuOp.MFC_STATUS:
+            return self.status
+        raise CoprocessorError(f"bad FPU data-read opcode {opcode}")
+
+    # ------------------------------------------------ ldf / stf (privileged)
+    def load_word(self, register: int, word: int) -> None:
+        self.regs[register % self.NUM_REGISTERS] = word_to_float(word)
+
+    def store_word(self, register: int) -> int:
+        return float_to_word(self.regs[register % self.NUM_REGISTERS])
+
+
+# ---------------------------------------------------------------- payloads
+def fpu_op(opcode: int, fd: int = 0, fs: int = 0, number: int = 1) -> int:
+    """Payload word for an FPU operation (for ``cop``/``movtoc``/``movfrc``)."""
+    return make_payload(number, opcode, fd, fs)

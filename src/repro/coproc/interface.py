@@ -1,0 +1,140 @@
+"""The coprocessor interface (the paper's final, address-line scheme).
+
+The winning design makes coprocessor operations a form of memory
+instruction: the ALU computes ``r[base] + offset17`` exactly as for a load
+or store, but a dedicated pin tells the memory system to ignore the cycle
+and the 32-bit value on the *address lines* is the coprocessor instruction.
+Consequences the paper highlights, all reproduced here:
+
+* coprocessor instructions are **cacheable** like any other instruction;
+* no coprocessor instruction bus -- only one extra pin;
+* ``movtoc``/``movfrc`` transfer data between CPU registers and coprocessor
+  registers over the data bus in the same cycle (``movfrc`` has load
+  timing: the data arrives at the end of MEM, so it has one delay slot);
+* one privileged coprocessor -- the FPU -- gets ``ldf``/``stf``, single
+  instructions that move memory data directly to/from its registers; every
+  *other* coprocessor needs a two-instruction sequence through a CPU
+  register, costing one extra cycle per memory transfer.
+
+Payload word layout (coprocessor-private; the CPU "does not need to know
+the format of these instructions"):
+
+====== =====================================================
+bits   meaning
+====== =====================================================
+[2:0]  coprocessor number 1..7 (0 addresses no coprocessor)
+[6:3]  coprocessor opcode
+[10:7] destination register within the coprocessor
+[14:11] source register within the coprocessor
+rest   free for coprocessor-specific use
+====== =====================================================
+
+A payload built from a plain 16-bit immediate (``cop payload(r0)``) can
+express any of these fields; larger payloads use a base register.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+def cop_number(payload: int) -> int:
+    return payload & 0x7
+
+
+def cop_opcode(payload: int) -> int:
+    return (payload >> 3) & 0xF
+
+
+def cop_rd(payload: int) -> int:
+    return (payload >> 7) & 0xF
+
+
+def cop_rs(payload: int) -> int:
+    return (payload >> 11) & 0xF
+
+
+def make_payload(number: int, opcode: int, rd: int = 0, rs: int = 0) -> int:
+    """Build a coprocessor payload word (inverse of the accessors above)."""
+    if not 1 <= number <= 7:
+        raise ValueError(f"coprocessor number out of range: {number}")
+    return (number & 0x7) | ((opcode & 0xF) << 3) | ((rd & 0xF) << 7) | (
+        (rs & 0xF) << 11)
+
+
+class CoprocessorError(RuntimeError):
+    """An undefined coprocessor operation or a missing coprocessor."""
+
+
+class Coprocessor:
+    """Base class for devices on the coprocessor interface."""
+
+    #: 1..7; coprocessor 1 is the privileged FPU slot (``ldf``/``stf``).
+    number = 0
+
+    def execute(self, payload: int) -> None:
+        """A ``cop`` instruction addressed to this coprocessor."""
+        raise CoprocessorError(
+            f"coprocessor {self.number} cannot execute {payload:#x}")
+
+    def write_data(self, payload: int, value: int) -> None:
+        """``movtoc``: the CPU drives ``value`` on the data bus."""
+        raise CoprocessorError(
+            f"coprocessor {self.number} rejects data write {payload:#x}")
+
+    def read_data(self, payload: int) -> int:
+        """``movfrc``: the coprocessor drives the data bus."""
+        raise CoprocessorError(
+            f"coprocessor {self.number} rejects data read {payload:#x}")
+
+    def load_word(self, register: int, word: int) -> None:
+        """``ldf`` fill (privileged coprocessor only)."""
+        raise CoprocessorError(
+            f"coprocessor {self.number} has no direct memory load")
+
+    def store_word(self, register: int) -> int:
+        """``stf`` source (privileged coprocessor only)."""
+        raise CoprocessorError(
+            f"coprocessor {self.number} has no direct memory store")
+
+
+class CoprocessorSet:
+    """The up-to-seven coprocessors sharing the interface."""
+
+    def __init__(self):
+        self._slots: Dict[int, Coprocessor] = {}
+        self.operations = 0
+        self.data_transfers = 0
+
+    def attach(self, coprocessor: Coprocessor) -> None:
+        if not 1 <= coprocessor.number <= 7:
+            raise ValueError(
+                f"coprocessor number out of range: {coprocessor.number}")
+        self._slots[coprocessor.number] = coprocessor
+
+    def get(self, number: int) -> Optional[Coprocessor]:
+        return self._slots.get(number)
+
+    def _demand(self, payload: int) -> Coprocessor:
+        number = cop_number(payload)
+        coprocessor = self._slots.get(number)
+        if coprocessor is None:
+            raise CoprocessorError(f"no coprocessor {number} attached")
+        return coprocessor
+
+    def execute(self, payload: int) -> None:
+        self.operations += 1
+        self._demand(payload).execute(payload)
+
+    def write_data(self, payload: int, value: int) -> None:
+        self.data_transfers += 1
+        self._demand(payload).write_data(payload, value)
+
+    def read_data(self, payload: int) -> int:
+        self.data_transfers += 1
+        return self._demand(payload).read_data(payload)
+
+    @property
+    def fpu_slot(self) -> Optional[Coprocessor]:
+        """The privileged coprocessor served by ``ldf``/``stf``."""
+        return self._slots.get(1)

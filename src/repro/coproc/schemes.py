@@ -1,0 +1,148 @@
+"""Cost models for the four coprocessor interface schemes (E12).
+
+The paper walks through the interface's evolution; each stage is a scheme
+here, evaluated on measured FP-workload instruction mixes:
+
+1. **dedicated bus, coprocessor bit** -- every instruction carries a CPU/
+   coprocessor bit; a dedicated instruction bus (~20 pins) makes all
+   coprocessor instructions visible off-chip.  Full speed, but spends half
+   the opcode space and a large share of the pins.
+2. **coprocessor-number field, dedicated bus** -- a 3-bit field addresses 7
+   coprocessors; still needs the bus, data still moves through memory.
+3. **non-cached coprocessor instructions** -- no bus: a coprocessor
+   instruction is never cached, so the coprocessor can snoop it from the
+   memory bus during the (forced) Icache miss.  Every coprocessor
+   instruction pays the miss service time -- fatal for FP-heavy code.
+4. **address-line interface (final)** -- the coprocessor instruction rides
+   the address lines of a memory-format instruction: cacheable, one extra
+   pin, ``ldf``/``stf`` give one privileged coprocessor direct memory
+   access, other coprocessors pay one extra cycle per memory transfer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from repro.core.config import MachineConfig
+
+
+@dataclasses.dataclass
+class WorkloadMix:
+    """Instruction mix of an FP workload (measured from a run)."""
+
+    name: str
+    instructions: int       #: total retired
+    base_cycles: int        #: measured cycles under the final interface
+    coproc_ops: int         #: cop/movtoc/movfrc operations
+    fp_memory_ops: int      #: ldf/stf (FPU <-> memory transfers)
+
+    @property
+    def fp_fraction(self) -> float:
+        return (self.coproc_ops + self.fp_memory_ops) / self.instructions
+
+
+def mix_from_machine(name: str, machine) -> WorkloadMix:
+    """Extract the mix from a finished run (loads/stores on an FP workload
+    are ldf/stf plus the loop's address arithmetic; we count the FPU
+    transfers specifically via the coprocessor counters)."""
+    stats = machine.stats
+    return WorkloadMix(
+        name=name,
+        instructions=stats.retired,
+        base_cycles=stats.cycles,
+        coproc_ops=stats.coproc_ops,
+        fp_memory_ops=stats.loads + stats.stores,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class InterfaceScheme:
+    name: str
+    extra_pins: int
+    #: extra cycles per coprocessor operation (cop/movtoc/movfrc)
+    op_overhead: float
+    #: extra cycles per FPU<->memory word
+    fp_memory_overhead: float
+    #: fraction of opcode space consumed by the interface
+    opcode_fraction: float
+    cacheable: bool
+    notes: str = ""
+
+
+def schemes(config: Optional[MachineConfig] = None) -> List[InterfaceScheme]:
+    config = config or MachineConfig()
+    # a non-cached coprocessor instruction always fetches off-chip: it pays
+    # the Icache miss service plus the external access
+    miss_service = config.icache.miss_cycles
+    return [
+        InterfaceScheme(
+            name="coprocessor bit + dedicated bus",
+            extra_pins=20, op_overhead=0.0, fp_memory_overhead=1.0,
+            opcode_fraction=0.5, cacheable=True,
+            notes="half the opcode space; data through memory"),
+        InterfaceScheme(
+            name="3-bit cop field + dedicated bus",
+            extra_pins=20, op_overhead=0.0, fp_memory_overhead=1.0,
+            opcode_fraction=0.1, cacheable=True,
+            notes="data still through memory"),
+        InterfaceScheme(
+            name="non-cached coprocessor instructions",
+            extra_pins=1, op_overhead=float(miss_service),
+            fp_memory_overhead=float(miss_service) + 1.0,
+            opcode_fraction=0.1, cacheable=False,
+            notes="every coprocessor instruction forces an Icache miss"),
+        InterfaceScheme(
+            name="address-line interface (final)",
+            extra_pins=1, op_overhead=0.0, fp_memory_overhead=0.0,
+            opcode_fraction=0.1, cacheable=True,
+            notes="ldf/stf for one privileged coprocessor; others +1 cycle"),
+    ]
+
+
+@dataclasses.dataclass
+class SchemeOutcome:
+    scheme: InterfaceScheme
+    mix: WorkloadMix
+    cycles: float
+
+    @property
+    def relative_performance(self) -> float:
+        """Performance relative to the final (address-line) interface."""
+        return self.mix.base_cycles / self.cycles
+
+    @property
+    def overhead_fraction(self) -> float:
+        return (self.cycles - self.mix.base_cycles) / self.mix.base_cycles
+
+
+def evaluate_schemes(mix: WorkloadMix,
+                     config: Optional[MachineConfig] = None
+                     ) -> List[SchemeOutcome]:
+    """Cycle estimates for every interface scheme on one workload mix.
+
+    The measured run used the final interface; other schemes add their
+    per-operation overheads on top of its cycle count.
+    """
+    outcomes = []
+    for scheme in schemes(config):
+        cycles = (mix.base_cycles
+                  + scheme.op_overhead * mix.coproc_ops
+                  + scheme.fp_memory_overhead * mix.fp_memory_ops)
+        outcomes.append(SchemeOutcome(scheme=scheme, mix=mix, cycles=cycles))
+    return outcomes
+
+
+def comparison_rows(mixes: Sequence[WorkloadMix],
+                    config: Optional[MachineConfig] = None) -> List[tuple]:
+    """(scheme, pins, relative performance averaged over mixes) rows."""
+    rows = []
+    for index, scheme in enumerate(schemes(config)):
+        rel_total = 0.0
+        for mix in mixes:
+            outcome = evaluate_schemes(mix, config)[index]
+            rel_total += outcome.relative_performance
+        rows.append((scheme.name, scheme.extra_pins,
+                     round(rel_total / len(mixes), 3),
+                     "yes" if scheme.cacheable else "no"))
+    return rows

@@ -1,0 +1,54 @@
+"""The MIPS-X processor core: pipeline, control, exceptions, configuration."""
+
+from repro.core.config import (
+    EcacheConfig,
+    IcacheConfig,
+    MachineConfig,
+    perfect_memory_config,
+)
+from repro.core.control import CacheMissFsm, MissState, SquashFsm, SquashState
+from repro.core.datapath import (
+    Alu,
+    FunnelShifter,
+    MdRegister,
+    RegisterFile,
+    to_signed,
+    to_unsigned,
+)
+from repro.core.pc_unit import PcChain, PcUnit
+from repro.core.pipeline import (
+    HazardViolation,
+    Pipeline,
+    PipelineStats,
+    TraceSink,
+)
+from repro.core.processor import Machine, run_assembly, run_program
+from repro.core.psw import Psw, PswBit
+
+__all__ = [
+    "Alu",
+    "CacheMissFsm",
+    "EcacheConfig",
+    "FunnelShifter",
+    "HazardViolation",
+    "IcacheConfig",
+    "Machine",
+    "MachineConfig",
+    "MdRegister",
+    "MissState",
+    "PcChain",
+    "PcUnit",
+    "Pipeline",
+    "PipelineStats",
+    "Psw",
+    "PswBit",
+    "RegisterFile",
+    "SquashFsm",
+    "SquashState",
+    "TraceSink",
+    "perfect_memory_config",
+    "run_assembly",
+    "run_program",
+    "to_signed",
+    "to_unsigned",
+]

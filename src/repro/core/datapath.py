@@ -1,0 +1,192 @@
+"""Datapath components: register file, ALU, funnel shifter, MD register.
+
+All arithmetic is 32-bit two's complement.  Values are stored as unsigned
+Python ints in [0, 2**32); :func:`to_signed` converts for comparisons.
+
+The execute unit contains a 32-bit ALU and a 64-bit-to-32-bit funnel
+shifter, plus the special MD register used by the multiply and divide step
+instructions -- exactly the inventory the paper gives for the execute
+section of the datapath.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+WORD_MASK = 0xFFFFFFFF
+SIGN_BIT = 0x80000000
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 32-bit word as a signed integer."""
+    value &= WORD_MASK
+    return value - (1 << 32) if value & SIGN_BIT else value
+
+
+def to_unsigned(value: int) -> int:
+    """Wrap a Python int into a 32-bit word."""
+    return value & WORD_MASK
+
+
+class RegisterFile:
+    """31 general registers plus the hardwired constant zero (register 0).
+
+    Writes to register 0 are silently discarded, making r0 "a place to
+    write unwanted data" as the paper puts it.
+    """
+
+    def __init__(self):
+        self._regs: List[int] = [0] * 32
+
+    def read(self, number: int) -> int:
+        return self._regs[number]
+
+    def write(self, number: int, value: int) -> None:
+        if number != 0:
+            self._regs[number] = value & WORD_MASK
+
+    def snapshot(self) -> List[int]:
+        return list(self._regs)
+
+    def load(self, values) -> None:
+        for number, value in enumerate(values):
+            self.write(number, value)
+
+    def __getitem__(self, number: int) -> int:
+        return self.read(number)
+
+    def __setitem__(self, number: int, value: int) -> None:
+        self.write(number, value)
+
+
+class Alu:
+    """The 32-bit ALU.  Add/subtract report signed overflow.
+
+    Overflow feeds the maskable trap-on-overflow exception; the paper
+    describes how this replaced the sticky-overflow-bit design once the
+    squash-based exception hardware made a true trap simple.
+    """
+
+    @staticmethod
+    def add(a: int, b: int) -> "AluResult":
+        raw = to_signed(a) + to_signed(b)
+        return AluResult(to_unsigned(raw), not -(1 << 31) <= raw < (1 << 31))
+
+    @staticmethod
+    def sub(a: int, b: int) -> "AluResult":
+        raw = to_signed(a) - to_signed(b)
+        return AluResult(to_unsigned(raw), not -(1 << 31) <= raw < (1 << 31))
+
+    @staticmethod
+    def and_(a: int, b: int) -> "AluResult":
+        return AluResult((a & b) & WORD_MASK, False)
+
+    @staticmethod
+    def or_(a: int, b: int) -> "AluResult":
+        return AluResult((a | b) & WORD_MASK, False)
+
+    @staticmethod
+    def xor(a: int, b: int) -> "AluResult":
+        return AluResult((a ^ b) & WORD_MASK, False)
+
+    @staticmethod
+    def not_(a: int) -> "AluResult":
+        return AluResult(~a & WORD_MASK, False)
+
+    @staticmethod
+    def compare(op: str, a: int, b: int) -> bool:
+        """Full compare for branches (signed)."""
+        sa, sb = to_signed(a), to_signed(b)
+        if op == "eq":
+            return sa == sb
+        if op == "ne":
+            return sa != sb
+        if op == "lt":
+            return sa < sb
+        if op == "le":
+            return sa <= sb
+        if op == "gt":
+            return sa > sb
+        if op == "ge":
+            return sa >= sb
+        raise ValueError(f"unknown comparison {op!r}")
+
+
+class AluResult:
+    """Value + signed-overflow flag from one ALU operation."""
+
+    __slots__ = ("value", "overflow")
+
+    def __init__(self, value: int, overflow: bool):
+        self.value = value
+        self.overflow = overflow
+
+
+class FunnelShifter:
+    """The 64-bit-to-32-bit funnel shifter.
+
+    A funnel shifter concatenates two 32-bit inputs and extracts a 32-bit
+    window; ordinary shifts and rotates are special cases of the window
+    placement, which is how the real datapath implements them.
+    """
+
+    @staticmethod
+    def funnel(high: int, low: int, amount: int) -> int:
+        """Extract 32 bits starting ``amount`` bits down from the top of
+        the 64-bit value ``high:low`` (0 <= amount <= 32)."""
+        if not 0 <= amount <= 32:
+            raise ValueError(f"funnel amount out of range: {amount}")
+        combined = ((high & WORD_MASK) << 32) | (low & WORD_MASK)
+        return (combined >> (32 - amount)) & WORD_MASK if amount else high & WORD_MASK
+
+    @classmethod
+    def sll(cls, value: int, amount: int) -> int:
+        return cls.funnel(value, 0, amount) if amount else value & WORD_MASK
+
+    @classmethod
+    def srl(cls, value: int, amount: int) -> int:
+        return cls.funnel(0, value, 32 - amount) if amount else value & WORD_MASK
+
+    @classmethod
+    def sra(cls, value: int, amount: int) -> int:
+        fill = WORD_MASK if value & SIGN_BIT else 0
+        return cls.funnel(fill, value, 32 - amount) if amount else value & WORD_MASK
+
+    @classmethod
+    def rotl(cls, value: int, amount: int) -> int:
+        return cls.funnel(value, value, amount) if amount else value & WORD_MASK
+
+
+class MdRegister:
+    """The multiply/divide (MD) special register.
+
+    ``mstep`` implements one conditional-add step of a shift-and-add
+    multiply: with the multiplier loaded in MD, each step adds the
+    multiplicand into the accumulator when MD's low bit is set, then shifts
+    MD right.  ``dstep`` implements one non-restoring-style divide step on
+    a remainder/quotient pair, accumulating quotient bits into MD.
+    """
+
+    def __init__(self):
+        self.value = 0
+
+    def mstep(self, acc: int, operand: int) -> AluResult:
+        take = bool(self.value & 1)
+        self.value = (self.value >> 1) & WORD_MASK
+        if take:
+            return Alu.add(acc, operand)
+        return AluResult(acc & WORD_MASK, False)
+
+    def dstep(self, remainder: int, divisor: int) -> AluResult:
+        """One restoring-division step (unsigned).
+
+        Shifts the remainder left by one, bringing in the top bit of MD;
+        subtracts the divisor if it fits, recording the quotient bit in
+        MD's low end.
+        """
+        shifted = ((remainder << 1) | ((self.value >> 31) & 1)) & 0x1FFFFFFFFF
+        self.value = (self.value << 1) & WORD_MASK
+        if shifted >= (divisor & WORD_MASK) and divisor != 0:
+            self.value |= 1
+            return AluResult((shifted - (divisor & WORD_MASK)) & WORD_MASK, False)
+        return AluResult(shifted & WORD_MASK, False)

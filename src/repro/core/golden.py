@@ -1,0 +1,173 @@
+"""Instruction-level ("golden") simulator with *naive* sequential semantics.
+
+The MIPS-X project "had written an instruction level simulator for the
+machine" by January 1985, long before the pipeline-accurate model.  This is
+that simulator: branches take effect immediately, load results are usable
+immediately, and there is no timing.  It serves two purposes:
+
+* it defines the *naive* semantics that the compiler emits and the code
+  reorganizer consumes -- reorganized code run on the cycle-accurate
+  pipeline must produce exactly the architectural state this model
+  produces on the un-reorganized code (the key reorganizer test);
+* it executes orders of magnitude faster, so compiler tests can be broad.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.asm.unit import Program
+from repro.coproc.interface import CoprocessorSet
+from repro.core.datapath import (
+    Alu,
+    FunnelShifter,
+    MdRegister,
+    RegisterFile,
+    to_signed,
+    to_unsigned,
+)
+from repro.ecache.memory import MemorySystem
+from repro.isa.encoding import decode
+from repro.isa.opcodes import Funct, Opcode
+
+_CONDITIONS = {
+    Opcode.BEQ: "eq",
+    Opcode.BNE: "ne",
+    Opcode.BLT: "lt",
+    Opcode.BLE: "le",
+    Opcode.BGT: "gt",
+    Opcode.BGE: "ge",
+}
+
+
+class GoldenError(RuntimeError):
+    """The golden model hit an unsupported instruction or ran away."""
+
+
+class GoldenSimulator:
+    """Sequential, untimed executor for naive (pre-reorganization) code."""
+
+    def __init__(self, memory_words: int = 1 << 22, mmio_base: int = 0x3FFF00):
+        self.memory = MemorySystem(memory_words, mmio_base)
+        self.regs = RegisterFile()
+        self.md = MdRegister()
+        self.coprocessors = CoprocessorSet()
+        self.pc = 0
+        self.halted = False
+        self.instructions = 0
+
+    @property
+    def console(self):
+        return self.memory.console
+
+    def load_program(self, program: Program) -> None:
+        self.memory.system.load_image(program.image)
+        self.pc = program.entry
+
+    def run(self, max_instructions: int = 10_000_000) -> int:
+        while not self.halted:
+            if self.instructions >= max_instructions:
+                raise GoldenError(
+                    f"exceeded {max_instructions} instructions at pc={self.pc:#x}")
+            self.step()
+        return self.instructions
+
+    def step(self) -> None:  # noqa: C901 - one case per opcode
+        instr = decode(self.memory.system.read(self.pc))
+        self.instructions += 1
+        regs = self.regs
+        next_pc = self.pc + 1
+        op = instr.opcode
+        if op == Opcode.COMPUTE:
+            funct = instr.funct
+            a = regs[instr.src1]
+            b = regs[instr.src2]
+            if funct == Funct.ADD:
+                regs[instr.dst] = Alu.add(a, b).value
+            elif funct == Funct.SUB:
+                regs[instr.dst] = Alu.sub(a, b).value
+            elif funct == Funct.AND:
+                regs[instr.dst] = a & b
+            elif funct == Funct.OR:
+                regs[instr.dst] = a | b
+            elif funct == Funct.XOR:
+                regs[instr.dst] = a ^ b
+            elif funct == Funct.NOT:
+                regs[instr.dst] = ~a & 0xFFFFFFFF
+            elif funct == Funct.SLL:
+                regs[instr.dst] = FunnelShifter.sll(a, instr.shamt)
+            elif funct == Funct.SRL:
+                regs[instr.dst] = FunnelShifter.srl(a, instr.shamt)
+            elif funct == Funct.SRA:
+                regs[instr.dst] = FunnelShifter.sra(a, instr.shamt)
+            elif funct == Funct.ROTL:
+                regs[instr.dst] = FunnelShifter.rotl(a, instr.shamt)
+            elif funct == Funct.MSTEP:
+                regs[instr.dst] = self.md.mstep(a, b).value
+            elif funct == Funct.DSTEP:
+                regs[instr.dst] = self.md.dstep(a, b).value
+            elif funct == Funct.MOVFRS:
+                if instr.shamt == 2:  # MD
+                    regs[instr.dst] = self.md.value
+                else:
+                    regs[instr.dst] = 0
+            elif funct == Funct.MOVTOS:
+                if instr.shamt == 2:
+                    self.md.value = a
+            elif funct == Funct.HALT:
+                self.halted = True
+            else:
+                raise GoldenError(
+                    f"golden model does not support {funct} (pc={self.pc:#x})")
+        elif op == Opcode.ADDI:
+            regs[instr.src2] = to_unsigned(to_signed(regs[instr.src1]) + instr.imm)
+        elif op == Opcode.LD:
+            regs[instr.src2] = self.memory.read(
+                to_unsigned(to_signed(regs[instr.src1]) + instr.imm), True)
+        elif op == Opcode.ST:
+            self.memory.write(
+                to_unsigned(to_signed(regs[instr.src1]) + instr.imm),
+                regs[instr.src2], True)
+        elif op == Opcode.JSPCI:
+            target = to_unsigned(to_signed(regs[instr.src1]) + instr.imm)
+            if instr.src2 != 0:
+                regs[instr.src2] = self.pc + 1  # naive link: next instruction
+            next_pc = target
+        elif op in _CONDITIONS:
+            if Alu.compare(_CONDITIONS[op], regs[instr.src1], regs[instr.src2]):
+                next_pc = self.pc + instr.imm
+        elif op == Opcode.COP:
+            self.coprocessors.execute(
+                to_unsigned(to_signed(regs[instr.src1]) + instr.imm))
+        elif op == Opcode.MOVTOC:
+            self.coprocessors.write_data(
+                to_unsigned(to_signed(regs[instr.src1]) + instr.imm),
+                regs[instr.src2])
+        elif op == Opcode.MOVFRC:
+            regs[instr.src2] = self.coprocessors.read_data(
+                to_unsigned(to_signed(regs[instr.src1]) + instr.imm))
+        elif op == Opcode.LDF:
+            fpu = self.coprocessors.fpu_slot
+            if fpu is None:
+                raise GoldenError("ldf with no coprocessor 1")
+            fpu.load_word(instr.src2, self.memory.read(
+                to_unsigned(to_signed(regs[instr.src1]) + instr.imm), True))
+        elif op == Opcode.STF:
+            fpu = self.coprocessors.fpu_slot
+            if fpu is None:
+                raise GoldenError("stf with no coprocessor 1")
+            self.memory.write(
+                to_unsigned(to_signed(regs[instr.src1]) + instr.imm),
+                fpu.store_word(instr.src2), True)
+        else:  # pragma: no cover
+            raise GoldenError(f"unhandled opcode {op}")
+        self.pc = next_pc
+
+
+def run_golden(program: Program,
+               max_instructions: int = 10_000_000) -> GoldenSimulator:
+    """Load + run a naive-semantics program; returns the simulator."""
+    sim = GoldenSimulator()
+    sim.load_program(program)
+    sim.run(max_instructions)
+    return sim

@@ -1,0 +1,88 @@
+"""The PC unit: displacement adder, incrementer, and the PC chain.
+
+The paper's PC unit contains a displacement adder for branches, an
+incrementer, and "a chain of shift registers to save the PC values of the
+instructions currently in execution".  The chain is what makes the halted
+pipeline restartable: on an exception it freezes with the PCs of the three
+uncompleted instructions (those in the MEM, ALU and RF stages), the handler
+saves and later reloads it, and three ``jpc``/``jpcrs`` jumps re-execute the
+three instructions with each jump riding in the previous jump's delay slots.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class PcChain:
+    """Three-deep shift chain of PC values.
+
+    ``entries[0]`` (PC1) is the *oldest* PC -- the first instruction to
+    re-execute on exception return -- and ``entries[2]`` (PC3) the youngest.
+    """
+
+    DEPTH = 3
+
+    def __init__(self):
+        self.entries: List[int] = [0] * self.DEPTH
+
+    def shift(self, mem_pc: int, alu_pc: int, rf_pc: int) -> None:
+        """Record the PCs of the in-flight, uncompleted instructions.
+
+        Called once per cycle while PC shifting is enabled; a frozen chain
+        (shifting disabled by an exception) simply stops being updated.
+        """
+        self.entries = [mem_pc, alu_pc, rf_pc]
+
+    def pop(self) -> int:
+        """Read PC1 and shift the chain up (the ``jpc`` datapath action)."""
+        oldest = self.entries[0]
+        self.entries = self.entries[1:] + [self.entries[-1]]
+        return oldest
+
+    def read(self, index: int) -> int:
+        """Read PC1/PC2/PC3 (index 0..2) without shifting (``movfrs``)."""
+        return self.entries[index]
+
+    def write(self, index: int, value: int) -> None:
+        """Write one chain entry (``movtos`` during exception return)."""
+        self.entries[index] = value & 0xFFFFFFFF
+
+    def snapshot(self) -> List[int]:
+        return list(self.entries)
+
+    def __repr__(self) -> str:
+        pc1, pc2, pc3 = self.entries
+        return f"PcChain(pc1={pc1:#x}, pc2={pc2:#x}, pc3={pc3:#x})"
+
+
+class PcUnit:
+    """Fetch PC generation: incrementer + displacement-adder redirect.
+
+    The displacement adder means the PC bus can be driven with the branch
+    target as soon as the condition is known (end of the branch's ALU
+    cycle); in the simulator that appears as ``redirect`` applied at the
+    end of the cycle, after the delay-slot fetches have happened.
+    """
+
+    def __init__(self, reset_pc: int = 0):
+        self.fetch_pc = reset_pc
+        self.chain = PcChain()
+        self._redirect: int = -1
+
+    def redirect(self, target: int) -> None:
+        """Drive the PC bus with a branch/jump target for the next fetch."""
+        self._redirect = target & 0xFFFFFFFF
+
+    def advance(self) -> None:
+        """End-of-cycle PC update: redirect wins over the incrementer."""
+        if self._redirect >= 0:
+            self.fetch_pc = self._redirect
+            self._redirect = -1
+        else:
+            self.fetch_pc = (self.fetch_pc + 1) & 0xFFFFFFFF
+
+    def vector(self, address: int = 0) -> None:
+        """Exception vectoring: PC is immediately set (paper: to zero)."""
+        self.fetch_pc = address
+        self._redirect = -1

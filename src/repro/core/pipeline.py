@@ -1,0 +1,756 @@
+"""Cycle-accurate model of the MIPS-X five-stage pipeline.
+
+Stage assignment follows Figure 1 of the paper::
+
+    IF   instruction fetch (from the on-chip Icache)
+    RF   instruction decode and register fetch
+    ALU  ALU or shift operation (also: address computation, branch condition)
+    MEM  wait for data from memory on a load / output data for a store
+    WB   write the result into the destination register
+
+Timing rules that fall out of this pipeline (and which the software system
+must respect, because the hardware does **not** interlock):
+
+* branch conditions resolve at the end of ALU -> **two delay slots**;
+* load data arrives at the end of MEM -> **one load delay slot**;
+* bypassing covers producer distances 1 (ALU->ALU) and 2 (MEM->ALU); the
+  register file writes before it reads, covering distance 3 and beyond --
+  the paper's "two levels of bypassing".
+
+Stalls are modelled exactly as the paper's qualified ``w1`` clock: when the
+Icache misses or the Ecache reports a late miss, the clock to the control
+latches is withheld and *nothing* advances until the memory system
+delivers.  The squash FSM and cache-miss FSM of Figures 3 and 4 sequence
+squashes and miss services respectively.
+
+Exception return convention: the handler reloads the PC chain (``movtos
+pc1/pc2/pc3``) and executes ``jpc; jpc; jpcrs``.  Each jump redirects to
+the next chain entry while the following jumps ride in its delay slots, so
+the three frozen instructions re-execute exactly once and execution then
+continues sequentially.  ``jpcrs`` -- the *last* jump -- restores the PSW,
+which keeps PC-chain shifting disabled until every entry has been popped
+(the paper's "then PC shifting can be enabled").  One simulator
+simplification: the PSW (and with it the operating mode) is restored when
+``jpcrs`` reaches ALU, so the first two re-executed fetches of a
+*user-mode* return still read system space; none of the reproduced
+experiments involve user-mode exception returns.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional
+
+from repro.coproc.interface import CoprocessorSet
+from repro.core.config import MachineConfig
+from repro.core.control import CacheMissFsm, SquashFsm
+from repro.core.datapath import (
+    Alu,
+    FunnelShifter,
+    MdRegister,
+    RegisterFile,
+    to_signed,
+    to_unsigned,
+)
+from repro.core.pc_unit import PcUnit
+from repro.core.psw import Psw, PswBit
+from repro.ecache.ecache import Ecache
+from repro.ecache.memory import MemorySystem
+from repro.icache.cache import Icache
+from repro.isa.encoding import DecodeError, decode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Funct, Opcode, SpecialReg
+
+# stage indices
+IF, RF, ALU, MEM, WB = 0, 1, 2, 3, 4
+
+_BRANCH_CONDITIONS = {
+    Opcode.BEQ: "eq",
+    Opcode.BNE: "ne",
+    Opcode.BLT: "lt",
+    Opcode.BLE: "le",
+    Opcode.BGT: "gt",
+    Opcode.BGE: "ge",
+}
+
+
+class IllegalInstruction(RuntimeError):
+    """A word that does not decode reached the ALU stage un-squashed."""
+
+    def __init__(self, pc: int):
+        super().__init__(f"illegal instruction executed at pc={pc:#x}")
+        self.pc = pc
+
+
+class IllegalWord:
+    """Placeholder for a fetched word that does not decode.
+
+    Real hardware fetches garbage words without complaint -- e.g. the two
+    words that trail a halt, or data beyond a branch -- and only executing
+    them matters.  This sentinel flows through the pipe harmlessly and
+    raises :class:`IllegalInstruction` only if it reaches ALU un-squashed.
+    """
+
+    is_branch = is_jump = is_control = False
+    is_load = is_store = is_memory_access = False
+    is_coprocessor = is_nop = is_halt = False
+    opcode = None
+    funct = None
+
+    def __str__(self) -> str:
+        return "<illegal word>"
+
+
+_ILLEGAL_INSTRUCTION = IllegalWord()
+
+
+class HazardViolation(RuntimeError):
+    """Software violated a delay-slot constraint (hazard checking on).
+
+    On the real machine this is silent data corruption: the reorganizer is
+    responsible for never letting it happen.
+    """
+
+    def __init__(self, message: str, pc: int):
+        super().__init__(f"{message} (pc={pc:#x})")
+        self.pc = pc
+
+
+class Flight:
+    """One instruction in flight through the pipeline."""
+
+    __slots__ = (
+        "pc",
+        "instr",
+        "squashed",
+        "result",
+        "dest",
+        "mem_address",
+        "store_value",
+        "mem_resolved",
+        "taken",
+    )
+
+    def __init__(self, pc: int, instr: Instruction):
+        self.pc = pc
+        self.instr = instr
+        self.squashed = False
+        self.result: Optional[int] = None
+        self.dest: Optional[int] = None
+        self.mem_address = 0
+        self.store_value = 0
+        self.mem_resolved = False
+        self.taken = False
+
+    def __repr__(self) -> str:
+        mark = "x" if self.squashed else ""
+        return f"<{self.pc:#x}:{self.instr}{mark}>"
+
+
+@dataclasses.dataclass
+class PipelineStats:
+    """Counters collected by the pipeline; derived metrics as properties."""
+
+    cycles: int = 0
+    fetched: int = 0
+    retired: int = 0          #: completed instructions, including no-ops
+    squashed: int = 0         #: instructions converted to no-ops in flight
+    noops: int = 0            #: retired architectural no-ops
+    branches: int = 0
+    branches_taken: int = 0
+    branch_squashes: int = 0  #: squashing branches that went the wrong way
+    jumps: int = 0
+    loads: int = 0
+    stores: int = 0
+    coproc_ops: int = 0
+    exceptions: int = 0
+    interrupts: int = 0
+    page_faults: int = 0
+    icache_stall_cycles: int = 0
+    data_stall_cycles: int = 0
+    halted: bool = False
+
+    @property
+    def instructions(self) -> int:
+        """Executed instruction count (the paper counts no-ops as
+        instructions when quoting no-op percentages and CPI)."""
+        return self.retired
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.retired if self.retired else 0.0
+
+    @property
+    def noop_fraction(self) -> float:
+        return self.noops / self.retired if self.retired else 0.0
+
+    @property
+    def data_references(self) -> int:
+        return self.loads + self.stores
+
+    @property
+    def data_reference_density(self) -> float:
+        """Data references per executed instruction (paper: ~1/3)."""
+        return self.data_references / self.retired if self.retired else 0.0
+
+    def mips(self, clock_mhz: float) -> float:
+        return clock_mhz / self.cpi if self.cpi else 0.0
+
+
+class TraceSink:
+    """Hook interface for trace capture; all methods are optional no-ops."""
+
+    def on_fetch(self, pc: int) -> None:
+        pass
+
+    def on_retire(self, pc: int, instr: Instruction, squashed: bool) -> None:
+        pass
+
+    def on_branch(self, pc: int, instr: Instruction, taken: bool,
+                  target: int) -> None:
+        pass
+
+    def on_data(self, pc: int, address: int, is_store: bool) -> None:
+        pass
+
+    def on_exception(self, cause: str) -> None:
+        pass
+
+
+class Pipeline:
+    """The processor proper: datapath + control + memory interfaces."""
+
+    def __init__(self, config: MachineConfig, memory: MemorySystem,
+                 icache: Icache, ecache: Ecache,
+                 coprocessors: CoprocessorSet):
+        self.config = config
+        self.memory = memory
+        self.icache = icache
+        self.ecache = ecache
+        self.coprocessors = coprocessors
+
+        self.regs = RegisterFile()
+        self.psw = Psw()
+        self.psw_old = Psw(0)
+        self.md = MdRegister()
+        self.pc_unit = PcUnit()
+        self.squash_fsm = SquashFsm()
+        self.miss_fsm = CacheMissFsm()
+        self.stats = PipelineStats()
+        self.trace: Optional[TraceSink] = None
+
+        #: s[k] is the flight performing stage k during the current cycle.
+        self.s: List[Optional[Flight]] = [None] * 5
+        self._stall_left = 0
+        self._stall_is_icache = False
+        self._ready_fetch: Optional[int] = None
+        self._halting = False
+        self.halted = False
+        self._irq_pending = False
+        self._nmi_pending = False
+        self._cycle_branch_wrong = False
+        self._irq_hold = 0
+        self._decode_cache: dict = {}
+        memory.write_listeners.append(self._invalidate_decode)
+
+    # ------------------------------------------------------------ external
+    def reset(self, entry_pc: int = 0) -> None:
+        self.pc_unit.vector(entry_pc)
+        self.s = [None] * 5
+        self._halting = False
+        self.halted = False
+        self._ready_fetch = None
+
+    def post_interrupt(self, cause_bits: int = 1, nmi: bool = False) -> None:
+        """Assert the (off-chip) interrupt request line."""
+        self.memory.icu.post(cause_bits)
+        if nmi:
+            self._nmi_pending = True
+        else:
+            self._irq_pending = True
+
+    def _invalidate_decode(self, address: int, system_mode: bool) -> None:
+        self._decode_cache.pop((system_mode, address), None)
+
+    # ------------------------------------------------------------- decode
+    def _decode_at(self, pc: int, system_mode: bool):
+        key = (system_mode, pc)
+        cached = self._decode_cache.get(key)
+        if cached is not None:
+            return cached
+        word = self.memory.space(system_mode).read(pc)
+        try:
+            instr = decode(word)
+        except DecodeError:
+            instr = _ILLEGAL_INSTRUCTION
+        self._decode_cache[key] = instr
+        return instr
+
+    # ---------------------------------------------------------- main cycle
+    def cycle(self) -> None:  # noqa: C901 - the pipeline is one sequence
+        """Advance the machine by one clock cycle."""
+        self.stats.cycles += 1
+
+        # w1 withheld: a stall freezes every pipeline latch.
+        if self._stall_left > 0:
+            self._consume_stall()
+            return
+
+        mode = self.psw.system_mode
+
+        # MEM-stage data probe for the instruction about to enter MEM
+        # (the late-miss protocol: a miss re-runs phase 2 of MEM).
+        page_fault = False
+        mem_next = self.s[ALU]
+        if (mem_next is not None and not mem_next.squashed
+                and not mem_next.mem_resolved
+                and mem_next.instr.is_memory_access):
+            if not self.memory.data_access_mapped(mem_next.mem_address):
+                # off-chip MMU signals a data page fault: the access (and
+                # everything younger) restarts after the handler maps the
+                # page -- the restartability the paper designed for
+                self.memory.mmu.record_fault(mem_next.mem_address)
+                mem_next.mem_resolved = True
+                page_fault = True
+            else:
+                penalty = self._data_probe(mem_next, mode)
+                mem_next.mem_resolved = True
+                if penalty > 0:
+                    self._stall_left = penalty
+                    self._stall_is_icache = False
+                    self._consume_stall()
+                    return
+
+        # IF-stage probe at the current fetch PC.
+        fetch_flight: Optional[Flight] = None
+        if not self._halting:
+            fetch_pc = self.pc_unit.fetch_pc
+            if self._ready_fetch != fetch_pc:
+                stall = self._fetch_probe(fetch_pc, mode)
+                self._ready_fetch = fetch_pc
+                if stall > 0:
+                    self._stall_left = stall
+                    self._stall_is_icache = True
+                    self._consume_stall()
+                    return
+            fetch_flight = Flight(fetch_pc, self._decode_at(fetch_pc, mode))
+            self.stats.fetched += 1
+            if self.trace is not None:
+                self.trace.on_fetch(fetch_pc)
+            self._ready_fetch = None
+
+        # Pipeline latches shift (w1 rises).
+        self.s = [fetch_flight, self.s[IF], self.s[RF], self.s[ALU], self.s[MEM]]
+
+        # WB: the oldest instruction completes -- the *only* point at which
+        # machine state (registers) changes, making exceptions restartable.
+        self._writeback(self.s[WB])
+
+        # The PC chain records the PCs of the three uncompleted
+        # instructions (MEM, ALU, RF) while shifting is enabled.
+        if self.psw.shift_enabled:
+            self.pc_unit.chain.shift(
+                self.s[MEM].pc if self.s[MEM] else 0,
+                self.s[ALU].pc if self.s[ALU] else 0,
+                self.s[RF].pc if self.s[RF] else 0,
+            )
+
+        # A page fault behaves like a fault on the instruction now in
+        # MEM: nothing younger completes and the chain restarts it.
+        if page_fault:
+            self.stats.page_faults += 1
+            self._take_exception(PswBit.CAUSE_PGFLT)
+            return
+
+        # Interrupts are sampled at the top of the cycle (but held for
+        # the one-cycle window after a jpcrs restore, see _alu_compute).
+        if self._irq_hold > 0:
+            self._irq_hold -= 1
+        elif self._nmi_pending:
+            self._nmi_pending = False
+            self.stats.interrupts += 1
+            self._take_exception(PswBit.CAUSE_NMI)
+            return
+        elif self._irq_pending and self.psw.interrupts_enabled:
+            self._irq_pending = False
+            self.stats.interrupts += 1
+            self._take_exception(PswBit.CAUSE_INT)
+            return
+
+        # MEM work.
+        self._mem_stage(self.s[MEM], mode)
+
+        # ALU work (condition evaluation, redirects, exceptions).
+        self._cycle_branch_wrong = False
+        exception_taken = self._alu_stage(self.s[ALU])
+        if exception_taken:
+            return
+
+        # Quick-compare design alternative: 1-slot machines resolve the
+        # branch in RF instead of ALU.
+        if self.config.branch_delay_slots == 1:
+            self._rf_branch_stage(self.s[RF])
+
+        self.pc_unit.advance()
+        self.squash_fsm.step(exception=False,
+                             branch_wrong=self._cycle_branch_wrong)
+
+        # Drain after a halt: everything older than the halt completes.
+        if self._halting and all(f is None for f in self.s[RF:]):
+            self.halted = True
+            self.stats.halted = True
+
+    # -------------------------------------------------------------- stalls
+    def _consume_stall(self) -> None:
+        self._stall_left -= 1
+        if self._stall_is_icache:
+            self.miss_fsm.tick()
+            self.stats.icache_stall_cycles += 1
+        else:
+            self.stats.data_stall_cycles += 1
+
+    def _data_probe(self, flight: Flight, mode: bool) -> int:
+        """Ecache timing for the data access of ``flight``; returns the
+        stall in cycles."""
+        address = flight.mem_address
+        if self.trace is not None:
+            self.trace.on_data(flight.pc, address, flight.instr.is_store)
+        if self.memory.is_mmio(address):
+            return 0
+        if flight.instr.is_store:
+            return self.ecache.write(address, mode)
+        return self.ecache.read(address, mode)
+
+    def _fetch_probe(self, pc: int, mode: bool) -> int:
+        """Icache probe at ``pc``; fills on a miss and returns the stall."""
+        cache_config = self.config.icache
+        if not cache_config.enabled:
+            external = self.ecache.ifetch(pc, mode)
+            total = cache_config.miss_cycles + external
+            if total > 0:
+                self.miss_fsm.begin_miss(cache_config.miss_cycles, external)
+            return total
+        result = self.icache.fetch(pc, mode)
+        if result.hit:
+            return 0
+        external = sum(self.ecache.ifetch(addr, mode)
+                       for addr in result.fill_addresses)
+        self.miss_fsm.begin_miss(cache_config.miss_cycles, external)
+        return cache_config.miss_cycles + external
+
+    # ------------------------------------------------------------ WB stage
+    def _writeback(self, flight: Optional[Flight]) -> None:
+        if flight is None:
+            return
+        if flight.squashed:
+            self.stats.squashed += 1
+        else:
+            if flight.dest is not None and flight.result is not None:
+                self.regs.write(flight.dest, flight.result)
+            self.stats.retired += 1
+            if flight.instr.is_nop:
+                self.stats.noops += 1
+        if self.trace is not None:
+            self.trace.on_retire(flight.pc, flight.instr, flight.squashed)
+
+    # ----------------------------------------------------------- MEM stage
+    def _mem_stage(self, flight: Optional[Flight], mode: bool) -> None:
+        if flight is None or flight.squashed:
+            return
+        instr = flight.instr
+        op = instr.opcode
+        if op == Opcode.LD:
+            flight.result = self.memory.read(flight.mem_address, mode)
+            self.stats.loads += 1
+        elif op == Opcode.ST:
+            self.memory.write(flight.mem_address, flight.store_value, mode)
+            self.stats.stores += 1
+        elif op == Opcode.LDF:
+            word = self.memory.read(flight.mem_address, mode)
+            self._fpu().load_word(instr.src2, word)
+            self.stats.loads += 1
+        elif op == Opcode.STF:
+            self.memory.write(flight.mem_address,
+                              self._fpu().store_word(instr.src2), mode)
+            self.stats.stores += 1
+        elif op == Opcode.COP:
+            self.coprocessors.execute(flight.mem_address)
+            self.stats.coproc_ops += 1
+        elif op == Opcode.MOVTOC:
+            self.coprocessors.write_data(flight.mem_address,
+                                         flight.store_value)
+            self.stats.coproc_ops += 1
+        elif op == Opcode.MOVFRC:
+            flight.result = self.coprocessors.read_data(flight.mem_address)
+            self.stats.coproc_ops += 1
+
+    def _fpu(self):
+        fpu = self.coprocessors.fpu_slot
+        if fpu is None:
+            raise RuntimeError("ldf/stf executed with no coprocessor 1 attached")
+        return fpu
+
+    # ----------------------------------------------------------- ALU stage
+    def _operand(self, register: int, consumer: Flight) -> int:
+        """Resolve a source operand at the consumer's ALU stage.
+
+        Bypass priority: the distance-1 producer (now in MEM) beats the
+        register file; the distance-2 producer already wrote the register
+        file this cycle (WB runs first).  A distance-1 *load* is the
+        unbypassable case -- its data arrives only at the end of MEM -- so
+        the consumer sees the stale register value (or, with hazard
+        checking on, a :class:`HazardViolation`).
+        """
+        if register == 0:
+            return 0
+        producer = self.s[MEM]
+        if (producer is not None and not producer.squashed
+                and producer.dest == register):
+            if producer.instr.opcode in (Opcode.LD, Opcode.MOVFRC):
+                if self.config.hazard_check:
+                    raise HazardViolation(
+                        f"r{register} used in the load delay slot of the "
+                        f"load at {producer.pc:#x}", consumer.pc)
+                return self.regs.read(register)  # stale, as on hardware
+            if producer.result is not None:
+                return producer.result
+        return self.regs.read(register)
+
+    def _alu_stage(self, flight: Optional[Flight]) -> bool:
+        """Execute the ALU stage; returns True if an exception was taken."""
+        if flight is None or flight.squashed:
+            return False
+        if flight.instr is _ILLEGAL_INSTRUCTION:
+            raise IllegalInstruction(flight.pc)
+        instr = flight.instr
+        op = instr.opcode
+        if op == Opcode.COMPUTE:
+            return self._alu_compute(flight)
+        if op in _BRANCH_CONDITIONS:
+            if self.config.branch_delay_slots == 2:
+                self._resolve_branch(flight, slots=(self.s[RF], self.s[IF]))
+            return False
+        # memory format: address / payload computation
+        base = self._operand(instr.src1, flight)
+        flight.mem_address = to_unsigned(to_signed(base) + instr.imm)
+        if op == Opcode.ADDI:
+            flight.dest = instr.writes_register()
+            flight.result = flight.mem_address
+        elif op == Opcode.JSPCI:
+            flight.dest = instr.writes_register()
+            flight.result = to_unsigned(
+                flight.pc + 1 + self.config.branch_delay_slots)
+            self.pc_unit.redirect(flight.mem_address)
+            self.stats.jumps += 1
+        elif op in (Opcode.LD, Opcode.MOVFRC):
+            flight.dest = instr.writes_register()
+        elif op in (Opcode.ST, Opcode.MOVTOC):
+            flight.store_value = self._operand(instr.src2, flight)
+        return False
+
+    def _alu_compute(self, flight: Flight) -> bool:
+        instr = flight.instr
+        funct = instr.funct
+        a = self._operand(instr.src1, flight)
+        result = None
+        overflow = False
+        if funct == Funct.ADD:
+            out = Alu.add(a, self._operand(instr.src2, flight))
+            result, overflow = out.value, out.overflow
+        elif funct == Funct.SUB:
+            out = Alu.sub(a, self._operand(instr.src2, flight))
+            result, overflow = out.value, out.overflow
+        elif funct == Funct.AND:
+            result = a & self._operand(instr.src2, flight)
+        elif funct == Funct.OR:
+            result = a | self._operand(instr.src2, flight)
+        elif funct == Funct.XOR:
+            result = a ^ self._operand(instr.src2, flight)
+        elif funct == Funct.NOT:
+            result = ~a & 0xFFFFFFFF
+        elif funct == Funct.SLL:
+            result = FunnelShifter.sll(a, instr.shamt)
+        elif funct == Funct.SRL:
+            result = FunnelShifter.srl(a, instr.shamt)
+        elif funct == Funct.SRA:
+            result = FunnelShifter.sra(a, instr.shamt)
+        elif funct == Funct.ROTL:
+            result = FunnelShifter.rotl(a, instr.shamt)
+        elif funct == Funct.MSTEP:
+            out = self.md.mstep(a, self._operand(instr.src2, flight))
+            result, overflow = out.value, out.overflow
+        elif funct == Funct.DSTEP:
+            out = self.md.dstep(a, self._operand(instr.src2, flight))
+            result = out.value
+        elif funct == Funct.MOVFRS:
+            result = self._read_special(instr.shamt)
+        elif funct == Funct.MOVTOS:
+            # the PSW (and with it the mode) "can only be changed while
+            # executing in system mode": user-mode writes to special
+            # state trap instead (privileged-instruction trap)
+            if not self.psw.system_mode:
+                self._take_exception(PswBit.CAUSE_TRAP)
+                return True
+            self._write_special(instr.shamt, a)
+        elif funct == Funct.TRAP:
+            self._take_exception(PswBit.CAUSE_TRAP)
+            return True
+        elif funct == Funct.JPC:
+            if not self.psw.system_mode:
+                self._take_exception(PswBit.CAUSE_TRAP)
+                return True
+            self.pc_unit.redirect(self.pc_unit.chain.pop())
+            self.stats.jumps += 1
+        elif funct == Funct.JPCRS:
+            if not self.psw.system_mode:
+                self._take_exception(PswBit.CAUSE_TRAP)
+                return True
+            self.pc_unit.redirect(self.pc_unit.chain.pop())
+            self.psw = self.psw_old.copy()
+            # hardware interlock: one cycle after the restore, jpcrs is
+            # still in MEM -- an interrupt then would freeze the chain
+            # with jpcrs itself in it and re-execute it against a shifted
+            # chain.  A second held cycle guarantees forward progress:
+            # the oldest re-executed instruction reaches WB before the
+            # next interrupt can freeze the chain, so a saturating
+            # interrupt source cannot livelock the machine.
+            self._irq_hold = 2
+            self.stats.jumps += 1
+        elif funct == Funct.HALT:
+            self._halting = True
+            for slot in (self.s[RF], self.s[IF]):
+                if slot is not None:
+                    slot.squashed = True
+        else:  # pragma: no cover - decode guarantees a known funct
+            raise RuntimeError(f"unimplemented funct {funct}")
+        if overflow and self.psw.trap_on_overflow:
+            self._take_exception(PswBit.CAUSE_OVF)
+            return True
+        if result is not None:
+            flight.dest = instr.writes_register()
+            flight.result = result
+        return False
+
+    # -------------------------------------------------------- branch logic
+    def _resolve_branch(self, flight: Flight, slots) -> None:
+        instr = flight.instr
+        a = self._operand(instr.src1, flight)
+        b = self._operand(instr.src2, flight)
+        taken = Alu.compare(_BRANCH_CONDITIONS[instr.opcode], a, b)
+        flight.taken = taken
+        target = to_unsigned(flight.pc + instr.imm)
+        self.stats.branches += 1
+        if taken:
+            self.stats.branches_taken += 1
+            self.pc_unit.redirect(target)
+        wrong_way = instr.squash and not taken
+        if wrong_way:
+            self.stats.branch_squashes += 1
+            self._cycle_branch_wrong = True
+            for slot in slots:
+                if slot is not None:
+                    slot.squashed = True
+        if self.trace is not None:
+            self.trace.on_branch(flight.pc, instr, taken, target)
+
+    def _rf_branch_stage(self, flight: Optional[Flight]) -> None:
+        """Quick-compare alternative: resolve branches in RF (one slot).
+
+        Operand availability is stricter: the comparator sits on the
+        register-file outputs, so distance-1 producers and distance-1/2
+        loads cannot feed it (the paper's reason for rejecting the scheme).
+        """
+        if flight is None or flight.squashed or not flight.instr.is_branch:
+            return
+        instr = flight.instr
+        if self.config.hazard_check:
+            for register in (instr.src1, instr.src2):
+                if register == 0:
+                    continue
+                for producer, distance in ((self.s[ALU], 1), (self.s[MEM], 2)):
+                    if (producer is None or producer.squashed
+                            or producer.dest != register):
+                        continue
+                    is_load = producer.instr.opcode in (Opcode.LD,
+                                                        Opcode.MOVFRC)
+                    if distance == 1 or is_load:
+                        raise HazardViolation(
+                            f"quick compare cannot bypass r{register}",
+                            flight.pc)
+        # value resolution: WB wrote this cycle; distance-2 compute results
+        # are bypassed from the MEM latch.
+        values = []
+        for register in (instr.src1, instr.src2):
+            producer = self.s[MEM]
+            if (register != 0 and producer is not None
+                    and not producer.squashed and producer.dest == register
+                    and producer.result is not None):
+                values.append(producer.result)
+            else:
+                values.append(self.regs.read(register))
+        taken = Alu.compare(_BRANCH_CONDITIONS[instr.opcode], *values)
+        flight.taken = taken
+        target = to_unsigned(flight.pc + instr.imm)
+        self.stats.branches += 1
+        if taken:
+            self.stats.branches_taken += 1
+            self.pc_unit.redirect(target)
+        wrong_way = instr.squash and not taken
+        if wrong_way:
+            self.stats.branch_squashes += 1
+            self._cycle_branch_wrong = True
+            if self.s[IF] is not None:
+                self.s[IF].squashed = True
+        if self.trace is not None:
+            self.trace.on_branch(flight.pc, instr, taken, target)
+
+    # ---------------------------------------------------- special registers
+    def _read_special(self, which: int) -> int:
+        special = SpecialReg(which)
+        if special == SpecialReg.PSW:
+            return self.psw.value
+        if special == SpecialReg.PSWOLD:
+            return self.psw_old.value
+        if special == SpecialReg.MD:
+            return self.md.value
+        return self.pc_unit.chain.read(which - SpecialReg.PC1)
+
+    def _write_special(self, which: int, value: int) -> None:
+        special = SpecialReg(which)
+        if special == SpecialReg.PSW:
+            self.psw = Psw(value)
+        elif special == SpecialReg.PSWOLD:
+            self.psw_old = Psw(value)
+        elif special == SpecialReg.MD:
+            self.md.value = value & 0xFFFFFFFF
+        else:
+            self.pc_unit.chain.write(which - SpecialReg.PC1, value)
+
+    # ----------------------------------------------------------- exceptions
+    def _take_exception(self, cause: PswBit) -> None:
+        """Halt the pipeline: no-op everything in flight, freeze the PC
+        chain, swap the PSW, and vector to address zero in system space."""
+        self.stats.exceptions += 1
+        self.psw_old = self.psw.copy()
+        self.psw.set_cause(cause)
+        self.psw.system_mode = True
+        self.psw.interrupts_enabled = False
+        self.psw.shift_enabled = False
+        for k in (IF, RF):          # the Squash line
+            if self.s[k] is not None:
+                self.s[k].squashed = True
+        for k in (ALU, MEM):        # the Exception line
+            if self.s[k] is not None:
+                self.s[k].squashed = True
+        self.pc_unit.vector(0)
+        self._ready_fetch = None
+        self.squash_fsm.step(exception=True, branch_wrong=False)
+        if self.trace is not None:
+            self.trace.on_exception(cause.name)
+
+    # ------------------------------------------------------------- running
+    def run(self, max_cycles: int = 10_000_000) -> PipelineStats:
+        """Run until ``halt`` retires or the cycle budget is exhausted."""
+        while not self.halted and self.stats.cycles < max_cycles:
+            self.cycle()
+        return self.stats

@@ -1,0 +1,109 @@
+"""The :class:`Machine` facade: a complete MIPS-X system.
+
+A ``Machine`` wires together the pipeline, the on-chip instruction cache,
+the external cache, main memory (system and user spaces), the MMIO devices
+and any attached coprocessors, and provides the convenient entry points the
+examples and benchmarks use::
+
+    from repro.core import Machine
+    from repro.asm import assemble
+
+    machine = Machine()
+    machine.load_program(assemble(SOURCE))
+    stats = machine.run()
+    print(stats.cpi, machine.console.values)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.asm.unit import Program
+from repro.coproc.interface import Coprocessor, CoprocessorSet
+from repro.core.config import MachineConfig
+from repro.core.pipeline import Pipeline, PipelineStats, TraceSink
+from repro.ecache.ecache import Ecache
+from repro.ecache.memory import MemorySystem
+from repro.icache.cache import Icache
+
+
+class Machine:
+    """A complete simulated MIPS-X processor system."""
+
+    def __init__(self, config: Optional[MachineConfig] = None,
+                 memory: Optional[MemorySystem] = None):
+        """``memory`` may be a shared :class:`MemorySystem` -- several
+        machines built over the same one form a shared-memory
+        multiprocessor (see :mod:`repro.multi`)."""
+        self.config = config or MachineConfig()
+        self.memory = memory or MemorySystem(self.config.memory_words,
+                                             self.config.mmio_base)
+        self.icache = Icache(self.config.icache)
+        self.ecache = Ecache(self.config.ecache)
+        self.coprocessors = CoprocessorSet()
+        self.pipeline = Pipeline(self.config, self.memory, self.icache,
+                                 self.ecache, self.coprocessors)
+
+    # ------------------------------------------------------------- loading
+    def load_program(self, program: Program, system_space: bool = True,
+                     user_space: bool = False) -> None:
+        """Load a program image and point the fetch PC at its entry."""
+        if system_space:
+            self.memory.system.load_image(program.image)
+        if user_space:
+            self.memory.user.load_image(program.image)
+        self.pipeline.reset(program.entry)
+
+    def attach_coprocessor(self, coprocessor: Coprocessor) -> None:
+        self.coprocessors.attach(coprocessor)
+
+    # ------------------------------------------------------------- running
+    def run(self, max_cycles: int = 10_000_000) -> PipelineStats:
+        return self.pipeline.run(max_cycles)
+
+    def step(self) -> None:
+        self.pipeline.cycle()
+
+    def post_interrupt(self, cause_bits: int = 1, nmi: bool = False) -> None:
+        self.pipeline.post_interrupt(cause_bits, nmi)
+
+    # ----------------------------------------------------------- accessors
+    @property
+    def regs(self):
+        return self.pipeline.regs
+
+    @property
+    def psw(self):
+        return self.pipeline.psw
+
+    @property
+    def stats(self) -> PipelineStats:
+        return self.pipeline.stats
+
+    @property
+    def console(self):
+        return self.memory.console
+
+    @property
+    def halted(self) -> bool:
+        return self.pipeline.halted
+
+    def set_trace(self, sink: Optional[TraceSink]) -> None:
+        self.pipeline.trace = sink
+
+
+def run_program(program: Program, config: Optional[MachineConfig] = None,
+                max_cycles: int = 10_000_000) -> Machine:
+    """Load and run a program on a fresh machine; returns the machine."""
+    machine = Machine(config)
+    machine.load_program(program)
+    machine.run(max_cycles)
+    return machine
+
+
+def run_assembly(source: str, config: Optional[MachineConfig] = None,
+                 max_cycles: int = 10_000_000) -> Machine:
+    """Assemble, load and run source text on a fresh machine."""
+    from repro.asm.assembler import assemble
+
+    return run_program(assemble(source), config, max_cycles)

@@ -1,0 +1,119 @@
+"""Processor status word (PSW) for the MIPS-X reproduction.
+
+The paper's PSW stores the operating mode (system/user), interrupt masking,
+the maskable trap-on-overflow enable (which replaced the abandoned *sticky
+overflow bit*), and cause bits that let the (unvectored) exception handler
+distinguish an interrupt, an arithmetic overflow, and a non-maskable
+interrupt.  ``PSWold`` receives the PSW when an exception is taken and is
+restored by ``jpcrs`` at the end of the return sequence.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class PswBit(enum.IntEnum):
+    """Bit positions in the PSW."""
+
+    MODE = 0        #: 1 = system mode, 0 = user mode
+    IE = 1          #: maskable interrupts enabled
+    TE = 2          #: trap on ALU / multiply-divide overflow enabled
+    SHIFT_EN = 3    #: PC chain shifting enabled (frozen during exceptions)
+    CAUSE_INT = 4   #: last exception was a maskable interrupt
+    CAUSE_OVF = 5   #: last exception was an arithmetic overflow
+    CAUSE_NMI = 6   #: last exception was a non-maskable interrupt
+    CAUSE_TRAP = 7  #: last exception was a software trap
+    CAUSE_PGFLT = 8  #: last exception was a data page fault (off-chip MMU)
+
+
+_CAUSE_BITS = (
+    PswBit.CAUSE_INT,
+    PswBit.CAUSE_OVF,
+    PswBit.CAUSE_NMI,
+    PswBit.CAUSE_TRAP,
+    PswBit.CAUSE_PGFLT,
+)
+
+
+class Psw:
+    """A mutable PSW with named bit accessors.
+
+    The reset state is system mode, interrupts off, overflow traps off,
+    PC-chain shifting on -- the state the machine needs to bootstrap.
+    """
+
+    RESET_VALUE = (1 << PswBit.MODE) | (1 << PswBit.SHIFT_EN)
+
+    def __init__(self, value: int = RESET_VALUE):
+        self.value = value & 0xFFFFFFFF
+
+    # -------------------------------------------------------------- bit ops
+    def get(self, bit: PswBit) -> bool:
+        return bool(self.value & (1 << bit))
+
+    def set(self, bit: PswBit, on: bool = True) -> None:
+        if on:
+            self.value |= 1 << bit
+        else:
+            self.value &= ~(1 << bit) & 0xFFFFFFFF
+
+    # ------------------------------------------------------ named accessors
+    @property
+    def system_mode(self) -> bool:
+        return self.get(PswBit.MODE)
+
+    @system_mode.setter
+    def system_mode(self, on: bool) -> None:
+        self.set(PswBit.MODE, on)
+
+    @property
+    def interrupts_enabled(self) -> bool:
+        return self.get(PswBit.IE)
+
+    @interrupts_enabled.setter
+    def interrupts_enabled(self, on: bool) -> None:
+        self.set(PswBit.IE, on)
+
+    @property
+    def trap_on_overflow(self) -> bool:
+        return self.get(PswBit.TE)
+
+    @trap_on_overflow.setter
+    def trap_on_overflow(self, on: bool) -> None:
+        self.set(PswBit.TE, on)
+
+    @property
+    def shift_enabled(self) -> bool:
+        return self.get(PswBit.SHIFT_EN)
+
+    @shift_enabled.setter
+    def shift_enabled(self, on: bool) -> None:
+        self.set(PswBit.SHIFT_EN, on)
+
+    # ------------------------------------------------------------ exceptions
+    def set_cause(self, cause_bit: PswBit) -> None:
+        """Clear all cause bits, then set ``cause_bit``."""
+        for bit in _CAUSE_BITS:
+            self.set(bit, False)
+        self.set(cause_bit, True)
+
+    def cause_name(self) -> str:
+        for bit in _CAUSE_BITS:
+            if self.get(bit):
+                return bit.name
+        return "NONE"
+
+    def copy(self) -> "Psw":
+        return Psw(self.value)
+
+    def __repr__(self) -> str:
+        mode = "sys" if self.system_mode else "usr"
+        flags = "".join(
+            name for name, on in [
+                ("I", self.interrupts_enabled),
+                ("T", self.trap_on_overflow),
+                ("S", self.shift_enabled),
+            ] if on
+        )
+        return f"Psw({mode},{flags or '-'},{self.cause_name()})"

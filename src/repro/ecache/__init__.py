@@ -1,0 +1,22 @@
+"""External cache and main-memory substrate."""
+
+from repro.ecache.ecache import Ecache, EcacheStats
+from repro.ecache.memory import (
+    Console,
+    InterruptControlUnit,
+    Memory,
+    MemoryFault,
+    MemorySystem,
+    MmioDevice,
+)
+
+__all__ = [
+    "Console",
+    "Ecache",
+    "EcacheStats",
+    "InterruptControlUnit",
+    "Memory",
+    "MemoryFault",
+    "MemorySystem",
+    "MmioDevice",
+]

@@ -1,0 +1,111 @@
+"""The external cache (Ecache) timing model.
+
+MIPS-X backs its on-chip instruction cache with "a large 64K word external
+cache" that serves both data references and instruction fetch-backs, and
+talks to main memory over a shared bus.  A hit completes within the MEM
+pipestage; a miss uses the *late miss* protocol -- the cache tells the
+processor at the start of WB that the access failed, and the processor
+"effectively goes back and re-executes phase 2 of MEM" until the data
+arrives.  In the simulator that is a stall of ``miss_penalty`` cycles.
+
+This model is timing-only: real data lives in :class:`repro.ecache.memory.Memory`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from repro.core.config import EcacheConfig
+
+
+@dataclasses.dataclass
+class EcacheStats:
+    reads: int = 0
+    read_misses: int = 0
+    writes: int = 0
+    write_misses: int = 0
+    ifetches: int = 0
+    ifetch_misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes + self.ifetches
+
+    @property
+    def misses(self) -> int:
+        return self.read_misses + self.write_misses + self.ifetch_misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Ecache:
+    """Direct-mapped external cache with per-mode tagging.
+
+    System and user mode execute in separate address spaces, so the mode
+    bit participates in the tag.  Writes are write-through with allocate
+    (the board-level design is not specified in the paper; write policy is
+    configurable because the Ecache study in ``benchmarks/bench_ecache.py``
+    sweeps it).
+    """
+
+    INVALID = -1
+
+    def __init__(self, config: EcacheConfig):
+        if config.size_words % config.line_words:
+            raise ValueError("ecache size must be a multiple of the line size")
+        self.config = config
+        self.lines = config.size_words // config.line_words
+        self._tags: List[int] = [self.INVALID] * self.lines
+        self.stats = EcacheStats()
+
+    # ------------------------------------------------------------- helpers
+    def _probe(self, address: int, system_mode: bool, allocate: bool) -> bool:
+        line_addr = address // self.config.line_words
+        index = line_addr % self.lines
+        tag = (line_addr // self.lines) * 2 + (1 if system_mode else 0)
+        hit = self._tags[index] == tag
+        if not hit and allocate:
+            self._tags[index] = tag
+        return hit
+
+    # -------------------------------------------------------------- access
+    def read(self, address: int, system_mode: bool) -> int:
+        """Data read; returns the stall penalty in cycles (0 on a hit)."""
+        if not self.config.enabled:
+            return 0
+        self.stats.reads += 1
+        if self._probe(address, system_mode, allocate=True):
+            return 0
+        self.stats.read_misses += 1
+        return self.config.miss_penalty
+
+    def write(self, address: int, system_mode: bool) -> int:
+        """Data write; write-through never stalls (buffered), but a
+        write-back design allocates and pays the penalty on a miss."""
+        if not self.config.enabled:
+            return 0
+        self.stats.writes += 1
+        hit = self._probe(address, system_mode,
+                          allocate=not self.config.write_through)
+        if not hit:
+            self.stats.write_misses += 1
+            if not self.config.write_through:
+                return self.config.miss_penalty
+        return 0
+
+    def ifetch(self, address: int, system_mode: bool) -> int:
+        """Instruction fetch-back from the Icache miss FSM; returns the
+        extra main-memory stall (0 when the word is in the Ecache)."""
+        if not self.config.enabled:
+            return 0
+        self.stats.ifetches += 1
+        if self._probe(address, system_mode, allocate=True):
+            return 0
+        self.stats.ifetch_misses += 1
+        return self.config.miss_penalty
+
+    def flush(self) -> None:
+        self._tags = [self.INVALID] * self.lines

@@ -1,0 +1,217 @@
+"""Main memory, MMIO devices, and the two address spaces.
+
+MIPS-X provides system and user operating modes "that execute in separate
+address spaces"; a :class:`MemorySystem` therefore owns two
+:class:`Memory` images, selected by the PSW mode bit.
+
+Memory is *word* addressed (see DESIGN.md) and split functional/timing:
+the :class:`Memory` objects hold real data, while the external cache in
+:mod:`repro.ecache.ecache` only models timing.  Addresses at or above the
+MMIO base bypass the cache and dispatch to devices (console output and the
+off-chip interrupt control unit).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+
+class MemoryFault(RuntimeError):
+    """Access outside the configured physical memory."""
+
+
+class Memory:
+    """A sparse word-addressed 32-bit memory image."""
+
+    def __init__(self, size_words: int):
+        self.size_words = size_words
+        self._words: Dict[int, int] = {}
+
+    def read(self, address: int) -> int:
+        if not 0 <= address < self.size_words:
+            raise MemoryFault(f"read outside memory: {address:#x}")
+        return self._words.get(address, 0)
+
+    def write(self, address: int, value: int) -> None:
+        if not 0 <= address < self.size_words:
+            raise MemoryFault(f"write outside memory: {address:#x}")
+        self._words[address] = value & 0xFFFFFFFF
+
+    def load_image(self, image: Dict[int, int]) -> None:
+        for address, value in image.items():
+            self.write(address, value)
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+
+class MmioDevice:
+    """A memory-mapped device occupying one or more word addresses."""
+
+    def read(self, offset: int) -> int:  # pragma: no cover - interface
+        return 0
+
+    def write(self, offset: int, value: int) -> None:  # pragma: no cover
+        pass
+
+
+class Console(MmioDevice):
+    """Word/character output port used by the runtime's ``print`` support.
+
+    Offset 0: write a word (collected in :attr:`values`).
+    Offset 1: write a character code (collected in :attr:`text`).
+    """
+
+    WORD_PORT = 0
+    CHAR_PORT = 1
+
+    def __init__(self):
+        self.values = []
+        self.text = ""
+
+    def write(self, offset: int, value: int) -> None:
+        if offset == self.WORD_PORT:
+            signed = value - (1 << 32) if value & 0x80000000 else value
+            self.values.append(signed)
+        elif offset == self.CHAR_PORT:
+            self.text += chr(value & 0xFF)
+
+
+class InterruptControlUnit(MmioDevice):
+    """The paper's separate off-chip interrupt control unit.
+
+    Exceptions on MIPS-X are not vectored; the handler reads this unit to
+    find which device interrupted.  Offset 0 reads (and clears) the pending
+    cause word; offset 1 reads it without clearing.
+    """
+
+    def __init__(self):
+        self.pending = 0
+
+    def post(self, cause_bits: int) -> None:
+        self.pending |= cause_bits
+
+    def read(self, offset: int) -> int:
+        value = self.pending
+        if offset == 0:
+            self.pending = 0
+        return value
+
+
+class MmuDevice(MmioDevice):
+    """A minimal off-chip MMU for the demand-paging demonstration.
+
+    The paper: "All instructions are restartable so MIPS-X will support a
+    dynamic, paged virtual memory system."  The MMU checks data accesses
+    against a set of *resident* pages; a miss raises the page-fault
+    exception and latches the faulting address here for the handler.
+
+    Ports (relative to the device base):
+
+    * read 0  -- the faulting word address of the last fault;
+    * write 0 -- make the page containing the written address resident;
+    * write 1 -- evict the page containing the written address;
+    * write 2 -- 1 enables paging, 0 disables it (boot code's job).
+    """
+
+    PAGE_WORDS = 256
+
+    #: pages never paged out: the vector/handler page -- a pager must be
+    #: able to run without faulting on its own code and save area, so the
+    #: OS pins it (page 0 here, where the exception vector lives)
+    PINNED = frozenset({0})
+
+    def __init__(self):
+        self.enabled = False
+        self.resident = set(self.PINNED)
+        self.fault_address = 0
+        self.faults = 0
+
+    def page_of(self, address: int) -> int:
+        return address // self.PAGE_WORDS
+
+    def mapped(self, address: int) -> bool:
+        return not self.enabled or self.page_of(address) in self.resident
+
+    def record_fault(self, address: int) -> None:
+        self.fault_address = address
+        self.faults += 1
+
+    def read(self, offset: int) -> int:
+        return self.fault_address
+
+    def write(self, offset: int, value: int) -> None:
+        if offset == 0:
+            self.resident.add(self.page_of(value))
+        elif offset == 1:
+            self.resident.discard(self.page_of(value))
+        elif offset == 2:
+            self.enabled = bool(value)
+
+
+class MemorySystem:
+    """Two address spaces plus the MMIO region.
+
+    ``write_listeners`` callbacks fire on every store: processors register
+    decode-cache invalidation there, and the multiprocessor system uses it
+    for write-through invalidation of the other CPUs' caches.
+    """
+
+    CONSOLE_OFFSET = 0xF0
+    ICU_OFFSET = 0xE0
+    MMU_OFFSET = 0xD0
+
+    def __init__(self, size_words: int, mmio_base: int):
+        self.mmio_base = mmio_base
+        self.system = Memory(size_words)
+        self.user = Memory(size_words)
+        self.console = Console()
+        self.icu = InterruptControlUnit()
+        self.mmu = MmuDevice()
+        #: write observers (decode-cache invalidation, multiprocessor
+        #: cache invalidation); every registered callback fires per store
+        self.write_listeners: list = []
+        self._devices = {
+            self.CONSOLE_OFFSET: self.console,
+            self.CONSOLE_OFFSET + 1: (self.console, Console.CHAR_PORT),
+            self.ICU_OFFSET: self.icu,
+            self.ICU_OFFSET + 1: (self.icu, 1),
+            self.MMU_OFFSET: self.mmu,
+            self.MMU_OFFSET + 1: (self.mmu, 1),
+            self.MMU_OFFSET + 2: (self.mmu, 2),
+        }
+
+    def space(self, system_mode: bool) -> Memory:
+        return self.system if system_mode else self.user
+
+    def is_mmio(self, address: int) -> bool:
+        return address >= self.mmio_base
+
+    def data_access_mapped(self, address: int) -> bool:
+        """MMU check for a data access (MMIO is never paged)."""
+        if self.is_mmio(address):
+            return True
+        return self.mmu.mapped(address)
+
+    def read(self, address: int, system_mode: bool) -> int:
+        if self.is_mmio(address):
+            return self._mmio(address)[0].read(self._mmio(address)[1])
+        return self.space(system_mode).read(address)
+
+    def write(self, address: int, value: int, system_mode: bool) -> None:
+        if self.is_mmio(address):
+            device, offset = self._mmio(address)
+            device.write(offset, value)
+            return
+        self.space(system_mode).write(address, value)
+        for listener in self.write_listeners:
+            listener(address, system_mode)
+
+    def _mmio(self, address: int):
+        offset = address - self.mmio_base
+        entry = self._devices.get(offset)
+        if entry is None:
+            raise MemoryFault(f"no MMIO device at {address:#x}")
+        if isinstance(entry, tuple):
+            return entry
+        return entry, 0

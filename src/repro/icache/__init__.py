@@ -1,0 +1,17 @@
+"""On-chip instruction cache: live model, stats, and design-space tools."""
+
+from repro.icache.cache import (
+    FetchResult,
+    Icache,
+    IcacheStats,
+    contents_invariants,
+    simulate,
+)
+
+__all__ = [
+    "FetchResult",
+    "Icache",
+    "IcacheStats",
+    "contents_invariants",
+    "simulate",
+]

@@ -1,0 +1,35 @@
+"""MIPS-X reproduction instruction set architecture.
+
+The public surface of this package is:
+
+* :class:`~repro.isa.instruction.Instruction` plus the assembly-like
+  constructor functions in :mod:`repro.isa.instruction`;
+* :func:`~repro.isa.encoding.encode` / :func:`~repro.isa.encoding.decode`;
+* the opcode/funct enums in :mod:`repro.isa.opcodes`;
+* register naming helpers in :mod:`repro.isa.registers`.
+"""
+
+from repro.isa.encoding import DecodeError, EncodingError, decode, encode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Format, Funct, Opcode, SpecialReg, format_of
+from repro.isa.registers import (
+    NUM_REGISTERS,
+    register_name,
+    register_number,
+)
+
+__all__ = [
+    "DecodeError",
+    "EncodingError",
+    "Format",
+    "Funct",
+    "Instruction",
+    "NUM_REGISTERS",
+    "Opcode",
+    "SpecialReg",
+    "decode",
+    "encode",
+    "format_of",
+    "register_name",
+    "register_number",
+]

@@ -1,0 +1,133 @@
+"""Binary encoding of the MIPS-X reproduction ISA.
+
+Every instruction is one 32-bit word.  The field layout implements the
+paper's "simple decode" maxim: the major opcode is always bits [31:27] and
+the two source-register fields are always bits [26:22] and [21:17], so the
+register file can be read before the opcode is fully decoded (the property
+the instruction register's predecode relies on).
+
+======== =================== =================== ==========================
+bits     memory format       branch format       compute format
+======== =================== =================== ==========================
+[31:27]  opcode              opcode (condition)  opcode = COMPUTE
+[26:22]  src1 (base)         src1                src1
+[21:17]  src2 (data)         src2                src2
+[16:0]   offset (signed 17)  --                  --
+[16:1]   --                  disp (signed 16)    --
+[0]      --                  squash bit          --
+[16:12]  --                  --                  dst
+[11:5]   --                  --                  funct
+[4:0]    --                  --                  shamt / special-reg id
+======== =================== =================== ==========================
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import (
+    BRANCH_DISP_BITS,
+    OFFSET_BITS,
+    Format,
+    Funct,
+    Opcode,
+    format_of,
+)
+
+WORD_MASK = 0xFFFFFFFF
+
+
+class EncodingError(ValueError):
+    """A field value does not fit its encoding field."""
+
+
+def _check_register(value: int, field: str) -> int:
+    if not 0 <= value < 32:
+        raise EncodingError(f"{field} register out of range: {value}")
+    return value
+
+
+def _encode_signed(value: int, bits: int, field: str) -> int:
+    lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    if not lo <= value <= hi:
+        raise EncodingError(f"{field} {value} does not fit in {bits} signed bits")
+    return value & ((1 << bits) - 1)
+
+
+def _decode_signed(raw: int, bits: int) -> int:
+    sign = 1 << (bits - 1)
+    return (raw & (sign - 1)) - (raw & sign)
+
+
+def encode(instr: Instruction) -> int:
+    """Encode one :class:`Instruction` into its 32-bit word."""
+    op = instr.opcode
+    word = (int(op) & 0x1F) << 27
+    word |= _check_register(instr.src1, "src1") << 22
+    word |= _check_register(instr.src2, "src2") << 17
+    fmt = format_of(op)
+    if fmt is Format.MEMORY:
+        word |= _encode_signed(instr.imm, OFFSET_BITS, "offset")
+    elif fmt is Format.BRANCH:
+        word |= _encode_signed(instr.imm, BRANCH_DISP_BITS, "branch disp") << 1
+        word |= 1 if instr.squash else 0
+    else:  # compute
+        if instr.funct is None:
+            raise EncodingError("compute instruction missing funct")
+        word |= _check_register(instr.dst, "dst") << 12
+        word |= (int(instr.funct) & 0x7F) << 5
+        if not 0 <= instr.shamt < 32:
+            raise EncodingError(f"shamt out of range: {instr.shamt}")
+        word |= instr.shamt
+    return word & WORD_MASK
+
+
+class DecodeError(ValueError):
+    """A 32-bit word is not a valid instruction."""
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit word into an :class:`Instruction`.
+
+    Raises :class:`DecodeError` for undefined opcodes or function codes --
+    the hardware would treat these as illegal-instruction faults, but in the
+    simulator reaching one almost always indicates executing data, so a loud
+    error is more useful.
+    """
+    word &= WORD_MASK
+    op_raw = (word >> 27) & 0x1F
+    try:
+        op = Opcode(op_raw)
+    except ValueError as exc:
+        raise DecodeError(f"undefined opcode {op_raw} in word {word:#010x}") from exc
+    src1 = (word >> 22) & 0x1F
+    src2 = (word >> 17) & 0x1F
+    fmt = format_of(op)
+    if fmt is Format.MEMORY:
+        return Instruction(
+            op, src1=src1, src2=src2, imm=_decode_signed(word & 0x1FFFF, OFFSET_BITS)
+        )
+    if fmt is Format.BRANCH:
+        disp = _decode_signed((word >> 1) & 0xFFFF, BRANCH_DISP_BITS)
+        return Instruction(op, src1=src1, src2=src2, imm=disp, squash=bool(word & 1))
+    funct_raw = (word >> 5) & 0x7F
+    try:
+        funct = Funct(funct_raw)
+    except ValueError as exc:
+        raise DecodeError(
+            f"undefined funct {funct_raw} in word {word:#010x}"
+        ) from exc
+    if funct in (Funct.MOVFRS, Funct.MOVTOS):
+        from repro.isa.opcodes import SpecialReg
+
+        if (word & 0x1F) >= len(SpecialReg):
+            raise DecodeError(
+                f"undefined special register {word & 0x1F} "
+                f"in word {word:#010x}")
+    return Instruction(
+        op,
+        src1=src1,
+        src2=src2,
+        dst=(word >> 12) & 0x1F,
+        funct=funct,
+        shamt=word & 0x1F,
+    )

@@ -1,0 +1,354 @@
+"""The :class:`Instruction` value object and convenience constructors.
+
+An :class:`Instruction` is the decoded, machine-independent form of one
+32-bit MIPS-X instruction word.  The assembler, the compiler's code
+generator and the reorganizer all manipulate ``Instruction`` objects; the
+binary encoding lives in :mod:`repro.isa.encoding` and the semantics in
+:mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.isa.opcodes import (
+    BRANCH_OPCODES,
+    COPROCESSOR_OPCODES,
+    DATA_MEMORY_OPCODES,
+    WRITING_FUNCTS,
+    Format,
+    Funct,
+    Opcode,
+    SpecialReg,
+    format_of,
+)
+from repro.isa.registers import register_name
+
+
+@dataclasses.dataclass(frozen=True)
+class Instruction:
+    """One decoded MIPS-X instruction.
+
+    Field use by format:
+
+    * memory:  ``src1`` = base register, ``src2`` = data register
+      (load destination / store source / link destination for ``jspci``),
+      ``imm`` = signed 17-bit offset.
+    * branch:  ``src1``/``src2`` = compared registers, ``imm`` = signed
+      16-bit word displacement (target = branch PC + imm), ``squash`` =
+      the squash bit of the paper's *squash optional* scheme.
+    * compute: ``src1``/``src2`` = sources, ``dst`` = destination,
+      ``funct`` = operation, ``shamt`` = shift amount or special-register id.
+    """
+
+    opcode: Opcode
+    src1: int = 0
+    src2: int = 0
+    dst: int = 0
+    imm: int = 0
+    funct: Optional[Funct] = None
+    shamt: int = 0
+    squash: bool = False
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def format(self) -> Format:
+        return format_of(self.opcode)
+
+    @property
+    def is_branch(self) -> bool:
+        """Conditional branch (has delay slots and an optional squash bit)."""
+        return self.opcode in BRANCH_OPCODES
+
+    @property
+    def is_jump(self) -> bool:
+        """Unconditional control transfer computed in the ALU stage."""
+        return self.opcode == Opcode.JSPCI or (
+            self.opcode == Opcode.COMPUTE
+            and self.funct in (Funct.JPC, Funct.JPCRS)
+        )
+
+    @property
+    def is_control(self) -> bool:
+        return self.is_branch or self.is_jump
+
+    @property
+    def is_load(self) -> bool:
+        return self.opcode in (Opcode.LD, Opcode.LDF)
+
+    @property
+    def is_store(self) -> bool:
+        return self.opcode in (Opcode.ST, Opcode.STF)
+
+    @property
+    def is_memory_access(self) -> bool:
+        """Touches data memory in the MEM stage (loads and stores)."""
+        return self.opcode in DATA_MEMORY_OPCODES
+
+    @property
+    def is_coprocessor(self) -> bool:
+        return self.opcode in COPROCESSOR_OPCODES
+
+    @property
+    def is_nop(self) -> bool:
+        return (
+            self.opcode == Opcode.COMPUTE
+            and self.funct == Funct.ADD
+            and self.dst == 0
+            and self.src1 == 0
+            and self.src2 == 0
+        )
+
+    @property
+    def is_halt(self) -> bool:
+        return self.opcode == Opcode.COMPUTE and self.funct == Funct.HALT
+
+    def writes_register(self) -> Optional[int]:
+        """GPR written by this instruction, or ``None``.
+
+        Writes to register 0 are architectural no-ops and reported as
+        ``None`` (r0 is the paper's "place to write unwanted data").
+        """
+        reg: Optional[int] = None
+        if self.opcode == Opcode.COMPUTE:
+            if self.funct in WRITING_FUNCTS:
+                reg = self.dst
+        elif self.opcode in (Opcode.LD, Opcode.ADDI, Opcode.JSPCI, Opcode.MOVFRC):
+            reg = self.src2
+        if reg == 0:
+            return None
+        return reg
+
+    def reads_registers(self) -> tuple:
+        """GPR numbers read by this instruction (r0 reads included)."""
+        op = self.opcode
+        if op == Opcode.COMPUTE:
+            funct = self.funct
+            if funct in (Funct.SLL, Funct.SRL, Funct.SRA, Funct.NOT, Funct.ROTL):
+                return (self.src1,)
+            if funct == Funct.MOVTOS:
+                return (self.src1,)
+            if funct == Funct.MOVFRS:
+                return ()
+            if funct in (Funct.TRAP, Funct.JPC, Funct.JPCRS, Funct.HALT):
+                return ()
+            if funct in (Funct.MSTEP, Funct.DSTEP):
+                return (self.src1, self.src2)
+            return (self.src1, self.src2)
+        if op in BRANCH_OPCODES:
+            return (self.src1, self.src2)
+        if op in (Opcode.LD, Opcode.ADDI, Opcode.JSPCI, Opcode.LDF, Opcode.MOVFRC):
+            return (self.src1,)
+        if op in (Opcode.ST,):
+            return (self.src1, self.src2)
+        if op in (Opcode.STF, Opcode.COP):
+            return (self.src1,)
+        if op == Opcode.MOVTOC:
+            return (self.src1, self.src2)
+        return ()
+
+    # ------------------------------------------------------------- rendering
+    def __str__(self) -> str:  # noqa: C901 - straightforward per-format text
+        op = self.opcode
+        if self.is_nop:
+            return "nop"
+        if op == Opcode.COMPUTE:
+            funct = self.funct
+            name = funct.name.lower()
+            r = register_name
+            if funct in (Funct.SLL, Funct.SRL, Funct.SRA, Funct.ROTL):
+                return f"{name} {r(self.dst)}, {r(self.src1)}, {self.shamt}"
+            if funct == Funct.NOT:
+                return f"{name} {r(self.dst)}, {r(self.src1)}"
+            if funct == Funct.MOVFRS:
+                return f"{name} {r(self.dst)}, {SpecialReg(self.shamt).name.lower()}"
+            if funct == Funct.MOVTOS:
+                return f"{name} {SpecialReg(self.shamt).name.lower()}, {r(self.src1)}"
+            if funct in (Funct.TRAP, Funct.JPC, Funct.JPCRS, Funct.HALT):
+                return name
+            return f"{name} {r(self.dst)}, {r(self.src1)}, {r(self.src2)}"
+        if op in BRANCH_OPCODES:
+            sq = "sq" if self.squash else ""
+            return (
+                f"{op.name.lower()}{sq} {register_name(self.src1)}, "
+                f"{register_name(self.src2)}, {self.imm:+d}"
+            )
+        # memory format
+        name = op.name.lower()
+        r = register_name
+        if op == Opcode.ADDI:
+            return f"{name} {r(self.src2)}, {r(self.src1)}, {self.imm}"
+        if op in (Opcode.COP,):
+            return f"{name} {self.imm}({r(self.src1)})"
+        if op in (Opcode.MOVTOC, Opcode.MOVFRC):
+            return f"{name} {r(self.src2)}, {self.imm}({r(self.src1)})"
+        if op in (Opcode.LDF, Opcode.STF):
+            return f"{name} f{self.src2}, {self.imm}({r(self.src1)})"
+        return f"{name} {r(self.src2)}, {self.imm}({r(self.src1)})"
+
+
+# --------------------------------------------------------------------------
+# Convenience constructors.  These are what the code generator and tests use;
+# they read like assembly and keep field-placement knowledge in one module.
+# --------------------------------------------------------------------------
+
+def nop() -> Instruction:
+    """The canonical no-op: ``add r0, r0, r0``."""
+    return Instruction(Opcode.COMPUTE, funct=Funct.ADD)
+
+
+def halt() -> Instruction:
+    return Instruction(Opcode.COMPUTE, funct=Funct.HALT)
+
+
+def add(rd: int, rs1: int, rs2: int) -> Instruction:
+    return Instruction(Opcode.COMPUTE, src1=rs1, src2=rs2, dst=rd, funct=Funct.ADD)
+
+
+def sub(rd: int, rs1: int, rs2: int) -> Instruction:
+    return Instruction(Opcode.COMPUTE, src1=rs1, src2=rs2, dst=rd, funct=Funct.SUB)
+
+
+def and_(rd: int, rs1: int, rs2: int) -> Instruction:
+    return Instruction(Opcode.COMPUTE, src1=rs1, src2=rs2, dst=rd, funct=Funct.AND)
+
+
+def or_(rd: int, rs1: int, rs2: int) -> Instruction:
+    return Instruction(Opcode.COMPUTE, src1=rs1, src2=rs2, dst=rd, funct=Funct.OR)
+
+
+def xor(rd: int, rs1: int, rs2: int) -> Instruction:
+    return Instruction(Opcode.COMPUTE, src1=rs1, src2=rs2, dst=rd, funct=Funct.XOR)
+
+
+def not_(rd: int, rs: int) -> Instruction:
+    return Instruction(Opcode.COMPUTE, src1=rs, dst=rd, funct=Funct.NOT)
+
+
+def mov(rd: int, rs: int) -> Instruction:
+    """Pseudo: ``or rd, rs, r0``."""
+    return or_(rd, rs, 0)
+
+
+def sll(rd: int, rs: int, amount: int) -> Instruction:
+    return Instruction(Opcode.COMPUTE, src1=rs, dst=rd, funct=Funct.SLL, shamt=amount)
+
+
+def srl(rd: int, rs: int, amount: int) -> Instruction:
+    return Instruction(Opcode.COMPUTE, src1=rs, dst=rd, funct=Funct.SRL, shamt=amount)
+
+
+def sra(rd: int, rs: int, amount: int) -> Instruction:
+    return Instruction(Opcode.COMPUTE, src1=rs, dst=rd, funct=Funct.SRA, shamt=amount)
+
+
+def rotl(rd: int, rs: int, amount: int) -> Instruction:
+    return Instruction(Opcode.COMPUTE, src1=rs, dst=rd, funct=Funct.ROTL, shamt=amount)
+
+
+def mstep(rd: int, rs1: int, rs2: int) -> Instruction:
+    return Instruction(Opcode.COMPUTE, src1=rs1, src2=rs2, dst=rd, funct=Funct.MSTEP)
+
+
+def dstep(rd: int, rs1: int, rs2: int) -> Instruction:
+    return Instruction(Opcode.COMPUTE, src1=rs1, src2=rs2, dst=rd, funct=Funct.DSTEP)
+
+
+def movfrs(rd: int, special: SpecialReg) -> Instruction:
+    return Instruction(Opcode.COMPUTE, dst=rd, funct=Funct.MOVFRS, shamt=int(special))
+
+
+def movtos(special: SpecialReg, rs: int) -> Instruction:
+    return Instruction(Opcode.COMPUTE, src1=rs, funct=Funct.MOVTOS, shamt=int(special))
+
+
+def trap() -> Instruction:
+    return Instruction(Opcode.COMPUTE, funct=Funct.TRAP)
+
+
+def jpc() -> Instruction:
+    return Instruction(Opcode.COMPUTE, funct=Funct.JPC)
+
+
+def jpcrs() -> Instruction:
+    return Instruction(Opcode.COMPUTE, funct=Funct.JPCRS)
+
+
+def ld(rd: int, base: int, offset: int) -> Instruction:
+    return Instruction(Opcode.LD, src1=base, src2=rd, imm=offset)
+
+
+def st(rs: int, base: int, offset: int) -> Instruction:
+    return Instruction(Opcode.ST, src1=base, src2=rs, imm=offset)
+
+
+def ldf(fd: int, base: int, offset: int) -> Instruction:
+    return Instruction(Opcode.LDF, src1=base, src2=fd, imm=offset)
+
+
+def stf(fs: int, base: int, offset: int) -> Instruction:
+    return Instruction(Opcode.STF, src1=base, src2=fs, imm=offset)
+
+
+def addi(rd: int, rs: int, imm: int) -> Instruction:
+    return Instruction(Opcode.ADDI, src1=rs, src2=rd, imm=imm)
+
+
+def li(rd: int, imm: int) -> Instruction:
+    """Pseudo for small constants: ``addi rd, r0, imm`` (|imm| < 2**16)."""
+    return addi(rd, 0, imm)
+
+
+def jspci(link: int, base: int, offset: int) -> Instruction:
+    return Instruction(Opcode.JSPCI, src1=base, src2=link, imm=offset)
+
+
+def cop(base: int, payload: int) -> Instruction:
+    """Coprocessor operation: address lines carry ``r[base] + payload``."""
+    return Instruction(Opcode.COP, src1=base, imm=payload)
+
+
+def movtoc(rs: int, base: int, payload: int) -> Instruction:
+    return Instruction(Opcode.MOVTOC, src1=base, src2=rs, imm=payload)
+
+
+def movfrc(rd: int, base: int, payload: int) -> Instruction:
+    return Instruction(Opcode.MOVFRC, src1=base, src2=rd, imm=payload)
+
+
+def branch(
+    opcode: Opcode, rs1: int, rs2: int, disp: int, squash: bool = False
+) -> Instruction:
+    if opcode not in BRANCH_OPCODES:
+        raise ValueError(f"not a branch opcode: {opcode}")
+    return Instruction(opcode, src1=rs1, src2=rs2, imm=disp, squash=squash)
+
+
+def beq(rs1: int, rs2: int, disp: int, squash: bool = False) -> Instruction:
+    return branch(Opcode.BEQ, rs1, rs2, disp, squash)
+
+
+def bne(rs1: int, rs2: int, disp: int, squash: bool = False) -> Instruction:
+    return branch(Opcode.BNE, rs1, rs2, disp, squash)
+
+
+def blt(rs1: int, rs2: int, disp: int, squash: bool = False) -> Instruction:
+    return branch(Opcode.BLT, rs1, rs2, disp, squash)
+
+
+def ble(rs1: int, rs2: int, disp: int, squash: bool = False) -> Instruction:
+    return branch(Opcode.BLE, rs1, rs2, disp, squash)
+
+
+def bgt(rs1: int, rs2: int, disp: int, squash: bool = False) -> Instruction:
+    return branch(Opcode.BGT, rs1, rs2, disp, squash)
+
+
+def bge(rs1: int, rs2: int, disp: int, squash: bool = False) -> Instruction:
+    return branch(Opcode.BGE, rs1, rs2, disp, squash)
+
+
+def br(disp: int) -> Instruction:
+    """Unconditional PC-relative branch: ``beq r0, r0, disp``."""
+    return beq(0, 0, disp)

@@ -1,0 +1,177 @@
+"""Opcode and function-code definitions for the MIPS-X reproduction ISA.
+
+The paper is emphatic that the instruction format exists for "simple decode,
+simple decode, and simple decode": every instruction is one fixed 32-bit word
+and the opcode space is split into exactly three instruction classes --
+memory operations (which, in the final design, subsume coprocessor
+operations), branches, and compute operations.
+
+Our encoding (documented field-by-field in :mod:`repro.isa.encoding`):
+
+* bits [31:27] -- 5-bit major opcode, which also selects the format;
+* **memory format**: ``op | src1(5) | src2(5) | offset(17 signed)``;
+* **branch format**: ``op | src1(5) | src2(5) | disp(16 signed) | squash(1)``;
+* **compute format**: ``op=COMPUTE | src1(5) | src2(5) | dst(5) | funct(7) | shamt(5)``.
+
+Addresses are *word* addresses (see DESIGN.md); the 17-bit signed offset of
+the memory format therefore spans +-64K words, matching the paper's 17-bit
+signed byte offset in spirit.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Format(enum.Enum):
+    """The three MIPS-X instruction formats."""
+
+    MEMORY = "memory"
+    BRANCH = "branch"
+    COMPUTE = "compute"
+
+
+class Opcode(enum.IntEnum):
+    """5-bit major opcodes.
+
+    ``COMPUTE`` carries a secondary function code (:class:`Funct`).  The six
+    branch opcodes encode the *full compare* the paper chose after rejecting
+    condition codes and the quick compare: every branch names two source
+    registers and a condition.
+    """
+
+    COMPUTE = 0
+
+    # Memory format ---------------------------------------------------------
+    LD = 1        #: ``ld   rd, off(rb)``  rd <- mem[rb + off]
+    ST = 2        #: ``st   rs, off(rb)``  mem[rb + off] <- rs
+    LDF = 3       #: ``ldf  fd, off(rb)``  FPU reg fd <- mem[rb + off]
+    STF = 4       #: ``stf  fs, off(rb)``  mem[rb + off] <- FPU reg fs
+    ADDI = 5      #: ``addi rd, rb, imm``  rd <- rb + imm (no overflow trap)
+    JSPCI = 6     #: ``jspci rd, off(rb)`` rd <- return PC; jump rb + off
+    COP = 7       #: coprocessor op, no CPU data transfer
+    MOVTOC = 8    #: coprocessor op, CPU drives data bus from reg src2
+    MOVFRC = 9    #: coprocessor op, CPU reads data bus into reg src2
+
+    # Branch format ---------------------------------------------------------
+    BEQ = 16
+    BNE = 17
+    BLT = 18
+    BLE = 19
+    BGT = 20
+    BGE = 21
+
+
+class Funct(enum.IntEnum):
+    """Function codes for ``COMPUTE``-format instructions (bits [11:5]).
+
+    Shift instructions take their shift amount from the 5-bit ``shamt``
+    field (bits [4:0]); everything else leaves it zero.
+    """
+
+    ADD = 0     #: rd <- src1 + src2 (sets overflow; traps if PSW.TE)
+    SUB = 1     #: rd <- src1 - src2 (sets overflow; traps if PSW.TE)
+    AND = 2
+    OR = 3
+    XOR = 4
+    SLL = 5     #: rd <- src1 << shamt (funnel shifter)
+    SRL = 6     #: rd <- src1 >> shamt (logical)
+    SRA = 7     #: rd <- src1 >> shamt (arithmetic)
+    MSTEP = 8   #: one multiply step using the MD register
+    DSTEP = 9   #: one divide step using the MD register
+    MOVFRS = 10  #: rd <- special register [shamt]
+    MOVTOS = 11  #: special register [shamt] <- src1
+    TRAP = 12    #: software trap (unconditional exception)
+    JPC = 13     #: jump through the PC chain (exception return step)
+    JPCRS = 14   #: jump through the PC chain + restore PSW (final step)
+    NOT = 15     #: rd <- ~src1
+    HALT = 16    #: stop the simulation (simulator-only, documented)
+    ROTL = 17    #: rd <- src1 rotated left by shamt (funnel shifter)
+
+
+class SpecialReg(enum.IntEnum):
+    """Special registers addressed by ``movfrs``/``movtos`` (shamt field).
+
+    ``PC1`` is the *oldest* PC in the chain -- the first instruction to
+    re-execute when returning from an exception -- and ``PC3`` the youngest.
+    """
+
+    PSW = 0
+    PSWOLD = 1
+    MD = 2
+    PC1 = 3
+    PC2 = 4
+    PC3 = 5
+
+
+#: Opcodes using the memory format.
+MEMORY_OPCODES = frozenset(
+    {
+        Opcode.LD,
+        Opcode.ST,
+        Opcode.LDF,
+        Opcode.STF,
+        Opcode.ADDI,
+        Opcode.JSPCI,
+        Opcode.COP,
+        Opcode.MOVTOC,
+        Opcode.MOVFRC,
+    }
+)
+
+#: Opcodes using the branch format.
+BRANCH_OPCODES = frozenset(
+    {Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BLE, Opcode.BGT, Opcode.BGE}
+)
+
+#: Memory-format opcodes that actually reference data memory.
+DATA_MEMORY_OPCODES = frozenset({Opcode.LD, Opcode.ST, Opcode.LDF, Opcode.STF})
+
+#: Memory-format opcodes that are coprocessor operations on the address lines.
+COPROCESSOR_OPCODES = frozenset({Opcode.COP, Opcode.MOVTOC, Opcode.MOVFRC})
+
+#: Compute functs that write a general-purpose destination register.
+WRITING_FUNCTS = frozenset(
+    {
+        Funct.ADD,
+        Funct.SUB,
+        Funct.AND,
+        Funct.OR,
+        Funct.XOR,
+        Funct.SLL,
+        Funct.SRL,
+        Funct.SRA,
+        Funct.MSTEP,
+        Funct.DSTEP,
+        Funct.MOVFRS,
+        Funct.NOT,
+        Funct.ROTL,
+    }
+)
+
+
+def format_of(opcode: Opcode) -> Format:
+    """Return the instruction format a major opcode belongs to."""
+    if opcode == Opcode.COMPUTE:
+        return Format.COMPUTE
+    if opcode in BRANCH_OPCODES:
+        return Format.BRANCH
+    return Format.MEMORY
+
+
+#: Inverse condition for each branch opcode (used by the reorganizer when it
+#: reverses a branch to retarget delay slots).
+BRANCH_INVERSE = {
+    Opcode.BEQ: Opcode.BNE,
+    Opcode.BNE: Opcode.BEQ,
+    Opcode.BLT: Opcode.BGE,
+    Opcode.BGE: Opcode.BLT,
+    Opcode.BGT: Opcode.BLE,
+    Opcode.BLE: Opcode.BGT,
+}
+
+#: Field widths, shared by the encoder and the assembler's range checks.
+OFFSET_BITS = 17      # memory-format signed offset
+BRANCH_DISP_BITS = 16  # branch-format signed word displacement
+SHAMT_BITS = 5
+FUNCT_BITS = 7

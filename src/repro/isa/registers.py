@@ -1,0 +1,75 @@
+"""Register file conventions for the MIPS-X reproduction.
+
+MIPS-X has 32 general purpose registers.  Register 0 is a hardwired constant
+zero: reads always return 0 and writes are discarded (the paper notes that a
+read-only zero register is "a place to write unwanted data" and the source of
+immediate loads via ``add immediate to Register 0``).
+
+The software calling convention below is our own (the paper does not publish
+one) but follows the register-usage style of the Stanford compiler system:
+
+====  =========  ==========================================================
+Name  Number     Use
+====  =========  ==========================================================
+r0    0          hardwired zero
+sp    1          stack pointer (grows toward lower addresses)
+ra    2          return address (link register written by ``jspci``)
+rv    3          function return value
+a0-a5 4-9        argument registers
+t0-t15 10-25     caller-saved temporaries
+s0-s4 26-30      callee-saved registers
+gp    31         global pointer (base of the global data segment)
+====  =========  ==========================================================
+"""
+
+from __future__ import annotations
+
+NUM_REGISTERS = 32
+
+ZERO = 0
+SP = 1
+RA = 2
+RV = 3
+A0, A1, A2, A3, A4, A5 = 4, 5, 6, 7, 8, 9
+T_FIRST, T_LAST = 10, 25
+S_FIRST, S_LAST = 26, 30
+GP = 31
+
+#: Canonical assembler names, index = register number.
+REGISTER_NAMES = (
+    ["r0", "sp", "ra", "rv"]
+    + [f"a{i}" for i in range(6)]
+    + [f"t{i}" for i in range(16)]
+    + [f"s{i}" for i in range(5)]
+    + ["gp"]
+)
+
+#: Accepted aliases -> register number (includes bare rNN forms).
+REGISTER_ALIASES = {name: idx for idx, name in enumerate(REGISTER_NAMES)}
+REGISTER_ALIASES.update({f"r{i}": i for i in range(NUM_REGISTERS)})
+REGISTER_ALIASES["zero"] = ZERO
+
+
+def register_number(name: str) -> int:
+    """Resolve a register name or alias to its number.
+
+    Raises ``KeyError`` with a helpful message for unknown names.
+    """
+    key = name.strip().lower()
+    if key not in REGISTER_ALIASES:
+        raise KeyError(f"unknown register name {name!r}")
+    return REGISTER_ALIASES[key]
+
+
+def register_name(number: int) -> str:
+    """Canonical assembler name for a register number."""
+    if not 0 <= number < NUM_REGISTERS:
+        raise ValueError(f"register number out of range: {number}")
+    return REGISTER_NAMES[number]
+
+
+#: Registers the callee must preserve across a call.
+CALLEE_SAVED = tuple(range(S_FIRST, S_LAST + 1)) + (SP, GP)
+
+#: Registers a caller must assume are clobbered by a call.
+CALLER_SAVED = tuple(range(A0, T_LAST + 1)) + (RA, RV)

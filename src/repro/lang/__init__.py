@@ -1,0 +1,21 @@
+"""SPL: the small Pascal-like language used to build the paper's workloads."""
+
+from repro.lang.codegen import CompileError, generate
+from repro.lang.compiler import Compilation, build, compile_spl
+from repro.lang.lexer import LexError, tokenize
+from repro.lang.parser import ParseError, parse_program
+from repro.lang.symbols import SemanticError, analyze
+
+__all__ = [
+    "Compilation",
+    "CompileError",
+    "LexError",
+    "ParseError",
+    "SemanticError",
+    "analyze",
+    "build",
+    "compile_spl",
+    "generate",
+    "parse_program",
+    "tokenize",
+]

@@ -1,0 +1,159 @@
+"""Abstract syntax tree for SPL."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+
+class Node:
+    """Base class for AST nodes (line numbers for diagnostics)."""
+
+    line: int = 0
+
+
+# ------------------------------------------------------------- expressions
+@dataclasses.dataclass
+class Number(Node):
+    value: int
+    line: int = 0
+
+
+@dataclasses.dataclass
+class Name(Node):
+    """A scalar variable reference."""
+
+    name: str
+    line: int = 0
+
+
+@dataclasses.dataclass
+class Index(Node):
+    """Array element reference ``name[expr]``."""
+
+    name: str
+    index: "Expr"
+    line: int = 0
+
+
+@dataclasses.dataclass
+class Unary(Node):
+    op: str            #: "-" or "not"
+    operand: "Expr"
+    line: int = 0
+
+
+@dataclasses.dataclass
+class Binary(Node):
+    op: str            #: + - * div mod = <> < <= > >= and or
+    left: "Expr"
+    right: "Expr"
+    line: int = 0
+
+
+@dataclasses.dataclass
+class Call(Node):
+    name: str
+    args: List["Expr"]
+    line: int = 0
+
+
+Expr = Node
+
+
+# -------------------------------------------------------------- statements
+@dataclasses.dataclass
+class Assign(Node):
+    target: Node       #: Name or Index
+    value: Expr
+    line: int = 0
+
+
+@dataclasses.dataclass
+class If(Node):
+    condition: Expr
+    then_body: "Stmt"
+    else_body: Optional["Stmt"] = None
+    line: int = 0
+
+
+@dataclasses.dataclass
+class While(Node):
+    condition: Expr
+    body: "Stmt"
+    line: int = 0
+
+
+@dataclasses.dataclass
+class For(Node):
+    variable: str
+    start: Expr
+    stop: Expr
+    body: "Stmt"
+    down: bool = False
+    line: int = 0
+
+
+@dataclasses.dataclass
+class Repeat(Node):
+    body: List["Stmt"]
+    condition: Expr
+    line: int = 0
+
+
+@dataclasses.dataclass
+class Return(Node):
+    value: Optional[Expr] = None
+    line: int = 0
+
+
+@dataclasses.dataclass
+class Write(Node):
+    value: Expr
+    char: bool = False  #: writec: emit as character
+    line: int = 0
+
+
+@dataclasses.dataclass
+class ExprStmt(Node):
+    """A call used as a statement (procedure call)."""
+
+    expr: Expr
+    line: int = 0
+
+
+@dataclasses.dataclass
+class Block(Node):
+    body: List["Stmt"]
+    line: int = 0
+
+
+Stmt = Node
+
+
+# ------------------------------------------------------------ declarations
+@dataclasses.dataclass
+class VarDecl(Node):
+    """``var name;`` or ``var name[size];`` -- a scalar or an int array."""
+
+    name: str
+    size: Optional[int] = None  #: None = scalar, else array word count
+    line: int = 0
+
+
+@dataclasses.dataclass
+class FuncDecl(Node):
+    name: str
+    params: List[str]
+    locals: List[VarDecl]
+    body: Block
+    line: int = 0
+
+
+@dataclasses.dataclass
+class Program(Node):
+    name: str
+    globals: List[VarDecl]
+    functions: List[FuncDecl]
+    main: Block
+    line: int = 0

@@ -1,0 +1,466 @@
+"""SPL code generator: AST -> naive MIPS-X assembly text.
+
+The generator mirrors the structure of the Stanford compiler system the
+paper used: it emits *naive* code -- branches act immediately, loads are
+immediately usable -- and leaves all pipeline-awareness (delay slots, load
+padding, squashing) to the post-pass reorganizer, exactly as on the real
+machine.
+
+Conventions (see :mod:`repro.isa.registers`):
+
+* expression temporaries live in t0..t15; deep expressions beyond sixteen
+  live values are a compile error (none of the workloads come close);
+* arguments pass in a0..a5, results return in rv, ``ra`` is the link;
+* each function's frame is ``[ra, params..., locals/arrays...]`` addressed
+  off ``sp``; global scalars and arrays are absolute symbols (the 17-bit
+  offset reaches them directly, often letting an array element load be a
+  single ``ld value, base(index)`` instruction);
+* register s4 is reserved as the console MMIO base;
+* ``if``/``while``/``for`` conditions compile to fused compare-and-branch
+  instructions (no condition codes, no materialized booleans) -- the
+  paper's "explicit compare in the branch"; boolean *values* materialize
+  through the branch idiom, which is what makes ~80% of branches require
+  an explicit compare on this architecture.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.lang import ast_nodes as ast
+from repro.lang.symbols import (
+    FunctionScope,
+    ProgramSymbols,
+    SemanticError,
+    VarSymbol,
+    analyze,
+)
+
+CONSOLE_ADDRESS = 0x3FFFF0
+STACK_TOP = 0x200000
+
+#: expression temporaries (t0..t15)
+TEMP_REGS = [f"t{i}" for i in range(16)]
+
+_COMPARE_BRANCH = {          # branch when the comparison is TRUE
+    "=": "beq", "<>": "bne", "<": "blt", "<=": "ble", ">": "bgt", ">=": "bge",
+}
+_COMPARE_INVERSE = {         # branch when the comparison is FALSE
+    "=": "bne", "<>": "beq", "<": "bge", "<=": "bgt", ">": "ble", ">=": "blt",
+}
+
+
+class CompileError(Exception):
+    pass
+
+
+class CodeGenerator:
+    """Generates one program; use :func:`generate` as the entry point."""
+
+    def __init__(self, program: ast.Program, symbols: ProgramSymbols):
+        self.program = program
+        self.symbols = symbols
+        self.lines: List[str] = []
+        self.stack: List[str] = []      #: temp registers currently live
+        self.label_counter = 0
+        self.used_runtime: set = set()
+        self.scope: Optional[FunctionScope] = None
+        self.epilogue_label = ""
+        #: words pushed below the frame for call-site spills; local frame
+        #: offsets are rebased by this amount while it is nonzero
+        self.sp_adjust = 0
+        self._next_temp = 0
+
+    # ------------------------------------------------------------ plumbing
+    def emit(self, line: str) -> None:
+        self.lines.append("    " + line)
+
+    def emit_label(self, name: str) -> None:
+        self.lines.append(f"{name}:")
+
+    def new_label(self, hint: str = "L") -> str:
+        self.label_counter += 1
+        return f"{hint}{self.label_counter}"
+
+    def alloc(self) -> str:
+        """Round-robin temporary allocation.
+
+        Cycling through the pool (instead of always reusing t0) removes
+        most false dependences between neighbouring statements, which is
+        what lets the reorganizer's scheduler find instructions to hide
+        load delays behind.
+        """
+        for _ in range(len(TEMP_REGS)):
+            reg = TEMP_REGS[self._next_temp]
+            self._next_temp = (self._next_temp + 1) % len(TEMP_REGS)
+            if reg not in self.stack:
+                self.stack.append(reg)
+                return reg
+        raise CompileError("expression too deep: out of temporaries")
+
+    def release(self, reg: str) -> None:
+        self.stack.remove(reg)
+
+    # ------------------------------------------------------------- program
+    def generate(self) -> str:
+        self.emit_label("_start")
+        self.emit(f"li sp, {STACK_TOP}")
+        self.emit(f"li s4, {CONSOLE_ADDRESS}")
+        self.scope = self.symbols.main_scope
+        self.epilogue_label = self.new_label("Lmain_exit")
+        for stmt in self.program.main.body:
+            self.gen_stmt(stmt)
+        self.emit_label(self.epilogue_label)
+        self.emit("halt")
+        for func in self.program.functions:
+            self.gen_function(func)
+        self._emit_runtime()
+        self._emit_globals()
+        return "\n".join(self.lines) + "\n"
+
+    def gen_function(self, func: ast.FuncDecl) -> None:
+        scope = self.symbols.scopes[func.name]
+        self.scope = scope
+        self.sp_adjust = 0
+        self.epilogue_label = self.new_label(f"Lret_{func.name}_")
+        self.emit_label(scope.symbol.label)
+        frame = scope.frame_words
+        self.emit(f"addi sp, sp, -{frame}")
+        self.emit("st ra, 0(sp)")
+        for position, param in enumerate(func.params):
+            offset = scope.variables[param].frame_offset
+            self.emit(f"st a{position}, {offset}(sp)")
+        for stmt in func.body.body:
+            self.gen_stmt(stmt)
+        self.emit_label(self.epilogue_label)
+        self.emit("ld ra, 0(sp)")
+        self.emit(f"addi sp, sp, {frame}")
+        self.emit("ret")
+
+    # ----------------------------------------------------------- statements
+    def gen_stmt(self, stmt: ast.Stmt) -> None:  # noqa: C901
+        if isinstance(stmt, ast.Block):
+            for inner in stmt.body:
+                self.gen_stmt(inner)
+        elif isinstance(stmt, ast.Assign):
+            reg = self.gen_expr(stmt.value)
+            self.gen_store(stmt.target, reg)
+            self.release(reg)
+        elif isinstance(stmt, ast.If):
+            else_label = self.new_label("Lelse")
+            end_label = self.new_label("Lfi")
+            self.gen_cond_false(stmt.condition,
+                                else_label if stmt.else_body else end_label)
+            self.gen_stmt(stmt.then_body)
+            if stmt.else_body is not None:
+                self.emit(f"br {end_label}")
+                self.emit_label(else_label)
+                self.gen_stmt(stmt.else_body)
+            self.emit_label(end_label)
+        elif isinstance(stmt, ast.While):
+            # rotated (bottom-tested) loop: the per-iteration branch is a
+            # *backward*, predicted-taken branch the reorganizer can
+            # squash-fill; only the entry jump tests at the top.
+            top = self.new_label("Lwhile")
+            test = self.new_label("Lwtest")
+            self.emit(f"br {test}")
+            self.emit_label(top)
+            self.gen_stmt(stmt.body)
+            self.emit_label(test)
+            self.gen_cond_true(stmt.condition, top)
+        elif isinstance(stmt, ast.For):
+            self._gen_for(stmt)
+        elif isinstance(stmt, ast.Repeat):
+            top = self.new_label("Lrepeat")
+            self.emit_label(top)
+            for inner in stmt.body:
+                self.gen_stmt(inner)
+            self.gen_cond_false(stmt.condition, top)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                reg = self.gen_expr(stmt.value)
+                self.emit(f"mov rv, {reg}")
+                self.release(reg)
+            self.emit(f"br {self.epilogue_label}")
+        elif isinstance(stmt, ast.Write):
+            reg = self.gen_expr(stmt.value)
+            port = 1 if stmt.char else 0
+            self.emit(f"st {reg}, {port}(s4)")
+            self.release(reg)
+        elif isinstance(stmt, ast.ExprStmt):
+            reg = self.gen_expr(stmt.expr)
+            self.release(reg)
+        else:  # pragma: no cover - semantic pass rejects unknowns
+            raise CompileError(f"cannot generate {stmt!r}")
+
+    def _gen_for(self, stmt: ast.For) -> None:
+        """Rotated for-loop: init, jump to the bottom test, body, step,
+        backward continue-branch (predicted taken, squash-fillable)."""
+        start = self.gen_expr(stmt.start)
+        variable = self.symbols.lookup_var(self.scope, stmt.variable)
+        self._store_var(variable, start)
+        self.release(start)
+        top = self.new_label("Lfor")
+        test = self.new_label("Lftest")
+        self.emit(f"br {test}")
+        self.emit_label(top)
+        self.gen_stmt(stmt.body)
+        step_reg = self.alloc()
+        self._load_var(variable, step_reg)
+        self.emit(f"addi {step_reg}, {step_reg}, {-1 if stmt.down else 1}")
+        self._store_var(variable, step_reg)
+        self.release(step_reg)
+        self.emit_label(test)
+        var_reg = self.alloc()
+        self._load_var(variable, var_reg)
+        stop = self.gen_expr(stmt.stop)
+        continue_branch = "bge" if stmt.down else "ble"
+        self.emit(f"{continue_branch} {var_reg}, {stop}, {top}")
+        self.release(stop)
+        self.release(var_reg)
+
+    # ------------------------------------------------------ variable access
+    def _load_var(self, variable: VarSymbol, reg: str) -> None:
+        if variable.is_global:
+            self.emit(f"ld {reg}, g_{variable.name}")
+        else:
+            offset = variable.frame_offset + self.sp_adjust
+            self.emit(f"ld {reg}, {offset}(sp)")
+
+    def _store_var(self, variable: VarSymbol, reg: str) -> None:
+        if variable.is_global:
+            self.emit(f"st {reg}, g_{variable.name}")
+        else:
+            offset = variable.frame_offset + self.sp_adjust
+            self.emit(f"st {reg}, {offset}(sp)")
+
+    def gen_store(self, target: ast.Node, reg: str) -> None:
+        if isinstance(target, ast.Name):
+            variable = self.symbols.lookup_var(self.scope, target.name,
+                                               target.line)
+            self._store_var(variable, reg)
+            return
+        assert isinstance(target, ast.Index)
+        variable = self.symbols.lookup_var(self.scope, target.name,
+                                           target.line)
+        index = self.gen_expr(target.index)
+        if variable.is_global:
+            self.emit(f"st {reg}, g_{variable.name}({index})")
+        else:
+            self.emit(f"add {index}, {index}, sp")
+            offset = variable.frame_offset + self.sp_adjust
+            self.emit(f"st {reg}, {offset}({index})")
+        self.release(index)
+
+    # ---------------------------------------------------------- expressions
+    def gen_expr(self, expr: ast.Expr) -> str:  # noqa: C901
+        if isinstance(expr, ast.Number):
+            reg = self.alloc()
+            self.emit(f"li {reg}, {expr.value}")
+            return reg
+        if isinstance(expr, ast.Name):
+            variable = self.symbols.lookup_var(self.scope, expr.name,
+                                               expr.line)
+            reg = self.alloc()
+            self._load_var(variable, reg)
+            return reg
+        if isinstance(expr, ast.Index):
+            variable = self.symbols.lookup_var(self.scope, expr.name,
+                                               expr.line)
+            index = self.gen_expr(expr.index)
+            if variable.is_global:
+                self.emit(f"ld {index}, g_{variable.name}({index})")
+            else:
+                self.emit(f"add {index}, {index}, sp")
+                offset = variable.frame_offset + self.sp_adjust
+                self.emit(f"ld {index}, {offset}({index})")
+            return index
+        if isinstance(expr, ast.Unary):
+            if expr.op == "-":
+                reg = self.gen_expr(expr.operand)
+                self.emit(f"sub {reg}, r0, {reg}")
+                return reg
+            return self._materialize_bool(expr)
+        if isinstance(expr, ast.Binary):
+            return self._gen_binary(expr)
+        if isinstance(expr, ast.Call):
+            return self.gen_call(expr.name, expr.args)
+        raise CompileError(f"cannot evaluate {expr!r}")  # pragma: no cover
+
+    def _gen_binary(self, expr: ast.Binary) -> str:
+        op = expr.op
+        if op in ("+", "-"):
+            # additive with a constant folds into addi
+            if isinstance(expr.right, ast.Number) and (
+                    -(1 << 15) < expr.right.value < (1 << 15)):
+                reg = self.gen_expr(expr.left)
+                value = expr.right.value if op == "+" else -expr.right.value
+                self.emit(f"addi {reg}, {reg}, {value}")
+                return reg
+            left = self.gen_expr(expr.left)
+            right = self.gen_expr(expr.right)
+            mnemonic = "add" if op == "+" else "sub"
+            self.emit(f"{mnemonic} {left}, {left}, {right}")
+            self.release(right)
+            return left
+        if op == "*":
+            power = _power_of_two(expr.right)
+            if power is not None:
+                reg = self.gen_expr(expr.left)
+                if power:
+                    self.emit(f"sll {reg}, {reg}, {power}")
+                return reg
+            power = _power_of_two(expr.left)
+            if power is not None:
+                reg = self.gen_expr(expr.right)
+                if power:
+                    self.emit(f"sll {reg}, {reg}, {power}")
+                return reg
+            return self.gen_call("__mul", [expr.left, expr.right])
+        if op == "div":
+            return self.gen_call("__div", [expr.left, expr.right])
+        if op == "mod":
+            return self.gen_call("__mod", [expr.left, expr.right])
+        if op in _COMPARE_BRANCH or op in ("and", "or"):
+            return self._materialize_bool(expr)
+        raise CompileError(f"unknown operator {op!r}")  # pragma: no cover
+
+    def _materialize_bool(self, expr: ast.Expr) -> str:
+        """Boolean value contexts: 1/0 through the branch idiom."""
+        reg = self.alloc()
+        done = self.new_label("Lbool")
+        self.emit(f"li {reg}, 1")
+        self.gen_cond_true(expr, done)
+        self.emit(f"li {reg}, 0")
+        self.emit_label(done)
+        return reg
+
+    # ----------------------------------------------------- condition fusion
+    def _compare_operand(self, expr: ast.Expr):
+        """Comparison operand: the literal 0 is register r0 for free --
+        "the constant zero ... is used as a source value for many
+        instructions" -- which is what makes sign tests quick-comparable."""
+        if isinstance(expr, ast.Number) and expr.value == 0:
+            return "r0", False
+        return self.gen_expr(expr), True
+
+    def gen_cond_true(self, expr: ast.Expr, label: str) -> None:
+        """Branch to ``label`` when ``expr`` is true (short-circuit)."""
+        if isinstance(expr, ast.Binary) and expr.op in _COMPARE_BRANCH:
+            left, release_left = self._compare_operand(expr.left)
+            right, release_right = self._compare_operand(expr.right)
+            self.emit(f"{_COMPARE_BRANCH[expr.op]} {left}, {right}, {label}")
+            if release_right:
+                self.release(right)
+            if release_left:
+                self.release(left)
+            return
+        if isinstance(expr, ast.Binary) and expr.op == "or":
+            self.gen_cond_true(expr.left, label)
+            self.gen_cond_true(expr.right, label)
+            return
+        if isinstance(expr, ast.Binary) and expr.op == "and":
+            skip = self.new_label("Land")
+            self.gen_cond_false(expr.left, skip)
+            self.gen_cond_true(expr.right, label)
+            self.emit_label(skip)
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "not":
+            self.gen_cond_false(expr.operand, label)
+            return
+        reg = self.gen_expr(expr)
+        self.emit(f"bne {reg}, r0, {label}")
+        self.release(reg)
+
+    def gen_cond_false(self, expr: ast.Expr, label: str) -> None:
+        """Branch to ``label`` when ``expr`` is false (short-circuit)."""
+        if isinstance(expr, ast.Binary) and expr.op in _COMPARE_INVERSE:
+            left, release_left = self._compare_operand(expr.left)
+            right, release_right = self._compare_operand(expr.right)
+            self.emit(f"{_COMPARE_INVERSE[expr.op]} {left}, {right}, {label}")
+            if release_right:
+                self.release(right)
+            if release_left:
+                self.release(left)
+            return
+        if isinstance(expr, ast.Binary) and expr.op == "and":
+            self.gen_cond_false(expr.left, label)
+            self.gen_cond_false(expr.right, label)
+            return
+        if isinstance(expr, ast.Binary) and expr.op == "or":
+            skip = self.new_label("Lor")
+            self.gen_cond_true(expr.left, skip)
+            self.gen_cond_false(expr.right, label)
+            self.emit_label(skip)
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "not":
+            self.gen_cond_true(expr.operand, label)
+            return
+        reg = self.gen_expr(expr)
+        self.emit(f"beq {reg}, r0, {label}")
+        self.release(reg)
+
+    # ---------------------------------------------------------------- calls
+    def gen_call(self, name: str, args: List[ast.Expr]) -> str:
+        if name.startswith("__"):
+            label = name
+            self.used_runtime.add(name)
+        else:
+            label = self.symbols.functions[name].label
+        live = list(self.stack)
+        if live:
+            self.emit(f"addi sp, sp, -{len(live)}")
+            self.sp_adjust += len(live)
+            for slot, reg in enumerate(live):
+                self.emit(f"st {reg}, {slot}(sp)")
+        outer_stack = self.stack
+        self.stack = []
+        arg_regs = [self.gen_expr(arg) for arg in args]
+        for position, reg in enumerate(arg_regs):
+            self.emit(f"mov a{position}, {reg}")
+        self.stack = []
+        self.emit(f"call {label}")
+        if live:
+            for slot, reg in enumerate(live):
+                self.emit(f"ld {reg}, {slot}(sp)")
+            self.emit(f"addi sp, sp, {len(live)}")
+            self.sp_adjust -= len(live)
+        self.stack = outer_stack
+        result = self.alloc()
+        self.emit(f"mov {result}, rv")
+        return result
+
+    # -------------------------------------------------------------- runtime
+    def _emit_runtime(self) -> None:
+        from repro.lang.runtime import RUNTIME_ROUTINES, runtime_dependencies
+
+        needed = set(self.used_runtime)
+        for routine in list(needed):
+            needed |= runtime_dependencies(routine)
+        for name, text in RUNTIME_ROUTINES.items():
+            if name in needed:
+                self.lines.append(text.rstrip())
+
+    def _emit_globals(self) -> None:
+        for name, symbol in self.symbols.globals.items():
+            self.emit_label(f"g_{name}")
+            if symbol.is_array:
+                self.lines.append(f"    .space {symbol.size}")
+            else:
+                self.lines.append("    .word 0")
+
+
+def _power_of_two(expr: ast.Expr) -> Optional[int]:
+    """log2 of a positive power-of-two literal, else None (0 for *1)."""
+    if isinstance(expr, ast.Number) and expr.value > 0 and (
+            expr.value & (expr.value - 1)) == 0:
+        return expr.value.bit_length() - 1
+    return None
+
+
+def generate(program: ast.Program,
+             symbols: Optional[ProgramSymbols] = None) -> str:
+    """AST -> naive assembly text (the compiler's back end)."""
+    if symbols is None:
+        symbols = analyze(program)
+    return CodeGenerator(program, symbols).generate()

@@ -1,0 +1,71 @@
+"""The SPL compiler driver: source -> naive assembly -> reorganized program.
+
+Mirrors the paper's software system: the compiler front end knows nothing
+about the pipeline; the post-pass reorganizer makes the code correct and
+fast for the machine.  The :func:`build` convenience goes all the way to a
+loadable :class:`~repro.asm.unit.Program`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.asm.assembler import parse as parse_asm
+from repro.asm.unit import AsmUnit, Program
+from repro.lang.ast_nodes import Program as AstProgram
+from repro.lang.codegen import generate
+from repro.lang.parser import parse_program
+from repro.lang.symbols import ProgramSymbols, analyze
+from repro.reorg.delay_slots import MIPSX_SCHEME, BranchScheme
+from repro.reorg.reorganizer import ReorgResult, reorganize
+
+
+@dataclasses.dataclass
+class Compilation:
+    """Everything the compiler produced for one source program."""
+
+    ast: AstProgram
+    symbols: ProgramSymbols
+    asm_text: str                    #: naive assembly (pre-reorganization)
+    reorg: Optional[ReorgResult]     #: None when reorganization was skipped
+
+    @property
+    def unit(self) -> AsmUnit:
+        """The final symbolic unit (reorganized if reorganization ran)."""
+        if self.reorg is not None:
+            return self.reorg.unit
+        return parse_asm(self.asm_text)
+
+    def program(self) -> Program:
+        """Assemble to a loadable image."""
+        return self.unit.assemble()
+
+    def naive_program(self) -> Program:
+        """The un-reorganized image (golden-model semantics)."""
+        return parse_asm(self.asm_text).assemble()
+
+
+def compile_spl(source: str, scheme: Optional[BranchScheme] = MIPSX_SCHEME,
+                profile: Optional[dict] = None,
+                schedule_loads: bool = True) -> Compilation:
+    """Compile SPL source.
+
+    ``scheme=None`` skips reorganization (naive output only, for the
+    golden model); otherwise the reorganizer runs under ``scheme``.
+    """
+    tree = parse_program(source)
+    symbols = analyze(tree)
+    asm_text = generate(tree, symbols)
+    reorg = None
+    if scheme is not None:
+        reorg = reorganize(parse_asm(asm_text), scheme, profile=profile,
+                           schedule_loads=schedule_loads)
+    return Compilation(ast=tree, symbols=symbols, asm_text=asm_text,
+                       reorg=reorg)
+
+
+def build(source: str, scheme: BranchScheme = MIPSX_SCHEME,
+          profile: Optional[dict] = None) -> Program:
+    """Source straight to a loadable, reorganized program image."""
+    return compile_spl(source, scheme, profile).program()

@@ -1,0 +1,109 @@
+"""Lexer for SPL, the small Pascal-like language of this reproduction.
+
+The MIPS-X evaluation used "large Pascal and Lisp benchmarks" compiled by
+the Stanford compiler system.  SPL is the stand-in source language: Pascal
+flavoured (``begin``/``end``, ``:=``, ``div``/``mod``, ``for .. to .. do``),
+integers only, with arrays and recursive functions -- enough to express the
+Stanford benchmark suite (perm, towers, queens, intmm, bubble, quick, ...)
+and the cons-cell list workloads that stand in for Lisp.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, List, Optional
+
+KEYWORDS = {
+    "program", "var", "func", "proc", "begin", "end", "if", "then", "else",
+    "while", "do", "for", "to", "downto", "repeat", "until", "return",
+    "and", "or", "not", "div", "mod", "write", "writec",
+}
+
+SYMBOLS = [
+    ":=", "<>", "<=", ">=",  # two-character symbols first
+    "+", "-", "*", "(", ")", "[", "]", ";", ",", "=", "<", ">", ".",
+]
+
+
+class LexError(SyntaxError):
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    kind: str        #: "name", "number", "keyword", or the symbol itself
+    text: str
+    line: int
+
+    @property
+    def value(self) -> int:
+        return int(self.text, 0)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize SPL source; comments are ``{ ... }`` or ``// ...``."""
+    tokens: List[Token] = []
+    line = 1
+    index = 0
+    length = len(source)
+    while index < length:
+        ch = source[index]
+        if ch == "\n":
+            line += 1
+            index += 1
+            continue
+        if ch in " \t\r":
+            index += 1
+            continue
+        if ch == "{":
+            while index < length and source[index] != "}":
+                if source[index] == "\n":
+                    line += 1
+                index += 1
+            if index >= length:
+                raise LexError("unterminated comment", line)
+            index += 1
+            continue
+        if source.startswith("//", index):
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+        if ch.isdigit():
+            start = index
+            if source.startswith("0x", index) or source.startswith("0X", index):
+                index += 2
+                while index < length and source[index] in "0123456789abcdefABCDEF":
+                    index += 1
+            else:
+                while index < length and source[index].isdigit():
+                    index += 1
+            tokens.append(Token("number", source[start:index], line))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = index
+            while index < length and (source[index].isalnum()
+                                      or source[index] == "_"):
+                index += 1
+            text = source[start:index]
+            kind = "keyword" if text.lower() in KEYWORDS else "name"
+            tokens.append(Token(kind, text.lower() if kind == "keyword"
+                                else text, line))
+            continue
+        if ch == "'":
+            if index + 2 < length and source[index + 2] == "'":
+                tokens.append(Token("number", str(ord(source[index + 1])),
+                                    line))
+                index += 3
+                continue
+            raise LexError("bad character literal", line)
+        for symbol in SYMBOLS:
+            if source.startswith(symbol, index):
+                tokens.append(Token(symbol, symbol, line))
+                index += len(symbol)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line)
+    tokens.append(Token("eof", "", line))
+    return tokens

@@ -1,0 +1,293 @@
+"""Recursive-descent parser for SPL.
+
+Grammar (EBNF, case-insensitive keywords)::
+
+    program  = "program" name ";" {decl} block "."
+    decl     = "var" vardecl {"," vardecl} ";"
+             | ("func" | "proc") name "(" [name {"," name}] ")" ";"
+               {"var" vardecl {"," vardecl} ";"} block ";"
+    vardecl  = name ["[" number "]"]
+    block    = "begin" {stmt} "end"
+    stmt     = target ":=" expr ";"
+             | "if" expr "then" stmt ["else" stmt]
+             | "while" expr "do" stmt
+             | "for" name ":=" expr ("to"|"downto") expr "do" stmt
+             | "repeat" {stmt} "until" expr ";"
+             | "return" [expr] ";"
+             | "write" "(" expr ")" ";"  | "writec" "(" expr ")" ";"
+             | name "(" args ")" ";"
+             | block [";"]
+    expr     = orexpr;  or/and short-circuit on 0/1 ints
+    primary  = number | name | name "[" expr "]" | name "(" args ")"
+             | "(" expr ")" | "-" primary | "not" primary
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.lang import ast_nodes as ast
+from repro.lang.lexer import Token, tokenize
+
+
+class ParseError(SyntaxError):
+    def __init__(self, message: str, token: Token):
+        super().__init__(f"line {token.line}: {message} (near {token.text!r})")
+        self.token = token
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.position = 0
+
+    # ------------------------------------------------------------ plumbing
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.position += 1
+        return token
+
+    def check(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self.current
+        if token.kind != kind:
+            return False
+        return text is None or token.text == text
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if not self.check(kind, text):
+            want = text or kind
+            raise ParseError(f"expected {want!r}", self.current)
+        return self.advance()
+
+    # ------------------------------------------------------------- program
+    def parse_program(self) -> ast.Program:
+        self.expect("keyword", "program")
+        name = self.expect("name").text
+        self.expect(";")
+        globals_: List[ast.VarDecl] = []
+        functions: List[ast.FuncDecl] = []
+        while True:
+            if self.check("keyword", "var"):
+                globals_.extend(self._var_decls())
+            elif self.check("keyword", "func") or self.check("keyword", "proc"):
+                functions.append(self._func_decl())
+            else:
+                break
+        main = self._block()
+        self.expect(".")
+        return ast.Program(name=name, globals=globals_, functions=functions,
+                           main=main)
+
+    def _var_decls(self) -> List[ast.VarDecl]:
+        self.expect("keyword", "var")
+        decls = [self._one_var()]
+        while self.accept(","):
+            decls.append(self._one_var())
+        self.expect(";")
+        return decls
+
+    def _one_var(self) -> ast.VarDecl:
+        token = self.expect("name")
+        size = None
+        if self.accept("["):
+            size = self.expect("number").value
+            self.expect("]")
+        return ast.VarDecl(name=token.text, size=size, line=token.line)
+
+    def _func_decl(self) -> ast.FuncDecl:
+        token = self.advance()  # func / proc
+        name = self.expect("name").text
+        self.expect("(")
+        params: List[str] = []
+        if not self.check(")"):
+            params.append(self.expect("name").text)
+            while self.accept(","):
+                params.append(self.expect("name").text)
+        self.expect(")")
+        self.expect(";")
+        locals_: List[ast.VarDecl] = []
+        while self.check("keyword", "var"):
+            locals_.extend(self._var_decls())
+        body = self._block()
+        self.expect(";")
+        return ast.FuncDecl(name=name, params=params, locals=locals_,
+                            body=body, line=token.line)
+
+    # ----------------------------------------------------------- statements
+    def _block(self) -> ast.Block:
+        token = self.expect("keyword", "begin")
+        body: List[ast.Stmt] = []
+        while not self.check("keyword", "end"):
+            body.append(self._statement())
+        self.expect("keyword", "end")
+        return ast.Block(body=body, line=token.line)
+
+    def _statement(self) -> ast.Stmt:  # noqa: C901 - one case per form
+        token = self.current
+        if self.check("keyword", "begin"):
+            block = self._block()
+            self.accept(";")
+            return block
+        if self.accept("keyword", "if"):
+            condition = self._expression()
+            self.expect("keyword", "then")
+            then_body = self._statement()
+            else_body = None
+            if self.accept("keyword", "else"):
+                else_body = self._statement()
+            return ast.If(condition, then_body, else_body, line=token.line)
+        if self.accept("keyword", "while"):
+            condition = self._expression()
+            self.expect("keyword", "do")
+            return ast.While(condition, self._statement(), line=token.line)
+        if self.accept("keyword", "for"):
+            variable = self.expect("name").text
+            self.expect(":=")
+            start = self._expression()
+            down = False
+            if self.accept("keyword", "downto"):
+                down = True
+            else:
+                self.expect("keyword", "to")
+            stop = self._expression()
+            self.expect("keyword", "do")
+            return ast.For(variable, start, stop, self._statement(),
+                           down=down, line=token.line)
+        if self.accept("keyword", "repeat"):
+            body: List[ast.Stmt] = []
+            while not self.check("keyword", "until"):
+                body.append(self._statement())
+            self.expect("keyword", "until")
+            condition = self._expression()
+            self.accept(";")
+            return ast.Repeat(body, condition, line=token.line)
+        if self.accept("keyword", "return"):
+            value = None
+            if not self.check(";") and not self.check("keyword", "end") \
+                    and not self.check("keyword", "else"):
+                value = self._expression()
+            self.accept(";")
+            return ast.Return(value, line=token.line)
+        if self.check("keyword", "write") or self.check("keyword", "writec"):
+            char = self.advance().text == "writec"
+            self.expect("(")
+            value = self._expression()
+            self.expect(")")
+            self.accept(";")
+            return ast.Write(value, char=char, line=token.line)
+        if self.check("name"):
+            name = self.advance()
+            if self.check("("):
+                call = self._call(name)
+                self.accept(";")
+                return ast.ExprStmt(call, line=token.line)
+            target: ast.Node
+            if self.accept("["):
+                index = self._expression()
+                self.expect("]")
+                target = ast.Index(name.text, index, line=name.line)
+            else:
+                target = ast.Name(name.text, line=name.line)
+            self.expect(":=")
+            value = self._expression()
+            self.accept(";")
+            return ast.Assign(target, value, line=token.line)
+        raise ParseError("expected a statement", token)
+
+    # ---------------------------------------------------------- expressions
+    def _call(self, name: Token) -> ast.Call:
+        self.expect("(")
+        args: List[ast.Expr] = []
+        if not self.check(")"):
+            args.append(self._expression())
+            while self.accept(","):
+                args.append(self._expression())
+        self.expect(")")
+        return ast.Call(name.text, args, line=name.line)
+
+    def _expression(self) -> ast.Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> ast.Expr:
+        left = self._and_expr()
+        while self.check("keyword", "or"):
+            token = self.advance()
+            left = ast.Binary("or", left, self._and_expr(), line=token.line)
+        return left
+
+    def _and_expr(self) -> ast.Expr:
+        left = self._comparison()
+        while self.check("keyword", "and"):
+            token = self.advance()
+            left = ast.Binary("and", left, self._comparison(),
+                              line=token.line)
+        return left
+
+    _COMPARISONS = ("=", "<>", "<", "<=", ">", ">=")
+
+    def _comparison(self) -> ast.Expr:
+        left = self._additive()
+        if self.current.kind in self._COMPARISONS:
+            token = self.advance()
+            return ast.Binary(token.kind, left, self._additive(),
+                              line=token.line)
+        return left
+
+    def _additive(self) -> ast.Expr:
+        left = self._multiplicative()
+        while self.current.kind in ("+", "-"):
+            token = self.advance()
+            left = ast.Binary(token.kind, left, self._multiplicative(),
+                              line=token.line)
+        return left
+
+    def _multiplicative(self) -> ast.Expr:
+        left = self._unary()
+        while (self.current.kind == "*"
+               or self.check("keyword", "div")
+               or self.check("keyword", "mod")):
+            token = self.advance()
+            op = token.text if token.kind == "keyword" else token.kind
+            left = ast.Binary(op, left, self._unary(), line=token.line)
+        return left
+
+    def _unary(self) -> ast.Expr:
+        token = self.current
+        if self.accept("-"):
+            return ast.Unary("-", self._unary(), line=token.line)
+        if self.accept("keyword", "not"):
+            return ast.Unary("not", self._unary(), line=token.line)
+        return self._primary()
+
+    def _primary(self) -> ast.Expr:
+        token = self.current
+        if self.check("number"):
+            self.advance()
+            return ast.Number(token.value, line=token.line)
+        if self.accept("("):
+            expr = self._expression()
+            self.expect(")")
+            return expr
+        if self.check("name"):
+            name = self.advance()
+            if self.check("("):
+                return self._call(name)
+            if self.accept("["):
+                index = self._expression()
+                self.expect("]")
+                return ast.Index(name.text, index, line=name.line)
+            return ast.Name(name.text, line=name.line)
+        raise ParseError("expected an expression", token)
+
+
+def parse_program(source: str) -> ast.Program:
+    return Parser(source).parse_program()

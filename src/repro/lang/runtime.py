@@ -1,0 +1,97 @@
+"""Runtime support routines (multiply, divide, modulo).
+
+MIPS-X has no multiply or divide instruction -- just the ``mstep`` and
+``dstep`` one-cycle steps operating with the MD special register -- so the
+compiler calls these routines, exactly as the Stanford compiler system did.
+
+All routines are *naive* code (the reorganizer schedules them with the rest
+of the program), use only caller-saved registers, and follow the normal
+calling convention (arguments in a0/a1, result in rv).
+
+Division semantics: Pascal ``div`` truncates toward zero and ``mod`` takes
+the sign of the dividend.  Division by zero yields quotient 0 and remainder
+equal to the dividend (the natural output of the restoring ``dstep``
+sequence; the real machine would leave it to software convention too).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+#: 32 unrolled restoring-divide steps (no branches: one cycle per bit, the
+#: whole point of having dstep in the hardware)
+_DSTEPS = "\n".join("    dstep t0, t0, a1" for _ in range(32))
+
+MUL = """
+__mul:                      ; rv = a0 * a1 (low 32 bits)
+    bge  a1, r0, __mul_go   ; normalize: make the multiplier non-negative
+    sub  a1, r0, a1         ; (negating both operands keeps the product)
+    sub  a0, r0, a0
+__mul_go:
+    movtos md, a1           ; multiplier into MD
+    mov  t0, a0             ; multiplicand, doubled each step
+    li   rv, 0
+    beq  a1, r0, __mul_done ; zero multiplier: done (tested once per call)
+__mul_loop:                 ; rotated: the hot branch is backward + taken
+    mstep rv, rv, t0        ; rv += t0 if MD bit 0; MD >>= 1
+    sll  t0, t0, 1
+    movfrs t1, md           ; early out once every multiplier bit is done
+    bne  t1, r0, __mul_loop
+__mul_done:
+    ret
+"""
+
+DIV = f"""
+__div:                      ; rv = a0 div a1 (truncating toward zero)
+    xor  t8, a0, a1         ; quotient sign in bit 31
+    bge  a0, r0, __div_p1
+    sub  a0, r0, a0
+__div_p1:
+    bge  a1, r0, __div_p2
+    sub  a1, r0, a1
+__div_p2:
+    movtos md, a0           ; dividend into MD; quotient accumulates there
+    mov  t0, r0             ; remainder accumulator
+{_DSTEPS}
+    movfrs rv, md
+    bge  t8, r0, __div_done
+    sub  rv, r0, rv
+__div_done:
+    ret
+"""
+
+MOD = f"""
+__mod:                      ; rv = a0 mod a1 (sign follows the dividend)
+    mov  t8, a0             ; remember the dividend's sign
+    bge  a0, r0, __mod_p1
+    sub  a0, r0, a0
+__mod_p1:
+    bge  a1, r0, __mod_p2
+    sub  a1, r0, a1
+__mod_p2:
+    movtos md, a0
+    mov  t0, r0
+{_DSTEPS}
+    mov  rv, t0
+    bge  t8, r0, __mod_done
+    sub  rv, r0, rv
+__mod_done:
+    ret
+"""
+
+RUNTIME_ROUTINES: Dict[str, str] = {
+    "__mul": MUL,
+    "__div": DIV,
+    "__mod": MOD,
+}
+
+_DEPENDENCIES: Dict[str, Set[str]] = {
+    "__mul": set(),
+    "__div": set(),
+    "__mod": set(),
+}
+
+
+def runtime_dependencies(name: str) -> Set[str]:
+    """Transitive runtime routines required by ``name``."""
+    return set(_DEPENDENCIES.get(name, set()))

@@ -1,0 +1,218 @@
+"""Symbol tables and semantic analysis for SPL.
+
+A single pre-codegen pass that catches the usual classes of error --
+undefined or duplicate names, arity mismatches, arrays used as scalars and
+vice versa -- so the code generator can assume a well-formed program.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.lang import ast_nodes as ast
+
+
+class SemanticError(Exception):
+    def __init__(self, message: str, line: int = 0):
+        super().__init__(f"line {line}: {message}" if line else message)
+        self.line = line
+
+
+@dataclasses.dataclass
+class VarSymbol:
+    name: str
+    is_global: bool
+    size: Optional[int]          #: None = scalar; else array word count
+    frame_offset: int = 0        #: locals/params: word offset from sp
+
+    @property
+    def is_array(self) -> bool:
+        return self.size is not None
+
+
+@dataclasses.dataclass
+class FuncSymbol:
+    name: str
+    params: List[str]
+    label: str
+
+    @property
+    def arity(self) -> int:
+        return len(self.params)
+
+
+MAX_PARAMS = 6  # a0..a5
+
+
+@dataclasses.dataclass
+class FunctionScope:
+    symbol: FuncSymbol
+    variables: Dict[str, VarSymbol]
+    frame_words: int             #: ra + params + locals (+ local arrays)
+
+
+@dataclasses.dataclass
+class ProgramSymbols:
+    globals: Dict[str, VarSymbol]
+    functions: Dict[str, FuncSymbol]
+    scopes: Dict[str, FunctionScope]
+    main_scope: FunctionScope
+
+    def lookup_var(self, scope: FunctionScope, name: str,
+                   line: int = 0) -> VarSymbol:
+        if name in scope.variables:
+            return scope.variables[name]
+        if name in self.globals:
+            return self.globals[name]
+        raise SemanticError(f"undefined variable {name!r}", line)
+
+
+def analyze(program: ast.Program) -> ProgramSymbols:
+    """Build symbol tables and validate the whole program."""
+    globals_: Dict[str, VarSymbol] = {}
+    for decl in program.globals:
+        if decl.name in globals_:
+            raise SemanticError(f"duplicate global {decl.name!r}", decl.line)
+        if decl.size is not None and decl.size <= 0:
+            raise SemanticError(f"array {decl.name!r} has non-positive size",
+                                decl.line)
+        globals_[decl.name] = VarSymbol(decl.name, True, decl.size)
+
+    functions: Dict[str, FuncSymbol] = {}
+    for func in program.functions:
+        if func.name in functions:
+            raise SemanticError(f"duplicate function {func.name!r}", func.line)
+        if len(func.params) > MAX_PARAMS:
+            raise SemanticError(
+                f"{func.name!r} has more than {MAX_PARAMS} parameters",
+                func.line)
+        functions[func.name] = FuncSymbol(func.name, func.params,
+                                          label=f"f_{func.name}")
+
+    symbols = ProgramSymbols(globals_, functions, {}, main_scope=None)
+    for func in program.functions:
+        scope = _build_scope(func, symbols)
+        symbols.scopes[func.name] = scope
+        _check_stmt(func.body, scope, symbols, in_function=True)
+
+    main_scope = FunctionScope(
+        symbol=FuncSymbol("<main>", [], label="_start"),
+        variables={}, frame_words=0)
+    symbols.main_scope = main_scope
+    _check_stmt(program.main, main_scope, symbols, in_function=False)
+    return symbols
+
+
+def _build_scope(func: ast.FuncDecl, symbols: ProgramSymbols) -> FunctionScope:
+    variables: Dict[str, VarSymbol] = {}
+    offset = 1  # slot 0 holds the return address
+    for param in func.params:
+        if param in variables:
+            raise SemanticError(f"duplicate parameter {param!r}", func.line)
+        variables[param] = VarSymbol(param, False, None, frame_offset=offset)
+        offset += 1
+    for decl in func.locals:
+        if decl.name in variables:
+            raise SemanticError(f"duplicate local {decl.name!r}", decl.line)
+        if decl.size is not None and decl.size <= 0:
+            raise SemanticError(f"array {decl.name!r} has non-positive size",
+                                decl.line)
+        variables[decl.name] = VarSymbol(decl.name, False, decl.size,
+                                         frame_offset=offset)
+        offset += decl.size if decl.size is not None else 1
+    return FunctionScope(symbol=symbols.functions[func.name],
+                         variables=variables, frame_words=offset)
+
+
+def _check_stmt(stmt: ast.Stmt, scope: FunctionScope,
+                symbols: ProgramSymbols, in_function: bool) -> None:
+    if isinstance(stmt, ast.Block):
+        for inner in stmt.body:
+            _check_stmt(inner, scope, symbols, in_function)
+    elif isinstance(stmt, ast.Assign):
+        _check_target(stmt.target, scope, symbols)
+        _check_expr(stmt.value, scope, symbols)
+    elif isinstance(stmt, ast.If):
+        _check_expr(stmt.condition, scope, symbols)
+        _check_stmt(stmt.then_body, scope, symbols, in_function)
+        if stmt.else_body is not None:
+            _check_stmt(stmt.else_body, scope, symbols, in_function)
+    elif isinstance(stmt, ast.While):
+        _check_expr(stmt.condition, scope, symbols)
+        _check_stmt(stmt.body, scope, symbols, in_function)
+    elif isinstance(stmt, ast.For):
+        variable = symbols.lookup_var(scope, stmt.variable, stmt.line)
+        if variable.is_array:
+            raise SemanticError(
+                f"for-loop variable {stmt.variable!r} is an array", stmt.line)
+        _check_expr(stmt.start, scope, symbols)
+        _check_expr(stmt.stop, scope, symbols)
+        _check_stmt(stmt.body, scope, symbols, in_function)
+    elif isinstance(stmt, ast.Repeat):
+        for inner in stmt.body:
+            _check_stmt(inner, scope, symbols, in_function)
+        _check_expr(stmt.condition, scope, symbols)
+    elif isinstance(stmt, ast.Return):
+        if not in_function and stmt.value is not None:
+            raise SemanticError("return with a value outside a function",
+                                stmt.line)
+        if stmt.value is not None:
+            _check_expr(stmt.value, scope, symbols)
+    elif isinstance(stmt, ast.Write):
+        _check_expr(stmt.value, scope, symbols)
+    elif isinstance(stmt, ast.ExprStmt):
+        _check_expr(stmt.expr, scope, symbols)
+    else:  # pragma: no cover
+        raise SemanticError(f"unknown statement {stmt!r}")
+
+
+def _check_target(target: ast.Node, scope: FunctionScope,
+                  symbols: ProgramSymbols) -> None:
+    if isinstance(target, ast.Name):
+        variable = symbols.lookup_var(scope, target.name, target.line)
+        if variable.is_array:
+            raise SemanticError(
+                f"cannot assign to array {target.name!r} without an index",
+                target.line)
+    elif isinstance(target, ast.Index):
+        variable = symbols.lookup_var(scope, target.name, target.line)
+        if not variable.is_array:
+            raise SemanticError(f"{target.name!r} is not an array",
+                                target.line)
+        _check_expr(target.index, scope, symbols)
+    else:  # pragma: no cover
+        raise SemanticError(f"bad assignment target {target!r}")
+
+
+def _check_expr(expr: ast.Expr, scope: FunctionScope,
+                symbols: ProgramSymbols) -> None:
+    if isinstance(expr, ast.Number):
+        return
+    if isinstance(expr, ast.Name):
+        variable = symbols.lookup_var(scope, expr.name, expr.line)
+        if variable.is_array:
+            raise SemanticError(
+                f"array {expr.name!r} used without an index", expr.line)
+    elif isinstance(expr, ast.Index):
+        variable = symbols.lookup_var(scope, expr.name, expr.line)
+        if not variable.is_array:
+            raise SemanticError(f"{expr.name!r} is not an array", expr.line)
+        _check_expr(expr.index, scope, symbols)
+    elif isinstance(expr, ast.Unary):
+        _check_expr(expr.operand, scope, symbols)
+    elif isinstance(expr, ast.Binary):
+        _check_expr(expr.left, scope, symbols)
+        _check_expr(expr.right, scope, symbols)
+    elif isinstance(expr, ast.Call):
+        if expr.name not in symbols.functions:
+            raise SemanticError(f"undefined function {expr.name!r}", expr.line)
+        func = symbols.functions[expr.name]
+        if len(expr.args) != func.arity:
+            raise SemanticError(
+                f"{expr.name!r} expects {func.arity} arguments, "
+                f"got {len(expr.args)}", expr.line)
+        for arg in expr.args:
+            _check_expr(arg, scope, symbols)
+    else:  # pragma: no cover
+        raise SemanticError(f"unknown expression {expr!r}")

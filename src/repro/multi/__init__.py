@@ -1,0 +1,6 @@
+"""Shared-memory multiprocessor built from MIPS-X nodes (the project's
+stated end goal: 6-10 processors as nodes of a shared-memory machine)."""
+
+from repro.multi.system import BusStats, MultiMachine
+
+__all__ = ["BusStats", "MultiMachine"]

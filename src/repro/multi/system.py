@@ -1,0 +1,151 @@
+"""Shared-memory multiprocessor built from MIPS-X nodes.
+
+"The goal of the MIPS-X project was to ... build a single processor with a
+peak rate of 20 MIPS and then to use 6-10 of these processors as the nodes
+in a shared memory multiprocessor."  This module is that system, built
+from the single-processor model:
+
+* N :class:`~repro.core.processor.Machine` nodes over one shared
+  :class:`~repro.ecache.memory.MemorySystem` (data is always functionally
+  coherent: the Ecaches are timing models over the single shared image);
+* **write-through invalidation**: every store broadcasts its address and
+  invalidates the matching line in every *other* node's external cache
+  (Smith's "transmit the addresses of all stores to all other caches"
+  policy -- the natural fit for MIPS-X's write-through Ecache);
+* a **shared bus** to main memory: only one node's miss may occupy the
+  bus at a time, modelled as extra stall cycles on contending nodes;
+* cycle-interleaved execution: one cycle per node per global step, so the
+  nodes are sequentially consistent (each store is visible to every node
+  on the next cycle).
+
+MIPS-X has no atomic read-modify-write, so software synchronization uses
+classic SC algorithms (the tests run Peterson's lock); per-CPU identity is
+delivered in ``gp`` (r31) at reset, by convention.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from repro.asm.unit import Program
+from repro.core.config import MachineConfig
+from repro.core.processor import Machine
+from repro.ecache.memory import MemorySystem
+from repro.isa.registers import GP
+
+
+@dataclasses.dataclass
+class BusStats:
+    """Shared-bus accounting."""
+
+    acquisitions: int = 0
+    contention_cycles: int = 0
+    invalidations: int = 0
+
+
+class MultiMachine:
+    """``n`` MIPS-X nodes sharing memory over one bus."""
+
+    def __init__(self, n: int, config: Optional[MachineConfig] = None,
+                 memory: Optional[MemorySystem] = None):
+        if not 1 <= n <= 16:
+            raise ValueError("node count must be between 1 and 16")
+        self.config = config or MachineConfig()
+        self.memory = memory or MemorySystem(self.config.memory_words,
+                                             self.config.mmio_base)
+        self.machines: List[Machine] = [
+            Machine(self.config, memory=self.memory) for _ in range(n)
+        ]
+        self.bus = BusStats()
+        self.cycles = 0
+        #: which node currently owns the bus (None = free), and until when
+        self._bus_owner: Optional[int] = None
+        self._bus_release_cycle = 0
+        self.memory.write_listeners.append(self._broadcast_invalidate)
+        self._store_origin: Optional[int] = None
+
+    # ---------------------------------------------------------- invalidation
+    def _broadcast_invalidate(self, address: int, system_mode: bool) -> None:
+        """Write-through invalidation: purge the written line from every
+        other node's external cache so it re-fetches the fresh value's
+        timing honestly."""
+        origin = self._store_origin
+        for index, machine in enumerate(self.machines):
+            if index == origin:
+                continue
+            self._invalidate_line(machine, address, system_mode)
+        if origin is not None:
+            self.bus.invalidations += 1
+
+    @staticmethod
+    def _invalidate_line(machine: Machine, address: int,
+                         system_mode: bool) -> None:
+        ecache = machine.ecache
+        if not ecache.config.enabled:
+            return
+        line_addr = address // ecache.config.line_words
+        index = line_addr % ecache.lines
+        tag = (line_addr // ecache.lines) * 2 + (1 if system_mode else 0)
+        if ecache._tags[index] == tag:
+            ecache._tags[index] = ecache.INVALID
+
+    # -------------------------------------------------------------- loading
+    def load_program(self, program: Program,
+                     entries: Optional[List[int]] = None) -> None:
+        """Load one image into the shared memory; every node starts at the
+        program entry (or per-node ``entries``) with its id in ``gp``."""
+        self.memory.system.load_image(program.image)
+        for index, machine in enumerate(self.machines):
+            entry = entries[index] if entries else program.entry
+            machine.pipeline.reset(entry)
+            machine.regs[GP] = index
+
+    # -------------------------------------------------------------- running
+    def step(self) -> None:
+        """One global cycle: each live node advances one cycle.
+
+        Bus arbitration: when a node enters a memory-system stall it must
+        own the bus; a contending node pays an extra stall cycle per cycle
+        the bus is held by someone else (its ``w1`` stays withheld).
+        """
+        self.cycles += 1
+        for index, machine in enumerate(self.machines):
+            if machine.halted:
+                continue
+            pipeline = machine.pipeline
+            stalled = pipeline._stall_left > 0 or pipeline.miss_fsm.stalled
+            if stalled:
+                if self._bus_owner is None:
+                    self._bus_owner = index
+                    self.bus.acquisitions += 1
+                elif self._bus_owner != index:
+                    # bus busy: this node's miss waits a cycle
+                    self.bus.contention_cycles += 1
+                    machine.stats.cycles += 1
+                    continue
+            elif self._bus_owner == index:
+                self._bus_owner = None
+            self._store_origin = index
+            machine.step()
+            self._store_origin = None
+        if (self._bus_owner is not None
+                and self.machines[self._bus_owner].halted):
+            self._bus_owner = None
+
+    def run(self, max_cycles: int = 10_000_000) -> int:
+        """Run until every node halts; returns global cycles."""
+        while not self.all_halted and self.cycles < max_cycles:
+            self.step()
+        return self.cycles
+
+    @property
+    def all_halted(self) -> bool:
+        return all(machine.halted for machine in self.machines)
+
+    @property
+    def console(self):
+        return self.memory.console
+
+    def node(self, index: int) -> Machine:
+        return self.machines[index]

@@ -1,0 +1,48 @@
+"""The post-pass code reorganizer (the software half of MIPS-X)."""
+
+from repro.reorg.cfg import BasicBlock, Cfg, build_cfg, emit
+from repro.reorg.delay_slots import (
+    MIPSX_SCHEME,
+    TABLE1_SCHEMES,
+    BranchPlan,
+    BranchScheme,
+    FillStats,
+    SlotFill,
+)
+from repro.reorg.hazards import PadStats, pad_load_delays, verify_unit
+from repro.reorg.profiler import (
+    ProfileData,
+    branch_index_map,
+    collect_profile,
+    profile_and_reorganize,
+)
+from repro.reorg.reorganizer import (
+    ReorgError,
+    ReorgResult,
+    ReorgStats,
+    reorganize,
+)
+
+__all__ = [
+    "BasicBlock",
+    "BranchPlan",
+    "BranchScheme",
+    "Cfg",
+    "FillStats",
+    "MIPSX_SCHEME",
+    "PadStats",
+    "ProfileData",
+    "ReorgError",
+    "ReorgResult",
+    "ReorgStats",
+    "SlotFill",
+    "TABLE1_SCHEMES",
+    "branch_index_map",
+    "build_cfg",
+    "collect_profile",
+    "emit",
+    "pad_load_delays",
+    "profile_and_reorganize",
+    "reorganize",
+    "verify_unit",
+]

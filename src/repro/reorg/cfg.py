@@ -1,0 +1,170 @@
+"""Control-flow graph over symbolic assembly units.
+
+The reorganizer works on *naive* code (no delay slots: branches act
+immediately, loads are immediately usable) straight out of the compiler.
+A :class:`Cfg` partitions the instruction stream into basic blocks so the
+delay-slot filler can reason about move-from-above candidates, branch
+targets, and fall-through paths.
+
+Data directives (``.word``/``.space``/``.org``) end the current code
+region; blocks never span them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Union
+
+from repro.asm.unit import AsmUnit, Label, Op, Org, Space, Word
+
+
+@dataclasses.dataclass
+class BasicBlock:
+    """A straight-line run of instructions.
+
+    ``labels`` are the labels bound to the block's first instruction.
+    ``terminator`` is the trailing control transfer (branch or jump), if
+    any; ``ops`` *includes* it.  ``slot_ops`` are delay-slot instructions
+    appended by the filler after the terminator (empty on naive code).
+    """
+
+    index: int
+    labels: List[str] = dataclasses.field(default_factory=list)
+    ops: List[Op] = dataclasses.field(default_factory=list)
+    slot_ops: List[Op] = dataclasses.field(default_factory=list)
+    #: label insertions for squash fill: position (op index in ``body``) -> names
+    inner_labels: Dict[int, List[str]] = dataclasses.field(default_factory=dict)
+
+    @property
+    def terminator(self) -> Optional[Op]:
+        if self.ops and self.ops[-1].instr.is_control:
+            return self.ops[-1]
+        return None
+
+    @property
+    def body(self) -> List[Op]:
+        """Instructions excluding the terminator."""
+        if self.terminator is not None:
+            return self.ops[:-1]
+        return self.ops
+
+    def falls_through(self) -> bool:
+        """True if control can continue to the next block in layout order."""
+        terminator = self.terminator
+        if terminator is None:
+            return True
+        instr = terminator.instr
+        if instr.is_branch:
+            # ``br`` is encoded as beq r0, r0: always taken
+            from repro.isa.opcodes import Opcode
+
+            always = (instr.opcode == Opcode.BEQ
+                      and instr.src1 == 0 and instr.src2 == 0)
+            return not always
+        return False  # unconditional jump or halt
+
+
+@dataclasses.dataclass
+class Cfg:
+    """Basic blocks in layout order, plus the non-code items around them."""
+
+    blocks: List[BasicBlock]
+    by_label: Dict[str, BasicBlock]
+    #: items emitted before block k: data directives and orgs
+    prefix_items: Dict[int, List[Union[Word, Space, Org, Label]]]
+    #: trailing non-code items after the last block
+    suffix_items: List[Union[Word, Space, Org, Label]]
+
+    def target_block(self, op: Op) -> Optional[BasicBlock]:
+        """The statically-known target block of a control op, if any."""
+        if op.target is not None:
+            return self.by_label.get(op.target)
+        return None
+
+    def block_position(self, block: BasicBlock) -> int:
+        return block.index
+
+
+def build_cfg(unit: AsmUnit) -> Cfg:
+    """Partition a symbolic unit into basic blocks."""
+    blocks: List[BasicBlock] = []
+    by_label: Dict[str, BasicBlock] = {}
+    prefix_items: Dict[int, List] = {}
+    pending_labels: List[str] = []
+    pending_items: List = []
+    current: Optional[BasicBlock] = None
+
+    # collect every label that is a branch/jump target (block leaders)
+    targets = {item.target for item in unit.items
+               if isinstance(item, Op) and item.target is not None
+               and item.instr.is_control}
+
+    def close() -> None:
+        nonlocal current
+        current = None
+
+    def open_block() -> BasicBlock:
+        nonlocal current
+        block = BasicBlock(index=len(blocks))
+        if pending_items:
+            prefix_items[block.index] = list(pending_items)
+            pending_items.clear()
+        block.labels = list(pending_labels)
+        pending_labels.clear()
+        for name in block.labels:
+            by_label[name] = block
+        blocks.append(block)
+        current = block
+        return block
+
+    for item in unit.items:
+        if isinstance(item, Label):
+            # a label always starts a new block (even if not a known branch
+            # target: it may be reached indirectly or used for data access;
+            # data-only labels between code regions are harmless as blocks)
+            close()
+            pending_labels.append(item.name)
+        elif isinstance(item, Op):
+            if current is None:
+                open_block()
+            current.ops.append(item)
+            if item.instr.is_control or item.instr.is_halt:
+                close()
+        else:  # data / org directives end the code region
+            close()
+            if pending_labels:
+                # label bound to data: keep as a plain item, not a block
+                pending_items.extend(Label(name) for name in pending_labels)
+                pending_labels.clear()
+            pending_items.append(item)
+
+    suffix_items: List = list(pending_items)
+    suffix_items.extend(Label(name) for name in pending_labels)
+    _ = targets  # (kept for future use: distinguishing data labels)
+    return Cfg(blocks=blocks, by_label=by_label, prefix_items=prefix_items,
+               suffix_items=suffix_items)
+
+
+def emit(cfg: Cfg) -> AsmUnit:
+    """Serialize a (possibly transformed) CFG back into an AsmUnit."""
+    unit = AsmUnit()
+    for block in cfg.blocks:
+        for item in cfg.prefix_items.get(block.index, []):
+            unit.items.append(item)
+        for name in block.labels:
+            unit.label(name)
+        body = block.body
+        terminator = block.terminator
+        for position, op in enumerate(body):
+            for name in block.inner_labels.get(position, []):
+                unit.label(name)
+            unit.items.append(op)
+        for name in block.inner_labels.get(len(body), []):
+            unit.label(name)
+        if terminator is not None:
+            unit.items.append(terminator)
+        for op in block.slot_ops:
+            unit.items.append(op)
+    for item in cfg.suffix_items:
+        unit.items.append(item)
+    return unit

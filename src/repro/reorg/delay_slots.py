@@ -1,0 +1,506 @@
+"""Branch delay-slot filling under the six schemes of Table 1.
+
+The paper's strategy hierarchy for filling slots:
+
+1. move an instruction from *before* the branch into the slot (always
+   correct: the instruction executes on both paths either way);
+2. with squashing, take instructions from the *predicted* path -- the
+   branch target for predicted-taken branches (``squash if don't go``:
+   the hardware no-ops the slots when the branch falls through), or the
+   fall-through for predicted-not-taken ones (``squash if go``);
+3. a no-op, which is pure branch cost.
+
+MIPS-X ships only ``no squash`` and ``squash if don't go`` (static
+prediction says most branches go), so fills of kind ``FALL`` are *plans
+only*: the evaluation in :mod:`repro.analysis.branch_schemes` costs them
+out exactly as the design team did from traces, while the emitted, runnable
+code replaces them with no-ops unless the scheme is hardware-realizable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional
+
+from repro.asm.unit import Op
+from repro.isa import instruction as I
+from repro.isa.opcodes import Opcode
+from repro.reorg.cfg import BasicBlock, Cfg
+from repro.reorg.hazards import is_load_like, is_pinned, reads, writes
+
+
+@dataclasses.dataclass(frozen=True)
+class BranchScheme:
+    """One point in the Table 1 design space."""
+
+    slots: int = 2
+    squash: str = "optional"    #: "none" | "always" | "optional"
+    squash_if_go: bool = True   #: squash-if-go available (evaluation only)
+    name: str = ""
+
+    def __post_init__(self):
+        if self.squash not in ("none", "always", "optional"):
+            raise ValueError(f"unknown squash mode {self.squash!r}")
+        if self.slots not in (1, 2):
+            raise ValueError("slots must be 1 or 2")
+
+
+#: the machine as built: 2 slots, squash optional, squash-if-don't-go only
+MIPSX_SCHEME = BranchScheme(2, "optional", squash_if_go=False,
+                            name="mips-x (2-slot squash optional)")
+
+#: the six rows of Table 1
+TABLE1_SCHEMES = [
+    BranchScheme(2, "none", name="2-slot no squash"),
+    BranchScheme(2, "always", name="2-slot always squash"),
+    BranchScheme(2, "optional", name="2-slot squash optional"),
+    BranchScheme(1, "none", name="1-slot no squash"),
+    BranchScheme(1, "always", name="1-slot always squash"),
+    BranchScheme(1, "optional", name="1-slot squash optional"),
+]
+
+
+class SlotFill(enum.Enum):
+    ABOVE = "above"     #: moved from before the branch; useful on both paths
+    TARGET = "target"   #: copied from the taken path (squash if don't go)
+    FALL = "fall"       #: fall-through instructions (squash if go)
+    NOP = "nop"         #: unfilled
+
+
+@dataclasses.dataclass
+class BranchPlan:
+    """Fill decision for one control transfer, used by the Table 1 cost
+    model.  ``op`` is the branch's Op object (its assembled address can be
+    recovered through ``AsmUnit.layout``)."""
+
+    op: Op
+    conditional: bool
+    predicted_taken: bool
+    fills: List[SlotFill]
+
+    def cost(self, taken: bool) -> int:
+        """Cycles this branch costs for one execution (1 + wasted slots)."""
+        wasted = 0
+        for fill in self.fills:
+            if fill is SlotFill.NOP:
+                wasted += 1
+            elif fill is SlotFill.TARGET and not taken:
+                wasted += 1
+            elif fill is SlotFill.FALL and taken:
+                wasted += 1
+        return 1 + wasted
+
+
+@dataclasses.dataclass
+class FillStats:
+    branches: int = 0
+    jumps: int = 0
+    slots_total: int = 0
+    filled_above: int = 0
+    filled_target: int = 0
+    filled_fall: int = 0
+    filled_nop: int = 0
+
+    @property
+    def fill_rate(self) -> float:
+        useful = self.filled_above + self.filled_target + self.filled_fall
+        return useful / self.slots_total if self.slots_total else 0.0
+
+
+def _movable_past(candidate: Op, control: Op) -> bool:
+    """May ``candidate`` move from before ``control`` into its slots?"""
+    if is_pinned(candidate):
+        return False
+    cand_write = writes(candidate)
+    if cand_write is not None:
+        if cand_write in reads(control):
+            return False            # would corrupt the condition/address
+        if cand_write == writes(control):
+            return False            # would clobber the link register
+    return True
+
+
+def _copyable(op: Op) -> bool:
+    """May ``op`` be duplicated into a squash-filled slot?"""
+    return not is_pinned(op) and not op.instr.is_nop
+
+
+def _continuation_entry_ops(cfg: Optional["Cfg"], block: BasicBlock) -> List[Op]:
+    """First instruction of each statically-known successor path."""
+    entries: List[Op] = []
+    control = block.terminator
+    if control is None or cfg is None:
+        return entries
+    target = cfg.target_block(control)
+    if target is not None:
+        if target.body:
+            entries.append(target.body[0])
+        elif target.terminator is not None:
+            entries.append(target.terminator)
+    if block.falls_through() and block.index + 1 < len(cfg.blocks):
+        successor = cfg.blocks[block.index + 1]
+        if successor.ops:
+            entries.append(successor.ops[0])
+    return entries
+
+
+def _quick_slot_ok(candidate: Op, control: Op, cfg: Optional["Cfg"],
+                   block: BasicBlock) -> bool:
+    """1-slot schemes: the slot op executes at distance 1 from the next
+    path's first instruction, which -- under quick compare -- must not be
+    a branch reading anything the slot op writes.  Loads never qualify
+    (their delay reaches two instructions past the slot), and indirect
+    jumps (unknown continuation) only accept non-writing ops."""
+    if is_load_like(candidate):
+        return False
+    dest = writes(candidate)
+    if dest is None:
+        return True
+    if control.instr.is_jump and control.target is None:
+        return False  # indirect jump: continuation unknown
+    for entry in _continuation_entry_ops(cfg, block):
+        if entry.instr.is_branch and dest in reads(entry):
+            return False
+    return True
+
+
+def repair_quick_slots(cfg: Cfg) -> int:
+    """Re-validate 1-slot move-from-above fills after *every* block's
+    phase 1 has run.
+
+    Phase 1 checks a slot candidate against the target block's entry
+    instruction, but a later block's own phase 1 can move that entry
+    instruction into its slots, exposing a branch at the entry.  This pass
+    re-checks each moved slot op against the now-stable continuations and
+    reverts any offender into the block body.  Returns reverts performed.
+    """
+    reverted = 0
+    for block in cfg.blocks:
+        control = block.terminator
+        if control is None or not block.slot_ops:
+            continue
+        kept: List[Op] = []
+        for op in block.slot_ops:
+            if _quick_slot_ok(op, control, cfg, block):
+                kept.append(op)
+            else:
+                block.ops.insert(len(block.ops) - 1, op)
+                reverted += 1
+        block.slot_ops = kept
+    return reverted
+
+
+#: how far above the branch the move-from-above scan looks
+_SCAN_DEPTH = 10
+
+
+def select_move_from_above(block: BasicBlock, slots: int,
+                           cfg: Optional["Cfg"] = None) -> List[Op]:
+    """Phase 1: pull movable instructions from above into the slots.
+
+    The scan is not limited to a contiguous suffix: an instruction that is
+    independent of everything between itself and the branch (typically the
+    branch's condition producers) may hop over them -- the same legality
+    rule as any downward code motion.  Removing a non-adjacent op must not
+    butt a load against a consumer, and a load never lands in the *last*
+    slot (its delay slot would be the unknown first instruction of a
+    successor path).
+    """
+    from repro.reorg.hazards import _independent  # shared legality rule
+
+    control = block.terminator
+    if control is None:
+        return []
+    moved: List[Op] = []
+    body = block.body
+    index = len(body) - 1
+    blockers: List[Op] = [control]
+    scanned = 0
+    while index >= 0 and len(moved) < slots and scanned < _SCAN_DEPTH:
+        scanned += 1
+        candidate = body[index]
+        ok = (_movable_past(candidate, control)
+              and _independent(candidate, blockers))
+        if ok and slots == 1:
+            ok = _quick_slot_ok(candidate, control, cfg, block)
+        if ok and index > 0:
+            # removal must not butt a load above against the consumer that
+            # becomes its new neighbour (blockers[0] is the nearest op
+            # below this position that stays behind; at minimum, the
+            # control itself)
+            above = body[index - 1]
+            below = blockers[0]
+            if is_load_like(above) and writes(above) in reads(below):
+                ok = False
+        if (ok and moved and is_load_like(candidate)
+                and writes(candidate) in reads(moved[0])):
+            # in the slots the candidate sits directly before the
+            # previously selected op: load-delay rule applies there too
+            ok = False
+        if ok:
+            moved.insert(0, candidate)
+        else:
+            blockers.insert(0, candidate)
+        index -= 1
+    # conservative: no load in the final slot position when the slots are
+    # completely filled by moved ops.  Shrink from the FRONT: the moved
+    # ops must stay a contiguous suffix ending at the control, or an
+    # earlier op would illegally jump over the ones left behind.
+    while len(moved) == slots and is_load_like(moved[-1]):
+        moved.pop(0)
+    for op in moved:
+        block.ops.remove(op)
+    # moving the suffix away must not bring a load that feeds the control
+    # adjacent to it (the control reads its sources one cycle after the
+    # load's ALU -- exactly the load delay slot)
+    while moved:
+        remaining_body = block.body
+        if (remaining_body and is_load_like(remaining_body[-1])
+                and writes(remaining_body[-1]) in reads(control)):
+            returned = moved.pop(0)
+            block.ops.insert(len(block.ops) - 1, returned)
+        else:
+            break
+    block.slot_ops.extend(moved)
+    return moved
+
+
+def predict_taken(cfg: Cfg, block: BasicBlock, op: Op,
+                  profile: Optional[Dict[int, bool]] = None,
+                  branch_index: int = 0) -> bool:
+    """Static prediction: profile first, else backward-taken/forward-not."""
+    if profile is not None and branch_index in profile:
+        return profile[branch_index]
+    target = cfg.target_block(op)
+    if target is None:
+        return True
+    return target.index <= block.index
+
+
+def fill_block_slots(cfg: Cfg, block: BasicBlock, scheme: BranchScheme,
+                     predicted_taken: bool, stats: FillStats,
+                     synthetic_labels: Dict,
+                     emit_unrunnable_as_nops: bool = True
+                     ) -> Optional[BranchPlan]:
+    """Phase 2 for one block: squash-fill the remaining slots.
+
+    Assumes phase 1 (:func:`select_move_from_above`) has run for *all*
+    blocks, so target-block bodies are stable.
+    """
+    control = block.terminator
+    if control is None:
+        return None
+    instr = control.instr
+    always_taken = (not instr.is_branch) or (
+        instr.opcode == Opcode.BEQ and instr.src1 == 0 and instr.src2 == 0)
+    conditional = instr.is_branch and not always_taken
+    if conditional:
+        stats.branches += 1
+    else:
+        stats.jumps += 1
+    stats.slots_total += scheme.slots
+
+    target = cfg.target_block(control)
+    can_squash_target = (always_taken
+                         or scheme.squash in ("always", "optional"))
+    can_squash_fall = (conditional and scheme.squash_if_go
+                       and scheme.squash in ("always", "optional"))
+
+    # The single squash bit covers *every* slot, so a conditional branch
+    # either keeps its slots always-executed (move-from-above fills plus
+    # no-ops) or squash-fills ALL of them from the predicted path -- the
+    # two kinds cannot mix.  Unconditional transfers may mix freely, since
+    # their slots always execute.
+    #
+    # A squashed slot strictly dominates a no-op slot (it costs a cycle
+    # only when the branch goes the wrong way, a no-op always does), so
+    # target fill competes on *expected* useful slots: k copies are worth
+    # k x P(taken), move-from-above fills are worth 1 each.
+    above_count = len(block.slot_ops)
+    fills: List[SlotFill] = []
+
+    use_target_fill = False
+    quick = scheme.slots == 1
+    copies: List[Op] = []
+    will_plan_fall = (can_squash_fall and not predicted_taken
+                      and _fall_through_depth(cfg, block) > 0
+                      and above_count == 0)
+    if target is not None and can_squash_target and not will_plan_fall:
+        if always_taken:
+            copies = _select_copies(block, target,
+                                    scheme.slots - above_count, quick)
+            use_target_fill = bool(copies)
+        else:
+            candidate_copies = _select_copies_exclusive(
+                target, scheme.slots, quick)
+            taken_probability = 0.8 if predicted_taken else 0.35
+            worth = len(candidate_copies) * taken_probability
+            if candidate_copies and (
+                    worth > above_count
+                    or (scheme.squash == "always" and not above_count)):
+                copies = candidate_copies
+                use_target_fill = True
+                _revert_moved(block)
+                above_count = 0
+
+    fills.extend([SlotFill.ABOVE] * above_count)
+    stats.filled_above += above_count
+    remaining = scheme.slots - above_count
+
+    if use_target_fill and copies:
+        key = (target.index, len(copies))
+        label = synthetic_labels.get(key)
+        if label is None:
+            label = f"{control.target}__sq{len(synthetic_labels)}"
+            synthetic_labels[key] = label
+            target.inner_labels.setdefault(len(copies), []).append(label)
+        control.target = label
+        for copy in copies:
+            block.slot_ops.append(Op(copy.instr, target=copy.target,
+                                     source=copy.source))
+            fills.append(SlotFill.TARGET)
+            stats.filled_target += 1
+        remaining -= len(copies)
+        if conditional:
+            control.instr = dataclasses.replace(control.instr, squash=True)
+    elif (remaining > 0 and above_count == 0 and can_squash_fall
+          and not predicted_taken):
+        # plan-only: the fall-through instructions act as squash-if-go
+        # slots.  MIPS-X hardware cannot run this, so the emitted code
+        # keeps explicit no-ops unless the caller opts out.
+        planned = min(remaining, _fall_through_depth(cfg, block))
+        for _ in range(planned):
+            fills.append(SlotFill.FALL)
+            stats.filled_fall += 1
+        remaining -= planned
+        if not emit_unrunnable_as_nops:
+            raise NotImplementedError(
+                "squash-if-go emission is not hardware-realizable on MIPS-X")
+        for _ in range(planned):
+            block.slot_ops.append(Op(I.nop(), source="squash-if-go stand-in"))
+
+    for _ in range(remaining):
+        block.slot_ops.append(Op(I.nop(), source="slot pad"))
+        fills.append(SlotFill.NOP)
+        stats.filled_nop += 1
+
+    return BranchPlan(op=control, conditional=conditional,
+                      predicted_taken=bool(predicted_taken or always_taken),
+                      fills=fills)
+
+
+def _revert_moved(block: BasicBlock) -> None:
+    """Return move-from-above fills to the block body (squash fill chosen)."""
+    for op in block.slot_ops:
+        block.ops.insert(len(block.ops) - 1, op)
+    block.slot_ops.clear()
+
+
+def _select_copies_exclusive(target: BasicBlock, slots: int,
+                             quick: bool = False) -> List[Op]:
+    """Copy selection for a pure squash fill (no preceding above-fills)."""
+    copies: List[Op] = []
+    previous: Optional[Op] = None
+    for candidate in target.body[:slots]:
+        if not _copyable(candidate):
+            break
+        if (previous is not None and is_load_like(previous)
+                and writes(previous) in reads(candidate)):
+            break
+        copies.append(candidate)
+        previous = candidate
+    while copies and is_load_like(copies[-1]):
+        k = len(copies)
+        follower = target.body[k] if k < len(target.body) else None
+        if follower is not None and writes(copies[-1]) in reads(follower):
+            copies.pop()
+        else:
+            break
+    if quick:
+        copies = _trim_quick_copies(target, copies)
+    return copies
+
+
+def _trim_quick_copies(target: BasicBlock, copies: List[Op]) -> List[Op]:
+    """Quick-compare schemes: stricter operand timing after the slot.
+
+    The last copy executes at distance 1 from the retargeted entry
+    instruction and distance 2 from the one after it.  A *branch* at
+    distance 1 must not read any register the copy writes (compute
+    producers need distance >= 2 under quick compare); a branch at
+    distance 2 must not read a register a load copy writes (loads need
+    distance >= 3)."""
+    while copies:
+        k = len(copies)
+        entry = (target.body[k] if k < len(target.body)
+                 else target.terminator)
+        after = (target.body[k + 1] if k + 1 < len(target.body)
+                 else target.terminator)
+        last = copies[-1]
+        last_write = writes(last)
+        bad = False
+        if (entry is not None and entry.instr.is_branch
+                and last_write is not None and last_write in reads(entry)):
+            bad = True
+        if (not bad and is_load_like(last) and last_write is not None):
+            if (entry is not None and not entry.instr.is_branch
+                    and False):  # non-branch consumers at distance 1 were
+                pass             # already separated by the pad pass
+            if (after is not None and after is not entry
+                    and after.instr.is_branch
+                    and last_write in reads(after)):
+                bad = True
+        if bad:
+            copies.pop()
+        else:
+            break
+    return copies
+
+
+def _select_copies(block: BasicBlock, target: BasicBlock,
+                   remaining: int, quick: bool = False) -> List[Op]:
+    """Choose a copyable prefix of the target block body."""
+    copies: List[Op] = []
+    previous = block.slot_ops[-1] if block.slot_ops else None
+    for candidate in target.body[:remaining]:
+        if not _copyable(candidate):
+            break
+        # distance-1 load feed within the slot sequence
+        if (previous is not None and is_load_like(previous)
+                and writes(previous) in reads(candidate)):
+            break
+        copies.append(candidate)
+        previous = candidate
+    if quick:
+        copies = _trim_quick_copies(target, copies)
+    # a load may not occupy the final slot when copies fill the last one:
+    # its delay slot would be the retargeted first target op -- but the pad
+    # pass already separated in-block load-use pairs, so candidate k-1
+    # (load) followed by candidate k (its pad nop) is the only adjacency,
+    # and nop copies are rejected above.  The remaining risk is a load copy
+    # in the final slot whose consumer is target.body[k]: check explicitly.
+    while copies and is_load_like(copies[-1]):
+        k = len(copies)
+        follower = target.body[k] if k < len(target.body) else None
+        if follower is not None and writes(copies[-1]) in reads(follower):
+            copies.pop()
+        else:
+            break
+    return copies
+
+
+def _fall_through_depth(cfg: Cfg, block: BasicBlock) -> int:
+    """How many fall-through ops could serve as squash-if-go slots."""
+    position = block.index + 1
+    if position >= len(cfg.blocks):
+        return 0
+    successor = cfg.blocks[position]
+    depth = 0
+    for op in successor.body:
+        if not _copyable(op):
+            break
+        depth += 1
+        if depth >= 2:
+            break
+    return depth

@@ -1,0 +1,282 @@
+"""Load-delay handling and static hazard verification.
+
+MIPS-X performs no hardware interlocking: the software system must
+guarantee that no instruction reads a register in the delay slot of the
+load that writes it (one slot -- load data arrives at the end of MEM).
+This module provides:
+
+* :func:`pad_load_delays` -- the reorganizer pass that separates
+  load-use adjacencies, preferably by scheduling an independent
+  instruction into the gap and otherwise by inserting a no-op (each
+  inserted no-op is a cycle the paper's 15.6%/18.3% no-op fractions
+  count);
+* :func:`verify_unit` -- a static checker used as the test safety net:
+  it walks every execution adjacency (fall-through and branch edges) of a
+  finished unit and reports delay-slot violations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Set
+
+from repro.asm.unit import AsmUnit, Label, Op
+from repro.isa import instruction as I
+from repro.isa.opcodes import Funct, Opcode
+from repro.reorg.cfg import BasicBlock, Cfg
+
+#: opcodes whose destination register carries load timing (data at end of MEM)
+LOAD_LIKE = (Opcode.LD, Opcode.MOVFRC)
+
+#: compute functs that are unsafe to move or copy (machine-state effects)
+PINNED_FUNCTS = {Funct.MOVTOS, Funct.TRAP, Funct.JPC, Funct.JPCRS, Funct.HALT}
+
+
+def is_load_like(op: Op) -> bool:
+    return op.instr.opcode in LOAD_LIKE
+
+
+def is_pinned(op: Op) -> bool:
+    """Ops that must not be moved or duplicated by the reorganizer."""
+    instr = op.instr
+    if instr.is_control:
+        return True
+    if instr.opcode == Opcode.COMPUTE and instr.funct in PINNED_FUNCTS:
+        return True
+    return False
+
+
+def reads(op: Op) -> Set[int]:
+    return {register for register in op.instr.reads_registers() if register}
+
+
+def writes(op: Op) -> Optional[int]:
+    return op.instr.writes_register()
+
+
+@dataclasses.dataclass
+class PadStats:
+    load_use_pairs: int = 0
+    scheduled: int = 0      #: gaps filled by moving an independent op
+    nops_inserted: int = 0  #: gaps filled with a no-op
+
+
+def memory_region(op: Op):
+    """Classify a memory access for alias analysis.
+
+    Returns one of:
+
+    * ``("global", symbol)`` -- a symbolic global (scalar or array); two
+      accesses with *different* symbols never alias (distinct objects,
+      assuming in-bounds indexing, the standard compiler assumption);
+    * ``("frame", offset)`` -- sp-relative scalar access; two different
+      offsets never alias (within one frame);
+    * ``("unknown", None)`` -- computed address: aliases everything.
+    """
+    instr = op.instr
+    if op.target is not None:
+        return ("global", op.target)
+    if instr.src1 == 1:  # sp-relative
+        return ("frame", instr.imm)
+    return ("unknown", None)
+
+
+def may_alias(op_a: Op, op_b: Op) -> bool:
+    """Conservative may-alias for two data-memory accesses."""
+    region_a, region_b = memory_region(op_a), memory_region(op_b)
+    if region_a[0] == "unknown" or region_b[0] == "unknown":
+        return True
+    if region_a[0] != region_b[0]:
+        return False  # frame slot vs global object
+    if region_a[0] == "global":
+        # same symbol: scalar or array elements may coincide
+        return region_a[1] == region_b[1]
+    return region_a[1] == region_b[1]  # frame offsets
+
+
+def _memory_conflict(candidate: Op, other: Op) -> bool:
+    """Would reordering ``candidate`` across ``other`` change memory
+    behaviour?  Two loads always commute; otherwise require non-alias.
+    Coprocessor operations never reorder (they are I/O-like)."""
+    cand_mem = candidate.instr.is_memory_access
+    cand_cop = candidate.instr.is_coprocessor
+    other_mem = other.instr.is_memory_access
+    other_cop = other.instr.is_coprocessor
+    if cand_cop or other_cop:
+        return cand_cop and other_cop or (cand_cop and other_mem) or (
+            other_cop and cand_mem)
+    if not (cand_mem and other_mem):
+        return False
+    if candidate.instr.is_load and other.instr.is_load:
+        return False
+    return may_alias(candidate, other)
+
+
+def _independent(candidate: Op, crossed: List[Op]) -> bool:
+    """True if ``candidate`` may move upward past every op in ``crossed``."""
+    if is_pinned(candidate):
+        return False
+    cand_reads = reads(candidate)
+    cand_write = writes(candidate)
+    for other in crossed:
+        other_write = writes(other)
+        if other_write is not None and other_write in cand_reads:
+            return False
+        if cand_write is not None and (cand_write in reads(other)
+                                       or cand_write == other_write):
+            return False
+        if _memory_conflict(candidate, other):
+            return False
+    return True
+
+
+def pad_load_delays(cfg: Cfg, schedule: bool = True) -> PadStats:
+    """Separate every load-use adjacency along the fall-through paths.
+
+    Works block by block; a load that ends a block and falls through to a
+    consumer in the next block gets a no-op (cross-block scheduling is not
+    attempted, matching the conservatism of the Stanford reorganizer).
+    """
+    stats = PadStats()
+    for position, block in enumerate(cfg.blocks):
+        index = 0
+        while index < len(block.ops):
+            op = block.ops[index]
+            dest = writes(op)
+            if not (is_load_like(op) and dest is not None):
+                index += 1
+                continue
+            consumer = block.ops[index + 1] if index + 1 < len(block.ops) else None
+            if consumer is None:
+                # fall-through into the next block's first op
+                if block.falls_through() and position + 1 < len(cfg.blocks):
+                    successor = cfg.blocks[position + 1]
+                    if successor.ops and dest in reads(successor.ops[0]):
+                        stats.load_use_pairs += 1
+                        stats.nops_inserted += 1
+                        block.ops.append(Op(I.nop(), source="load pad"))
+                index += 1
+                continue
+            if dest not in reads(consumer):
+                index += 1
+                continue
+            stats.load_use_pairs += 1
+            filled = False
+            if schedule:
+                filler = _find_filler(block, index, dest)
+                if filler is not None:
+                    block.ops.remove(filler)
+                    block.ops.insert(index + 1, filler)
+                    filled = True
+                elif _pull_filler_from_above(block, index):
+                    filled = True
+            if filled:
+                stats.scheduled += 1
+            else:
+                block.ops.insert(index + 1, Op(I.nop(), source="load pad"))
+                stats.nops_inserted += 1
+            index += 1
+    return stats
+
+
+def _find_filler(block: BasicBlock, load_index: int, dest: int) -> Optional[Op]:
+    """Find an op later in the block that can legally sit in the gap."""
+    terminator = block.terminator
+    for j in range(load_index + 2, len(block.ops)):
+        candidate = block.ops[j]
+        if candidate is terminator:
+            break
+        # the filler lands directly after the load, so it must not read the
+        # loaded register; writing it would clobber the consumer's input
+        if dest in reads(candidate) or writes(candidate) == dest:
+            continue
+        crossed = block.ops[load_index + 1:j]
+        if _independent(candidate, crossed):
+            return candidate
+    return None
+
+
+def _pull_filler_from_above(block: BasicBlock, load_index: int) -> bool:
+    """Fill the gap by sliding an *earlier* independent op below the load.
+
+    The independence conditions for moving an op down across a window are
+    the same symmetric set as for moving one up, so :func:`_independent`
+    is reused; additionally, a load-like filler must not feed the consumer
+    it now sits next to (that would recreate the violation one op later).
+    """
+    consumer = block.ops[load_index + 1]
+    for j in range(load_index - 1, max(-1, load_index - 6), -1):
+        candidate = block.ops[j]
+        if is_pinned(candidate):
+            break
+        if (is_load_like(candidate)
+                and writes(candidate) in reads(consumer)):
+            continue
+        # removing the candidate must not butt an earlier load against a
+        # consumer of its own (a fresh violation behind the scan point)
+        if j > 0:
+            above = block.ops[j - 1]
+            below = block.ops[j + 1]
+            if (is_load_like(above)
+                    and writes(above) in reads(below)):
+                continue
+        crossed = block.ops[j + 1:load_index + 1]
+        if _independent(candidate, crossed):
+            del block.ops[j]
+            block.ops.insert(load_index, candidate)
+            return True
+    return False
+
+
+# --------------------------------------------------------------- verifier
+def verify_unit(unit: AsmUnit, slots: int = 2) -> List[str]:
+    """Statically check a finished unit for delay-slot violations.
+
+    Checks every fall-through adjacency and, for each control transfer
+    with a statically known target, the edge from its last delay slot to
+    the target instruction.  Returns human-readable violation strings
+    (empty = clean).
+    """
+    violations: List[str] = []
+    ops: List[Op] = []
+    label_at: dict = {}
+    for item in unit.items:
+        if isinstance(item, Label):
+            label_at[item.name] = len(ops)
+        elif isinstance(item, Op):
+            ops.append(item)
+
+    # positions whose *linear* successor never executes right after them:
+    # the last slot of a squashing branch (slots squashed on fall-through)
+    # and of an unconditional transfer (fall path unreachable)
+    skip_linear = set()
+    for index, op in enumerate(ops):
+        instr = op.instr
+        if not instr.is_control:
+            continue
+        squashes_fall = instr.is_branch and instr.squash
+        always_leaves = instr.is_jump or (
+            instr.is_branch and instr.src1 == 0 and instr.src2 == 0)
+        if squashes_fall or always_leaves:
+            skip_linear.add(index + slots)
+
+    def check_pair(producer: Op, consumer: Op, where: str) -> None:
+        dest = writes(producer)
+        if (is_load_like(producer) and dest is not None
+                and dest in reads(consumer)):
+            violations.append(
+                f"load delay violation {where}: {producer.instr} -> "
+                f"{consumer.instr}")
+
+    for index, op in enumerate(ops):
+        if index + 1 < len(ops) and index not in skip_linear:
+            check_pair(op, ops[index + 1], f"at op {index}")
+        if op.instr.is_control and op.target is not None:
+            target_index = label_at.get(op.target)
+            if target_index is None or target_index >= len(ops):
+                continue
+            last_slot = index + slots
+            if last_slot < len(ops):
+                check_pair(ops[last_slot], ops[target_index],
+                           f"across branch at op {index}")
+    return violations

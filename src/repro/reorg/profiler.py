@@ -1,0 +1,107 @@
+"""Profile-driven static branch prediction.
+
+The paper: "Static prediction would use information at compile time
+(possibly with profiling) to predict which way a branch would go."  This
+module implements the profiling loop: reorganize once with the static
+heuristic, run the program collecting per-branch outcome counts, derive the
+majority direction for every conditional branch, and reorganize again with
+that profile.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from repro.asm.unit import AsmUnit, Op
+from repro.core.config import MachineConfig, perfect_memory_config
+from repro.core.processor import Machine
+from repro.reorg.delay_slots import MIPSX_SCHEME, BranchScheme
+from repro.reorg.reorganizer import ReorgResult, reorganize
+from repro.traces.capture import BranchOnlyCollector
+
+
+@dataclasses.dataclass
+class ProfileData:
+    """Majority direction per conditional-branch index, plus raw counts."""
+
+    directions: Dict[int, bool]
+    counts: Dict[int, tuple]
+
+    def taken_fraction(self) -> float:
+        taken = sum(c[0] for c in self.counts.values())
+        total = sum(c[0] + c[1] for c in self.counts.values())
+        return taken / total if total else 0.0
+
+
+def branch_index_map(result: ReorgResult) -> Dict[int, int]:
+    """Map assembled branch address -> conditional-branch index.
+
+    Branch indices count conditional branches in item order, matching the
+    ``profile`` argument of :func:`repro.reorg.reorganizer.reorganize`.
+    """
+    op_to_index: Dict[int, int] = {}
+    index = 0
+    for item in result.unit.items:
+        if isinstance(item, Op) and item.instr.is_branch:
+            op_to_index[id(item)] = index
+            index += 1
+    _, placed = result.unit.layout()
+    address_to_index: Dict[int, int] = {}
+    for address, item in placed.items():
+        if isinstance(item, Op) and id(item) in op_to_index:
+            address_to_index[address] = op_to_index[id(item)]
+    return address_to_index
+
+
+def collect_profile(result: ReorgResult,
+                    config: Optional[MachineConfig] = None,
+                    max_cycles: int = 10_000_000,
+                    coprocessors=()) -> ProfileData:
+    """Run reorganized code and derive per-branch majority directions."""
+    machine = Machine(config or perfect_memory_config())
+    for coprocessor in coprocessors:
+        machine.attach_coprocessor(coprocessor)
+    collector = BranchOnlyCollector()
+    machine.set_trace(collector)
+    machine.load_program(result.unit.assemble())
+    machine.run(max_cycles)
+    address_to_index = branch_index_map(result)
+    directions: Dict[int, bool] = {}
+    counts: Dict[int, tuple] = {}
+    for address, (taken, not_taken) in collector.outcome_counts().items():
+        index = address_to_index.get(address)
+        if index is None:
+            continue
+        directions[index] = taken >= not_taken
+        counts[index] = (taken, not_taken)
+    return ProfileData(directions=directions, counts=counts)
+
+
+def profile_and_reorganize(unit: AsmUnit,
+                           scheme: BranchScheme = MIPSX_SCHEME,
+                           config: Optional[MachineConfig] = None,
+                           schedule_loads: bool = True,
+                           max_cycles: int = 10_000_000) -> ReorgResult:
+    """Two-pass reorganization: profile with the static heuristic, then
+    reorganize with the measured directions.
+
+    Note: ``reorganize`` mutates Op objects in the unit it is given, so
+    each pass parses from a pristine deep copy of the input unit.
+    """
+    first = reorganize(_clone(unit), scheme, schedule_loads=schedule_loads)
+    profile = collect_profile(first, config, max_cycles)
+    return reorganize(_clone(unit), scheme, profile=profile.directions,
+                      schedule_loads=schedule_loads)
+
+
+def _clone(unit: AsmUnit) -> AsmUnit:
+    """Deep-copy the ops of a unit (labels/directives are immutable)."""
+    clone = AsmUnit()
+    for item in unit.items:
+        if isinstance(item, Op):
+            clone.items.append(Op(item.instr, target=item.target,
+                                  source=item.source))
+        else:
+            clone.items.append(item)
+    return clone

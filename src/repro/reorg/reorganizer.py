@@ -1,0 +1,183 @@
+"""The post-pass code reorganizer.
+
+MIPS-X, like MIPS before it, pushes all pipeline interlocks into software:
+the compiler emits *naive* code (branches act immediately, load results are
+immediately usable) and this reorganizer rewrites it into code that is
+correct and fast on the real pipeline.  Passes, in order:
+
+1. :func:`repro.reorg.hazards.pad_load_delays` -- separate load-use pairs
+   (schedule an independent instruction into the gap, else insert a no-op);
+2. move-from-above delay-slot filling (always correct on both paths);
+3. for one-slot (quick compare) schemes: pad branch source operands to the
+   stricter register-file-output timing;
+4. squash filling from the predicted path, retargeting the branch past the
+   copied instructions and setting the squash bit;
+5. optional static verification of every execution adjacency.
+
+The result carries per-branch :class:`~repro.reorg.delay_slots.BranchPlan`
+records, which the Table 1 machinery combines with dynamic branch traces to
+cost out each scheme.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.asm.unit import AsmUnit, Op
+from repro.isa import instruction as I
+from repro.reorg.cfg import Cfg, build_cfg, emit
+from repro.reorg.delay_slots import (
+    MIPSX_SCHEME,
+    BranchPlan,
+    BranchScheme,
+    FillStats,
+    fill_block_slots,
+    predict_taken,
+    repair_quick_slots,
+    select_move_from_above,
+)
+from repro.reorg.hazards import (
+    PadStats,
+    is_load_like,
+    pad_load_delays,
+    reads,
+    verify_unit,
+    writes,
+)
+
+
+class ReorgError(RuntimeError):
+    """The reorganizer produced (or was given) hazardous code."""
+
+
+@dataclasses.dataclass
+class ReorgStats:
+    """Combined statistics from all reorganizer passes."""
+
+    pad: PadStats = dataclasses.field(default_factory=PadStats)
+    fill: FillStats = dataclasses.field(default_factory=FillStats)
+    quick_compare_nops: int = 0
+
+    @property
+    def nops_inserted(self) -> int:
+        return (self.pad.nops_inserted + self.fill.filled_nop
+                + self.quick_compare_nops)
+
+
+@dataclasses.dataclass
+class ReorgResult:
+    unit: AsmUnit
+    stats: ReorgStats
+    plans: List[BranchPlan]
+    cfg: Cfg
+
+    def plan_by_op(self) -> Dict[int, BranchPlan]:
+        """Map id(branch Op) -> plan, for joining with layout addresses."""
+        return {id(plan.op): plan for plan in self.plans}
+
+
+def reorganize(unit: AsmUnit, scheme: BranchScheme = MIPSX_SCHEME,
+               profile: Optional[Dict[int, bool]] = None,
+               schedule_loads: bool = True,
+               verify: bool = True) -> ReorgResult:
+    """Rewrite naive code for the pipeline under ``scheme``.
+
+    ``profile`` maps conditional-branch index (in item order) to the
+    profiled majority direction; without it, static backward-taken /
+    forward-not-taken prediction is used.
+
+    Note: the pass pipeline rewrites branch Ops *in place*, so the input
+    unit is consumed -- re-parse (or deep-copy, see
+    ``repro.reorg.profiler._clone``) if you need to reorganize the same
+    source under several schemes.
+    """
+    cfg = build_cfg(unit)
+    stats = ReorgStats()
+
+    # pass 1: load delay padding / scheduling
+    stats.pad = pad_load_delays(cfg, schedule=schedule_loads)
+
+    # pass 2: move-from-above (skipped for conditionals under pure
+    # always-squash, which by definition only uses squashed slots)
+    for block in cfg.blocks:
+        terminator = block.terminator
+        if terminator is None:
+            continue
+        if scheme.squash == "always" and terminator.instr.is_branch:
+            continue
+        select_move_from_above(block, scheme.slots, cfg=cfg)
+
+    # pass 3: quick-compare operand padding (1-slot schemes resolve the
+    # branch on the register-file outputs, one stage early)
+    if scheme.slots == 1:
+        repair_quick_slots(cfg)
+        stats.quick_compare_nops = _pad_quick_compare(cfg)
+
+    # pass 4: squash fill
+    plans: List[BranchPlan] = []
+    synthetic_labels: Dict = {}
+    branch_index = 0
+    for block in cfg.blocks:
+        terminator = block.terminator
+        if terminator is None:
+            continue
+        predicted = True
+        if terminator.instr.is_branch:
+            predicted = predict_taken(cfg, block, terminator, profile,
+                                      branch_index)
+            branch_index += 1
+        plan = fill_block_slots(cfg, block, scheme, predicted, stats.fill,
+                                synthetic_labels)
+        if plan is not None:
+            plans.append(plan)
+
+    out = emit(cfg)
+    if verify:
+        violations = verify_unit(out, scheme.slots)
+        if violations:
+            raise ReorgError("reorganizer produced hazards:\n"
+                             + "\n".join(violations))
+    return ReorgResult(unit=out, stats=stats, plans=plans, cfg=cfg)
+
+
+def _pad_quick_compare(cfg: Cfg) -> int:
+    """Enforce quick-compare operand timing before 1-slot branches.
+
+    The comparator sits on the register-file outputs, so a branch source
+    must be at distance >= 2 from a compute producer and >= 3 from a load.
+    The scan is *linear* across block boundaries: a producer at the end of
+    the previous block still feeds the branch along the fall-through path.
+    (Looking back past an unconditional jump can only over-pad, never
+    under-pad.)
+    """
+    inserted = 0
+    # flatten ops in layout order, including any slot ops already placed
+    # by move-from-above (they execute between a branch and its successor)
+    linear: list = []
+    positions = {}
+    for block in cfg.blocks:
+        for op in block.ops + block.slot_ops:
+            positions[id(op)] = len(linear)
+            linear.append(op)
+    for block in cfg.blocks:
+        terminator = block.terminator
+        if terminator is None or not terminator.instr.is_branch:
+            continue
+        sources = reads(terminator)
+        position = positions[id(terminator)]
+        needed = 0
+        for distance in (1, 2):
+            if position - distance < 0:
+                break
+            producer = linear[position - distance]
+            dest = writes(producer)
+            if dest is None or dest not in sources:
+                continue
+            required = 3 if is_load_like(producer) else 2
+            needed = max(needed, required - distance)
+        for _ in range(needed):
+            block.ops.insert(len(block.ops) - 1,
+                             Op(I.nop(), source="quick compare pad"))
+            inserted += 1
+    return inserted

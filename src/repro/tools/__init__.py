@@ -1,0 +1,5 @@
+"""Developer tooling: pipeline visualization and the command line."""
+
+from repro.tools.pipeview import PipelineTracer, trace_pipeline
+
+__all__ = ["PipelineTracer", "trace_pipeline"]

@@ -1,0 +1,148 @@
+"""Command-line front end: run, disassemble, compile, visualize.
+
+Usage::
+
+    python -m repro.tools.cli run program.s [--stats] [--trace N]
+    python -m repro.tools.cli compile program.spl [--emit-asm] [--run]
+    python -m repro.tools.cli disasm program.s
+    python -m repro.tools.cli workload sieve [--stats]
+
+``run`` executes assembly on the paper-configuration machine; ``compile``
+sends SPL source through the compiler + reorganizer; ``workload`` runs a
+registered benchmark.  ``--trace N`` prints a pipeline diagram of the
+first N cycles.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.asm import assemble, listing, parse
+from repro.coproc import Fpu
+from repro.core import Machine, MachineConfig, perfect_memory_config
+from repro.lang import compile_spl
+from repro.tools.pipeview import PipelineTracer
+
+
+def _print_stats(machine: Machine) -> None:
+    stats = machine.stats
+    print(f"cycles        {stats.cycles}")
+    print(f"instructions  {stats.retired} ({stats.noops} no-ops, "
+          f"{stats.squashed} squashed)")
+    print(f"CPI           {stats.cpi:.3f}")
+    print(f"branches      {stats.branches} ({stats.branches_taken} taken), "
+          f"jumps {stats.jumps}")
+    print(f"loads/stores  {stats.loads}/{stats.stores}")
+    print(f"icache        {machine.icache.stats.miss_rate:.1%} miss rate, "
+          f"{stats.icache_stall_cycles} stall cycles")
+    print(f"ecache        {machine.ecache.stats.miss_rate:.1%} miss rate, "
+          f"{stats.data_stall_cycles} data stall cycles")
+    print(f"@20 MHz       {stats.mips(20.0):.1f} sustained MIPS")
+
+
+def _run_machine(program, args) -> int:
+    config = perfect_memory_config() if args.ideal else MachineConfig()
+    machine = Machine(config)
+    machine.attach_coprocessor(Fpu())
+    machine.load_program(program)
+    if args.trace:
+        tracer = PipelineTracer(machine)
+        tracer.step(args.trace)
+        print(tracer.render())
+        print()
+    machine.run(args.max_cycles)
+    if machine.console.values:
+        print("console:", machine.console.values)
+    if machine.console.text:
+        print("console text:", machine.console.text)
+    if not machine.halted:
+        print(f"warning: did not halt within {args.max_cycles} cycles",
+              file=sys.stderr)
+    if args.stats:
+        _print_stats(machine)
+    return 0 if machine.halted else 1
+
+
+def cmd_run(args) -> int:
+    with open(args.file) as handle:
+        source = handle.read()
+    return _run_machine(assemble(source), args)
+
+
+def cmd_compile(args) -> int:
+    with open(args.file) as handle:
+        source = handle.read()
+    compilation = compile_spl(source)
+    if args.emit_asm:
+        print(compilation.asm_text)
+        return 0
+    if args.listing:
+        print(listing(compilation.program()))
+        return 0
+    return _run_machine(compilation.program(), args)
+
+
+def cmd_disasm(args) -> int:
+    with open(args.file) as handle:
+        source = handle.read()
+    print(listing(assemble(source)))
+    return 0
+
+
+def cmd_workload(args) -> int:
+    from repro.workloads import get
+
+    workload = get(args.name)
+    return _run_machine(workload.program(), args)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="MIPS-X reproduction command line")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--stats", action="store_true",
+                       help="print pipeline statistics")
+        p.add_argument("--ideal", action="store_true",
+                       help="perfect-memory machine (pipeline only)")
+        p.add_argument("--trace", type=int, default=0, metavar="N",
+                       help="pipeline diagram of the first N cycles")
+        p.add_argument("--max-cycles", type=int, default=10_000_000)
+
+    p_run = sub.add_parser("run", help="assemble and run a .s file")
+    p_run.add_argument("file")
+    common(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p_compile = sub.add_parser("compile",
+                               help="compile and run an SPL source file")
+    p_compile.add_argument("file")
+    p_compile.add_argument("--emit-asm", action="store_true",
+                           help="print the naive assembly and exit")
+    p_compile.add_argument("--listing", action="store_true",
+                           help="print the reorganized listing and exit")
+    common(p_compile)
+    p_compile.set_defaults(func=cmd_compile)
+
+    p_disasm = sub.add_parser("disasm", help="assemble and list a .s file")
+    p_disasm.add_argument("file")
+    p_disasm.set_defaults(func=cmd_disasm)
+
+    p_workload = sub.add_parser("workload", help="run a registered workload")
+    p_workload.add_argument("name")
+    common(p_workload)
+    p_workload.set_defaults(func=cmd_workload)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

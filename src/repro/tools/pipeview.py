@@ -1,0 +1,113 @@
+"""Pipeline visualization: classic instruction/cycle occupancy diagrams.
+
+Renders the textbook pipeline diagram for a running machine::
+
+    cycle            1    2    3    4    5    6    7    8
+    0x100 li t0,0    F    R    A    M    W
+    0x101 li t1,10        F    R    A    M    W
+    0x102 add ...              F    R    A    M    W
+    0x103 bgt ...                   F    R    A    M    W
+    0x104 nop (slot)                     F    R    A    M    W
+    ...
+
+Stall cycles show as ``.`` (the qualified w1 clock withheld), squashed
+instructions are marked ``x`` at writeback.  Invaluable when debugging
+delay-slot behaviour or verifying what the reorganizer produced.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.core.pipeline import IF, RF, ALU, MEM, WB
+from repro.core.processor import Machine
+
+_STAGE_LETTERS = {IF: "F", RF: "R", ALU: "A", MEM: "M", WB: "W"}
+
+
+@dataclasses.dataclass
+class _Row:
+    pc: int
+    text: str
+    first_cycle: int
+    cells: Dict[int, str] = dataclasses.field(default_factory=dict)
+    squashed: bool = False
+
+
+class PipelineTracer:
+    """Steps a machine cycle by cycle, recording stage occupancy."""
+
+    def __init__(self, machine: Machine, max_rows: int = 64):
+        self.machine = machine
+        self.max_rows = max_rows
+        self.rows: List[_Row] = []
+        self._flights: Dict[int, _Row] = {}   # id(flight) -> row
+        self.start_cycle = machine.stats.cycles
+
+    def step(self, cycles: int = 1) -> None:
+        """Advance and record ``cycles`` machine cycles."""
+        pipeline = self.machine.pipeline
+        for _ in range(cycles):
+            if self.machine.halted:
+                break
+            stalled_before = pipeline._stall_left > 0
+            self.machine.step()
+            cycle = self.machine.stats.cycles
+            # purge rows whose flight left the pipe: CPython reuses the
+            # object ids of dead flights, which would merge unrelated rows
+            live = {id(flight) for flight in pipeline.s
+                    if flight is not None}
+            self._flights = {key: row for key, row in self._flights.items()
+                             if key in live}
+            if stalled_before:
+                # w1 withheld: every occupied stage idles in place
+                for row in self._flights.values():
+                    row.cells[cycle] = "."
+                continue
+            for stage, flight in enumerate(pipeline.s):
+                if flight is None:
+                    continue
+                row = self._flights.get(id(flight))
+                if row is None:
+                    row = _Row(pc=flight.pc, text=str(flight.instr),
+                               first_cycle=cycle)
+                    self._flights[id(flight)] = row
+                    self.rows.append(row)
+                    if len(self.rows) > self.max_rows * 4:
+                        self.rows = self.rows[-self.max_rows * 2:]
+                letter = _STAGE_LETTERS[stage]
+                if flight.squashed:
+                    row.squashed = True
+                    letter = letter.lower() if stage != WB else "x"
+                row.cells[cycle] = letter
+
+    def render(self, last_rows: Optional[int] = None,
+               instruction_width: int = 28) -> str:
+        """Render the recorded diagram as text."""
+        rows = self.rows[-last_rows:] if last_rows else self.rows
+        if not rows:
+            return "(no instructions traced)"
+        first = min(min(r.cells) for r in rows if r.cells)
+        last = max(max(r.cells) for r in rows if r.cells)
+        header = " " * (8 + instruction_width)
+        header += "".join(f"{c:>4}" for c in range(first, last + 1))
+        lines = [header]
+        for row in rows:
+            if not row.cells:
+                continue
+            label = f"{row.pc:#06x}  {row.text[:instruction_width]:<{instruction_width}}"
+            cells = "".join(f"{row.cells.get(c, ''):>4}"
+                            for c in range(first, last + 1))
+            lines.append(label + cells)
+        legend = ("legend: F/R/A/M/W = pipestages, lower-case/x = squashed, "
+                  "'.' = stall (w1 withheld)")
+        return "\n".join(lines + [legend])
+
+
+def trace_pipeline(machine: Machine, cycles: int = 30,
+                   last_rows: Optional[int] = None) -> str:
+    """Convenience: trace ``cycles`` cycles of a loaded machine and render."""
+    tracer = PipelineTracer(machine)
+    tracer.step(cycles)
+    return tracer.render(last_rows=last_rows)

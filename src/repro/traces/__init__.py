@@ -1,0 +1,5 @@
+"""Trace capture and synthetic trace generation."""
+
+from repro.traces.capture import BranchEvent, BranchOnlyCollector, TraceCollector
+
+__all__ = ["BranchEvent", "BranchOnlyCollector", "TraceCollector"]

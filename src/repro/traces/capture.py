@@ -1,0 +1,98 @@
+"""Trace capture from the live pipeline.
+
+The MIPS-X team drove all their cache and branch studies from instruction
+traces produced by the compiler/simulator system; :class:`TraceCollector`
+plugs into the pipeline's :class:`~repro.core.pipeline.TraceSink` hooks and
+records the same streams:
+
+* the instruction *fetch* stream (for Icache studies),
+* the retired instruction stream,
+* data reference addresses (for Ecache studies),
+* branch outcomes (for the Table 1 and prediction studies).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.pipeline import TraceSink
+from repro.isa.instruction import Instruction
+
+
+@dataclasses.dataclass
+class BranchEvent:
+    pc: int
+    taken: bool
+    target: int
+
+
+class TraceCollector(TraceSink):
+    """Records pipeline event streams for trace-driven studies.
+
+    Streams can be individually disabled to save memory on long runs.
+    """
+
+    def __init__(self, fetches: bool = True, retires: bool = False,
+                 data: bool = True, branches: bool = True):
+        self._want_fetches = fetches
+        self._want_retires = retires
+        self._want_data = data
+        self._want_branches = branches
+        self.fetch_trace: List[int] = []
+        self.retire_trace: List[Tuple[int, Instruction, bool]] = []
+        self.data_trace: List[Tuple[int, bool]] = []
+        self.branch_events: List[BranchEvent] = []
+        self.exceptions: List[str] = []
+
+    # ------------------------------------------------------------- sinks
+    def on_fetch(self, pc: int) -> None:
+        if self._want_fetches:
+            self.fetch_trace.append(pc)
+
+    def on_retire(self, pc: int, instr: Instruction, squashed: bool) -> None:
+        if self._want_retires:
+            self.retire_trace.append((pc, instr, squashed))
+
+    def on_data(self, pc: int, address: int, is_store: bool) -> None:
+        if self._want_data:
+            self.data_trace.append((address, is_store))
+
+    def on_branch(self, pc: int, instr: Instruction, taken: bool,
+                  target: int) -> None:
+        if self._want_branches:
+            self.branch_events.append(BranchEvent(pc, taken, target))
+
+    def on_exception(self, cause: str) -> None:
+        self.exceptions.append(cause)
+
+    # ---------------------------------------------------------- summaries
+    def branch_outcome_counts(self) -> Dict[int, Tuple[int, int]]:
+        """Per-branch-pc (taken, not-taken) execution counts."""
+        counts: Dict[int, Tuple[int, int]] = {}
+        for event in self.branch_events:
+            taken, not_taken = counts.get(event.pc, (0, 0))
+            if event.taken:
+                counts[event.pc] = (taken + 1, not_taken)
+            else:
+                counts[event.pc] = (taken, not_taken + 1)
+        return counts
+
+    def data_addresses(self) -> List[int]:
+        return [address for address, _ in self.data_trace]
+
+
+class BranchOnlyCollector(TraceSink):
+    """Cheap collector recording only per-pc branch outcome counts."""
+
+    def __init__(self):
+        self.counts: Dict[int, List[int]] = {}
+
+    def on_branch(self, pc: int, instr: Instruction, taken: bool,
+                  target: int) -> None:
+        entry = self.counts.setdefault(pc, [0, 0])
+        entry[0 if taken else 1] += 1
+
+    def outcome_counts(self) -> Dict[int, Tuple[int, int]]:
+        return {pc: (taken, not_taken)
+                for pc, (taken, not_taken) in self.counts.items()}

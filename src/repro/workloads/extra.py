@@ -1,0 +1,191 @@
+"""Additional workloads beyond the calibrated experiment suites.
+
+These exercise corners the Stanford-style suites do not -- bit
+manipulation through the funnel shifter, character output, and a
+heavier mixed-recursion program -- and serve as extra end-to-end
+correctness fodder.  They are registered with category ``extra`` and
+deliberately excluded from the experiment suites, whose numbers are
+calibrated in EXPERIMENTS.md.
+"""
+
+BITCOUNT = """
+program bitcount;
+var total, i, x, count;
+
+func popcount(v);
+var c;
+begin
+    c := 0;
+    while v <> 0 do begin
+        c := c + (v - (v div 2) * 2);   { low bit }
+        v := v div 2;
+    end;
+    return c;
+end;
+
+begin
+    total := 0;
+    x := 1;
+    for i := 1 to 24 do begin
+        x := (x * 5 + 1) mod 65536;
+        total := total + popcount(x);
+    end;
+    write(total);
+    write(popcount(0));
+    write(popcount(65535));
+end.
+"""
+
+STRINGS = """
+program strings;
+var buf[32], n, i, t;
+
+proc emit(code);
+begin
+    writec(code);
+end;
+
+begin
+    { build "MIPS-X" backwards in the buffer, then print it forwards }
+    buf[0] := 'X';
+    buf[1] := '-';
+    buf[2] := 'S';
+    buf[3] := 'P';
+    buf[4] := 'I';
+    buf[5] := 'M';
+    n := 6;
+    for i := 1 to n do emit(buf[n - i]);
+    { then a digit string: print 1987 without div-by-10 helpers }
+    emit('1'); emit('9'); emit('8'); emit('7');
+end.
+"""
+
+GCD_CHAIN = """
+program gcdchain;
+var total, a, b, k;
+
+func gcd(x, y);
+begin
+    if y = 0 then return x;
+    return gcd(y, x mod y);
+end;
+
+begin
+    total := 0;
+    a := 1071;
+    b := 462;
+    for k := 1 to 20 do begin
+        total := total + gcd(a + k, b + k * 3);
+    end;
+    write(total);
+    write(gcd(270, 192));
+end.
+"""
+
+NQUEENS_COUNT = """
+program nqueens6;
+{ smaller n-queens counting variant with explicit column bitsets }
+var solutions;
+
+func solve(row, cols, diag1, diag2, n);
+var c, count, bit;
+begin
+    if row = n then return 1;
+    count := 0;
+    bit := 1;
+    c := 0;
+    while c < n do begin
+        if (cols div bit) mod 2 = 0 then
+            if (diag1 div bit) mod 2 = 0 then
+                if (diag2 div bit) mod 2 = 0 then
+                    count := count + solve(row + 1,
+                                           cols + bit,
+                                           (diag1 + bit) * 2,
+                                           (diag2 + bit) div 2,
+                                           n);
+        bit := bit * 2;
+        c := c + 1;
+    end;
+    return count;
+end;
+
+begin
+    solutions := solve(0, 0, 0, 0, 6);
+    write(solutions);    { 4 solutions for n = 6 }
+end.
+"""
+
+LISP_MAPREDUCE = """
+program mapreduce;
+var car[3001], cdr[3001], freeptr;
+
+func cons(a, d);
+var cell;
+begin
+    cell := freeptr;
+    freeptr := freeptr + 1;
+    car[cell] := a;
+    cdr[cell] := d;
+    return cell;
+end;
+
+func buildrange(n);
+var lst, i;
+begin
+    lst := 0;
+    for i := n downto 1 do lst := cons(i, lst);
+    return lst;
+end;
+
+{ map: square every element into a fresh list (order preserved) }
+func mapsquare(lst);
+begin
+    if lst = 0 then return 0;
+    return cons(car[lst] * car[lst], mapsquare(cdr[lst]));
+end;
+
+func reduceadd(lst);
+var total;
+begin
+    total := 0;
+    while lst <> 0 do begin
+        total := total + car[lst];
+        lst := cdr[lst];
+    end;
+    return total;
+end;
+
+func filterodd(lst);
+begin
+    if lst = 0 then return 0;
+    if car[lst] mod 2 = 1 then
+        return cons(car[lst], filterodd(cdr[lst]));
+    return filterodd(cdr[lst]);
+end;
+
+begin
+    freeptr := 1;
+    write(reduceadd(mapsquare(buildrange(30))));  { sum k^2, k=1..30 }
+    write(reduceadd(filterodd(buildrange(30))));  { sum of odd k <= 30 }
+end.
+"""
+
+
+def _sum_squares(n):
+    return n * (n + 1) * (2 * n + 1) // 6
+
+
+#: name -> (source, expected console output)
+EXTRA_PROGRAMS = {
+    "bitcount": (BITCOUNT, None),           # verified against golden
+    "strings": (STRINGS, []),               # output is on the char port
+    "gcdchain": (GCD_CHAIN, None),
+    "nqueens6": (NQUEENS_COUNT, [4]),
+    "mapreduce": (LISP_MAPREDUCE,
+                  [_sum_squares(30), sum(k for k in range(1, 31) if k % 2)]),
+}
+
+#: character-port expectations, keyed by name
+EXTRA_TEXT = {
+    "strings": "MIPS-X1987",
+}

@@ -1,0 +1,135 @@
+"""Floating-point workloads for the coprocessor interface studies.
+
+The coprocessor design discussion in the paper turned when "traces from
+some floating point intensive code" showed a significant fraction of FP
+instructions; the non-cached interface would have paid an Icache-miss
+penalty on every one of them.  SPL has no floating type, so these workloads
+are generated assembly: dense FPU instruction streams (``ldf``/``stf``,
+``cop`` arithmetic, compare + ``movfrc`` status reads) over vectors --
+close kin to the Linpack-style kernels of the era.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.coproc.fpu import FpuOp, float_to_word, fpu_op
+
+
+def dot_product_source(n: int = 64) -> str:
+    """Assembly for a dot product of two length-``n`` single vectors.
+
+    The inner loop is 2 ``ldf`` + 1 ``fmul`` + 1 ``fadd`` per element:
+    roughly half the executed instructions address the FPU, matching the
+    "significant percentage" the paper saw in FP-intensive traces.
+    """
+    a_words = [float_to_word(0.5 + 0.25 * i) for i in range(n)]
+    b_words = [float_to_word(2.0 - 0.015625 * i) for i in range(n)]
+    fmul = fpu_op(FpuOp.FMUL, 1, 2)       # f1 <- f1 * f2
+    fadd = fpu_op(FpuOp.FADD, 0, 1)       # f0 <- f0 + f1
+    mfc = fpu_op(FpuOp.MFC_RAW, 0)        # read f0 bits
+    lines: List[str] = [
+        "_start:",
+        "    la   t0, vec_a",
+        "    la   t1, vec_b",
+        f"    li   t2, {n}",
+        "    movtoc r0, %d(r0)" % fpu_op(FpuOp.MTC_RAW, 0),  # f0 <- 0.0
+        "loop:",
+        "    ldf  f1, 0(t0)",
+        "    ldf  f2, 0(t1)",
+        f"    cop  {fmul}(r0)",
+        f"    cop  {fadd}(r0)",
+        "    addi t0, t0, 1",
+        "    addi t1, t1, 1",
+        "    addi t2, t2, -1",
+        "    bgt  t2, r0, loop",
+        f"    movfrc t3, {mfc}(r0)",
+        "    li   t4, 0x3FFFF0",
+        "    st   t3, 0(t4)",
+        "    halt",
+        "vec_a: .word " + ", ".join(str(w) for w in a_words),
+        "vec_b: .word " + ", ".join(str(w) for w in b_words),
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def saxpy_source(n: int = 64) -> str:
+    """``y <- a*x + y`` over single-precision vectors, with a final
+    FPU-condition branch (fcmp + movfrc status + CPU branch): the paper's
+    replacement for the dropped coprocessor-branch instructions."""
+    x_words = [float_to_word(1.0 + 0.125 * i) for i in range(n)]
+    y_words = [float_to_word(float(n - i)) for i in range(n)]
+    a_word = float_to_word(1.5)
+    fmul = fpu_op(FpuOp.FMUL, 2, 3)      # f2 <- f2 * f3 (x * a)
+    fadd = fpu_op(FpuOp.FADD, 2, 4)      # f2 <- f2 + f4 (+ y)
+    fcmp = fpu_op(FpuOp.FCMP, 2, 5)      # compare result against f5
+    status = fpu_op(FpuOp.MFC_STATUS)
+    lines = [
+        "_start:",
+        "    la   t0, vec_x",
+        "    la   t1, vec_y",
+        f"    li   t2, {n}",
+        "    la   t3, scalar_a",
+        "    ldf  f3, 0(t3)",
+        "    li   t9, 0",              # count of results > 100.0
+        "    la   t4, hundred",
+        "    ldf  f5, 0(t4)",
+        "loop:",
+        "    ldf  f2, 0(t0)",
+        "    ldf  f4, 0(t1)",
+        f"    cop  {fmul}(r0)",
+        f"    cop  {fadd}(r0)",
+        "    stf  f2, 0(t1)",
+        f"    cop  {fcmp}(r0)",
+        f"    movfrc t5, {status}(r0)",
+        "    li   t6, 4",              # STATUS_GT
+        "    and  t5, t5, t6",
+        "    beq  t5, r0, next",
+        "    addi t9, t9, 1",
+        "next:",
+        "    addi t0, t0, 1",
+        "    addi t1, t1, 1",
+        "    addi t2, t2, -1",
+        "    bgt  t2, r0, loop",
+        "    li   t4, 0x3FFFF0",
+        "    st   t9, 0(t4)",
+        "    halt",
+        "scalar_a: .word %d" % a_word,
+        "hundred: .word %d" % float_to_word(100.0),
+        "vec_x: .word " + ", ".join(str(w) for w in x_words),
+        "vec_y: .word " + ", ".join(str(w) for w in y_words),
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def expected_dot_product(n: int = 64) -> float:
+    """Single-precision reference value for :func:`dot_product_source`."""
+    import struct
+
+    def single(value: float) -> float:
+        return struct.unpack("<f", struct.pack("<f", value))[0]
+
+    total = 0.0
+    for i in range(n):
+        a = single(0.5 + 0.25 * i)
+        b = single(2.0 - 0.015625 * i)
+        total = single(total + single(a * b))
+    return total
+
+
+def expected_saxpy_count(n: int = 64) -> int:
+    """Reference count of saxpy results greater than 100.0."""
+    import struct
+
+    def single(value: float) -> float:
+        return struct.unpack("<f", struct.pack("<f", value))[0]
+
+    a = single(1.5)
+    count = 0
+    for i in range(n):
+        x = single(1.0 + 0.125 * i)
+        y = single(float(n - i))
+        result = single(single(x * a) + y)
+        if result > 100.0:
+            count += 1
+    return count

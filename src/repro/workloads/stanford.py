@@ -1,0 +1,379 @@
+"""The Pascal workload suite (Stanford-benchmark analogues in SPL).
+
+The paper's evaluation ran "large Pascal benchmarks" from the Stanford
+suite through the compiler/simulator system.  These are the classic
+members -- permutations, towers of Hanoi, the eight queens, integer matrix
+multiply, bubble sort, quicksort, the sieve -- expressed in SPL, sized so a
+full cycle-accurate run stays in the hundreds of thousands of cycles.
+
+Each program writes a small, easily checkable result trail to the console,
+which the tests verify against independently computed values.
+"""
+
+PERM = """
+program perm;
+var permarray[12], pctr;
+
+proc swap(a, b);
+var t;
+begin
+    t := permarray[a];
+    permarray[a] := permarray[b];
+    permarray[b] := t;
+end;
+
+proc permute(n);
+var k;
+begin
+    pctr := pctr + 1;
+    if n <> 1 then begin
+        permute(n - 1);
+        for k := n - 1 downto 1 do begin
+            swap(n, k);
+            permute(n - 1);
+            swap(n, k);
+        end;
+    end;
+end;
+
+begin
+    pctr := 0;
+    permute(6);
+    write(pctr);   { number of calls: 1 + n * calls(n-1) pattern }
+end.
+"""
+
+TOWERS = """
+program towers;
+var stackheight[4], cellspace[19], cellnext[19], freelist, movesdone;
+
+proc makenull(s);
+begin
+    stackheight[s] := 0;
+end;
+
+func getelement();
+var temp;
+begin
+    temp := freelist;
+    freelist := cellnext[freelist];
+    return temp;
+end;
+
+proc push(i, s);
+var localel;
+begin
+    localel := getelement();
+    cellnext[localel] := stackheight[s];
+    cellspace[localel] := i;
+    stackheight[s] := localel;
+end;
+
+func pop(s);
+var temp, temp1;
+begin
+    temp := cellspace[stackheight[s]];
+    temp1 := cellnext[stackheight[s]];
+    cellnext[stackheight[s]] := freelist;
+    freelist := stackheight[s];
+    stackheight[s] := temp1;
+    return temp;
+end;
+
+proc initialize(s, n);
+var discctr;
+begin
+    makenull(s);
+    for discctr := n downto 1 do push(discctr, s);
+end;
+
+proc move(s1, s2);
+begin
+    push(pop(s1), s2);
+    movesdone := movesdone + 1;
+end;
+
+proc tower(i, j, k);
+var other;
+begin
+    if k = 1 then move(i, j)
+    else begin
+        other := 6 - i - j;
+        tower(i, other, k - 1);
+        move(i, j);
+        tower(other, j, k - 1);
+    end;
+end;
+
+begin
+    movesdone := 0;
+    freelist := 1;
+    { chain the free list: cell k -> k+1 }
+    freelist := 1;
+    cellnext[1] := 2;  cellnext[2] := 3;  cellnext[3] := 4;
+    cellnext[4] := 5;  cellnext[5] := 6;  cellnext[6] := 7;
+    cellnext[7] := 8;  cellnext[8] := 9;  cellnext[9] := 10;
+    cellnext[10] := 11; cellnext[11] := 12; cellnext[12] := 13;
+    cellnext[13] := 14; cellnext[14] := 15; cellnext[15] := 16;
+    cellnext[16] := 17; cellnext[17] := 18; cellnext[18] := 0;
+    initialize(1, 10);
+    tower(1, 2, 10);
+    write(movesdone);  { 2^10 - 1 = 1023 }
+end.
+"""
+
+QUEENS = """
+program queens;
+var acol[9], updiag[17], downdiag[32], qrow[9], solutions;
+
+proc try(c);
+var r;
+begin
+    for r := 1 to 8 do
+        if acol[r] = 1 then
+            if updiag[r + c - 1] = 1 then
+                if downdiag[r - c + 15] = 1 then begin
+                    qrow[c] := r;
+                    acol[r] := 0;
+                    updiag[r + c - 1] := 0;
+                    downdiag[r - c + 15] := 0;
+                    if c = 8 then solutions := solutions + 1
+                    else try(c + 1);
+                    acol[r] := 1;
+                    updiag[r + c - 1] := 1;
+                    downdiag[r - c + 15] := 1;
+                end;
+end;
+
+begin
+    solutions := 0;
+    for solutions := 1 to 8 do acol[solutions] := 1;
+    { mark every diagonal free }
+    solutions := 0;
+    repeat
+        solutions := solutions + 1;
+        updiag[solutions] := 1;
+    until solutions >= 16;
+    solutions := 0;
+    repeat
+        solutions := solutions + 1;
+        downdiag[solutions] := 1;
+    until solutions >= 31;
+    downdiag[0] := 1;
+    updiag[0] := 1;
+    solutions := 0;
+    try(1);
+    write(solutions);  { 92 solutions }
+end.
+"""
+
+INTMM = """
+program intmm;
+var ima[64], imb[64], imr[64], checksum, r, c;
+{ 8x8 integer matrix multiply, row-major; a[i][j] = ima[i*8+j] }
+
+proc initmatrix(which);
+var i, j, t;
+begin
+    t := 1;
+    for i := 0 to 7 do
+        for j := 0 to 7 do begin
+            t := (t * 5 + i + j) mod 31 - 15;
+            if which = 0 then ima[i * 8 + j] := t;
+            if which = 1 then imb[i * 8 + j] := t;
+        end;
+end;
+
+proc innerproduct(row, col);
+var i, sum;
+begin
+    sum := 0;
+    for i := 0 to 7 do
+        sum := sum + ima[row * 8 + i] * imb[i * 8 + col];
+    imr[row * 8 + col] := sum;
+end;
+
+begin
+    initmatrix(0);
+    initmatrix(1);
+    for r := 0 to 7 do
+        for c := 0 to 7 do
+            innerproduct(r, c);
+    checksum := 0;
+    for r := 0 to 63 do
+        checksum := checksum + imr[r];
+    write(checksum);
+end.
+"""
+
+BUBBLE = """
+program bubble;
+var sortlist[181], biggest, littlest, seed;
+
+func rand();
+begin
+    seed := (seed * 1309 + 13849) mod 65536;
+    return seed;
+end;
+
+proc initarr(n);
+var i, t;
+begin
+    seed := 74755;
+    biggest := 0;
+    littlest := 0;
+    for i := 1 to n do begin
+        t := rand() - 32768;
+        sortlist[i] := t;
+        if t > biggest then biggest := t;
+        if t < littlest then littlest := t;
+    end;
+end;
+
+begin
+    initarr(180);
+    { bubble sort }
+    biggest := 180;
+    while biggest > 1 do begin
+        littlest := 1;
+        while littlest < biggest do begin
+            if sortlist[littlest] > sortlist[littlest + 1] then begin
+                seed := sortlist[littlest];
+                sortlist[littlest] := sortlist[littlest + 1];
+                sortlist[littlest + 1] := seed;
+            end;
+            littlest := littlest + 1;
+        end;
+        biggest := biggest - 1;
+    end;
+    { verify sorted: count inversions (should be 0) and emit checks }
+    seed := 0;
+    littlest := 1;
+    while littlest < 180 do begin
+        if sortlist[littlest] > sortlist[littlest + 1] then seed := seed + 1;
+        littlest := littlest + 1;
+    end;
+    write(seed);            { 0 = sorted }
+    write(sortlist[1]);     { minimum }
+    write(sortlist[180]);   { maximum }
+end.
+"""
+
+QUICK = """
+program quick;
+var sortlist[301], seed, inversions;
+
+func rand();
+begin
+    seed := (seed * 1309 + 13849) mod 65536;
+    return seed;
+end;
+
+proc initarr(n);
+var i;
+begin
+    seed := 74755;
+    for i := 1 to n do sortlist[i] := rand() - 32768;
+end;
+
+proc quicksort(l, r);
+var i, j, x, w;
+begin
+    i := l;
+    j := r;
+    x := sortlist[(l + r) div 2];
+    repeat
+        while sortlist[i] < x do i := i + 1;
+        while x < sortlist[j] do j := j - 1;
+        if i <= j then begin
+            w := sortlist[i];
+            sortlist[i] := sortlist[j];
+            sortlist[j] := w;
+            i := i + 1;
+            j := j - 1;
+        end;
+    until i > j;
+    if l < j then quicksort(l, j);
+    if i < r then quicksort(i, r);
+end;
+
+begin
+    initarr(300);
+    quicksort(1, 300);
+    inversions := 0;
+    seed := 1;
+    while seed < 300 do begin
+        if sortlist[seed] > sortlist[seed + 1] then
+            inversions := inversions + 1;
+        seed := seed + 1;
+    end;
+    write(inversions);      { 0 = sorted }
+    write(sortlist[1]);
+    write(sortlist[300]);
+end.
+"""
+
+SIEVE = """
+program sieve;
+var flags[2001], count, i, prime, k;
+
+begin
+    count := 0;
+    for i := 2 to 2000 do flags[i] := 1;
+    for i := 2 to 2000 do
+        if flags[i] = 1 then begin
+            count := count + 1;
+            prime := i;
+            k := i + i;
+            while k <= 2000 do begin
+                flags[k] := 0;
+                k := k + prime;
+            end;
+        end;
+    write(count);   { 303 primes below 2000 }
+end.
+"""
+
+FIB = """
+program fib;
+
+func fib(n);
+begin
+    if n < 2 then return n;
+    return fib(n - 1) + fib(n - 2);
+end;
+
+begin
+    write(fib(15));  { 610 }
+end.
+"""
+
+ACKERMANN = """
+program ackermann;
+
+func ack(m, n);
+begin
+    if m = 0 then return n + 1;
+    if n = 0 then return ack(m - 1, 1);
+    return ack(m - 1, ack(m, n - 1));
+end;
+
+begin
+    write(ack(2, 4));   { 11 }
+    write(ack(3, 3));   { 61 }
+end.
+"""
+
+
+#: name -> (source, expected console output)
+PASCAL_PROGRAMS = {
+    "perm": (PERM, [1237]),            # calls of permute for n=6
+    "towers": (TOWERS, [1023]),
+    "queens": (QUEENS, [92]),
+    "intmm": (INTMM, None),            # values verified by the golden model
+    "bubble": (BUBBLE, None),
+    "quick": (QUICK, None),
+    "sieve": (SIEVE, [303]),
+    "fib": (FIB, [610]),
+    "ackermann": (ACKERMANN, [11, 61]),
+}

@@ -1,0 +1,136 @@
+"""Property test: the Icache against an independent reference model.
+
+The reference is a deliberately naive, obviously-correct implementation of
+a sub-block set-associative cache with true-LRU replacement and k-word
+fetch-back, written from the definition.  Hypothesis drives both models
+with the same address streams and demands identical hit/miss sequences.
+"""
+
+from typing import Dict, List, Optional
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import IcacheConfig
+from repro.icache import Icache
+
+
+class ReferenceCache:
+    """Textbook sub-block LRU cache (slow, simple, obviously right)."""
+
+    def __init__(self, sets: int, ways: int, block_words: int,
+                 fetchback: int):
+        self.sets = sets
+        self.ways = ways
+        self.block_words = block_words
+        self.fetchback = fetchback
+        # per set: list of (tag, {word_index}) in LRU order (front = LRU)
+        self.storage: List[List] = [[] for _ in range(sets)]
+
+    def _locate(self, address: int):
+        block = address // self.block_words
+        return block % self.sets, block // self.sets, \
+            address % self.block_words
+
+    def _find(self, index: int, tag: int) -> Optional[list]:
+        for entry in self.storage[index]:
+            if entry[0] == tag:
+                return entry
+        return None
+
+    def access(self, address: int) -> bool:
+        index, tag, word = self._locate(address)
+        entry = self._find(index, tag)
+        hit = entry is not None and word in entry[1]
+        if hit:
+            self.storage[index].remove(entry)
+            self.storage[index].append(entry)   # most recently used
+        else:
+            for fill in range(self.fetchback):
+                self._fill(address + fill)
+        return hit
+
+    def _fill(self, address: int) -> None:
+        index, tag, word = self._locate(address)
+        entry = self._find(index, tag)
+        if entry is None:
+            if len(self.storage[index]) >= self.ways:
+                self.storage[index].pop(0)      # evict LRU
+            entry = [tag, set()]
+            self.storage[index].append(entry)
+        else:
+            self.storage[index].remove(entry)
+            self.storage[index].append(entry)   # allocation touches LRU
+        entry[1].add(word)
+
+
+geometries = st.sampled_from([
+    (4, 8, 16, 2),   # the paper's organization
+    (4, 8, 16, 1),
+    (2, 4, 8, 2),
+    (8, 2, 4, 2),
+    (1, 4, 4, 2),    # fully associative
+    (16, 1, 2, 2),   # direct mapped
+    (4, 8, 16, 4),
+])
+
+
+@settings(max_examples=60, deadline=None)
+@given(geometry=geometries,
+       addresses=st.lists(st.integers(0, 4095), min_size=1, max_size=400))
+def test_icache_matches_reference_model(geometry, addresses):
+    sets, ways, block, fetchback = geometry
+    cache = Icache(IcacheConfig(sets=sets, ways=ways, block_words=block,
+                                fetchback=fetchback, replacement="lru"))
+    reference = ReferenceCache(sets, ways, block, fetchback)
+    for address in addresses:
+        expected = reference.access(address)
+        actual = cache.fetch(address).hit
+        assert actual == expected, (
+            f"divergence at address {address} "
+            f"(geometry {geometry}): cache={actual} reference={expected}")
+
+
+@settings(max_examples=40, deadline=None)
+@given(addresses=st.lists(st.integers(0, 1023), min_size=1, max_size=300))
+def test_icache_stats_invariants(addresses):
+    cache = Icache(IcacheConfig())
+    for address in addresses:
+        cache.fetch(address)
+    stats = cache.stats
+    assert stats.accesses == len(addresses)
+    assert stats.hits + stats.misses == stats.accesses
+    # the double fetch-back never fills more than 2 words per miss
+    assert stats.words_filled <= 2 * stats.misses
+    assert stats.tag_allocations <= stats.words_filled
+
+
+class SimpleDirectEcache:
+    """Reference for the external cache: a direct-mapped tag dict."""
+
+    def __init__(self, lines: int, line_words: int):
+        self.lines = lines
+        self.line_words = line_words
+        self.tags: Dict[int, int] = {}
+
+    def access(self, address: int) -> bool:
+        line = address // self.line_words
+        index = line % self.lines
+        tag = line // self.lines
+        hit = self.tags.get(index) == tag
+        self.tags[index] = tag
+        return hit
+
+
+@settings(max_examples=40, deadline=None)
+@given(addresses=st.lists(st.integers(0, 8191), min_size=1, max_size=400))
+def test_ecache_matches_reference_model(addresses):
+    from repro.core.config import EcacheConfig
+    from repro.ecache import Ecache
+
+    config = EcacheConfig(size_words=512, line_words=4, miss_penalty=8)
+    cache = Ecache(config)
+    reference = SimpleDirectEcache(lines=512 // 4, line_words=4)
+    for address in addresses:
+        expected = reference.access(address)
+        actual = cache.read(address, True) == 0
+        assert actual == expected

@@ -1,0 +1,167 @@
+"""Tests for the two control FSMs (Figures 3 and 4) and the PSW/PC units."""
+
+from repro.core import (
+    CacheMissFsm,
+    MissState,
+    PcChain,
+    PcUnit,
+    Psw,
+    PswBit,
+    SquashFsm,
+    SquashState,
+)
+
+
+class TestSquashFsm:
+    def test_starts_normal(self):
+        fsm = SquashFsm()
+        assert fsm.state is SquashState.NORMAL
+        assert not fsm.squash_line and not fsm.exception_line
+
+    def test_branch_wrong_asserts_squash_only(self):
+        fsm = SquashFsm()
+        fsm.step(exception=False, branch_wrong=True)
+        assert fsm.state is SquashState.BRANCH_SQUASH
+        assert fsm.squash_line and not fsm.exception_line
+
+    def test_exception_asserts_both_lines(self):
+        fsm = SquashFsm()
+        fsm.step(exception=True, branch_wrong=False)
+        assert fsm.state is SquashState.EXCEPTION
+        assert fsm.squash_line and fsm.exception_line
+
+    def test_exception_wins_over_branch(self):
+        fsm = SquashFsm()
+        fsm.step(exception=True, branch_wrong=True)
+        assert fsm.state is SquashState.EXCEPTION
+
+    def test_returns_to_normal(self):
+        fsm = SquashFsm()
+        fsm.step(exception=True, branch_wrong=False)
+        fsm.step(exception=False, branch_wrong=False)
+        assert fsm.state is SquashState.NORMAL
+
+    def test_transition_table_covers_all_states(self):
+        rows = SquashFsm.transition_table()
+        states = {row[0] for row in rows}
+        assert states == {state.value for state in SquashState}
+
+
+class TestCacheMissFsm:
+    def test_idle_initially(self):
+        fsm = CacheMissFsm()
+        assert not fsm.stalled
+
+    def test_two_cycle_miss_sequence(self):
+        fsm = CacheMissFsm()
+        fsm.begin_miss(2)
+        states = [fsm.state]
+        while fsm.tick():
+            states.append(fsm.state)
+        assert states == [MissState.FETCH_MISS, MissState.FETCH_NEXT]
+        assert fsm.stall_cycles == 2
+
+    def test_external_wait_inserts_wait_states(self):
+        fsm = CacheMissFsm()
+        fsm.begin_miss(2, external_cycles=3)
+        states = [fsm.state]
+        while fsm.tick():
+            states.append(fsm.state)
+        assert states[0] is MissState.FETCH_MISS
+        assert states.count(MissState.WAIT_EXTERNAL) == 3
+        assert states[-1] is MissState.FETCH_NEXT
+        assert fsm.stall_cycles == 5
+
+    def test_zero_cycle_miss_is_noop(self):
+        fsm = CacheMissFsm()
+        fsm.begin_miss(0)
+        assert not fsm.stalled
+        assert fsm.miss_sequences == 0
+
+    def test_nested_miss_rejected(self):
+        fsm = CacheMissFsm()
+        fsm.begin_miss(2)
+        try:
+            fsm.begin_miss(2)
+        except RuntimeError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("expected RuntimeError")
+
+    def test_transition_table_shape(self):
+        rows = CacheMissFsm.transition_table()
+        assert ("IDLE", "icache miss", "FETCH_MISS") in rows
+
+
+class TestPsw:
+    def test_reset_state(self):
+        psw = Psw()
+        assert psw.system_mode
+        assert psw.shift_enabled
+        assert not psw.interrupts_enabled
+        assert not psw.trap_on_overflow
+
+    def test_cause_bits_exclusive(self):
+        psw = Psw()
+        psw.set_cause(PswBit.CAUSE_OVF)
+        psw.set_cause(PswBit.CAUSE_INT)
+        assert psw.get(PswBit.CAUSE_INT)
+        assert not psw.get(PswBit.CAUSE_OVF)
+        assert psw.cause_name() == "CAUSE_INT"
+
+    def test_copy_is_independent(self):
+        psw = Psw()
+        copy = psw.copy()
+        psw.interrupts_enabled = True
+        assert not copy.interrupts_enabled
+
+    def test_named_setters(self):
+        psw = Psw()
+        psw.system_mode = False
+        psw.trap_on_overflow = True
+        assert not psw.system_mode and psw.trap_on_overflow
+
+    def test_repr_is_informative(self):
+        assert "sys" in repr(Psw())
+
+
+class TestPcChain:
+    def test_shift_records_three_pcs(self):
+        chain = PcChain()
+        chain.shift(10, 11, 12)
+        assert chain.snapshot() == [10, 11, 12]
+
+    def test_pop_returns_oldest_and_shifts(self):
+        chain = PcChain()
+        chain.shift(10, 11, 12)
+        assert chain.pop() == 10
+        assert chain.pop() == 11
+        assert chain.pop() == 12
+
+    def test_write_individual_entries(self):
+        chain = PcChain()
+        for index, value in enumerate([7, 8, 9]):
+            chain.write(index, value)
+        assert chain.read(0) == 7 and chain.read(2) == 9
+
+
+class TestPcUnit:
+    def test_increments_by_default(self):
+        unit = PcUnit(reset_pc=100)
+        unit.advance()
+        assert unit.fetch_pc == 101
+
+    def test_redirect_wins(self):
+        unit = PcUnit(reset_pc=100)
+        unit.redirect(500)
+        unit.advance()
+        assert unit.fetch_pc == 500
+        unit.advance()
+        assert unit.fetch_pc == 501
+
+    def test_vector_clears_pending_redirect(self):
+        unit = PcUnit(reset_pc=100)
+        unit.redirect(500)
+        unit.vector(0)
+        unit.advance()
+        assert unit.fetch_pc == 1

@@ -1,0 +1,244 @@
+"""Tests for the coprocessor interface and the FPU: payload routing,
+ldf/stf privileged access, data moves, comparisons, and pipeline timing."""
+
+import math
+
+import pytest
+
+from repro.asm import assemble
+from repro.coproc import (
+    Coprocessor,
+    CoprocessorError,
+    CoprocessorSet,
+    Fpu,
+    FpuOp,
+    float_to_word,
+    fpu_op,
+    make_payload,
+    word_to_float,
+)
+from repro.core import Machine, perfect_memory_config
+
+
+class TestPayloads:
+    def test_round_trip_fields(self):
+        from repro.coproc import cop_number, cop_opcode, cop_rd, cop_rs
+
+        payload = make_payload(3, 5, rd=7, rs=9)
+        assert cop_number(payload) == 3
+        assert cop_opcode(payload) == 5
+        assert cop_rd(payload) == 7
+        assert cop_rs(payload) == 9
+
+    def test_bad_number_rejected(self):
+        with pytest.raises(ValueError):
+            make_payload(0, 1)
+        with pytest.raises(ValueError):
+            make_payload(8, 1)
+
+    def test_small_payloads_fit_an_immediate(self):
+        """Payloads with registers < 16 fit the 17-bit signed offset."""
+        payload = make_payload(7, 15, rd=15, rs=15)
+        assert payload < (1 << 16)
+
+
+class TestFloatConversion:
+    @pytest.mark.parametrize("value", [0.0, 1.0, -1.0, 0.5, 3.14159, 1e30,
+                                       -2.5e-20])
+    def test_round_trip(self, value):
+        single = word_to_float(float_to_word(value))
+        assert single == pytest.approx(value, rel=1e-6)
+
+    def test_overflow_to_infinity(self):
+        assert math.isinf(word_to_float(float_to_word(1e300)))
+
+
+class TestFpuOperations:
+    def _fpu_with(self, values):
+        fpu = Fpu()
+        for index, value in enumerate(values):
+            fpu.regs[index] = value
+        return fpu
+
+    def test_fadd(self):
+        fpu = self._fpu_with([1.5, 2.25])
+        fpu.execute(fpu_op(FpuOp.FADD, fd=0, fs=1))
+        assert fpu.regs[0] == 3.75
+
+    def test_fsub_fmul_fdiv(self):
+        fpu = self._fpu_with([8.0, 2.0])
+        fpu.execute(fpu_op(FpuOp.FSUB, 0, 1))
+        assert fpu.regs[0] == 6.0
+        fpu.execute(fpu_op(FpuOp.FMUL, 0, 1))
+        assert fpu.regs[0] == 12.0
+        fpu.execute(fpu_op(FpuOp.FDIV, 0, 1))
+        assert fpu.regs[0] == 6.0
+
+    def test_fdiv_by_zero_gives_inf(self):
+        fpu = self._fpu_with([1.0, 0.0])
+        fpu.execute(fpu_op(FpuOp.FDIV, 0, 1))
+        assert math.isinf(fpu.regs[0])
+
+    def test_fneg_fabs_fmov(self):
+        fpu = self._fpu_with([0.0, -4.5])
+        fpu.execute(fpu_op(FpuOp.FABS, 0, 1))
+        assert fpu.regs[0] == 4.5
+        fpu.execute(fpu_op(FpuOp.FNEG, 2, 1))
+        assert fpu.regs[2] == 4.5
+        fpu.execute(fpu_op(FpuOp.FMOV, 3, 1))
+        assert fpu.regs[3] == -4.5
+
+    def test_fcmp_status(self):
+        from repro.coproc.fpu import STATUS_EQ, STATUS_GT, STATUS_LT
+
+        fpu = self._fpu_with([1.0, 2.0])
+        fpu.execute(fpu_op(FpuOp.FCMP, 0, 1))
+        assert fpu.status == STATUS_LT
+        fpu.execute(fpu_op(FpuOp.FCMP, 1, 0))
+        assert fpu.status == STATUS_GT
+        fpu.execute(fpu_op(FpuOp.FCMP, 0, 0))
+        assert fpu.status == STATUS_EQ
+
+    def test_single_precision_rounding(self):
+        fpu = self._fpu_with([1.0, 1e-10])
+        fpu.execute(fpu_op(FpuOp.FADD, 0, 1))
+        assert fpu.regs[0] == 1.0  # 1e-10 lost in single precision
+
+    def test_int_conversion_moves(self):
+        fpu = Fpu()
+        fpu.write_data(fpu_op(FpuOp.MTC_INT, fd=2), (-7) & 0xFFFFFFFF)
+        assert fpu.regs[2] == -7.0
+        assert fpu.read_data(fpu_op(FpuOp.MFC_INT, fd=2)) == (-7) & 0xFFFFFFFF
+
+    def test_undefined_opcode_raises(self):
+        with pytest.raises(CoprocessorError):
+            Fpu().execute(fpu_op(15))
+
+
+class TestCoprocessorSet:
+    def test_routing_by_number(self):
+        class Recorder(Coprocessor):
+            number = 3
+
+            def __init__(self):
+                self.seen = []
+
+            def execute(self, payload):
+                self.seen.append(payload)
+
+        cops = CoprocessorSet()
+        recorder = Recorder()
+        cops.attach(recorder)
+        payload = make_payload(3, 1)
+        cops.execute(payload)
+        assert recorder.seen == [payload]
+
+    def test_missing_coprocessor_raises(self):
+        with pytest.raises(CoprocessorError):
+            CoprocessorSet().execute(make_payload(5, 0))
+
+    def test_fpu_slot_is_number_one(self):
+        cops = CoprocessorSet()
+        fpu = Fpu()
+        cops.attach(fpu)
+        assert cops.fpu_slot is fpu
+
+
+class TestFpuFromPipeline:
+    def _machine(self, source):
+        machine = Machine(perfect_memory_config())
+        machine.attach_coprocessor(Fpu())
+        machine.load_program(assemble(source))
+        machine.run()
+        assert machine.halted
+        return machine
+
+    def test_ldf_fadd_stf_round_trip(self):
+        a, b = float_to_word(1.5), float_to_word(2.25)
+        source = f"""
+        _start:
+            la  t0, data
+            ldf f0, 0(t0)
+            ldf f1, 1(t0)
+            cop {fpu_op(FpuOp.FADD, 0, 1)}(r0)
+            stf f0, 2(t0)
+            halt
+        data: .word {a}, {b}
+        result: .space 1
+        """
+        machine = self._machine(source)
+        program = assemble(source)
+        word = machine.memory.system.read(program.symbols["result"])
+        assert word_to_float(word) == 3.75
+
+    def test_movtoc_movfrc_round_trip(self):
+        source = f"""
+        _start:
+            li t0, 21
+            movtoc t0, {fpu_op(FpuOp.MTC_INT, fd=3)}(r0)
+            cop {fpu_op(FpuOp.FADD, 3, 3)}(r0)
+            movfrc t1, {fpu_op(FpuOp.MFC_INT, fd=3)}(r0)
+            nop                     ; movfrc has load timing
+            mov rv, t1
+            halt
+        """
+        machine = self._machine(source)
+        assert machine.regs[3] == 42
+
+    def test_movfrc_has_load_delay_hazard(self):
+        from repro.core import HazardViolation
+
+        source = f"""
+        _start:
+            movfrc t1, {fpu_op(FpuOp.MFC_STATUS)}(r0)
+            mov rv, t1     ; hazard: uses movfrc result in its delay slot
+            halt
+        """
+        machine = Machine(perfect_memory_config())
+        machine.attach_coprocessor(Fpu())
+        machine.load_program(assemble(source))
+        with pytest.raises(HazardViolation):
+            machine.run()
+
+    def test_branch_on_fpu_condition(self):
+        """The paper's final scheme: read the status register, then branch."""
+        from repro.coproc.fpu import STATUS_LT
+
+        a, b = float_to_word(1.0), float_to_word(2.0)
+        source = f"""
+        _start:
+            la  t0, data
+            ldf f0, 0(t0)
+            ldf f1, 1(t0)
+            cop {fpu_op(FpuOp.FCMP, 0, 1)}(r0)
+            movfrc t1, {fpu_op(FpuOp.MFC_STATUS)}(r0)
+            li  t2, {STATUS_LT}
+            and t3, t1, t2
+            bne t3, r0, less
+            nop
+            nop
+            li rv, 0
+            halt
+        less:
+            li rv, 1
+            halt
+        data: .word {a}, {b}
+        """
+        machine = self._machine(source)
+        assert machine.regs[3] == 1
+
+    def test_coproc_ops_are_counted(self):
+        source = f"""
+        _start:
+            cop {fpu_op(FpuOp.FADD, 0, 0)}(r0)
+            cop {fpu_op(FpuOp.FADD, 0, 0)}(r0)
+            halt
+        """
+        machine = self._machine(source)
+        assert machine.stats.coproc_ops == 2
+
+    def test_ldf_without_fpu_raises(self):
+        machine = Machine(perfect_memory_config())
+        machine.load_program(assemble("_start: ldf f0, 0(r0)\nhalt"))
+        with pytest.raises(RuntimeError):
+            machine.run()

@@ -1,0 +1,167 @@
+"""Unit + property tests for ALU, funnel shifter, register file, MD register."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.datapath import (
+    Alu,
+    FunnelShifter,
+    MdRegister,
+    RegisterFile,
+    to_signed,
+    to_unsigned,
+)
+
+words = st.integers(0, 0xFFFFFFFF)
+
+
+class TestConversions:
+    def test_to_signed_boundaries(self):
+        assert to_signed(0) == 0
+        assert to_signed(0x7FFFFFFF) == 2**31 - 1
+        assert to_signed(0x80000000) == -(2**31)
+        assert to_signed(0xFFFFFFFF) == -1
+
+    @given(words)
+    def test_roundtrip(self, w):
+        assert to_unsigned(to_signed(w)) == w
+
+
+class TestRegisterFile:
+    def test_r0_reads_zero(self):
+        regs = RegisterFile()
+        regs.write(0, 123)
+        assert regs.read(0) == 0
+
+    def test_write_read(self):
+        regs = RegisterFile()
+        regs[5] = 0xDEADBEEF
+        assert regs[5] == 0xDEADBEEF
+
+    def test_writes_wrap_to_32_bits(self):
+        regs = RegisterFile()
+        regs[1] = 1 << 35
+        assert regs[1] == 0
+
+    def test_snapshot_is_independent(self):
+        regs = RegisterFile()
+        regs[3] = 7
+        snap = regs.snapshot()
+        regs[3] = 9
+        assert snap[3] == 7
+
+
+class TestAlu:
+    def test_add_overflow_positive(self):
+        out = Alu.add(0x7FFFFFFF, 1)
+        assert out.overflow and out.value == 0x80000000
+
+    def test_add_overflow_negative(self):
+        out = Alu.add(0x80000000, 0xFFFFFFFF)  # INT_MIN + (-1)
+        assert out.overflow
+
+    def test_add_no_overflow(self):
+        out = Alu.add(5, 7)
+        assert not out.overflow and out.value == 12
+
+    def test_sub_overflow(self):
+        out = Alu.sub(0x80000000, 1)
+        assert out.overflow
+
+    def test_unsigned_wraparound_without_signed_overflow(self):
+        out = Alu.add(0xFFFFFFFF, 1)  # -1 + 1 = 0: wraps, no signed overflow
+        assert out.value == 0 and not out.overflow
+
+    @given(a=words, b=words)
+    def test_add_matches_python_semantics(self, a, b):
+        out = Alu.add(a, b)
+        assert out.value == to_unsigned(to_signed(a) + to_signed(b))
+        assert out.overflow == (
+            not -(1 << 31) <= to_signed(a) + to_signed(b) < (1 << 31))
+
+    @given(a=words, b=words)
+    def test_sub_matches_python_semantics(self, a, b):
+        out = Alu.sub(a, b)
+        assert out.value == to_unsigned(to_signed(a) - to_signed(b))
+
+    @given(a=words, b=words)
+    def test_compare_total_order(self, a, b):
+        lt = Alu.compare("lt", a, b)
+        eq = Alu.compare("eq", a, b)
+        gt = Alu.compare("gt", a, b)
+        assert [lt, eq, gt].count(True) == 1
+        assert Alu.compare("le", a, b) == (lt or eq)
+        assert Alu.compare("ge", a, b) == (gt or eq)
+        assert Alu.compare("ne", a, b) == (not eq)
+
+
+class TestFunnelShifter:
+    @given(value=words, amount=st.integers(0, 31))
+    def test_sll_matches_python(self, value, amount):
+        assert FunnelShifter.sll(value, amount) == (value << amount) & 0xFFFFFFFF
+
+    @given(value=words, amount=st.integers(0, 31))
+    def test_srl_matches_python(self, value, amount):
+        assert FunnelShifter.srl(value, amount) == value >> amount
+
+    @given(value=words, amount=st.integers(0, 31))
+    def test_sra_matches_python(self, value, amount):
+        assert FunnelShifter.sra(value, amount) == to_unsigned(
+            to_signed(value) >> amount)
+
+    @given(value=words, amount=st.integers(0, 31))
+    def test_rotl_preserves_bits(self, value, amount):
+        rotated = FunnelShifter.rotl(value, amount)
+        assert bin(rotated).count("1") == bin(value).count("1")
+        assert FunnelShifter.rotl(rotated, (32 - amount) % 32) == value
+
+    @given(high=words, low=words, amount=st.integers(0, 32))
+    def test_funnel_window(self, high, low, amount):
+        combined = (high << 32) | low
+        expected = (combined >> (32 - amount)) & 0xFFFFFFFF if amount else high
+        assert FunnelShifter.funnel(high, low, amount) == expected
+
+
+class TestMdRegister:
+    def multiply(self, a: int, b: int) -> int:
+        """Full 32-step shift-and-add multiply using mstep."""
+        md = MdRegister()
+        md.value = b
+        acc = 0
+        operand = a
+        for _ in range(32):
+            acc = md.mstep(acc, operand).value
+            operand = (operand << 1) & 0xFFFFFFFF
+        return acc
+
+    def divide(self, a: int, b: int):
+        """Full 32-step restoring divide using dstep (unsigned)."""
+        md = MdRegister()
+        md.value = a
+        remainder = 0
+        for _ in range(32):
+            remainder = md.dstep(remainder, b).value
+        return md.value, remainder  # quotient, remainder
+
+    def test_small_multiply(self):
+        assert self.multiply(7, 6) == 42
+
+    def test_multiply_by_zero(self):
+        assert self.multiply(12345, 0) == 0
+
+    @given(a=st.integers(0, 0xFFFF), b=st.integers(0, 0xFFFF))
+    def test_multiply_matches_python(self, a, b):
+        assert self.multiply(a, b) == (a * b) & 0xFFFFFFFF
+
+    @given(a=words, b=words)
+    def test_multiply_low_word(self, a, b):
+        assert self.multiply(a, b) == (a * b) & 0xFFFFFFFF
+
+    def test_small_divide(self):
+        quotient, remainder = self.divide(43, 5)
+        assert (quotient, remainder) == (8, 3)
+
+    @given(a=words, b=st.integers(1, 0xFFFFFFFF))
+    def test_divide_matches_python(self, a, b):
+        quotient, remainder = self.divide(a, b)
+        assert quotient == a // b
+        assert remainder == a % b

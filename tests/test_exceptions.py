@@ -1,0 +1,363 @@
+"""Exception handling: halted pipeline, PC chain, trap-on-overflow,
+interrupts, and the three-jump restart sequence.
+
+The return convention (see repro.core.pipeline): the handler reloads the
+PC chain and executes ``jpc; jpc; jpcrs``.  Each jump redirects to the next
+chain entry while the following jumps ride in its delay slots -- the
+paper's "three special jumps using the contents of the PC chain" -- and
+the *last* jump restores the PSW, so PC-chain shifting stays disabled
+until every chain entry has been consumed.
+"""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import Machine, PswBit, perfect_memory_config
+
+
+def machine_for(source: str) -> Machine:
+    machine = Machine(perfect_memory_config())
+    machine.load_program(assemble(source))
+    return machine
+
+
+# PSW value with system mode + shift enable + trap-on-overflow:
+PSW_SYS_TE = (1 << PswBit.MODE) | (1 << PswBit.SHIFT_EN) | (1 << PswBit.TE)
+# PSW value with system mode + shift enable + interrupts enabled:
+PSW_SYS_IE = (1 << PswBit.MODE) | (1 << PswBit.SHIFT_EN) | (1 << PswBit.IE)
+
+
+OVERFLOW_PROGRAM = f"""
+; exception vector: count the trap, clear TE in PSWold, restart
+.org 0
+    br handler
+    nop
+    nop
+
+.org 0x40
+handler:
+    la   s0, trapcount
+    ld   s1, 0(s0)
+    nop
+    addi s1, s1, 1
+    st   s1, 0(s0)
+    ; clear the TE bit in PSWold so the re-executed add does not re-trap
+    movfrs t0, pswold
+    li    t1, {1 << PswBit.TE}
+    not   t1, t1
+    and   t0, t0, t1
+    movtos pswold, t0
+    jpc
+    jpc
+    jpcrs
+
+.org 0x100
+_start:
+    li   t9, {PSW_SYS_TE}
+    movtos psw, t9
+    li   t2, 0x7FFFFFFF
+    li   t3, 1
+    add  t4, t2, t3      ; overflows -> trap
+    li   t5, 123         ; proof that execution continues afterwards
+    halt
+
+trapcount: .word 0
+"""
+
+
+class TestOverflowTrap:
+    def test_trap_taken_and_restarted(self):
+        machine = machine_for(OVERFLOW_PROGRAM)
+        machine.run()
+        assert machine.halted
+        program = assemble(OVERFLOW_PROGRAM)
+        assert machine.memory.system.read(program.symbols["trapcount"]) == 1
+        # after restart the add completed with the wrapped value
+        assert machine.regs[14] == 0x80000000  # t4 wrapped (TE cleared)
+        assert machine.regs[15] == 123
+        assert machine.stats.exceptions == 1
+
+    def test_overflow_ignored_when_te_clear(self):
+        machine = machine_for(
+            """
+            _start:
+                li t2, 0x7FFFFFFF
+                li t3, 1
+                add t4, t2, t3
+                halt
+            """
+        )
+        machine.run()
+        assert machine.stats.exceptions == 0
+        assert machine.regs[14] == 0x80000000
+
+    def test_cause_bits_set(self):
+        source = f"""
+        .org 0
+            movfrs s4, psw     ; capture the PSW inside the handler
+            halt
+        .org 0x100
+        _start:
+            li t9, {PSW_SYS_TE}
+            movtos psw, t9
+            li t2, 0x7FFFFFFF
+            add t4, t2, t2
+            halt
+        """
+        machine = machine_for(source)
+        machine.run()
+        assert machine.regs[30] & (1 << PswBit.CAUSE_OVF)
+        assert machine.regs[30] & (1 << PswBit.MODE)
+        assert not machine.regs[30] & (1 << PswBit.SHIFT_EN)
+
+    def test_faulting_instruction_does_not_write(self):
+        source = f"""
+        .org 0
+            mov s4, t4        ; t4 at handler entry
+            halt
+        .org 0x100
+        _start:
+            li t9, {PSW_SYS_TE}
+            movtos psw, t9
+            li t4, 55
+            li t2, 0x7FFFFFFF
+            add t4, t2, t2    ; traps; must NOT update t4
+            halt
+        """
+        machine = machine_for(source)
+        machine.run()
+        assert machine.regs[30] == 55
+
+    def test_addi_never_traps(self):
+        """Address arithmetic is exempt from the overflow trap."""
+        source = f"""
+        _start:
+            li t9, {PSW_SYS_TE}
+            movtos psw, t9
+            li t2, 0x7FFFFFFF
+            addi t3, t2, 1
+            halt
+        """
+        machine = machine_for(source)
+        machine.run()
+        assert machine.stats.exceptions == 0
+        assert machine.regs[13] == 0x80000000
+
+
+class TestSoftwareTrap:
+    def test_trap_vectors_to_zero(self):
+        source = """
+        .org 0
+            li s0, 42
+            halt
+        .org 0x100
+        _start:
+            trap
+            nop
+            nop
+            li s1, 9   ; never reached
+            halt
+        """
+        machine = machine_for(source)
+        machine.run()
+        assert machine.regs[26] == 42
+        assert machine.regs[27] == 0
+        assert machine.stats.exceptions == 1
+
+    def test_trap_cause_bit(self):
+        source = """
+        .org 0
+            movfrs s4, psw
+            halt
+        .org 0x100
+        _start:
+            trap
+        """
+        machine = machine_for(source)
+        machine.run()
+        assert machine.regs[30] & (1 << PswBit.CAUSE_TRAP)
+
+
+class TestPcChain:
+    def test_chain_freezes_with_uncompleted_pcs(self):
+        source = f"""
+        .org 0
+            movfrs s0, pc1
+            movfrs s1, pc2
+            movfrs s2, pc3
+            halt
+        .org 0x100
+        _start:
+            li t9, {PSW_SYS_TE}
+            movtos psw, t9
+            li t2, 0x7FFFFFFF
+            nop                  ; pc = 0x105 (li is 1 word here)
+            add t4, t2, t2       ; faulting pc
+            nop
+            nop
+            halt
+        """
+        machine = machine_for(source)
+        machine.run()
+        program = assemble(source)
+        fault_pc = None
+        for address, instr in program.listing.items():
+            if str(instr).startswith("add t4"):
+                fault_pc = address
+        # chain = [MEM pc, ALU pc (faulter), RF pc]
+        assert machine.regs[26] == fault_pc - 1
+        assert machine.regs[27] == fault_pc
+        assert machine.regs[28] == fault_pc + 1
+
+    def test_full_restart_reexecutes_three_instructions(self):
+        machine = machine_for(OVERFLOW_PROGRAM)
+        machine.run()
+        # the instructions around the fault completed exactly once each:
+        assert machine.regs[12] == 0x7FFFFFFF  # t2
+        assert machine.regs[13] == 1           # t3
+
+
+class TestInterrupts:
+    INTERRUPT_PROGRAM = f"""
+    .org 0
+        br handler
+        nop
+        nop
+    .org 0x40
+    handler:
+        la  s0, flag
+        li  s1, 1
+        st  s1, 0(s0)
+        jpc
+        jpc
+        jpcrs
+    .org 0x100
+    _start:
+        li t9, {PSW_SYS_IE}
+        movtos psw, t9
+        la t0, flag
+    spin:
+        ld t1, 0(t0)
+        nop
+        beq t1, r0, spin
+        nop
+        nop
+        li rv, 7
+        halt
+    flag: .word 0
+    """
+
+    def test_interrupt_breaks_spin_loop(self):
+        machine = machine_for(self.INTERRUPT_PROGRAM)
+        for _ in range(60):
+            machine.step()
+        machine.post_interrupt(cause_bits=0x4)
+        machine.run(max_cycles=100_000)
+        assert machine.halted
+        assert machine.regs[3] == 7
+        assert machine.stats.interrupts == 1
+
+    def test_masked_interrupt_not_taken(self):
+        source = """
+        _start:
+            li t0, 100
+        loop:
+            addi t0, t0, -1
+            bgt t0, r0, loop
+            nop
+            nop
+            halt
+        """
+        machine = machine_for(source)
+        for _ in range(20):
+            machine.step()
+        machine.post_interrupt()  # IE is clear at reset
+        machine.run()
+        assert machine.halted
+        assert machine.stats.interrupts == 0
+
+    def test_nmi_taken_even_when_masked(self):
+        source = """
+        .org 0
+            li s0, 5
+            halt
+        .org 0x100
+        _start:
+            br _start
+            nop
+            nop
+        """
+        machine = machine_for(source)
+        for _ in range(30):
+            machine.step()
+        machine.post_interrupt(nmi=True)
+        machine.run(max_cycles=10_000)
+        assert machine.halted
+        assert machine.regs[26] == 5
+        psw = machine.pipeline.psw_old  # PSW at handler was exception PSW?
+        assert machine.stats.interrupts == 1
+
+    def test_icu_reports_cause(self):
+        source = """
+        .org 0
+            li  t0, 0x3FFFE0
+            ld  s0, 0(t0)    ; read-and-clear pending causes from the ICU
+            nop
+            halt
+        .org 0x100
+        _start:
+            br _start
+            nop
+            nop
+        """
+        machine = machine_for(source)
+        for _ in range(30):
+            machine.step()
+        machine.post_interrupt(cause_bits=0x9, nmi=True)
+        machine.run(max_cycles=10_000)
+        assert machine.regs[26] == 0x9
+        assert machine.memory.icu.pending == 0
+
+
+class TestAddressSpaces:
+    def test_fetch_uses_mode_selected_space(self):
+        """The same address runs different code in system vs user space."""
+        system_program = assemble("_start: li rv, 1\nhalt")
+        user_program = assemble("_start: li rv, 2\nhalt")
+        machine = Machine(perfect_memory_config())
+        machine.memory.system.load_image(system_program.image)
+        machine.memory.user.load_image(user_program.image)
+        machine.pipeline.reset(system_program.entry)
+        machine.run()
+        assert machine.regs[3] == 1
+
+    def test_data_spaces_are_separate(self):
+        machine = Machine(perfect_memory_config())
+        machine.memory.system.write(100, 11)
+        machine.memory.user.write(100, 22)
+        assert machine.memory.read(100, system_mode=True) == 11
+        assert machine.memory.read(100, system_mode=False) == 22
+
+
+class TestSquashExceptionSharing:
+    """The paper's point: exceptions and branch squashing share hardware."""
+
+    def test_squash_fsm_used_for_both(self):
+        source = """
+        .org 0
+            halt
+        .org 0x100
+        _start:
+            li t0, 1
+            bnesq t0, t0, away    ; wrong-way squash
+            nop
+            nop
+            trap                  ; exception
+        away: halt
+        """
+        machine = machine_for(source)
+        machine.run()
+        fsm = machine.pipeline.squash_fsm
+        assert fsm.transitions >= 2  # entered BRANCH_SQUASH and EXCEPTION
+        assert machine.stats.branch_squashes == 1
+        assert machine.stats.exceptions == 1

@@ -1,0 +1,145 @@
+"""Tests for the instruction-level golden simulator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.asm import assemble
+from repro.coproc import Fpu, FpuOp, float_to_word, fpu_op
+from repro.core.golden import GoldenError, GoldenSimulator, run_golden
+
+
+def run(source, max_instructions=1_000_000):
+    sim = GoldenSimulator()
+    sim.load_program(assemble(source))
+    sim.run(max_instructions)
+    return sim
+
+
+class TestNaiveSemantics:
+    def test_branch_takes_effect_immediately(self):
+        """Golden = naive: no delay slots at all."""
+        sim = run("""
+        _start:
+            li t0, 1
+            beq t0, t0, over
+            li t1, 99     ; must NOT execute (no slots in naive code)
+        over:
+            halt
+        """)
+        assert sim.regs[11] == 0
+
+    def test_load_result_immediately_usable(self):
+        sim = run("""
+        _start:
+            la t0, v
+            ld t1, 0(t0)
+            add t2, t1, t1   ; immediate use: fine in naive semantics
+            halt
+        v: .word 21
+        """)
+        assert sim.regs[12] == 42
+
+    def test_jspci_link_is_next_instruction(self):
+        sim = run("""
+        _start:
+            call f
+            li t0, 7      ; return lands here directly (no slots)
+            halt
+        f:  ret
+        """)
+        assert sim.regs[10] == 7
+
+    def test_instruction_counting(self):
+        sim = run("_start: nop\nnop\nnop\nhalt")
+        assert sim.instructions == 4
+
+    def test_console_and_memory(self):
+        sim = run("""
+        _start:
+            li t0, 5
+            la t1, cell
+            st t0, 0(t1)
+            li a0, 0x3FFFF0
+            st t0, 0(a0)
+            halt
+        cell: .space 1
+        """)
+        assert sim.console.values == [5]
+
+    def test_runaway_raises(self):
+        sim = GoldenSimulator()
+        sim.load_program(assemble("_start: br _start"))
+        with pytest.raises(GoldenError):
+            sim.run(1000)
+
+    def test_md_register_ops(self):
+        sim = run("""
+        _start:
+            li t0, 6
+            movtos md, t0
+            movfrs t1, md
+            mstep t2, r0, t0   ; md bit0 = 0 -> t2 = 0, md -> 3
+            mstep t3, r0, t0   ; md bit0 = 1 -> t3 = 6
+            halt
+        """)
+        assert sim.regs[11] == 6
+        assert sim.regs[12] == 0
+        assert sim.regs[13] == 6
+
+    def test_fpu_via_golden(self):
+        a, b = float_to_word(2.0), float_to_word(0.5)
+        source = f"""
+        _start:
+            la t0, data
+            ldf f0, 0(t0)
+            ldf f1, 1(t0)
+            cop {fpu_op(FpuOp.FMUL, 0, 1)}(r0)
+            movfrc t1, {fpu_op(FpuOp.MFC_RAW, 0)}(r0)
+            li a0, 0x3FFFF0
+            st t1, 0(a0)
+            halt
+        data: .word {a}, {b}
+        """
+        sim = GoldenSimulator()
+        sim.coprocessors.attach(Fpu())
+        sim.load_program(assemble(source))
+        sim.run(1000)
+        assert sim.console.values == [float_to_word(1.0)]
+
+    def test_ldf_without_fpu_raises(self):
+        sim = GoldenSimulator()
+        sim.load_program(assemble("_start: ldf f0, 0(r0)\nhalt"))
+        with pytest.raises(GoldenError):
+            sim.run(100)
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=st.integers(-(1 << 31), (1 << 31) - 1),
+       b=st.integers(-(1 << 31), (1 << 31) - 1),
+       shamt=st.integers(0, 31))
+def test_golden_matches_pipeline_on_straightline_alu(a, b, shamt):
+    """The two simulators must agree instruction-for-instruction on
+    arithmetic (the golden model is the semantic oracle)."""
+    from repro.core import Machine, perfect_memory_config
+
+    source = f"""
+    _start:
+        li t0, {a}
+        li t1, {b}
+        add t2, t0, t1
+        sub t3, t0, t1
+        and t4, t0, t1
+        or  t5, t0, t1
+        xor t6, t0, t1
+        sll t7, t0, {shamt}
+        srl t8, t0, {shamt}
+        sra t9, t0, {shamt}
+        not s0, t0
+        halt
+    """
+    golden = run_golden(assemble(source))
+    machine = Machine(perfect_memory_config())
+    machine.load_program(assemble(source))
+    machine.run(1000)
+    for register in range(10, 27):
+        assert machine.regs[register] == golden.regs[register]

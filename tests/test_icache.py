@@ -1,0 +1,202 @@
+"""Tests for the on-chip instruction cache: organization, sub-block
+placement, double fetch-back, replacement, and live-pipeline timing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.asm import assemble
+from repro.core import IcacheConfig, Machine, MachineConfig, perfect_memory_config
+from repro.icache import Icache, contents_invariants, simulate
+
+
+def paper_config(**overrides) -> IcacheConfig:
+    return IcacheConfig(**overrides)
+
+
+class TestGeometry:
+    def test_paper_organization_totals(self):
+        config = paper_config()
+        assert config.total_words == 512
+        assert config.tags == 32
+        assert config.valid_bits == 512
+
+    def test_first_access_misses_then_hits(self):
+        cache = Icache(paper_config())
+        assert not cache.fetch(100).hit
+        assert cache.fetch(100).hit
+
+    def test_double_fetchback_covers_next_word(self):
+        cache = Icache(paper_config(fetchback=2))
+        result = cache.fetch(100)
+        assert result.fill_addresses == [100, 101]
+        assert cache.fetch(101).hit
+
+    def test_single_fetchback_does_not_cover_next_word(self):
+        cache = Icache(paper_config(fetchback=1))
+        cache.fetch(100)
+        assert not cache.fetch(101).hit
+
+    def test_subblock_fill_keeps_other_words_invalid(self):
+        cache = Icache(paper_config())
+        cache.fetch(0)  # fills words 0, 1 of block 0
+        assert cache.lookup(0) and cache.lookup(1)
+        assert not cache.lookup(2)
+        assert not cache.lookup(15)
+
+    def test_subblock_miss_same_tag_does_not_allocate(self):
+        cache = Icache(paper_config())
+        cache.fetch(0)
+        allocations = cache.stats.tag_allocations
+        cache.fetch(4)  # same block, different word
+        assert cache.stats.tag_allocations == allocations
+
+    def test_fetchback_across_block_boundary(self):
+        cache = Icache(paper_config())
+        cache.fetch(15)  # last word of block 0; next word is block 1
+        assert cache.lookup(15)
+        assert cache.lookup(16)
+        assert cache.stats.tag_allocations == 2
+
+    def test_set_mapping(self):
+        """Blocks map to sets by block address modulo the number of sets."""
+        cache = Icache(paper_config())
+        # addresses 0 and 4*16=64 share set 0; fill 8 ways + 1 to evict
+        addresses = [k * 4 * 16 for k in range(9)]
+        for address in addresses:
+            cache.fetch(address)
+        assert not cache.fetch(addresses[0]).hit  # LRU victim was block 0
+
+    def test_mode_bit_in_tag(self):
+        cache = Icache(paper_config())
+        cache.fetch(100, system_mode=True)
+        assert not cache.fetch(100, system_mode=False).hit
+
+
+class TestReplacement:
+    def _fill_set_zero(self, cache):
+        stride = cache.config.sets * cache.config.block_words
+        for k in range(cache.config.ways):
+            cache.fetch(k * stride)
+        return stride
+
+    def test_lru_evicts_least_recently_used(self):
+        cache = Icache(paper_config(replacement="lru"))
+        stride = self._fill_set_zero(cache)
+        cache.fetch(0)                      # make way for block 0 most recent
+        cache.fetch(cache.config.ways * stride)  # evicts block 1*stride
+        assert cache.fetch(0).hit
+        assert not cache.fetch(stride).hit
+
+    def test_fifo_ignores_recency(self):
+        cache = Icache(paper_config(replacement="fifo"))
+        stride = self._fill_set_zero(cache)
+        cache.fetch(0)                      # touch; FIFO does not care
+        cache.fetch(cache.config.ways * stride)  # evicts block 0 (oldest)
+        assert not cache.fetch(0).hit
+
+    def test_random_is_deterministic_across_runs(self):
+        addresses = [(k * 7919) % 4096 for k in range(2000)]
+        a = simulate(paper_config(replacement="random"), addresses)
+        b = simulate(paper_config(replacement="random"), addresses)
+        assert a.misses == b.misses
+
+
+class TestTraceSimulation:
+    def test_sequential_code_misses_once_per_fetchback(self):
+        stats = simulate(paper_config(), range(256))
+        assert stats.misses == 128  # every other word missed (fetchback 2)
+        assert stats.miss_rate == pytest.approx(0.5)
+
+    def test_small_loop_runs_entirely_from_cache(self):
+        trace = list(range(20)) * 50
+        stats = simulate(paper_config(), trace)
+        assert stats.misses == 10  # only the cold fills
+        assert stats.miss_rate < 0.02
+
+    def test_loop_larger_than_cache_thrashes(self):
+        trace = list(range(2048)) * 4
+        stats = simulate(paper_config(), trace)
+        assert stats.miss_rate > 0.4
+
+    def test_double_fetchback_halves_sequential_misses(self):
+        trace = list(range(400))
+        single = simulate(paper_config(fetchback=1), trace)
+        double = simulate(paper_config(fetchback=2), trace)
+        assert double.misses == single.misses / 2
+
+    def test_average_fetch_cost_formula(self):
+        stats = simulate(paper_config(), range(256))
+        assert stats.average_fetch_cost(2) == pytest.approx(1 + 0.5 * 2)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 8191), min_size=1, max_size=400))
+    def test_structural_invariants_hold(self, addresses):
+        cache = Icache(paper_config())
+        cache.simulate_trace(addresses)
+        assert all(contents_invariants(cache).values())
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 8191), min_size=1, max_size=300))
+    def test_repeat_fetch_always_hits(self, addresses):
+        """Immediately refetching the same address must hit (inclusion of
+        the just-filled word)."""
+        cache = Icache(paper_config())
+        for address in addresses:
+            cache.fetch(address)
+            assert cache.fetch(address).hit
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(0, 4095), min_size=1, max_size=300),
+           st.sampled_from(["lru", "fifo", "random"]))
+    def test_miss_count_bounded_by_accesses(self, addresses, policy):
+        stats = simulate(paper_config(replacement=policy), addresses)
+        assert 0 <= stats.misses <= stats.accesses
+        assert stats.words_filled >= stats.misses
+
+
+class TestLivePipelineTiming:
+    def _machine(self, source, **icache_overrides):
+        config = MachineConfig()
+        config.icache = IcacheConfig(**icache_overrides)
+        config.ecache.enabled = False  # isolate Icache timing
+        machine = Machine(config)
+        machine.load_program(assemble(source))
+        machine.run()
+        assert machine.halted
+        return machine
+
+    def test_each_miss_stalls_two_cycles(self):
+        source = "nop\n" * 20 + "halt"
+        machine = self._machine(source)
+        stats = machine.stats
+        assert stats.icache_stall_cycles == machine.icache.stats.misses * 2
+        # 21 program words plus the two fetches that trail the halt before
+        # it resolves -> 23 sequential fetches -> 12 double-fetch misses
+        assert machine.icache.stats.misses == 12
+
+    def test_warm_loop_has_no_stalls_after_first_pass(self):
+        source = """
+        _start:
+            li t0, 50
+        loop:
+            addi t0, t0, -1
+            bgt t0, r0, loop
+            nop
+            nop
+            halt
+        """
+        machine = self._machine(source)
+        # cold misses only: the loop body is 4 words + prologue/halt
+        assert machine.icache.stats.misses <= 6
+
+    def test_disabled_cache_pays_per_fetch(self):
+        source = "nop\nnop\nnop\nhalt"
+        machine = self._machine(source, enabled=False, miss_cycles=2)
+        stats = machine.stats
+        assert stats.icache_stall_cycles == 2 * stats.fetched
+
+    def test_cache_miss_fsm_sequences_recorded(self):
+        machine = self._machine("nop\nnop\nnop\nhalt")
+        fsm = machine.pipeline.miss_fsm
+        assert fsm.miss_sequences == machine.icache.stats.misses
+        assert fsm.stall_cycles == machine.stats.icache_stall_cycles

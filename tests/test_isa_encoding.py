@@ -1,0 +1,187 @@
+"""Unit and property tests for instruction encoding/decoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import Instruction, Opcode, Funct, SpecialReg, decode, encode
+from repro.isa import instruction as I
+from repro.isa.encoding import DecodeError, EncodingError
+from repro.isa.opcodes import BRANCH_OPCODES, MEMORY_OPCODES, Format, format_of
+
+
+class TestFieldPlacement:
+    def test_opcode_in_top_bits(self):
+        word = encode(I.ld(3, 4, 100))
+        assert (word >> 27) == int(Opcode.LD)
+
+    def test_src_fields_shared_across_formats(self):
+        for instr in [I.ld(3, 4, 0), I.beq(4, 3, 0), I.add(9, 4, 3)]:
+            word = encode(instr)
+            assert (word >> 22) & 0x1F == 4
+            assert (word >> 17) & 0x1F == 3
+
+    def test_squash_bit_is_bit_zero(self):
+        assert encode(I.beq(1, 2, 4, squash=True)) & 1 == 1
+        assert encode(I.beq(1, 2, 4, squash=False)) & 1 == 0
+
+    def test_nop_is_all_zero_fields(self):
+        assert encode(I.nop()) == 0
+
+    def test_zero_word_decodes_to_nop(self):
+        assert decode(0).is_nop
+
+
+class TestRoundTrips:
+    CASES = [
+        I.nop(),
+        I.halt(),
+        I.add(5, 6, 7),
+        I.sub(1, 2, 3),
+        I.and_(31, 30, 29),
+        I.or_(1, 0, 2),
+        I.xor(9, 9, 9),
+        I.not_(4, 5),
+        I.sll(3, 4, 31),
+        I.srl(3, 4, 1),
+        I.sra(3, 4, 16),
+        I.rotl(3, 4, 7),
+        I.mstep(8, 9, 10),
+        I.dstep(8, 9, 10),
+        I.movfrs(7, SpecialReg.PSW),
+        I.movtos(SpecialReg.MD, 6),
+        I.movfrs(1, SpecialReg.PC3),
+        I.trap(),
+        I.jpc(),
+        I.jpcrs(),
+        I.ld(1, 2, -65536),
+        I.st(1, 2, 65535),
+        I.ldf(15, 2, 44),
+        I.stf(0, 31, -1),
+        I.addi(10, 0, -32768),
+        I.jspci(2, 0, 4096),
+        I.cop(0, 0x1234),
+        I.movtoc(5, 0, 0x29),
+        I.movfrc(6, 0, 0x51),
+        I.beq(1, 2, -4, squash=True),
+        I.bne(1, 2, 4),
+        I.blt(3, 4, 100, squash=True),
+        I.ble(3, 4, -100),
+        I.bgt(5, 6, 32767),
+        I.bge(5, 6, -32768),
+    ]
+
+    @pytest.mark.parametrize("instr", CASES, ids=lambda i: str(i))
+    def test_round_trip(self, instr):
+        assert decode(encode(instr)) == instr
+
+
+class TestRangeChecks:
+    def test_memory_offset_overflow(self):
+        with pytest.raises(EncodingError):
+            encode(I.ld(1, 2, 1 << 16))
+
+    def test_memory_offset_underflow(self):
+        with pytest.raises(EncodingError):
+            encode(I.ld(1, 2, -(1 << 16) - 1))
+
+    def test_branch_disp_overflow(self):
+        with pytest.raises(EncodingError):
+            encode(I.beq(1, 2, 1 << 15))
+
+    def test_undefined_opcode_raises(self):
+        with pytest.raises(DecodeError):
+            decode(31 << 27)
+
+    def test_undefined_funct_raises(self):
+        with pytest.raises(DecodeError):
+            decode(0x7F << 5)  # COMPUTE with funct 127
+
+
+class TestFormats:
+    def test_format_partition(self):
+        for opcode in Opcode:
+            fmt = format_of(opcode)
+            if opcode in BRANCH_OPCODES:
+                assert fmt is Format.BRANCH
+            elif opcode in MEMORY_OPCODES:
+                assert fmt is Format.MEMORY
+            else:
+                assert fmt is Format.COMPUTE
+
+    def test_branch_inverse_is_involution(self):
+        from repro.isa.opcodes import BRANCH_INVERSE
+
+        for opcode, inverse in BRANCH_INVERSE.items():
+            assert BRANCH_INVERSE[inverse] == opcode
+
+
+# ---------------------------------------------------------------- property
+regs = st.integers(min_value=0, max_value=31)
+
+
+@given(rb=regs, rd=regs, off=st.integers(-(1 << 16), (1 << 16) - 1))
+def test_memory_format_roundtrip(rb, rd, off):
+    instr = I.ld(rd, rb, off)
+    assert decode(encode(instr)) == instr
+
+
+@given(r1=regs, r2=regs, disp=st.integers(-(1 << 15), (1 << 15) - 1),
+       squash=st.booleans(),
+       opcode=st.sampled_from(sorted(BRANCH_OPCODES)))
+def test_branch_format_roundtrip(r1, r2, disp, squash, opcode):
+    instr = I.branch(opcode, r1, r2, disp, squash)
+    assert decode(encode(instr)) == instr
+
+
+@given(rd=regs, r1=regs, r2=regs,
+       funct=st.sampled_from([Funct.ADD, Funct.SUB, Funct.AND, Funct.OR,
+                              Funct.XOR, Funct.MSTEP, Funct.DSTEP]))
+def test_compute_format_roundtrip(rd, r1, r2, funct):
+    instr = Instruction(Opcode.COMPUTE, src1=r1, src2=r2, dst=rd, funct=funct)
+    assert decode(encode(instr)) == instr
+
+
+@given(word=st.integers(0, 0xFFFFFFFF))
+def test_decode_never_crashes_or_reencodes_wrong(word):
+    """Any word either fails loudly or round-trips exactly."""
+    try:
+        instr = decode(word)
+    except DecodeError:
+        return
+    assert encode(instr) == word
+
+
+class TestInstructionQueries:
+    def test_writes_register_for_loads(self):
+        assert I.ld(7, 1, 0).writes_register() == 7
+        assert I.ld(0, 1, 0).writes_register() is None
+
+    def test_store_writes_nothing(self):
+        assert I.st(7, 1, 0).writes_register() is None
+
+    def test_branch_reads_both_sources(self):
+        assert set(I.beq(3, 4, 1).reads_registers()) == {3, 4}
+
+    def test_shift_reads_one_source(self):
+        assert I.sll(1, 2, 3).reads_registers() == (2,)
+
+    def test_jspci_is_jump_and_writes_link(self):
+        instr = I.jspci(2, 0, 100)
+        assert instr.is_jump and not instr.is_branch
+        assert instr.writes_register() == 2
+
+    def test_movfrc_has_load_semantics(self):
+        instr = I.movfrc(5, 0, 9)
+        assert instr.writes_register() == 5
+        assert instr.is_coprocessor
+
+    def test_memory_access_classification(self):
+        assert I.ld(1, 2, 0).is_memory_access
+        assert I.stf(1, 2, 0).is_memory_access
+        assert not I.cop(0, 9).is_memory_access
+        assert not I.addi(1, 2, 3).is_memory_access
+
+    def test_str_forms_are_parseable_mnemonics(self):
+        assert str(I.nop()) == "nop"
+        assert str(I.beq(0, 0, 4, squash=True)).startswith("beqsq")
+        assert "ld" in str(I.ld(10, 1, 4))

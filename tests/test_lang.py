@@ -1,0 +1,361 @@
+"""Tests for the SPL compiler: lexer, parser, semantics, code generation,
+and end-to-end execution on both the golden model and the pipeline."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Machine, perfect_memory_config
+from repro.core.golden import GoldenSimulator
+from repro.lang import (
+    LexError,
+    ParseError,
+    SemanticError,
+    compile_spl,
+    parse_program,
+    tokenize,
+)
+from repro.lang.ast_nodes import Binary, For, FuncDecl, If, Number, While
+
+
+def run_golden_src(source, max_instructions=5_000_000):
+    sim = GoldenSimulator()
+    sim.load_program(compile_spl(source, scheme=None).naive_program())
+    sim.run(max_instructions)
+    return sim.console.values
+
+
+def run_pipeline_src(source, max_cycles=5_000_000):
+    machine = Machine(perfect_memory_config())
+    machine.load_program(compile_spl(source).program())
+    machine.run(max_cycles)
+    assert machine.halted
+    return machine.console.values
+
+
+def both(source):
+    golden = run_golden_src(source)
+    pipeline = run_pipeline_src(source)
+    assert golden == pipeline
+    return golden
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("BEGIN End wHiLe")
+        assert [t.text for t in tokens[:-1]] == ["begin", "end", "while"]
+
+    def test_numbers_and_hex(self):
+        tokens = tokenize("42 0x2A")
+        assert tokens[0].value == 42
+        assert tokens[1].value == 42
+
+    def test_char_literal(self):
+        assert tokenize("'A'")[0].value == 65
+
+    def test_comments_stripped(self):
+        tokens = tokenize("a { comment } b // line\nc")
+        assert [t.text for t in tokens[:-1]] == ["a", "b", "c"]
+
+    def test_two_char_symbols(self):
+        kinds = [t.kind for t in tokenize(":= <> <= >=")[:-1]]
+        assert kinds == [":=", "<>", "<=", ">="]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(LexError):
+            tokenize("{ never ends")
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n\nc")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 4]
+
+
+class TestParser:
+    def test_minimal_program(self):
+        tree = parse_program("program p; begin end.")
+        assert tree.name == "p"
+        assert tree.main.body == []
+
+    def test_declarations(self):
+        tree = parse_program(
+            "program p; var a, b[10]; func f(x); begin end; begin end.")
+        assert tree.globals[0].size is None
+        assert tree.globals[1].size == 10
+        assert isinstance(tree.functions[0], FuncDecl)
+
+    def test_if_then_else_without_semicolon(self):
+        tree = parse_program(
+            "program p; var x; begin if x = 1 then x := 2 else x := 3; end.")
+        statement = tree.main.body[0]
+        assert isinstance(statement, If)
+        assert statement.else_body is not None
+
+    def test_operator_precedence(self):
+        tree = parse_program("program p; var x; begin x := 1 + 2 * 3; end.")
+        value = tree.main.body[0].value
+        assert isinstance(value, Binary) and value.op == "+"
+        assert isinstance(value.right, Binary) and value.right.op == "*"
+
+    def test_comparison_binds_loosest(self):
+        tree = parse_program(
+            "program p; var x; begin while x + 1 < 2 * 3 do x := 1; end.")
+        condition = tree.main.body[0].condition
+        assert condition.op == "<"
+
+    def test_for_downto(self):
+        tree = parse_program(
+            "program p; var i; begin for i := 10 downto 1 do i := i; end.")
+        assert tree.main.body[0].down
+
+    def test_missing_dot(self):
+        with pytest.raises(ParseError):
+            parse_program("program p; begin end")
+
+    def test_bad_statement(self):
+        with pytest.raises(ParseError):
+            parse_program("program p; begin 42; end.")
+
+
+class TestSemantics:
+    def test_undefined_variable(self):
+        with pytest.raises(SemanticError):
+            compile_spl("program p; begin x := 1; end.")
+
+    def test_undefined_function(self):
+        with pytest.raises(SemanticError):
+            compile_spl("program p; begin f(); end.")
+
+    def test_arity_mismatch(self):
+        with pytest.raises(SemanticError):
+            compile_spl(
+                "program p; func f(a); begin end; begin f(1, 2); end.")
+
+    def test_array_used_as_scalar(self):
+        with pytest.raises(SemanticError):
+            compile_spl("program p; var a[4]; begin a := 1; end.")
+
+    def test_scalar_indexed(self):
+        with pytest.raises(SemanticError):
+            compile_spl("program p; var a; begin a[0] := 1; end.")
+
+    def test_duplicate_global(self):
+        with pytest.raises(SemanticError):
+            compile_spl("program p; var a; var a; begin end.")
+
+    def test_too_many_parameters(self):
+        with pytest.raises(SemanticError):
+            compile_spl("program p; func f(a,b,c,d,e,f2,g); begin end; "
+                        "begin end.")
+
+
+class TestExecution:
+    def test_arithmetic(self):
+        assert both("""
+            program p; begin
+                write(2 + 3 * 4);
+                write((2 + 3) * 4);
+                write(10 - 2 - 3);
+                write(-5 + 3);
+            end.""") == [14, 20, 5, -2]
+
+    def test_division_semantics(self):
+        """Pascal div truncates toward zero; mod follows the dividend."""
+        assert both("""
+            program p; begin
+                write(17 div 5);  write(17 mod 5);
+                write(-17 div 5); write(-17 mod 5);
+                write(17 div -5); write(17 mod -5);
+                write(1000000 div 7);
+                write(5 div 0);   { convention: q=0 }
+            end.""") == [3, 2, -3, -2, -3, 2, 142857, 0]
+
+    def test_comparisons_as_values(self):
+        assert both("""
+            program p; var x; begin
+                x := 3;
+                write(x > 2); write(x > 3); write(x >= 3);
+                write(x < 2); write(x <= 3); write(x = 3); write(x <> 3);
+            end.""") == [1, 0, 1, 0, 1, 1, 0]
+
+    def test_while_greater_boundary(self):
+        """Regression: 'while n > 0' must not run an extra iteration."""
+        assert both("""
+            program p; var n, count; begin
+                n := 3; count := 0;
+                while n > 0 do begin count := count + 1; n := n - 1; end;
+                write(count);
+                n := 0;
+                while n > 0 do n := n - 1;
+                write(n);
+            end.""") == [3, 0]
+
+    def test_short_circuit_and_or(self):
+        # g() must not run when the left side decides
+        assert both("""
+            program p; var calls;
+            func g(v); begin calls := calls + 1; return v; end;
+            begin
+                calls := 0;
+                if 0 = 1 and g(1) = 1 then write(99);
+                write(calls);
+                if 1 = 1 or g(1) = 1 then write(7);
+                write(calls);
+            end.""") == [0, 7, 0]
+
+    def test_not_operator(self):
+        assert both("""
+            program p; var x; begin
+                x := 0;
+                if not (x = 1) then write(1);
+                write(not 0); write(not 5);
+            end.""") == [1, 1, 0]
+
+    def test_for_loops(self):
+        assert both("""
+            program p; var i, s; begin
+                s := 0;
+                for i := 1 to 5 do s := s + i;
+                write(s);
+                for i := 5 downto 1 do s := s - i;
+                write(s);
+                for i := 3 to 2 do s := s + 100;  { zero iterations }
+                write(s);
+            end.""") == [15, 0, 0]
+
+    def test_repeat_until(self):
+        assert both("""
+            program p; var i; begin
+                i := 0;
+                repeat i := i + 1; until i >= 4;
+                write(i);
+            end.""") == [4]
+
+    def test_arrays_global_and_local(self):
+        assert both("""
+            program p; var g[10];
+            func f(n);
+            var a[5], i;
+            begin
+                for i := 0 to 4 do a[i] := i * n;
+                return a[0] + a[1] + a[4];
+            end;
+            begin
+                g[3] := 33;
+                g[4] := g[3] + 1;
+                write(g[4]);
+                write(f(10));
+            end.""") == [34, 50]
+
+    def test_recursion_gcd(self):
+        assert both("""
+            program p;
+            func gcd(a, b);
+            begin
+                if b = 0 then return a;
+                return gcd(b, a mod b);
+            end;
+            begin
+                write(gcd(1071, 462));
+                write(gcd(17, 5));
+            end.""") == [21, 1]
+
+    def test_mutual_recursion(self):
+        assert both("""
+            program p;
+            func isodd(n);
+            begin
+                if n = 0 then return 0;
+                return iseven(n - 1);
+            end;
+            func iseven(n);
+            begin
+                if n = 0 then return 1;
+                return isodd(n - 1);
+            end;
+            begin
+                write(iseven(10)); write(isodd(10)); write(isodd(7));
+            end.""") == [1, 0, 1]
+
+    def test_six_arguments(self):
+        assert both("""
+            program p;
+            func addall(a, b, c, d, e, f);
+            begin return a + b + c + d + e + f; end;
+            begin write(addall(1, 2, 3, 4, 5, 6)); end.""") == [21]
+
+    def test_deep_expression_spilling(self):
+        """Nested calls inside expressions exercise call-site spills."""
+        assert both("""
+            program p;
+            func sq(x); begin return x * x; end;
+            begin
+                write(sq(2) + sq(3) * sq(4) - sq(sq(2)));
+                write(sq(1 + sq(2)) + 1);
+            end.""") == [4 + 9 * 16 - 16, 26]
+
+    def test_writec(self):
+        machine = Machine(perfect_memory_config())
+        machine.load_program(compile_spl("""
+            program p; begin writec(72); writec(105); end.""").program())
+        machine.run(100_000)
+        assert machine.console.text == "Hi"
+
+    def test_char_literals(self):
+        assert both("program p; begin write('A'); end.") == [65]
+
+    def test_large_constants(self):
+        assert both("""
+            program p; begin
+                write(1000000 * 2);
+                write(0x7FFF + 1);
+            end.""") == [2000000, 32768]
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=st.integers(-10**6, 10**6), b=st.integers(-10**6, 10**6))
+def test_compiled_arithmetic_matches_python(a, b):
+    """Compiled +, -, * agree with Python's 32-bit semantics."""
+    values = run_golden_src(f"""
+        program p; var x, y; begin
+            x := {a}; y := {b};
+            write(x + y); write(x - y); write(x * y);
+        end.""")
+
+    def wrap(v):
+        v &= 0xFFFFFFFF
+        return v - (1 << 32) if v & 0x80000000 else v
+
+    assert values == [wrap(a + b), wrap(a - b), wrap(a * b)]
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=st.integers(-10**6, 10**6), b=st.integers(-10**6, 10**6))
+def test_compiled_divmod_matches_truncating_semantics(a, b):
+    if b == 0:
+        return
+    values = run_golden_src(f"""
+        program p; var x, y; begin
+            x := {a}; y := {b};
+            write(x div y); write(x mod y);
+        end.""")
+    quotient = int(a / b)  # truncation toward zero
+    remainder = a - quotient * b
+    assert values == [quotient, remainder]
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(0, 12))
+def test_compiled_fib_matches_python(n):
+    import functools
+
+    @functools.lru_cache(None)
+    def fib(k):
+        return k if k < 2 else fib(k - 1) + fib(k - 2)
+
+    assert run_golden_src(f"""
+        program p;
+        func fib(n);
+        begin
+            if n < 2 then return n;
+            return fib(n - 1) + fib(n - 2);
+        end;
+        begin write(fib({n})); end.""") == [fib(n)]

@@ -1,0 +1,281 @@
+"""Tests for the shared-memory multiprocessor (repro.multi).
+
+MIPS-X has no atomic read-modify-write, so the synchronization tests use
+classic sequential-consistency algorithms (Peterson's lock, flag
+handoffs), exactly what 1987-era shared-memory software would have run.
+"""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import MachineConfig, perfect_memory_config
+from repro.multi import MultiMachine
+
+PETERSON = """
+; two CPUs increment a shared counter ITER times under Peterson's lock;
+; per-CPU identity arrives in gp
+_start:
+    li  s0, 50
+    li  s1, 1
+    sub s1, s1, gp     ; the other cpu's id
+    la  t0, flag
+    la  t3, turn
+outer:
+    add t1, t0, gp
+    li  t2, 1
+    st  t2, 0(t1)      ; flag[me] = 1
+    st  s1, 0(t3)      ; turn = other
+spin:
+    add t4, t0, s1
+    ld  t5, 0(t4)      ; flag[other]
+    ld  t6, 0(t3)      ; turn
+    nop
+    beq t5, r0, enter
+    nop
+    nop
+    bne t6, s1, enter
+    nop
+    nop
+    br  spin
+    nop
+    nop
+enter:
+    la  t7, counter
+    ld  t8, 0(t7)
+    nop
+    addi t8, t8, 1
+    st  t8, 0(t7)
+    st  r0, 0(t1)      ; flag[me] = 0
+    addi s0, s0, -1
+    bgt s0, r0, outer
+    nop
+    nop
+    halt
+flag: .space 2
+turn: .space 1
+counter: .word 0
+"""
+
+
+def run_peterson(config):
+    program = assemble(PETERSON)
+    system = MultiMachine(2, config)
+    system.load_program(program)
+    system.run(5_000_000)
+    assert system.all_halted
+    return system, system.memory.system.read(program.symbols["counter"])
+
+
+class TestMutualExclusion:
+    def test_peterson_no_lost_updates_ideal_memory(self):
+        _, counter = run_peterson(perfect_memory_config())
+        assert counter == 100
+
+    def test_peterson_no_lost_updates_with_caches(self):
+        system, counter = run_peterson(MachineConfig())
+        assert counter == 100
+        # caches were actively invalidated by the write-through broadcast
+        assert system.bus.invalidations > 0
+
+    def test_without_lock_updates_are_lost(self):
+        """The control experiment: racing increments lose updates, which
+        is exactly why the lock is needed (and proves the CPUs really do
+        interleave)."""
+        source = """
+        _start:
+            li  s0, 200
+            la  t7, counter
+        loop:
+            ld  t8, 0(t7)
+            nop
+            addi t8, t8, 1
+            st  t8, 0(t7)
+            addi s0, s0, -1
+            bgt s0, r0, loop
+            nop
+            nop
+            halt
+        counter: .word 0
+        """
+        program = assemble(source)
+        system = MultiMachine(2, perfect_memory_config())
+        system.load_program(program)
+        system.run(5_000_000)
+        counter = system.memory.system.read(program.symbols["counter"])
+        assert counter < 400  # updates were lost in the race
+
+
+class TestFlagHandoff:
+    def test_producer_consumer(self):
+        """CPU 0 produces a value and raises a flag; CPU 1 spins, then
+        consumes and prints it."""
+        source = """
+        _start:
+            beq gp, r0, producer
+            nop
+            nop
+        consumer:
+            la  t0, flag
+        spin:
+            ld  t1, 0(t0)
+            nop
+            beq t1, r0, spin
+            nop
+            nop
+            la  t2, value
+            ld  t3, 0(t2)
+            li  a0, 0x3FFFF0
+            st  t3, 0(a0)
+            halt
+        producer:
+            li  t4, 777
+            la  t5, value
+            st  t4, 0(t5)
+            li  t6, 1
+            la  t7, flag
+            st  t6, 0(t7)
+            halt
+        flag:  .word 0
+        value: .word 0
+        """
+        program = assemble(source)
+        system = MultiMachine(2, MachineConfig())
+        system.load_program(program)
+        system.run(5_000_000)
+        assert system.all_halted
+        assert system.console.values == [777]
+
+
+class TestParallelSpeedup:
+    SUM_SOURCE = """
+    ; each of NCPU nodes sums its strided share of data[0..N) into
+    ; partial[gp]; every node then spins until all done-flags are up and
+    ; node 0 combines and prints
+    _start:
+        li   s0, 0          ; accumulator
+        mov  t0, gp         ; index = cpu id
+        li   s2, {n}
+    sumloop:
+        la   t1, data
+        add  t1, t1, t0
+        ld   t2, 0(t1)
+        nop
+        add  s0, s0, t2
+        addi t0, t0, {ncpu}
+        blt  t0, s2, sumloop
+        nop
+        nop
+        la   t3, partial
+        add  t3, t3, gp
+        st   s0, 0(t3)
+        la   t4, done
+        add  t4, t4, gp
+        li   t5, 1
+        st   t5, 0(t4)
+        bne  gp, r0, finish    ; only node 0 combines
+        nop
+        nop
+        li   t6, 0             ; wait for all flags
+    waitloop:
+        la   t7, done
+        add  t7, t7, t6
+        ld   t8, 0(t7)
+        nop
+        beq  t8, r0, waitloop
+        nop
+        nop
+        addi t6, t6, 1
+        li   t9, {ncpu}
+        blt  t6, t9, waitloop
+        nop
+        nop
+        li   s1, 0
+        li   t6, 0
+    combine:
+        la   t7, partial
+        add  t7, t7, t6
+        ld   t8, 0(t7)
+        nop
+        add  s1, s1, t8
+        addi t6, t6, 1
+        blt  t6, t9, combine
+        nop
+        nop
+        li   a0, 0x3FFFF0
+        st   s1, 0(a0)
+    finish:
+        halt
+    partial: .space {ncpu}
+    done:    .space {ncpu}
+    data:    .word {data}
+    """
+
+    def _run(self, ncpu, n=64):
+        values = [(3 * i + 1) % 23 for i in range(n)]
+        source = self.SUM_SOURCE.format(
+            n=n, ncpu=ncpu, data=", ".join(map(str, values)))
+        program = assemble(source)
+        system = MultiMachine(ncpu, perfect_memory_config())
+        system.load_program(program)
+        system.run(5_000_000)
+        assert system.all_halted
+        assert system.console.values == [sum(values)]
+        return system.cycles
+
+    def test_parallel_sum_is_correct_on_1_2_4_nodes(self):
+        for ncpu in (1, 2, 4):
+            self._run(ncpu)
+
+    def test_parallel_sum_speeds_up(self):
+        single = self._run(1, n=128)
+        quad = self._run(4, n=128)
+        assert quad < single  # real speedup from real parallelism
+        assert quad < 0.6 * single
+
+
+class TestBusModel:
+    def test_bus_contention_is_counted(self):
+        source = """
+        _start:
+            li  s0, 30
+            la  t0, buffer
+        loop:
+            add t1, t0, gp
+            sll t2, s0, 4
+            add t1, t1, t2
+            ld  t3, 0(t1)     ; scattered loads: Ecache misses -> bus
+            nop
+            addi s0, s0, -1
+            bgt s0, r0, loop
+            nop
+            nop
+            halt
+        buffer: .space 1024
+        """
+        config = MachineConfig()
+        config.ecache.size_words = 64
+        config.ecache.line_words = 1
+        system = MultiMachine(4, config)
+        system.load_program(assemble(source))
+        system.run(5_000_000)
+        assert system.all_halted
+        assert system.bus.acquisitions > 0
+        assert system.bus.contention_cycles > 0
+
+    def test_node_count_validation(self):
+        with pytest.raises(ValueError):
+            MultiMachine(0)
+        with pytest.raises(ValueError):
+            MultiMachine(17)
+
+    def test_per_node_identity_in_gp(self):
+        source = """
+        _start:
+            li  a0, 0x3FFFF0
+            st  gp, 0(a0)
+            halt
+        """
+        system = MultiMachine(3, perfect_memory_config())
+        system.load_program(assemble(source))
+        system.run(100_000)
+        assert sorted(system.console.values) == [0, 1, 2]

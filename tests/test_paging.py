@@ -1,0 +1,198 @@
+"""Demand paging: the restartability demonstration.
+
+"All instructions are restartable so MIPS-X will support a dynamic, paged
+virtual memory system."  These tests boot a tiny pager: data accesses to
+non-resident pages trap (CAUSE_PGFLT), the handler reads the faulting
+address from the off-chip MMU, maps the page, and returns -- the faulting
+load or store re-executes transparently.
+"""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import Machine, PswBit, perfect_memory_config
+from repro.ecache.memory import MmuDevice
+
+MMU_BASE = 0x3FFF00 + 0xD0
+
+PAGER = f"""
+.org 0
+    br handler
+    nop
+    nop
+.org 0x40
+handler:
+    ; save registers a real pager would
+    st   t0, pager_save0
+    st   t1, pager_save1
+    ; which cause?  (a full OS would dispatch; we only get page faults)
+    li   t0, {MMU_BASE}
+    ld   t1, 0(t0)        ; faulting word address
+    nop
+    st   t1, 0(t0)        ; map the page containing it
+    ; count the fault
+    ld   t1, pager_faults
+    nop
+    addi t1, t1, 1
+    st   t1, pager_faults
+    ld   t0, pager_save0
+    ld   t1, pager_save1
+    jpc
+    jpc
+    jpcrs
+pager_save0:  .word 0
+pager_save1:  .word 0
+pager_faults: .word 0
+"""
+
+
+def boot(body: str) -> Machine:
+    """Pager at the vector; the program body at 0x100 turns paging on."""
+    source = PAGER + f"""
+    .org 0x100
+    _start:
+        li   t9, {MMU_BASE + 2}
+        li   t8, 1
+        st   t8, 0(t9)        ; enable paging (all pages non-resident)
+    """ + body
+    machine = Machine(perfect_memory_config())
+    program = assemble(source)
+    machine.load_program(program)
+    # code/stack pages are not demand-paged in this demo: pre-map the
+    # low pages the program itself lives in... data accesses to the
+    # program's own words still page-fault unless touched lazily, which
+    # is the point; pre-map nothing and let everything fault on demand.
+    machine._test_program = program
+    return machine
+
+
+class TestDemandPaging:
+    def test_faulting_load_restarts(self):
+        machine = boot("""
+            la   t0, value
+            ld   t1, 0(t0)     ; page fault -> handler maps -> re-executes
+            nop
+            li   a0, 0x3FFFF0
+            st   t1, 0(a0)     ; MMIO: never paged
+            halt
+        value: .word 1234
+        """)
+        machine.run(100_000)
+        assert machine.halted
+        assert machine.console.values == [1234]
+        assert machine.stats.page_faults == 1
+        assert machine.memory.mmu.faults == 1
+
+    def test_faulting_store_restarts(self):
+        machine = boot("""
+            la   t0, cell
+            li   t1, 77
+            st   t1, 0(t0)     ; page fault on a store
+            ld   t2, 0(t0)     ; now resident: no second fault
+            nop
+            li   a0, 0x3FFFF0
+            st   t2, 0(a0)
+            halt
+        cell: .space 1
+        """)
+        machine.run(100_000)
+        assert machine.console.values == [77]
+        assert machine.stats.page_faults == 1
+
+    def test_one_fault_per_page(self):
+        pages = 5
+        stride = MmuDevice.PAGE_WORDS
+        machine = boot(f"""
+            li   t0, 0x4000        ; array spans {pages} pages
+            li   t1, {pages}
+            li   t2, 0
+        loop:
+            st   t2, 0(t0)         ; first touch of each page faults
+            ld   t3, 0(t0)
+            nop
+            add  t2, t3, t2
+            addi t2, t2, 1
+            addi t0, t0, {stride}
+            addi t1, t1, -1
+            bgt  t1, r0, loop
+            nop
+            nop
+            li   a0, 0x3FFFF0
+            st   t2, 0(a0)
+            halt
+        """)
+        machine.run(1_000_000)
+        assert machine.halted
+        assert machine.stats.page_faults == pages
+        # the loop's arithmetic survived all the restarts:
+        # t2' = (t2 + t2) + 1 each iteration -> 2^pages - 1
+        assert machine.console.values == [2 ** pages - 1]
+
+    def test_cause_bit_distinguishes_page_faults(self):
+        source = PAGER.replace(
+            "    ld   t1, 0(t0)        ; faulting word address",
+            "    movfrs s4, psw\n"
+            "    ld   t1, 0(t0)        ; faulting word address")
+        machine = Machine(perfect_memory_config())
+        machine.load_program(assemble(source + f"""
+        .org 0x100
+        _start:
+            li   t9, {MMU_BASE + 2}
+            li   t8, 1
+            st   t8, 0(t9)
+            ld   t0, 0x5000(r0)
+            nop
+            halt
+        """))
+        machine.run(100_000)
+        assert machine.halted
+        assert machine.regs[30] & (1 << PswBit.CAUSE_PGFLT)
+
+    def test_eviction_refaults(self):
+        machine = boot(f"""
+            la   t0, cell
+            li   t1, 5
+            st   t1, 0(t0)         ; fault 1 (maps the page)
+            li   t9, {MMU_BASE + 1}
+            st   t0, 0(t9)         ; evict the page again
+            ld   t2, 0(t0)         ; fault 2
+            nop
+            li   a0, 0x3FFFF0
+            st   t2, 0(a0)
+            halt
+        cell: .space 1
+        """)
+        machine.run(100_000)
+        assert machine.console.values == [5]
+        assert machine.stats.page_faults == 2
+
+    def test_paging_disabled_never_faults(self):
+        machine = Machine(perfect_memory_config())
+        machine.load_program(assemble("""
+        _start:
+            ld t0, 0x5000(r0)
+            nop
+            halt
+        """))
+        machine.run(10_000)
+        assert machine.stats.page_faults == 0
+
+    def test_workload_under_demand_paging(self):
+        """A full compiled workload runs correctly with every data page
+        demand-paged -- the strongest restartability statement."""
+        from repro.workloads import get
+
+        program = get("sieve").reorganize().unit.assemble(base=0x400)
+        pager = assemble(PAGER)
+        machine = Machine(perfect_memory_config())
+        machine.memory.system.load_image(program.image)
+        machine.memory.system.load_image(pager.image)
+        machine.memory.mmu.enabled = True
+        machine.pipeline.reset(program.entry)
+        machine.run(30_000_000)
+        assert machine.halted
+        assert machine.console.values == [303]
+        assert machine.stats.page_faults > 0
+        # one fault per touched page, not per access (page 0 is pinned)
+        assert machine.stats.page_faults == len(
+            machine.memory.mmu.resident - machine.memory.mmu.PINNED)

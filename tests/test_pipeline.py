@@ -1,0 +1,550 @@
+"""Cycle-level tests of the pipeline: bypassing, delay slots, squashing,
+hazards, halting, and basic instruction semantics."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import (
+    HazardViolation,
+    Machine,
+    MachineConfig,
+    perfect_memory_config,
+)
+
+CONSOLE = 0x3FFFF0
+
+
+def run(source: str, config=None, max_cycles: int = 200_000) -> Machine:
+    machine = Machine(config or perfect_memory_config())
+    machine.load_program(assemble(source))
+    machine.run(max_cycles)
+    assert machine.halted, "program did not halt"
+    return machine
+
+
+def out(source: str, config=None):
+    return run(source, config).console.values
+
+
+EPILOGUE = """
+    li   a5, 0x3FFFF0
+    st   rv, 0(a5)
+    halt
+"""
+
+
+class TestBasicExecution:
+    def test_arithmetic_chain(self):
+        machine = run(
+            """
+            _start:
+                li t0, 10
+                li t1, 3
+                add t2, t0, t1
+                sub t3, t2, t1
+                and t4, t2, t1
+                or  t5, t2, t1
+                xor t6, t2, t1
+                halt
+            """
+        )
+        regs = machine.regs
+        assert regs[12] == 13      # t2
+        assert regs[13] == 10      # t3
+        assert regs[14] == 13 & 3
+        assert regs[15] == 13 | 3
+        assert regs[16] == 13 ^ 3
+
+    def test_r0_discards_writes(self):
+        machine = run("li r0, 99\nadd r0, r0, r0\nhalt")
+        assert machine.regs[0] == 0
+
+    def test_shifts(self):
+        machine = run(
+            """
+            li t0, 0x81
+            sll t1, t0, 4
+            srl t2, t0, 4
+            sra t3, t0, 4
+            li  t4, -16
+            sra t5, t4, 2
+            halt
+            """
+        )
+        assert machine.regs[11] == 0x810
+        assert machine.regs[12] == 0x8
+        assert machine.regs[13] == 0x8
+        assert machine.regs[15] == 0xFFFFFFFC  # -4
+
+    def test_not_and_mov(self):
+        machine = run("li t0, 0\nnot t1, t0\nmov t2, t1\nhalt")
+        assert machine.regs[11] == 0xFFFFFFFF
+        assert machine.regs[12] == 0xFFFFFFFF
+
+    def test_memory_round_trip(self):
+        machine = run(
+            """
+            _start:
+                li  t0, 0x1234
+                la  t1, buf
+                st  t0, 0(t1)
+                ld  t2, 0(t1)
+                nop             ; load delay slot
+                add t3, t2, t2
+                halt
+            buf: .space 1
+            """
+        )
+        assert machine.regs[12] == 0x1234
+        assert machine.regs[13] == 0x2468
+
+    def test_console_output(self):
+        assert out(
+            """
+            _start:
+                li rv, 777
+            """ + EPILOGUE
+        ) == [777]
+
+    def test_negative_console_values_are_signed(self):
+        assert out("_start:\n li rv, -5\n" + EPILOGUE) == [-5]
+
+    def test_large_immediate(self):
+        machine = run("li t0, 0x12345678\nhalt")
+        assert machine.regs[10] == 0x12345678
+
+
+class TestPipelineTiming:
+    def test_cpi_one_for_straightline_code(self):
+        """With perfect memory and no branches, CPI approaches 1."""
+        body = "\n".join("add t0, t0, t1" for _ in range(200))
+        machine = run(f"li t0, 0\nli t1, 1\n{body}\nhalt")
+        stats = machine.stats
+        # pipeline fill (4) + halt drain (~3) are the only overhead
+        assert stats.cycles - stats.retired <= 8
+
+    def test_bypass_distance_one(self):
+        machine = run("li t0, 5\nadd t1, t0, t0\nadd t2, t1, t1\nhalt")
+        assert machine.regs[11] == 10 and machine.regs[12] == 20
+
+    def test_bypass_distance_two(self):
+        machine = run("li t0, 5\nnop\nadd t1, t0, t0\nhalt")
+        assert machine.regs[11] == 10
+
+    def test_register_file_write_before_read_distance_three(self):
+        machine = run("li t0, 5\nnop\nnop\nadd t1, t0, t0\nhalt")
+        assert machine.regs[11] == 10
+
+    def test_load_value_usable_after_one_slot(self):
+        machine = run(
+            """
+            _start:
+                la t0, v
+                ld t1, 0(t0)
+                nop
+                add t2, t1, t1
+                halt
+            v: .word 21
+            """
+        )
+        assert machine.regs[12] == 42
+
+    def test_store_data_from_distance_one_producer(self):
+        machine = run(
+            """
+            _start:
+                la t0, v
+                li t1, 9
+                st t1, 0(t0)
+                ld t2, 0(t0)
+                nop
+                mov rv, t2
+                halt
+            v: .word 0
+            """
+        )
+        assert machine.regs[3] == 9
+
+    def test_back_to_back_stores_and_loads(self):
+        machine = run(
+            """
+            _start:
+                la t0, a
+                li t1, 1
+                li t2, 2
+                st t1, 0(t0)
+                st t2, 1(t0)
+                ld t3, 0(t0)
+                ld t4, 1(t0)
+                nop
+                add t5, t3, t4
+                halt
+            a: .space 2
+            """
+        )
+        assert machine.regs[15] == 3
+
+
+class TestHazardChecking:
+    def test_load_use_in_delay_slot_raises(self):
+        with pytest.raises(HazardViolation):
+            run(
+                """
+                _start:
+                    la t0, v
+                    ld t1, 0(t0)
+                    add t2, t1, t1   ; hazard: uses t1 in load delay slot
+                    halt
+                v: .word 3
+                """
+            )
+
+    def test_hazard_check_off_returns_stale_value(self):
+        config = perfect_memory_config()
+        config.hazard_check = False
+        machine = run(
+            """
+            _start:
+                li t1, 100
+                la t0, v
+                ld t1, 0(t0)
+                add t2, t1, t1   ; stale t1 (=100) on real hardware
+                halt
+            v: .word 3
+            """,
+            config,
+        )
+        assert machine.regs[12] == 200
+
+    def test_unrelated_register_in_delay_slot_is_fine(self):
+        machine = run(
+            """
+            _start:
+                la t0, v
+                ld t1, 0(t0)
+                add t2, t0, t0   ; fine: does not read t1
+                add t3, t1, t1
+                halt
+            v: .word 4
+            """
+        )
+        assert machine.regs[13] == 8
+
+
+class TestBranches:
+    def test_taken_branch_executes_both_slots(self):
+        machine = run(
+            """
+            _start:
+                li t0, 1
+                beq t0, t0, target
+                li t1, 11        ; slot 1: executes
+                li t2, 22        ; slot 2: executes
+                li t3, 33        ; skipped
+            target:
+                halt
+            """
+        )
+        assert machine.regs[11] == 11
+        assert machine.regs[12] == 22
+        assert machine.regs[13] == 0
+
+    def test_not_taken_no_squash_executes_slots(self):
+        machine = run(
+            """
+            _start:
+                li t0, 1
+                bne t0, t0, away
+                li t1, 11
+                li t2, 22
+                halt
+            away:
+                halt
+            """
+        )
+        assert machine.regs[11] == 11 and machine.regs[12] == 22
+
+    def test_squash_branch_not_taken_squashes_slots(self):
+        machine = run(
+            """
+            _start:
+                li t0, 1
+                bnesq t0, t0, away   ; predicted taken, goes wrong way
+                li t1, 11            ; squashed
+                li t2, 22            ; squashed
+                halt
+            away:
+                halt
+            """
+        )
+        assert machine.regs[11] == 0 and machine.regs[12] == 0
+        assert machine.stats.branch_squashes == 1
+        assert machine.stats.squashed >= 2
+
+    def test_squash_branch_taken_executes_slots(self):
+        machine = run(
+            """
+            _start:
+                li t0, 1
+                beqsq t0, t0, target
+                li t1, 11
+                li t2, 22
+            target:
+                halt
+            """
+        )
+        assert machine.regs[11] == 11 and machine.regs[12] == 22
+        assert machine.stats.branch_squashes == 0
+
+    def test_all_conditions(self):
+        machine = run(
+            """
+            _start:
+                li t0, 3
+                li t1, 5
+                li s0, 0
+                blt t0, t1, c1
+                nop
+                nop
+                halt
+            c1: addi s0, s0, 1
+                ble t0, t1, c2
+                nop
+                nop
+                halt
+            c2: addi s0, s0, 1
+                bgt t1, t0, c3
+                nop
+                nop
+                halt
+            c3: addi s0, s0, 1
+                bge t1, t0, c4
+                nop
+                nop
+                halt
+            c4: addi s0, s0, 1
+                bne t0, t1, c5
+                nop
+                nop
+                halt
+            c5: addi s0, s0, 1
+                beq t0, t0, done
+                nop
+                nop
+                halt
+            done:
+                addi s0, s0, 1
+                halt
+            """
+        )
+        assert machine.regs[26] == 6
+
+    def test_signed_comparison(self):
+        machine = run(
+            """
+            _start:
+                li t0, -1
+                li t1, 1
+                li s0, 0
+                blt t0, t1, good
+                nop
+                nop
+                halt
+            good:
+                li s0, 1
+                halt
+            """
+        )
+        assert machine.regs[26] == 1
+
+    def test_loop_counts_correctly(self):
+        machine = run(
+            """
+            _start:
+                li t0, 0         ; sum
+                li t1, 10        ; counter
+            loop:
+                add t0, t0, t1
+                addi t1, t1, -1
+                bgt t1, r0, loop
+                nop
+                nop
+                mov rv, t0
+                halt
+            """
+        )
+        assert machine.regs[3] == 55
+
+    def test_branch_cost_accounting(self):
+        machine = run(
+            """
+            _start:
+                li t0, 4
+            loop:
+                addi t0, t0, -1
+                bgt t0, r0, loop
+                nop
+                nop
+                halt
+            """
+        )
+        assert machine.stats.branches == 4
+        assert machine.stats.branches_taken == 3
+
+
+class TestJumps:
+    def test_call_and_return(self):
+        machine = run(
+            """
+            _start:
+                li  a0, 20
+                call double
+                nop
+                nop
+                mov s0, rv
+                halt
+            double:
+                add rv, a0, a0
+                ret
+                nop
+                nop
+            """
+        )
+        assert machine.regs[26] == 40
+
+    def test_link_register_points_past_slots(self):
+        machine = run(
+            """
+            _start:
+                call f
+                li t0, 1      ; slot 1
+                li t1, 2      ; slot 2
+                li t2, 3      ; return lands here
+                halt
+            f:  ret
+                nop
+                nop
+            """
+        )
+        assert machine.regs[10] == 1
+        assert machine.regs[11] == 2
+        assert machine.regs[12] == 3
+
+    def test_nested_calls_with_stack(self):
+        machine = run(
+            """
+            _start:
+                li  sp, 0x1000
+                li  a0, 3
+                call f
+                nop
+                nop
+                mov rv, rv
+                halt
+            f:  ; f(n) = n + g(n)
+                addi sp, sp, -2
+                st  ra, 0(sp)
+                st  a0, 1(sp)
+                call g
+                nop
+                nop
+                ld  a0, 1(sp)
+                ld  ra, 0(sp)
+                add rv, rv, a0
+                addi sp, sp, 2
+                ret
+                nop
+                nop
+            g:  ; g(n) = n * 2
+                add rv, a0, a0
+                ret
+                nop
+                nop
+            """
+        )
+        assert machine.regs[3] == 9
+
+    def test_indirect_jump_through_register(self):
+        machine = run(
+            """
+            _start:
+                la t0, target
+                jspci r0, 0(t0)
+                nop
+                nop
+                li t1, 99   ; skipped
+            target:
+                halt
+            """
+        )
+        assert machine.regs[11] == 0
+
+
+class TestHalt:
+    def test_halt_squashes_younger_instructions(self):
+        machine = run("li t0, 1\nhalt\nli t1, 2\nli t2, 3")
+        assert machine.regs[10] == 1
+        assert machine.regs[11] == 0
+        assert machine.regs[12] == 0
+
+    def test_older_instructions_complete_before_halt(self):
+        machine = run(
+            """
+            _start:
+                la t0, v
+                li t1, 5
+                st t1, 0(t0)
+                halt
+            v: .space 1
+            """
+        )
+        address = assemble("_start:\n nop").symbols  # dummy
+        assert machine.memory.system.read(
+            assemble(
+                "_start:\n la t0, v\n li t1, 5\n st t1, 0(t0)\n halt\nv: .space 1"
+            ).symbols["v"]
+        ) == 5
+
+    def test_run_without_halt_stops_at_cycle_budget(self):
+        machine = Machine(perfect_memory_config())
+        machine.load_program(assemble("_start: br _start\nnop\nnop"))
+        stats = machine.run(max_cycles=500)
+        assert not machine.halted
+        assert stats.cycles == 500
+
+
+class TestStatsBookkeeping:
+    def test_noop_counting(self):
+        machine = run("nop\nnop\nli t0, 1\nhalt")
+        assert machine.stats.noops == 2
+
+    def test_data_reference_density(self):
+        machine = run(
+            """
+            _start:
+                la t0, v
+                ld t1, 0(t0)
+                nop
+                st t1, 1(t0)
+                halt
+            v: .space 2
+            """
+        )
+        assert machine.stats.loads == 1
+        assert machine.stats.stores == 1
+
+    def test_retired_excludes_squashed(self):
+        machine = run(
+            """
+            _start:
+                li t0, 1
+                bnesq t0, t0, away
+                nop
+                nop
+                halt
+            away: halt
+            """
+        )
+        # li + branch + halt retire; the two slot nops are squashed
+        assert machine.stats.squashed >= 2
+        assert machine.stats.noops == 0

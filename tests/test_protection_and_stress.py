@@ -1,0 +1,215 @@
+"""Protection (system/user privilege) and exception stress tests.
+
+The paper: "MIPS-X also provides two operating modes, system and user,
+that execute in separate address spaces to provide the protection needed
+to implement an operating system.  The current mode is stored in the PSW
+and it can only be changed while executing in system mode."
+"""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import Machine, MachineConfig, PswBit, perfect_memory_config
+from repro.workloads import cached_program, get
+
+PSW_USER_IE = (1 << PswBit.SHIFT_EN)  # user mode (MODE bit clear)
+
+
+def boot_user_program(user_source: str, handler: str = "    halt"):
+    """System space holds the vector + a stub that drops to user mode;
+    user space holds the program (mirrored at the same addresses)."""
+    system_source = f"""
+    .org 0
+        br handler
+        nop
+        nop
+    .org 0x40
+    handler:
+{handler}
+    .org 0x100
+    _start:
+        li   t9, {PSW_USER_IE}
+        movtos psw, t9          ; drop to user mode
+        nop
+        nop
+        nop
+        nop
+        nop
+        nop
+    """
+    machine = Machine(perfect_memory_config())
+    machine.load_program(assemble(system_source))
+    # the mode flips when movtos reaches ALU; the exact fetch that first
+    # reads user space lands a couple of words later, so pad with nops
+    # (empty user memory decodes as nops too) and start user code at a
+    # comfortable distance
+    user_program = assemble(".org 0x110\n" + user_source)
+    machine.memory.user.load_image(user_program.image)
+    return machine
+
+
+class TestPrivilege:
+    def test_user_mode_cannot_write_psw(self):
+        machine = boot_user_program(
+            f"""
+            _ustart:
+                li t0, 0xFF
+                movtos psw, t0     ; privileged: must trap
+                li t1, 7           ; must never execute
+                halt
+            """,
+            handler="""
+        movfrs s0, psw
+        halt""")
+        machine.run(100_000)
+        assert machine.halted
+        assert machine.stats.exceptions == 1
+        assert machine.regs[11] == 0   # t1 never written
+        # handler observed system mode + trap cause
+        assert machine.regs[26] & (1 << PswBit.MODE)
+        assert machine.regs[26] & (1 << PswBit.CAUSE_TRAP)
+
+    def test_user_mode_cannot_jpc(self):
+        machine = boot_user_program(
+            """
+            _ustart:
+                jpc
+                nop
+                nop
+                halt
+            """,
+            handler="""
+        li s1, 77
+        halt""")
+        machine.run(100_000)
+        assert machine.stats.exceptions == 1
+        assert machine.regs[27] == 77
+
+    def test_system_mode_writes_psw_freely(self):
+        machine = Machine(perfect_memory_config())
+        machine.load_program(assemble("""
+        _start:
+            movfrs t0, psw
+            movtos psw, t0
+            halt
+        """))
+        machine.run(10_000)
+        assert machine.stats.exceptions == 0
+
+    def test_user_and_system_memory_are_disjoint(self):
+        machine = boot_user_program(
+            """
+            _ustart:
+                li  t0, 42
+                st  t0, 0x500(r0)   ; user-space address 0x500
+                halt
+            """)
+        machine.run(100_000)
+        assert machine.memory.user.read(0x500) == 42
+        assert machine.memory.system.read(0x500) == 0
+
+
+class TestInterruptStress:
+    """Pepper a real workload with interrupts; the answer must survive.
+
+    This exercises the exception machinery at arbitrary pipeline states:
+    chain freeze/restore, squash interactions with in-flight branches and
+    loads, and the three-jump restart -- hundreds of times in one run.
+    """
+
+    HANDLER_WRAP = """
+    .org 0
+        br handler
+        nop
+        nop
+    .org 0x40
+    handler:
+        ; a real handler saves every register it touches
+        st   s3, save_s3
+        st   s4, save_s4
+        la   s3, irq_count
+        ld   s4, 0(s3)
+        nop
+        addi s4, s4, 1
+        st   s4, 0(s3)
+        ld   s3, save_s3
+        ld   s4, save_s4
+        jpc
+        jpc
+        jpcrs
+    irq_count: .word 0
+    save_s3:   .word 0
+    save_s4:   .word 0
+    """
+
+    @pytest.mark.parametrize("name,period", [
+        ("fib", 97), ("sieve", 131), ("listops", 61), ("towers", 103)])
+    def test_workload_survives_interrupt_storm(self, name, period):
+        workload = get(name)
+        # rebase the workload above the handler (label-based addressing
+        # makes the image position-independent at assembly time)
+        program = workload.reorganize().unit.assemble(base=0x400)
+        handler = assemble(self.HANDLER_WRAP)
+        config = perfect_memory_config()
+        machine = Machine(config)
+        machine.memory.system.load_image(program.image)
+        machine.memory.system.load_image(handler.image)
+        machine.pipeline.reset(program.entry)
+        # enable interrupts in the initial PSW
+        machine.psw.interrupts_enabled = True
+
+        cycle = 0
+        while not machine.halted and cycle < 10_000_000:
+            machine.step()
+            cycle += 1
+            if cycle % period == 0:
+                machine.post_interrupt(cause_bits=1)
+
+        assert machine.halted, f"{name} did not finish under interrupts"
+        irq_count = machine.memory.system.read(
+            handler.symbols["irq_count"])
+        assert machine.stats.interrupts == irq_count
+        assert machine.stats.interrupts > 50
+        # THE point: the program's answer is unchanged
+        expected = workload.expected
+        if expected is not None:
+            assert tuple(machine.console.values) == expected
+        else:
+            clean = Machine(config)
+            clean.memory.system.load_image(program.image)
+            clean.pipeline.reset(program.entry)
+            clean.run(10_000_000)
+            assert machine.console.values == clean.console.values
+
+    def test_interrupt_during_branch_slots_is_safe(self):
+        """Directed: interrupts posted every cycle around squashing
+        branches still restart correctly."""
+        source = self.HANDLER_WRAP + """
+        .org 0x100
+        _start:
+            li  t9, %d
+            movtos psw, t9
+            li  t0, 0
+            li  t1, 30
+        loop:
+            add t0, t0, t1
+            addi t1, t1, -1
+            bgtsq t1, r0, loop
+            nop
+            nop
+            li  a0, 0x3FFFF0
+            st  t0, 0(a0)
+            halt
+        """ % ((1 << PswBit.MODE) | (1 << PswBit.SHIFT_EN)
+               | (1 << PswBit.IE))
+        machine = Machine(perfect_memory_config())
+        machine.load_program(assemble(source))
+        cycle = 0
+        while not machine.halted and cycle < 1_000_000:
+            machine.step()
+            cycle += 1
+            if cycle % 7 == 0:
+                machine.post_interrupt()
+        assert machine.halted
+        assert machine.console.values == [sum(range(1, 31))]
+        assert machine.stats.interrupts > 20

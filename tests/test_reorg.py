@@ -1,0 +1,551 @@
+"""Tests for the code reorganizer: CFG construction, load padding,
+delay-slot filling under every scheme, and semantic preservation against
+the golden (naive-semantics) model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.asm import parse
+from repro.asm.unit import Op
+from repro.core import Machine, perfect_memory_config
+from repro.core.golden import GoldenSimulator
+from repro.reorg import (
+    MIPSX_SCHEME,
+    TABLE1_SCHEMES,
+    BranchScheme,
+    SlotFill,
+    build_cfg,
+    profile_and_reorganize,
+    reorganize,
+    verify_unit,
+)
+
+
+def run_pipeline(unit, slots=2):
+    config = perfect_memory_config()
+    config.branch_delay_slots = slots
+    machine = Machine(config)
+    machine.load_program(unit.assemble())
+    machine.run(2_000_000)
+    assert machine.halted
+    return machine
+
+
+def run_naive(source):
+    sim = GoldenSimulator()
+    sim.load_program(parse(source).assemble())
+    sim.run(2_000_000)
+    return sim
+
+
+def check_equivalence(source, scheme=MIPSX_SCHEME, regs=()):
+    """Golden(naive) and pipeline(reorganized) must agree on final state.
+
+    Console output is always compared; ``regs`` lists additional register
+    numbers to compare.  Registers holding *addresses* (``la``/``ra``/sp)
+    legitimately differ: reorganization moves code and data.
+    """
+    golden = run_naive(source)
+    result = reorganize(parse(source), scheme)
+    machine = run_pipeline(result.unit, slots=scheme.slots)
+    for register in regs:
+        assert machine.regs[register] == golden.regs[register], (
+            f"r{register} differs: pipeline={machine.regs[register]:#x} "
+            f"golden={golden.regs[register]:#x}")
+    assert machine.console.values == golden.console.values
+    return result, machine
+
+
+class TestCfg:
+    def test_blocks_split_at_labels_and_branches(self):
+        unit = parse(
+            """
+            _start:
+                li t0, 1
+                beq t0, r0, skip
+                li t1, 2
+            skip:
+                halt
+            """
+        )
+        cfg = build_cfg(unit)
+        assert len(cfg.blocks) == 3
+        assert cfg.by_label["_start"] is cfg.blocks[0]
+        assert cfg.by_label["skip"] is cfg.blocks[2]
+
+    def test_terminator_detection(self):
+        cfg = build_cfg(parse("a: nop\nbr a"))
+        assert cfg.blocks[0].terminator is not None
+        assert len(cfg.blocks[0].body) == 1
+
+    def test_data_items_preserved(self):
+        unit = parse("_start: halt\nv: .word 42\nbuf: .space 2")
+        cfg = build_cfg(unit)
+        from repro.reorg.cfg import emit
+
+        out = emit(cfg)
+        program = out.assemble()
+        assert program.image[program.symbols["v"]] == 42
+
+    def test_fall_through(self):
+        cfg = build_cfg(parse("a: nop\nbeq t0, r0, a\nb: nop\nbr b"))
+        assert cfg.blocks[0].falls_through()       # conditional
+        assert not cfg.blocks[1].falls_through()   # br = always taken
+
+
+class TestLoadPadding:
+    def test_nop_inserted_for_load_use(self):
+        result = reorganize(parse(
+            """
+            _start:
+                la t0, v
+                ld t1, 0(t0)
+                add t2, t1, t1
+                halt
+            v: .word 7
+            """
+        ))
+        assert result.stats.pad.nops_inserted == 1
+        assert not verify_unit(result.unit)
+
+    def test_independent_op_scheduled_into_gap(self):
+        result = reorganize(parse(
+            """
+            _start:
+                la t0, v
+                ld t1, 0(t0)
+                add t2, t1, t1
+                addi t3, r0, 9
+                halt
+            v: .word 7
+            """
+        ))
+        assert result.stats.pad.scheduled == 1
+        assert result.stats.pad.nops_inserted == 0
+
+    def test_scheduling_preserves_semantics(self):
+        check_equivalence(
+            """
+            _start:
+                la t0, v
+                ld t1, 0(t0)
+                add t2, t1, t1
+                addi t3, r0, 9
+                add t4, t2, t3
+                li a0, 0x3FFFF0
+                st t4, 0(a0)
+                halt
+            v: .word 7
+            """
+        )
+
+    def test_cross_block_load_use_padded(self):
+        result = reorganize(parse(
+            """
+            _start:
+                la t0, v
+                ld t1, 0(t0)
+            next:
+                add t2, t1, t1
+                halt
+            v: .word 3
+            """
+        ))
+        assert result.stats.pad.nops_inserted == 1
+        check = verify_unit(result.unit)
+        assert not check
+
+    def test_no_pad_when_distance_sufficient(self):
+        result = reorganize(parse(
+            """
+            _start:
+                la t0, v
+                ld t1, 0(t0)
+                li t3, 1
+                add t2, t1, t1
+                halt
+            v: .word 3
+            """
+        ))
+        assert result.stats.pad.load_use_pairs == 0
+
+
+class TestMoveFromAbove:
+    def test_independent_suffix_moves_into_slots(self):
+        result = reorganize(parse(
+            """
+            _start:
+                li t0, 1
+                li t1, 2
+                li t2, 3
+                beq t0, t0, away
+                halt
+            away:
+                halt
+            """
+        ))
+        # t1/t2 loads are independent of the condition (t0) -> both move
+        assert result.stats.fill.filled_above == 2
+        assert result.stats.fill.filled_nop == 0
+
+    def test_condition_producer_does_not_move(self):
+        result = reorganize(parse(
+            """
+            _start:
+                li t1, 2
+                li t0, 1
+                beq t0, r0, away
+                halt
+            away:
+                halt
+            """
+        ))
+        # li t0 writes the branch source: it must stay above the branch
+        plans = [p for p in result.plans if p.conditional]
+        assert plans[0].fills[0] is not SlotFill.ABOVE or \
+            result.stats.fill.filled_above < 2
+
+    def test_moved_code_is_equivalent(self):
+        check_equivalence(
+            """
+            _start:
+                li t0, 5
+                li t1, 7
+                li t2, 9
+                beq r0, r0, out
+                li t3, 11      ; dead in naive semantics (skipped)
+            out:
+                add t4, t1, t2
+                li a0, 0x3FFFF0
+                st t4, 0(a0)
+                halt
+            """
+        )
+
+
+class TestSquashFill:
+    LOOP = """
+    _start:
+        li t0, 0
+        li t1, 10
+    loop:
+        add t0, t0, t1
+        addi t1, t1, -1
+        bgt t1, r0, loop
+        li a0, 0x3FFFF0
+        st t0, 0(a0)
+        halt
+    """
+
+    def test_backward_branch_filled_from_target(self):
+        result = reorganize(parse(self.LOOP))
+        plan = [p for p in result.plans if p.conditional][0]
+        assert plan.predicted_taken
+        assert plan.fills == [SlotFill.TARGET, SlotFill.TARGET]
+
+    def test_squash_bit_set_on_filled_branch(self):
+        result = reorganize(parse(self.LOOP))
+        branch_ops = [item for item in result.unit.items
+                      if isinstance(item, Op) and item.instr.is_branch
+                      and item.instr.src1 != 0]
+        assert branch_ops[0].instr.squash
+
+    def test_loop_semantics_preserved(self):
+        _, machine = check_equivalence(self.LOOP)
+        assert machine.console.values == [55]
+
+    def test_squash_wastes_only_final_iteration(self):
+        result = reorganize(parse(self.LOOP))
+        machine = run_pipeline(result.unit)
+        # slots squashed only when the loop finally falls through
+        assert machine.stats.branch_squashes == 1
+        assert machine.stats.squashed >= 2
+
+    def test_forward_branch_target_fill_dominates_nops(self):
+        """A squashed target fill costs a cycle only when the branch goes
+        the wrong way; a no-op always does -- so even predicted-not-taken
+        branches take target fills over no-ops (never FALL fills on the
+        real hardware, which lacks squash-if-go)."""
+        result = reorganize(parse(
+            """
+            _start:
+                li t0, 1
+                beq t0, r0, rare
+                li t1, 2
+                halt
+            rare:
+                li t2, 3
+                li t3, 4
+                halt
+            """
+        ))
+        plan = [p for p in result.plans if p.conditional][0]
+        assert not plan.predicted_taken
+        assert SlotFill.FALL not in plan.fills
+        assert SlotFill.TARGET in plan.fills
+        # semantics preserved either way
+        machine = run_pipeline(result.unit)
+        assert machine.regs[11] == 2   # fall-through path ran
+        assert machine.regs[12] == 0   # squashed copies had no effect
+
+    def test_unconditional_jump_filled_without_squash(self):
+        result = reorganize(parse(
+            """
+            _start:
+                br out
+                halt
+            out:
+                li t0, 1
+                li t1, 2
+                halt
+            """
+        ))
+        jump_plans = [p for p in result.plans if not p.conditional]
+        assert jump_plans[0].fills == [SlotFill.TARGET, SlotFill.TARGET]
+        branch_ops = [item for item in result.unit.items
+                      if isinstance(item, Op) and item.instr.is_branch]
+        assert not branch_ops[0].instr.squash  # always-taken: no squash bit
+
+    def test_call_filled_from_function_head(self):
+        source = """
+        _start:
+            li  a0, 20
+            call double
+            mov s0, rv
+            li a1, 0x3FFFF0
+            st s0, 0(a1)
+            halt
+        double:
+            add rv, a0, a0
+            ret
+        """
+        result, machine = check_equivalence(source)
+        assert machine.console.values == [40]
+
+    def test_nested_function_calls(self):
+        check_equivalence(
+            """
+            _start:
+                li  sp, 0x1000
+                li  a0, 4
+                call fact
+                li a1, 0x3FFFF0
+                st rv, 0(a1)
+                halt
+            fact:
+                addi sp, sp, -2
+                st ra, 0(sp)
+                st a0, 1(sp)
+                li rv, 1
+                ble a0, r0, fdone
+                addi a0, a0, -1
+                call fact
+                ld a0, 1(sp)
+                mov t0, rv
+                add rv, r0, r0
+                add rv, rv, t0
+                add t1, a0, r0
+                ld t2, 1(sp)
+                nop
+                add rv, rv, r0
+                ; rv = fact(a0-1); multiply by (a0) via repeated add
+                mov t3, rv
+                li rv, 0
+            mulloop:
+                add rv, rv, t3
+                addi t2, t2, -1
+                bgt t2, r0, mulloop
+            fdone:
+                ld ra, 0(sp)
+                addi sp, sp, 2
+                ret
+            """
+        )
+
+
+class TestSchemes:
+    @pytest.mark.parametrize("scheme", TABLE1_SCHEMES,
+                             ids=lambda s: s.name)
+    def test_all_schemes_produce_verified_units(self, scheme):
+        result = reorganize(parse(TestSquashFill.LOOP), scheme)
+        assert not verify_unit(result.unit, scheme.slots)
+        assert all(len(p.fills) == scheme.slots for p in result.plans)
+
+    @pytest.mark.parametrize("scheme", [
+        BranchScheme(2, "none", name="2-none"),
+        BranchScheme(2, "optional", squash_if_go=False, name="2-opt-hw"),
+        BranchScheme(1, "none", name="1-none"),
+        BranchScheme(1, "optional", squash_if_go=False, name="1-opt-hw"),
+    ], ids=lambda s: s.name)
+    def test_hardware_schemes_run_correctly(self, scheme):
+        _, machine = check_equivalence(TestSquashFill.LOOP, scheme)
+        assert machine.console.values == [55]
+
+    def test_no_squash_scheme_never_sets_squash_bit(self):
+        result = reorganize(parse(TestSquashFill.LOOP),
+                            BranchScheme(2, "none"))
+        for item in result.unit.items:
+            if isinstance(item, Op) and item.instr.is_branch:
+                assert not item.instr.squash
+
+    def test_always_squash_skips_move_from_above(self):
+        source = """
+        _start:
+            li t0, 1
+            li t1, 2
+            li t2, 3
+        loop:
+            addi t0, t0, 1
+            blt t0, t2, loop
+            halt
+        """
+        optional = reorganize(parse(source), BranchScheme(2, "optional"))
+        always = reorganize(parse(source), BranchScheme(2, "always"))
+        conditional_always = [p for p in always.plans if p.conditional][0]
+        assert SlotFill.ABOVE not in conditional_always.fills
+
+    def test_one_slot_quick_compare_padding(self):
+        # condition produced directly before the branch: needs a pad
+        source = """
+        _start:
+            li t0, 5
+        loop:
+            addi t0, t0, -1
+            bgt t0, r0, loop
+            halt
+        """
+        scheme = BranchScheme(1, "optional", squash_if_go=False)
+        result = reorganize(parse(source), scheme)
+        assert result.stats.quick_compare_nops >= 1
+        machine = run_pipeline(result.unit, slots=1)
+        assert machine.regs[10] == 0
+
+    def test_one_slot_load_condition_padding(self):
+        source = """
+        _start:
+            la t0, v
+            ld t1, 0(t0)
+            beq t1, r0, out
+            nop
+        out:
+            halt
+        v: .word 0
+        """
+        scheme = BranchScheme(1, "optional", squash_if_go=False)
+        result = reorganize(parse(source), scheme)
+        machine = run_pipeline(result.unit, slots=1)  # must not raise
+
+
+class TestProfiledReorganization:
+    def test_profile_flips_forward_branch_prediction(self):
+        # forward branch that is almost always taken: static heuristic says
+        # not-taken, the profile should correct it
+        source = """
+        _start:
+            li s0, 20
+        loop:
+            addi s0, s0, -1
+            beq s0, r0, done    ; forward, taken once... mostly not taken
+            br loop
+        done:
+            li t0, 1
+            li t1, 2
+            halt
+        """
+        result = profile_and_reorganize(parse(source))
+        machine = run_pipeline(result.unit)
+        assert machine.regs[26] == 0
+
+    def test_profiled_code_still_equivalent(self):
+        source = TestSquashFill.LOOP
+        golden = run_naive(source)
+        result = profile_and_reorganize(parse(source))
+        machine = run_pipeline(result.unit)
+        assert machine.console.values == golden.console.values
+
+
+# ---------------------------------------------------------------- property
+_OPS = ["add", "sub", "and", "or", "xor"]
+
+
+def _random_program(draw):
+    """Generate a terminating naive program: straight-line arithmetic with
+    loads/stores and forward branches, plus one bounded countdown loop."""
+    lines = ["_start:", "    la gp, buf", "    li s0, %d" % draw(
+        st.integers(2, 6)), "loop:"]
+    n_instrs = draw(st.integers(3, 14))
+    n_forward = 0
+    for i in range(n_instrs):
+        kind = draw(st.integers(0, 9))
+        rd = f"t{draw(st.integers(0, 7))}"
+        r1 = f"t{draw(st.integers(0, 7))}"
+        r2 = f"t{draw(st.integers(0, 7))}"
+        if kind <= 4:
+            lines.append(f"    {_OPS[kind]} {rd}, {r1}, {r2}")
+        elif kind == 5:
+            lines.append(f"    addi {rd}, {r1}, {draw(st.integers(-50, 50))}")
+        elif kind == 6:
+            lines.append(f"    ld {rd}, {draw(st.integers(0, 7))}(gp)")
+        elif kind == 7:
+            lines.append(f"    st {r1}, {draw(st.integers(0, 7))}(gp)")
+        elif kind == 8:
+            lines.append(f"    sll {rd}, {r1}, {draw(st.integers(0, 3))}")
+        else:
+            label = f"fwd{n_forward}"
+            n_forward += 1
+            condition = draw(st.sampled_from(["beq", "bne", "blt", "bge"]))
+            lines.append(f"    {condition} {r1}, {r2}, {label}")
+            lines.append(f"    addi {rd}, {rd}, 1")
+            lines.append(f"{label}:")
+    lines += [
+        "    addi s0, s0, -1",
+        "    bgt s0, r0, loop",
+        "    halt",
+        "buf: .space 8",
+    ]
+    return "\n".join(lines)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_reorganized_random_programs_match_golden(data):
+    """THE reorganizer correctness property: for random naive programs,
+    the reorganized code on the cycle-accurate pipeline produces exactly
+    the architectural state the golden model produces on the naive code."""
+    source = _random_program(data.draw)
+    golden = run_naive(source)
+    result = reorganize(parse(source))
+    assert not verify_unit(result.unit)
+    machine = run_pipeline(result.unit)
+    # data registers: t0-t7, s0, rv (gp holds an address and may differ)
+    for register in list(range(10, 18)) + [26, 3]:
+        assert machine.regs[register] == golden.regs[register]
+    # memory buffer contents must match too (each image has its own layout)
+    naive_buf = parse(source).assemble().symbols["buf"]
+    reorg_buf = result.unit.assemble().symbols["buf"]
+    for offset in range(8):
+        assert (machine.memory.system.read(reorg_buf + offset)
+                == golden.memory.system.read(naive_buf + offset))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_random_programs_under_one_slot_scheme(data):
+    source = _random_program(data.draw)
+    golden = run_naive(source)
+    scheme = BranchScheme(1, "optional", squash_if_go=False)
+    result = reorganize(parse(source), scheme)
+    machine = run_pipeline(result.unit, slots=1)
+    for register in list(range(10, 18)) + [26, 3]:
+        assert machine.regs[register] == golden.regs[register]
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_random_programs_no_squash_scheme(data):
+    source = _random_program(data.draw)
+    golden = run_naive(source)
+    result = reorganize(parse(source), BranchScheme(2, "none"))
+    machine = run_pipeline(result.unit)
+    for register in list(range(10, 18)) + [26, 3]:
+        assert machine.regs[register] == golden.regs[register]

@@ -1,0 +1,142 @@
+"""Tests for the developer tooling: pipeline viewer and CLI."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import Machine, perfect_memory_config
+from repro.tools.cli import main
+from repro.tools.pipeview import PipelineTracer, trace_pipeline
+
+LOOP = """
+_start:
+    li t0, 3
+loop:
+    addi t0, t0, -1
+    bgtsq t0, r0, loop
+    nop
+    nop
+    halt
+"""
+
+
+def make_machine(source=LOOP):
+    machine = Machine(perfect_memory_config())
+    machine.load_program(assemble(source))
+    return machine
+
+
+class TestPipelineTracer:
+    def test_stage_progression(self):
+        machine = make_machine()
+        tracer = PipelineTracer(machine)
+        tracer.step(8)
+        first = tracer.rows[0]
+        # the first instruction walks F R A M W on consecutive cycles
+        cycles = sorted(first.cells)
+        letters = [first.cells[c] for c in cycles]
+        assert letters[:5] == ["F", "R", "A", "M", "W"]
+        assert cycles == list(range(cycles[0], cycles[0] + len(cycles)))
+
+    def test_one_instruction_per_cycle_enters(self):
+        machine = make_machine()
+        tracer = PipelineTracer(machine)
+        tracer.step(6)
+        entries = [min(row.cells) for row in tracer.rows if row.cells]
+        assert entries == sorted(entries)
+        assert len(set(entries)) == len(entries)
+
+    def test_squashed_slots_marked(self):
+        machine = make_machine()
+        tracer = PipelineTracer(machine)
+        tracer.step(30)
+        squashed_rows = [row for row in tracer.rows if row.squashed]
+        assert squashed_rows, "final-iteration slots should be squashed"
+        rendered = tracer.render()
+        assert "x" in rendered or "f" in rendered
+
+    def test_repeated_pcs_get_separate_rows(self):
+        """Regression: CPython id() reuse must not merge loop iterations."""
+        machine = make_machine()
+        tracer = PipelineTracer(machine)
+        tracer.step(30)
+        loop_rows = [row for row in tracer.rows if row.pc == 1]
+        assert len(loop_rows) == 3  # three iterations of the loop body
+        for row in loop_rows:
+            cycles = sorted(row.cells)
+            assert cycles == list(range(cycles[0], cycles[0] + len(cycles)))
+
+    def test_stall_cycles_render_dots(self):
+        from repro.core import MachineConfig
+
+        machine = Machine(MachineConfig())  # real Icache: cold misses stall
+        machine.load_program(assemble(LOOP))
+        tracer = PipelineTracer(machine)
+        tracer.step(12)
+        assert "." in tracer.render()
+
+    def test_trace_pipeline_convenience(self):
+        text = trace_pipeline(make_machine(), cycles=10)
+        assert "legend" in text
+        assert "addi" in text
+
+
+class TestCli:
+    def _write(self, tmp_path, name, text):
+        path = tmp_path / name
+        path.write_text(text)
+        return str(path)
+
+    def test_run_command(self, tmp_path, capsys):
+        path = self._write(tmp_path, "p.s", """
+        _start:
+            li t0, 21
+            add t0, t0, t0
+            li a0, 0x3FFFF0
+            st t0, 0(a0)
+            halt
+        """)
+        assert main(["run", path, "--ideal", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "console: [42]" in out
+        assert "CPI" in out
+
+    def test_run_with_trace(self, tmp_path, capsys):
+        path = self._write(tmp_path, "p.s", LOOP)
+        assert main(["run", path, "--ideal", "--trace", "8"]) == 0
+        assert "legend" in capsys.readouterr().out
+
+    def test_compile_command(self, tmp_path, capsys):
+        path = self._write(tmp_path, "p.spl", """
+        program t;
+        begin write(6 * 7); end.
+        """)
+        assert main(["compile", path, "--ideal"]) == 0
+        assert "console: [42]" in capsys.readouterr().out
+
+    def test_compile_emit_asm(self, tmp_path, capsys):
+        path = self._write(tmp_path, "p.spl",
+                           "program t; begin write(1); end.")
+        assert main(["compile", path, "--emit-asm"]) == 0
+        out = capsys.readouterr().out
+        assert "_start:" in out
+
+    def test_compile_listing(self, tmp_path, capsys):
+        path = self._write(tmp_path, "p.spl",
+                           "program t; begin write(1); end.")
+        assert main(["compile", path, "--listing"]) == 0
+        assert "halt" in capsys.readouterr().out
+
+    def test_disasm_command(self, tmp_path, capsys):
+        path = self._write(tmp_path, "p.s", "_start: nop\nhalt")
+        assert main(["disasm", path]) == 0
+        out = capsys.readouterr().out
+        assert "nop" in out and "halt" in out
+
+    def test_workload_command(self, capsys):
+        assert main(["workload", "fib", "--ideal"]) == 0
+        assert "console: [610]" in capsys.readouterr().out
+
+    def test_nonhalting_program_reports_failure(self, tmp_path, capsys):
+        path = self._write(tmp_path, "p.s", "_start: br _start\nnop\nnop")
+        assert main(["run", path, "--ideal",
+                     "--max-cycles", "1000"]) == 1

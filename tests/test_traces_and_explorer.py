@@ -1,0 +1,163 @@
+"""Tests for trace capture, synthetic trace generation, and the Icache
+organization explorer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.asm import assemble
+from repro.core import IcacheConfig, Machine, perfect_memory_config
+from repro.icache.explorer import (
+    evaluate,
+    fetchback_study,
+    service_time_study,
+    sweep_organizations,
+)
+from repro.traces.capture import TraceCollector
+from repro.traces.synthetic import (
+    SyntheticProgram,
+    combined_fetch_trace,
+    paper_regime_program,
+)
+
+
+class TestTraceCollector:
+    def _collect(self, source):
+        machine = Machine(perfect_memory_config())
+        collector = TraceCollector(retires=True)
+        machine.set_trace(collector)
+        machine.load_program(assemble(source))
+        machine.run(100_000)
+        assert machine.halted
+        return machine, collector
+
+    def test_fetch_trace_matches_fetch_count(self):
+        machine, collector = self._collect("nop\nnop\nnop\nhalt")
+        assert len(collector.fetch_trace) == machine.stats.fetched
+
+    def test_branch_events_record_outcomes(self):
+        _, collector = self._collect("""
+        _start:
+            li t0, 2
+        loop:
+            addi t0, t0, -1
+            bgt t0, r0, loop
+            nop
+            nop
+            halt
+        """)
+        outcomes = [event.taken for event in collector.branch_events]
+        assert outcomes == [True, False]
+        counts = collector.branch_outcome_counts()
+        assert list(counts.values()) == [(1, 1)]
+
+    def test_data_trace_addresses(self):
+        _, collector = self._collect("""
+        _start:
+            la t0, v
+            ld t1, 0(t0)
+            nop
+            st t1, 1(t0)
+            halt
+        v: .space 2
+        """)
+        assert len(collector.data_addresses()) == 2
+
+    def test_retire_trace_includes_squashed_flag(self):
+        _, collector = self._collect("""
+        _start:
+            li t0, 1
+            bnesq t0, t0, away
+            nop
+            nop
+            halt
+        away: halt
+        """)
+        squashed = [pc for pc, _, squashed in collector.retire_trace
+                    if squashed]
+        # the two wrong-way slots (pcs 2,3) plus the two fetches that
+        # trail the halt before it resolves
+        assert set(squashed) >= {2, 3}
+        assert len(squashed) == 4
+
+
+class TestSyntheticTraces:
+    def test_deterministic(self):
+        program = paper_regime_program()
+        a = list(program.instruction_trace(5000))
+        b = list(program.instruction_trace(5000))
+        assert a == b
+
+    def test_length_exact(self):
+        program = SyntheticProgram()
+        assert len(list(program.instruction_trace(12345))) == 12345
+        assert len(list(program.data_trace(777))) == 777
+
+    def test_addresses_within_footprint(self):
+        program = SyntheticProgram(code_words=10_000, data_words=50_000)
+        assert all(0 <= a < 11_000
+                   for a in program.instruction_trace(20_000))
+        assert all(0 <= a <= 50_000
+                   for a, _ in program.data_trace(20_000))
+
+    def test_different_seeds_differ(self):
+        a = list(SyntheticProgram(seed=1).instruction_trace(2000))
+        b = list(SyntheticProgram(seed=2).instruction_trace(2000))
+        assert a != b
+
+    def test_paper_regime_calibration(self):
+        """The calibrated operating point (the anchor of E4/E5/E7)."""
+        trace = list(paper_regime_program().instruction_trace(150_000))
+        double = evaluate(IcacheConfig(fetchback=2), trace)
+        single = evaluate(IcacheConfig(fetchback=1), trace)
+        assert 0.18 < single.miss_ratio < 0.32
+        assert 0.08 < double.miss_ratio < 0.17
+        assert double.miss_ratio < 0.62 * single.miss_ratio
+
+    def test_combined_trace_relocates(self):
+        combined = combined_fetch_trace([[0, 1, 2], [0, 1]], quantum=2)
+        assert len(combined) == 5
+        # second trace must not overlap the first's address range
+        assert max(combined[:3] + combined[4:]) > 2 or combined[2] > 2
+
+    def test_combined_trace_interleaves(self):
+        a = list(range(10))
+        b = list(range(10))
+        combined = combined_fetch_trace([a, b], quantum=3)
+        assert len(combined) == 20
+        # switches every 3: first 3 from trace a, next 3 relocated
+        assert combined[:3] == [0, 1, 2]
+        assert combined[3] >= 1024
+
+
+class TestExplorer:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return list(paper_regime_program().instruction_trace(80_000))
+
+    def test_sweep_conserves_area(self, trace):
+        for result in sweep_organizations(trace, total_words=512):
+            config = result.config
+            assert config.sets * config.ways * config.block_words == 512
+
+    def test_sweep_covers_paper_organization(self, trace):
+        described = {result.describe().split(" fb")[0]
+                     for result in sweep_organizations(trace)}
+        assert "4set x 8way x 16w" in described
+
+    def test_fetchback_study_monotone_miss_ratio(self, trace):
+        results = fetchback_study(trace)
+        ratios = [r.miss_ratio for r in results]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_service_time_study_labels(self, trace):
+        results = service_time_study(trace)
+        assert "2-cycle miss" in results[0].label
+        assert "3-cycle miss" in results[1].label
+        assert results[1].fetch_cost > results[0].fetch_cost
+
+    @settings(max_examples=10, deadline=None)
+    @given(total=st.sampled_from([128, 256, 512, 1024]))
+    def test_fetch_cost_at_least_one(self, trace, total):
+        for result in sweep_organizations(trace[:20_000], total_words=total):
+            assert result.fetch_cost >= 1.0
+            assert 0.0 <= result.miss_ratio <= 1.0

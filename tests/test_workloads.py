@@ -1,0 +1,201 @@
+"""Workload-suite tests: every program runs correctly on the full machine
+(real Icache + Ecache), matches the golden model, and shows the expected
+architectural character (Lisp > Pascal no-op fraction, etc.)."""
+
+import pytest
+
+from repro.coproc import Fpu
+from repro.core import MachineConfig, perfect_memory_config
+from repro.core.golden import GoldenSimulator
+from repro.workloads import (
+    EXTRA_SUITE,
+    EXTRA_TEXT,
+    FP_SUITE,
+    LISP_SUITE,
+    PASCAL_SUITE,
+    WORKLOADS,
+    get,
+    run_workload,
+)
+from repro.workloads.fp import expected_dot_product, expected_saxpy_count
+
+ALL_NAMES = sorted(WORKLOADS)
+
+
+def golden_output(workload, max_instructions=10_000_000):
+    sim = GoldenSimulator()
+    if workload.needs_fpu:
+        sim.coprocessors.attach(Fpu())
+    sim.load_program(workload.naive_program())
+    sim.run(max_instructions)
+    return sim.console.values
+
+
+class TestRegistry:
+    def test_suites_are_disjoint_and_complete(self):
+        union = (set(PASCAL_SUITE) | set(LISP_SUITE) | set(FP_SUITE)
+                 | set(EXTRA_SUITE))
+        assert union == set(WORKLOADS)
+        assert not set(PASCAL_SUITE) & set(LISP_SUITE)
+        assert not set(EXTRA_SUITE) & set(PASCAL_SUITE)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get("frobnicate")
+
+    def test_expected_outputs_recorded(self):
+        assert get("towers").expected == (1023,)
+        assert get("queens").expected == (92,)
+        assert get("sieve").expected == (303,)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestEveryWorkload:
+    def test_full_machine_matches_golden(self, name):
+        """Reorganized code on the real machine (caches on) == naive code
+        on the instruction-level golden model."""
+        workload = get(name)
+        machine = run_workload(name, MachineConfig())
+        assert machine.console.values == golden_output(workload)
+        if workload.expected is not None:
+            assert tuple(machine.console.values) == workload.expected
+
+    def test_cpi_is_physical(self, name):
+        machine = run_workload(name, MachineConfig())
+        # every executed instruction costs at least a cycle; with the
+        # paper's memory system CPI lands between 1 and ~3
+        assert 1.0 <= machine.stats.cpi < 3.0
+
+
+class TestKnownResults:
+    def test_perm_call_count(self):
+        # calls(n) = 1 + n * calls(n-1), calls(1) = 1 -> calls(6) = 1237
+        assert run_workload("perm").console.values == [1237]
+
+    def test_towers_moves(self):
+        assert run_workload("towers").console.values == [2 ** 10 - 1]
+
+    def test_queens_solutions(self):
+        assert run_workload("queens").console.values == [92]
+
+    def test_sieve_prime_count(self):
+        count = sum(1 for n in range(2, 2001)
+                    if all(n % d for d in range(2, int(n ** 0.5) + 1)))
+        assert run_workload("sieve").console.values == [count]
+
+    def test_fib(self):
+        assert run_workload("fib").console.values == [610]
+
+    def test_listops_values(self):
+        assert run_workload("listops").console.values == [45150, 300, 290, 300]
+
+    def test_treefold_sums_leaves(self):
+        # leaves carry seeds 2^9 .. 2^10-1
+        assert run_workload("treefold").console.values == [
+            sum(range(512, 1024))]
+
+    def test_sorts_produce_sorted_output(self):
+        for name in ("bubble", "quick"):
+            values = run_workload(name).console.values
+            assert values[0] == 0          # zero inversions
+            assert values[1] <= values[2]  # min <= max
+
+    def test_intmm_checksum_matches_python(self):
+        # replicate initmatrix + multiply in Python
+        def init():
+            t = 1
+            matrix = [[0] * 8 for _ in range(8)]
+            for i in range(8):
+                for j in range(8):
+                    t = _pascal_mod(t * 5 + i + j, 31) - 15
+                    matrix[i][j] = t
+            return matrix
+
+        def _pascal_mod(a, b):
+            q = int(a / b)
+            return a - q * b
+
+        a = init()
+        b = init()
+        checksum = sum(sum(a[r][i] * b[i][c] for i in range(8))
+                       for r in range(8) for c in range(8))
+        assert run_workload("intmm").console.values == [checksum]
+
+    def test_fp_dot_product_value(self):
+        from repro.coproc import float_to_word
+
+        machine = run_workload("fp_dot")
+        assert machine.console.values == [
+            _signed(float_to_word(expected_dot_product()))]
+
+    def test_fp_saxpy_count(self):
+        machine = run_workload("fp_saxpy")
+        assert machine.console.values == [expected_saxpy_count()]
+
+    def test_extra_character_output(self):
+        machine = run_workload("strings")
+        assert machine.console.text == EXTRA_TEXT["strings"]
+
+    def test_extra_mapreduce_values(self):
+        n = 30
+        machine = run_workload("mapreduce")
+        assert machine.console.values == [
+            n * (n + 1) * (2 * n + 1) // 6,
+            sum(k for k in range(1, n + 1) if k % 2),
+        ]
+
+    def test_extra_bitcount_matches_python(self):
+        total = 0
+        x = 1
+        for _ in range(24):
+            x = (x * 5 + 1) % 65536
+            total += bin(x).count("1")
+        machine = run_workload("bitcount")
+        assert machine.console.values == [total, 0, 16]
+
+
+def _signed(word):
+    return word - (1 << 32) if word & 0x80000000 else word
+
+
+class TestArchitecturalCharacter:
+    """The workload suite must reproduce the paper's qualitative profile."""
+
+    def test_lisp_has_more_noops_than_pascal(self):
+        """Paper: 15.6% (Pascal) vs 18.3% (Lisp), blamed on load-load
+        interlocks from car/cdr chains."""
+        def average_noops(names):
+            fractions = []
+            for name in names:
+                stats = run_workload(name, perfect_memory_config()).stats
+                fractions.append(stats.noop_fraction)
+            return sum(fractions) / len(fractions)
+
+        assert average_noops(LISP_SUITE) > average_noops(PASCAL_SUITE)
+
+    def test_data_reference_density_near_one_third(self):
+        """Paper's bandwidth estimate assumes data fetched every ~3rd
+        cycle."""
+        densities = [run_workload(name, perfect_memory_config())
+                     .stats.data_reference_density
+                     for name in PASCAL_SUITE]
+        average = sum(densities) / len(densities)
+        assert 0.15 < average < 0.55
+
+    def test_fp_workloads_are_fp_dense(self):
+        """FP-intensive traces: a significant fraction of coprocessor
+        instructions (the observation that killed the non-cached
+        coprocessor scheme)."""
+        machine = run_workload("fp_dot", perfect_memory_config())
+        stats = machine.stats
+        fp_refs = stats.coproc_ops + stats.loads + stats.stores
+        assert stats.coproc_ops / stats.retired > 0.1
+        assert fp_refs / stats.retired > 0.3
+
+    def test_branch_density_is_realistic(self):
+        """Integer code of this era branches roughly every 4-10
+        instructions."""
+        for name in ("queens", "bubble", "listops"):
+            stats = run_workload(name, perfect_memory_config()).stats
+            density = (stats.branches + stats.jumps) / stats.retired
+            assert 0.08 < density < 0.35, name
