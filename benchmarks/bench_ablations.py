@@ -12,7 +12,6 @@ relies on and measures what it was buying:
   design vs whole-block fills).
 """
 
-import dataclasses
 
 from repro.analysis.common import naive_unit, workload_profile
 from repro.core import IcacheConfig, Machine, perfect_memory_config
@@ -20,7 +19,7 @@ from repro.icache.explorer import evaluate
 from repro.reorg.delay_slots import MIPSX_SCHEME, BranchScheme
 from repro.reorg.reorganizer import reorganize
 from repro.traces.synthetic import paper_regime_program
-from repro.workloads import PASCAL_SUITE, get
+from repro.workloads import get
 
 
 def _run_variant(name, scheme=MIPSX_SCHEME, profile=True,

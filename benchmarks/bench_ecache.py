@@ -9,9 +9,7 @@ with footprints well beyond 64K words, swept over Ecache sizes and write
 policies, plus the late-miss cost accounting.
 """
 
-import dataclasses
 
-import pytest
 
 from repro.core import EcacheConfig
 from repro.ecache import Ecache

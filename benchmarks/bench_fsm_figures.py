@@ -13,7 +13,6 @@ from repro.core import (
     Machine,
     MachineConfig,
     SquashFsm,
-    perfect_memory_config,
 )
 
 

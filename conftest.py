@@ -1,0 +1,24 @@
+"""Repo-level pytest wiring: the ``slow`` marker opt-in.
+
+Tests marked ``@pytest.mark.slow`` (multi-second simulation sweeps) are
+skipped by default so the tier-1 suite stays fast; run them with::
+
+    PYTHONPATH=src python -m pytest --run-slow
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-slow", action="store_true", default=False,
+        help="run tests marked @pytest.mark.slow")
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--run-slow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow suite: pass --run-slow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

@@ -8,7 +8,6 @@ is cached where determinism allows.
 
 from __future__ import annotations
 
-import dataclasses
 import functools
 from typing import Dict, Optional, Tuple
 
@@ -19,8 +18,6 @@ from repro.core.processor import Machine
 from repro.lang.compiler import compile_spl
 from repro.reorg.delay_slots import MIPSX_SCHEME, BranchScheme
 from repro.reorg.profiler import (
-    ProfileData,
-    branch_index_map,
     collect_profile,
 )
 from repro.reorg.reorganizer import ReorgResult, reorganize

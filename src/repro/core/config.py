@@ -83,6 +83,11 @@ class MachineConfig:
     #: violates a delay-slot constraint instead of silently computing with
     #: stale values.  On: catches reorganizer bugs.  Off: models hardware.
     hazard_check: bool = True
+    #: Memoize instruction decode per (mode, address); invalidated on
+    #: stores, so self-modifying code still decodes the written word.
+    #: Off: decode every fetched word on every fetch (the reference
+    #: behavior the equivalence tests compare against).
+    decode_cache: bool = True
     #: Memory words; addresses are word addresses in [0, memory_words).
     memory_words: int = 1 << 22
     #: Word address at and above which accesses are uncached MMIO.

@@ -136,6 +136,20 @@ class CacheMissFsm:
         self.state = self._plan[0] if self._plan else MissState.IDLE
         return self.stalled
 
+    def tick_many(self, cycles: int) -> None:
+        """Consume ``cycles`` stall cycles at once.
+
+        Exactly equivalent to calling :meth:`tick` ``cycles`` times; the
+        pipeline's stall fast path uses it to burn a whole miss service
+        without re-entering the per-cycle machinery.
+        """
+        if cycles <= 0 or not self.stalled:
+            return
+        consumed = min(cycles, len(self._plan))
+        self.stall_cycles += consumed
+        del self._plan[:consumed]
+        self.state = self._plan[0] if self._plan else MissState.IDLE
+
     @staticmethod
     def transition_table() -> List[Tuple[str, str, str]]:
         """(state, input, next state) rows for Figure 4."""

@@ -14,7 +14,6 @@ immediately, and there is no timing.  It serves two purposes:
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.asm.unit import Program
 from repro.coproc.interface import CoprocessorSet

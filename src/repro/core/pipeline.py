@@ -39,7 +39,7 @@ experiments involve user-mode exception returns.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, List, Optional
+from typing import List, Optional
 
 from repro.coproc.interface import CoprocessorSet
 from repro.core.config import MachineConfig
@@ -251,6 +251,7 @@ class Pipeline:
         self._cycle_branch_wrong = False
         self._irq_hold = 0
         self._decode_cache: dict = {}
+        self._decode_enabled = config.decode_cache
         memory.write_listeners.append(self._invalidate_decode)
 
     # ------------------------------------------------------------ external
@@ -274,34 +275,50 @@ class Pipeline:
 
     # ------------------------------------------------------------- decode
     def _decode_at(self, pc: int, system_mode: bool):
+        """Decode the word at ``pc`` once per (mode, address).
+
+        Each fetched word is decoded the first time it is fetched and the
+        :class:`~repro.isa.instruction.Instruction` is reused on every
+        later fetch of the same address; a store to the address (via
+        ``memory.write_listeners``) invalidates the entry, so
+        self-modifying code re-decodes.  ``config.decode_cache=False``
+        restores decode-on-every-fetch for equivalence testing.
+        """
         key = (system_mode, pc)
-        cached = self._decode_cache.get(key)
-        if cached is not None:
-            return cached
+        if self._decode_enabled:
+            cached = self._decode_cache.get(key)
+            if cached is not None:
+                return cached
         word = self.memory.space(system_mode).read(pc)
         try:
             instr = decode(word)
         except DecodeError:
             instr = _ILLEGAL_INSTRUCTION
-        self._decode_cache[key] = instr
+        if self._decode_enabled:
+            self._decode_cache[key] = instr
         return instr
 
     # ---------------------------------------------------------- main cycle
     def cycle(self) -> None:  # noqa: C901 - the pipeline is one sequence
         """Advance the machine by one clock cycle."""
-        self.stats.cycles += 1
+        stats = self.stats
+        stats.cycles += 1
 
         # w1 withheld: a stall freezes every pipeline latch.
         if self._stall_left > 0:
             self._consume_stall()
             return
 
-        mode = self.psw.system_mode
+        # All PSW reads in a cycle happen before the ALU stage (the only
+        # stage that can replace the PSW), so one local suffices.
+        psw = self.psw
+        mode = psw.system_mode
+        s = self.s
 
         # MEM-stage data probe for the instruction about to enter MEM
         # (the late-miss protocol: a miss re-runs phase 2 of MEM).
         page_fault = False
-        mem_next = self.s[ALU]
+        mem_next = s[ALU]
         if (mem_next is not None and not mem_next.squashed
                 and not mem_next.mem_resolved
                 and mem_next.instr.is_memory_access):
@@ -334,31 +351,32 @@ class Pipeline:
                     self._consume_stall()
                     return
             fetch_flight = Flight(fetch_pc, self._decode_at(fetch_pc, mode))
-            self.stats.fetched += 1
+            stats.fetched += 1
             if self.trace is not None:
                 self.trace.on_fetch(fetch_pc)
             self._ready_fetch = None
 
         # Pipeline latches shift (w1 rises).
-        self.s = [fetch_flight, self.s[IF], self.s[RF], self.s[ALU], self.s[MEM]]
+        self.s = s = [fetch_flight, s[IF], s[RF], s[ALU], s[MEM]]
 
         # WB: the oldest instruction completes -- the *only* point at which
         # machine state (registers) changes, making exceptions restartable.
-        self._writeback(self.s[WB])
+        self._writeback(s[WB])
 
         # The PC chain records the PCs of the three uncompleted
         # instructions (MEM, ALU, RF) while shifting is enabled.
-        if self.psw.shift_enabled:
+        if psw.shift_enabled:
+            mem_f, alu_f, rf_f = s[MEM], s[ALU], s[RF]
             self.pc_unit.chain.shift(
-                self.s[MEM].pc if self.s[MEM] else 0,
-                self.s[ALU].pc if self.s[ALU] else 0,
-                self.s[RF].pc if self.s[RF] else 0,
+                mem_f.pc if mem_f else 0,
+                alu_f.pc if alu_f else 0,
+                rf_f.pc if rf_f else 0,
             )
 
         # A page fault behaves like a fault on the instruction now in
         # MEM: nothing younger completes and the chain restarts it.
         if page_fault:
-            self.stats.page_faults += 1
+            stats.page_faults += 1
             self._take_exception(PswBit.CAUSE_PGFLT)
             return
 
@@ -368,37 +386,38 @@ class Pipeline:
             self._irq_hold -= 1
         elif self._nmi_pending:
             self._nmi_pending = False
-            self.stats.interrupts += 1
+            stats.interrupts += 1
             self._take_exception(PswBit.CAUSE_NMI)
             return
-        elif self._irq_pending and self.psw.interrupts_enabled:
+        elif self._irq_pending and psw.interrupts_enabled:
             self._irq_pending = False
-            self.stats.interrupts += 1
+            stats.interrupts += 1
             self._take_exception(PswBit.CAUSE_INT)
             return
 
         # MEM work.
-        self._mem_stage(self.s[MEM], mode)
+        self._mem_stage(s[MEM], mode)
 
         # ALU work (condition evaluation, redirects, exceptions).
         self._cycle_branch_wrong = False
-        exception_taken = self._alu_stage(self.s[ALU])
+        exception_taken = self._alu_stage(s[ALU])
         if exception_taken:
             return
 
         # Quick-compare design alternative: 1-slot machines resolve the
         # branch in RF instead of ALU.
         if self.config.branch_delay_slots == 1:
-            self._rf_branch_stage(self.s[RF])
+            self._rf_branch_stage(s[RF])
 
         self.pc_unit.advance()
         self.squash_fsm.step(exception=False,
                              branch_wrong=self._cycle_branch_wrong)
 
         # Drain after a halt: everything older than the halt completes.
-        if self._halting and all(f is None for f in self.s[RF:]):
+        if self._halting and (s[RF] is None and s[ALU] is None
+                              and s[MEM] is None and s[WB] is None):
             self.halted = True
-            self.stats.halted = True
+            stats.halted = True
 
     # -------------------------------------------------------------- stalls
     def _consume_stall(self) -> None:
@@ -454,35 +473,45 @@ class Pipeline:
             self.trace.on_retire(flight.pc, flight.instr, flight.squashed)
 
     # ----------------------------------------------------------- MEM stage
+    # Dispatch is a precomputed opcode -> handler table (built after the
+    # class body): the common case -- a compute op with no MEM work -- is
+    # one dict probe instead of a seven-way opcode comparison chain.
     def _mem_stage(self, flight: Optional[Flight], mode: bool) -> None:
         if flight is None or flight.squashed:
             return
-        instr = flight.instr
-        op = instr.opcode
-        if op == Opcode.LD:
-            flight.result = self.memory.read(flight.mem_address, mode)
-            self.stats.loads += 1
-        elif op == Opcode.ST:
-            self.memory.write(flight.mem_address, flight.store_value, mode)
-            self.stats.stores += 1
-        elif op == Opcode.LDF:
-            word = self.memory.read(flight.mem_address, mode)
-            self._fpu().load_word(instr.src2, word)
-            self.stats.loads += 1
-        elif op == Opcode.STF:
-            self.memory.write(flight.mem_address,
-                              self._fpu().store_word(instr.src2), mode)
-            self.stats.stores += 1
-        elif op == Opcode.COP:
-            self.coprocessors.execute(flight.mem_address)
-            self.stats.coproc_ops += 1
-        elif op == Opcode.MOVTOC:
-            self.coprocessors.write_data(flight.mem_address,
-                                         flight.store_value)
-            self.stats.coproc_ops += 1
-        elif op == Opcode.MOVFRC:
-            flight.result = self.coprocessors.read_data(flight.mem_address)
-            self.stats.coproc_ops += 1
+        handler = self._MEM_DISPATCH.get(flight.instr.opcode)
+        if handler is not None:
+            handler(self, flight, mode)
+
+    def _mem_ld(self, flight: Flight, mode: bool) -> None:
+        flight.result = self.memory.read(flight.mem_address, mode)
+        self.stats.loads += 1
+
+    def _mem_st(self, flight: Flight, mode: bool) -> None:
+        self.memory.write(flight.mem_address, flight.store_value, mode)
+        self.stats.stores += 1
+
+    def _mem_ldf(self, flight: Flight, mode: bool) -> None:
+        word = self.memory.read(flight.mem_address, mode)
+        self._fpu().load_word(flight.instr.src2, word)
+        self.stats.loads += 1
+
+    def _mem_stf(self, flight: Flight, mode: bool) -> None:
+        self.memory.write(flight.mem_address,
+                          self._fpu().store_word(flight.instr.src2), mode)
+        self.stats.stores += 1
+
+    def _mem_cop(self, flight: Flight, mode: bool) -> None:
+        self.coprocessors.execute(flight.mem_address)
+        self.stats.coproc_ops += 1
+
+    def _mem_movtoc(self, flight: Flight, mode: bool) -> None:
+        self.coprocessors.write_data(flight.mem_address, flight.store_value)
+        self.stats.coproc_ops += 1
+
+    def _mem_movfrc(self, flight: Flight, mode: bool) -> None:
+        flight.result = self.coprocessors.read_data(flight.mem_address)
+        self.stats.coproc_ops += 1
 
     def _fpu(self):
         fpu = self.coprocessors.fpu_slot
@@ -548,87 +577,116 @@ class Pipeline:
             flight.store_value = self._operand(instr.src2, flight)
         return False
 
+    # Compute ops dispatch through two precomputed funct -> handler
+    # tables (built after the class body).  Arithmetic handlers return
+    # ``(result, overflow)``; control handlers return True when they took
+    # an exception -- together they reproduce the original comparison
+    # chain decision-for-decision.
     def _alu_compute(self, flight: Flight) -> bool:
         instr = flight.instr
-        funct = instr.funct
         a = self._operand(instr.src1, flight)
-        result = None
-        overflow = False
-        if funct == Funct.ADD:
-            out = Alu.add(a, self._operand(instr.src2, flight))
-            result, overflow = out.value, out.overflow
-        elif funct == Funct.SUB:
-            out = Alu.sub(a, self._operand(instr.src2, flight))
-            result, overflow = out.value, out.overflow
-        elif funct == Funct.AND:
-            result = a & self._operand(instr.src2, flight)
-        elif funct == Funct.OR:
-            result = a | self._operand(instr.src2, flight)
-        elif funct == Funct.XOR:
-            result = a ^ self._operand(instr.src2, flight)
-        elif funct == Funct.NOT:
-            result = ~a & 0xFFFFFFFF
-        elif funct == Funct.SLL:
-            result = FunnelShifter.sll(a, instr.shamt)
-        elif funct == Funct.SRL:
-            result = FunnelShifter.srl(a, instr.shamt)
-        elif funct == Funct.SRA:
-            result = FunnelShifter.sra(a, instr.shamt)
-        elif funct == Funct.ROTL:
-            result = FunnelShifter.rotl(a, instr.shamt)
-        elif funct == Funct.MSTEP:
-            out = self.md.mstep(a, self._operand(instr.src2, flight))
-            result, overflow = out.value, out.overflow
-        elif funct == Funct.DSTEP:
-            out = self.md.dstep(a, self._operand(instr.src2, flight))
-            result = out.value
-        elif funct == Funct.MOVFRS:
-            result = self._read_special(instr.shamt)
-        elif funct == Funct.MOVTOS:
-            # the PSW (and with it the mode) "can only be changed while
-            # executing in system mode": user-mode writes to special
-            # state trap instead (privileged-instruction trap)
-            if not self.psw.system_mode:
-                self._take_exception(PswBit.CAUSE_TRAP)
+        arith = self._ARITH_DISPATCH.get(instr.funct)
+        if arith is not None:
+            result, overflow = arith(self, flight, instr, a)
+            if overflow and self.psw.trap_on_overflow:
+                self._take_exception(PswBit.CAUSE_OVF)
                 return True
-            self._write_special(instr.shamt, a)
-        elif funct == Funct.TRAP:
+            if result is not None:
+                flight.dest = instr.writes_register()
+                flight.result = result
+            return False
+        control = self._CONTROL_DISPATCH.get(instr.funct)
+        if control is None:  # pragma: no cover - decode guarantees a funct
+            raise RuntimeError(f"unimplemented funct {instr.funct}")
+        return control(self, flight, instr, a)
+
+    def _fn_add(self, flight, instr, a):
+        out = Alu.add(a, self._operand(instr.src2, flight))
+        return out.value, out.overflow
+
+    def _fn_sub(self, flight, instr, a):
+        out = Alu.sub(a, self._operand(instr.src2, flight))
+        return out.value, out.overflow
+
+    def _fn_and(self, flight, instr, a):
+        return a & self._operand(instr.src2, flight), False
+
+    def _fn_or(self, flight, instr, a):
+        return a | self._operand(instr.src2, flight), False
+
+    def _fn_xor(self, flight, instr, a):
+        return a ^ self._operand(instr.src2, flight), False
+
+    def _fn_not(self, flight, instr, a):
+        return ~a & 0xFFFFFFFF, False
+
+    def _fn_sll(self, flight, instr, a):
+        return FunnelShifter.sll(a, instr.shamt), False
+
+    def _fn_srl(self, flight, instr, a):
+        return FunnelShifter.srl(a, instr.shamt), False
+
+    def _fn_sra(self, flight, instr, a):
+        return FunnelShifter.sra(a, instr.shamt), False
+
+    def _fn_rotl(self, flight, instr, a):
+        return FunnelShifter.rotl(a, instr.shamt), False
+
+    def _fn_mstep(self, flight, instr, a):
+        out = self.md.mstep(a, self._operand(instr.src2, flight))
+        return out.value, out.overflow
+
+    def _fn_dstep(self, flight, instr, a):
+        out = self.md.dstep(a, self._operand(instr.src2, flight))
+        return out.value, False
+
+    def _fn_movfrs(self, flight, instr, a):
+        return self._read_special(instr.shamt), False
+
+    def _fn_movtos(self, flight, instr, a) -> bool:
+        # the PSW (and with it the mode) "can only be changed while
+        # executing in system mode": user-mode writes to special
+        # state trap instead (privileged-instruction trap)
+        if not self.psw.system_mode:
             self._take_exception(PswBit.CAUSE_TRAP)
             return True
-        elif funct == Funct.JPC:
-            if not self.psw.system_mode:
-                self._take_exception(PswBit.CAUSE_TRAP)
-                return True
-            self.pc_unit.redirect(self.pc_unit.chain.pop())
-            self.stats.jumps += 1
-        elif funct == Funct.JPCRS:
-            if not self.psw.system_mode:
-                self._take_exception(PswBit.CAUSE_TRAP)
-                return True
-            self.pc_unit.redirect(self.pc_unit.chain.pop())
-            self.psw = self.psw_old.copy()
-            # hardware interlock: one cycle after the restore, jpcrs is
-            # still in MEM -- an interrupt then would freeze the chain
-            # with jpcrs itself in it and re-execute it against a shifted
-            # chain.  A second held cycle guarantees forward progress:
-            # the oldest re-executed instruction reaches WB before the
-            # next interrupt can freeze the chain, so a saturating
-            # interrupt source cannot livelock the machine.
-            self._irq_hold = 2
-            self.stats.jumps += 1
-        elif funct == Funct.HALT:
-            self._halting = True
-            for slot in (self.s[RF], self.s[IF]):
-                if slot is not None:
-                    slot.squashed = True
-        else:  # pragma: no cover - decode guarantees a known funct
-            raise RuntimeError(f"unimplemented funct {funct}")
-        if overflow and self.psw.trap_on_overflow:
-            self._take_exception(PswBit.CAUSE_OVF)
+        self._write_special(instr.shamt, a)
+        return False
+
+    def _fn_trap(self, flight, instr, a) -> bool:
+        self._take_exception(PswBit.CAUSE_TRAP)
+        return True
+
+    def _fn_jpc(self, flight, instr, a) -> bool:
+        if not self.psw.system_mode:
+            self._take_exception(PswBit.CAUSE_TRAP)
             return True
-        if result is not None:
-            flight.dest = instr.writes_register()
-            flight.result = result
+        self.pc_unit.redirect(self.pc_unit.chain.pop())
+        self.stats.jumps += 1
+        return False
+
+    def _fn_jpcrs(self, flight, instr, a) -> bool:
+        if not self.psw.system_mode:
+            self._take_exception(PswBit.CAUSE_TRAP)
+            return True
+        self.pc_unit.redirect(self.pc_unit.chain.pop())
+        self.psw = self.psw_old.copy()
+        # hardware interlock: one cycle after the restore, jpcrs is
+        # still in MEM -- an interrupt then would freeze the chain
+        # with jpcrs itself in it and re-execute it against a shifted
+        # chain.  A second held cycle guarantees forward progress:
+        # the oldest re-executed instruction reaches WB before the
+        # next interrupt can freeze the chain, so a saturating
+        # interrupt source cannot livelock the machine.
+        self._irq_hold = 2
+        self.stats.jumps += 1
+        return False
+
+    def _fn_halt(self, flight, instr, a) -> bool:
+        self._halting = True
+        for slot in (self.s[RF], self.s[IF]):
+            if slot is not None:
+                slot.squashed = True
         return False
 
     # -------------------------------------------------------- branch logic
@@ -750,7 +808,67 @@ class Pipeline:
 
     # ------------------------------------------------------------- running
     def run(self, max_cycles: int = 10_000_000) -> PipelineStats:
-        """Run until ``halt`` retires or the cycle budget is exhausted."""
-        while not self.halted and self.stats.cycles < max_cycles:
+        """Run until ``halt`` retires or the cycle budget is exhausted.
+
+        Stall fast path: while the qualified ``w1`` clock is withheld the
+        pipeline latches are frozen and every stalled cycle is identical,
+        so a multi-cycle stall is consumed in one step instead of one
+        :meth:`cycle` call per cycle.  Cycle counts, stall counters and
+        the miss FSM advance exactly as they would per-cycle;
+        single-stepping via :meth:`cycle` is unchanged.
+        """
+        stats = self.stats
+        while not self.halted and stats.cycles < max_cycles:
+            if self._stall_left > 1:
+                bulk = min(self._stall_left, max_cycles - stats.cycles)
+                self._consume_stall_bulk(bulk)
+                continue
             self.cycle()
         return self.stats
+
+    def _consume_stall_bulk(self, cycles: int) -> None:
+        """Equivalent of ``cycles`` consecutive stalled :meth:`cycle` calls."""
+        self.stats.cycles += cycles
+        self._stall_left -= cycles
+        if self._stall_is_icache:
+            self.miss_fsm.tick_many(cycles)
+            self.stats.icache_stall_cycles += cycles
+        else:
+            self.stats.data_stall_cycles += cycles
+
+
+# Stage-dispatch tables, precomputed once at import: opcode/funct
+# comparison chains in the per-cycle hot loop become single dict probes.
+Pipeline._MEM_DISPATCH = {
+    Opcode.LD: Pipeline._mem_ld,
+    Opcode.ST: Pipeline._mem_st,
+    Opcode.LDF: Pipeline._mem_ldf,
+    Opcode.STF: Pipeline._mem_stf,
+    Opcode.COP: Pipeline._mem_cop,
+    Opcode.MOVTOC: Pipeline._mem_movtoc,
+    Opcode.MOVFRC: Pipeline._mem_movfrc,
+}
+
+Pipeline._ARITH_DISPATCH = {
+    Funct.ADD: Pipeline._fn_add,
+    Funct.SUB: Pipeline._fn_sub,
+    Funct.AND: Pipeline._fn_and,
+    Funct.OR: Pipeline._fn_or,
+    Funct.XOR: Pipeline._fn_xor,
+    Funct.NOT: Pipeline._fn_not,
+    Funct.SLL: Pipeline._fn_sll,
+    Funct.SRL: Pipeline._fn_srl,
+    Funct.SRA: Pipeline._fn_sra,
+    Funct.ROTL: Pipeline._fn_rotl,
+    Funct.MSTEP: Pipeline._fn_mstep,
+    Funct.DSTEP: Pipeline._fn_dstep,
+    Funct.MOVFRS: Pipeline._fn_movfrs,
+}
+
+Pipeline._CONTROL_DISPATCH = {
+    Funct.MOVTOS: Pipeline._fn_movtos,
+    Funct.TRAP: Pipeline._fn_trap,
+    Funct.JPC: Pipeline._fn_jpc,
+    Funct.JPCRS: Pipeline._fn_jpcrs,
+    Funct.HALT: Pipeline._fn_halt,
+}

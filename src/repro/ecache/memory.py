@@ -13,7 +13,7 @@ off-chip interrupt control unit).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Dict
 
 
 class MemoryFault(RuntimeError):

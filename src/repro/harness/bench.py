@@ -1,0 +1,180 @@
+"""Benchmark telemetry: core throughput and sweep wall-clock.
+
+``collect()`` (the engine behind ``repro bench``) measures
+
+* **core throughput** -- simulated ``cycles/sec`` of the cycle-accurate
+  pipeline on compiled workloads, compile time excluded;
+* **experiment sweep wall-clock** -- the full grid from
+  :mod:`repro.harness.experiments`, run serially and through the parallel
+  :class:`~repro.harness.runner.Runner`, with per-job durations;
+
+and writes ``BENCH_pipeline.json`` at the repo root so successive PRs
+leave a machine-readable perf trajectory.  ``merge_section`` lets other
+producers (the pytest benchmark suite) fold their timings into the same
+file without clobbering it.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import pathlib
+import platform
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.harness.runner import Job, JobResult, Runner
+
+#: src/repro/harness/bench.py -> repository root
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_pipeline.json"
+
+#: workloads used for the cycles/sec probe: one loop-heavy integer
+#: program and one branchy one, both in the Pascal suite
+THROUGHPUT_WORKLOADS = ("sieve", "bubble")
+
+
+def measure_core_throughput(names: Sequence[str] = THROUGHPUT_WORKLOADS,
+                            repeats: int = 5) -> Dict[str, Any]:
+    """Pure-simulation cycles/sec (programs compiled once, outside the
+    timed region)."""
+    from repro.core import Machine, MachineConfig
+    from repro.workloads import cached_program
+
+    per_workload = {}
+    total_cycles = 0
+    total_wall = 0.0
+    for name in names:
+        program = cached_program(name)
+        started = time.perf_counter()
+        cycles = 0
+        for _ in range(repeats):
+            machine = Machine(MachineConfig())
+            machine.load_program(program)
+            cycles += machine.run().cycles
+        wall = time.perf_counter() - started
+        per_workload[name] = {
+            "cycles": cycles,
+            "wall_s": round(wall, 4),
+            "cycles_per_sec": round(cycles / wall) if wall else 0,
+        }
+        total_cycles += cycles
+        total_wall += wall
+    return {
+        "workloads": per_workload,
+        "repeats": repeats,
+        "cycles_per_sec": (round(total_cycles / total_wall)
+                           if total_wall else 0),
+    }
+
+
+def _results_section(results: Sequence[JobResult]) -> Dict[str, Any]:
+    return {
+        r.job_id: {
+            "status": r.status,
+            "sweep": r.sweep,
+            "duration_s": round(r.duration, 4),
+            "attempts": r.attempts,
+        }
+        for r in results
+    }
+
+
+def collect(quick: bool = False,
+            workers: Optional[int] = None,
+            parallel: bool = True,
+            serial_baseline: bool = True,
+            timeout: Optional[float] = None,
+            output: Optional[pathlib.Path] = None) -> Dict[str, Any]:
+    """Run the telemetry suite and persist ``BENCH_pipeline.json``."""
+    from repro.harness.experiments import default_jobs
+
+    runner = Runner(max_workers=workers)
+    jobs = default_jobs(quick=quick, timeout=timeout)
+
+    core = measure_core_throughput(repeats=2 if quick else 5)
+
+    if not serial_baseline and not parallel:
+        serial_baseline = True          # something must produce results
+    results: List[JobResult] = []
+    # Parallel first: forked workers must not inherit caches the serial
+    # pass warmed in this process, or the speedup figure flatters itself.
+    parallel_wall: Optional[float] = None
+    if parallel:
+        started = time.perf_counter()
+        results = runner.run(jobs, parallel=True)
+        parallel_wall = time.perf_counter() - started
+    serial_wall: Optional[float] = None
+    if serial_baseline:
+        started = time.perf_counter()
+        serial_results = runner.run(jobs, parallel=False)
+        serial_wall = time.perf_counter() - started
+        if not parallel:
+            results = serial_results
+
+    payload: Dict[str, Any] = {
+        "schema": 1,
+        "generated": datetime.datetime.now(datetime.timezone.utc)
+                     .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "quick": quick,
+        "host": {
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+            "workers": runner.max_workers,
+        },
+        "core": core,
+        "sweep": {
+            "jobs": len(jobs),
+            "ok": sum(1 for r in results if r.ok),
+            "serial_wall_s": round(serial_wall, 3) if serial_wall else None,
+            "parallel_wall_s": (round(parallel_wall, 3)
+                                if parallel_wall else None),
+            "speedup": (round(serial_wall / parallel_wall, 2)
+                        if serial_wall and parallel_wall else None),
+        },
+        "experiments": _results_section(results),
+    }
+    path = pathlib.Path(output) if output else DEFAULT_OUTPUT
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def merge_section(section: str, data: Any,
+                  path: Optional[pathlib.Path] = None) -> None:
+    """Read-modify-write one top-level section of the telemetry file.
+
+    Creates a minimal file when none exists, so producers (e.g. the
+    pytest benchmark timing hook) can run in any order.
+    """
+    path = pathlib.Path(path) if path else DEFAULT_OUTPUT
+    payload: Dict[str, Any] = {"schema": 1}
+    if path.exists():
+        try:
+            payload = json.loads(path.read_text())
+        except (ValueError, OSError):
+            pass
+    payload[section] = data
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def format_summary(payload: Dict[str, Any]) -> str:
+    """Human-readable one-screen summary of a telemetry payload."""
+    lines: List[str] = []
+    core = payload.get("core", {})
+    lines.append(f"core throughput   {core.get('cycles_per_sec', 0):,} "
+                 "simulated cycles/sec")
+    for name, row in sorted(core.get("workloads", {}).items()):
+        lines.append(f"  {name:<12} {row['cycles_per_sec']:,} cyc/s "
+                     f"({row['cycles']} cycles / {row['wall_s']}s)")
+    sweep = payload.get("sweep", {})
+    lines.append(f"sweep             {sweep.get('ok')}/{sweep.get('jobs')} "
+                 "jobs ok")
+    if sweep.get("serial_wall_s") is not None:
+        lines.append(f"  serial          {sweep['serial_wall_s']}s")
+    if sweep.get("parallel_wall_s") is not None:
+        lines.append(f"  parallel        {sweep['parallel_wall_s']}s "
+                     f"({payload['host']['workers']} workers)")
+    if sweep.get("speedup") is not None:
+        lines.append(f"  speedup         {sweep['speedup']}x")
+    return "\n".join(lines)

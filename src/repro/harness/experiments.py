@@ -1,0 +1,255 @@
+"""Experiment point functions and the sweep grids built from them.
+
+Every function here is a module-level, picklable entry point that
+rebuilds its own inputs (trace, programs) deterministically and returns a
+plain JSON-able dict -- the contract the :class:`~repro.harness.runner.
+Runner` needs to fan points across processes and merge results
+reproducibly.
+
+The grids mirror the paper's studies: the six Table 1 branch schemes
+(E1), every 512-word Icache organization plus the fetch-back study (E4/
+E5), the Ecache size sweep (E15), the coprocessor interface schemes
+(E12), and the per-workload CPI measurements behind E6/E7.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.harness.runner import Job
+
+#: trace length used by the cache sweeps (matches benchmarks/bench_icache)
+TRACE_LENGTH = 400_000
+
+
+# ------------------------------------------------------------ point functions
+def branch_scheme_point(slots: int, squash: str,
+                        squash_if_go: bool = False,
+                        names: Optional[Sequence[str]] = None) -> dict:
+    """One row of Table 1: average cycles per branch for one scheme."""
+    from repro.analysis.branch_schemes import evaluate_scheme
+    from repro.reorg.delay_slots import BranchScheme
+    from repro.workloads import PASCAL_SUITE
+
+    scheme = BranchScheme(slots, squash, squash_if_go=squash_if_go)
+    evaluation = evaluate_scheme(scheme, list(names or PASCAL_SUITE))
+    return {
+        "slots": slots,
+        "squash": squash,
+        "cycles_per_branch": evaluation.cycles_per_branch,
+        "executions": evaluation.executions,
+        "cycles": evaluation.cycles,
+    }
+
+
+def icache_organization_point(sets: int, ways: int, block_words: int,
+                              fetchback: int = 2, miss_cycles: int = 2,
+                              trace_length: int = TRACE_LENGTH) -> dict:
+    """One Icache organization over the calibrated synthetic trace."""
+    from repro.core.config import IcacheConfig
+    from repro.icache.explorer import evaluate
+    from repro.traces.synthetic import paper_regime_program
+
+    trace = list(paper_regime_program().instruction_trace(trace_length))
+    config = IcacheConfig(sets=sets, ways=ways, block_words=block_words,
+                          fetchback=fetchback, miss_cycles=miss_cycles)
+    result = evaluate(config, trace)
+    return {
+        "sets": sets,
+        "ways": ways,
+        "block_words": block_words,
+        "fetchback": fetchback,
+        "miss_cycles": miss_cycles,
+        "miss_ratio": result.miss_ratio,
+        "fetch_cost": result.fetch_cost,
+    }
+
+
+def ecache_size_point(size_words: int, data_words: int = 400_000,
+                      references: int = 400_000,
+                      seed: int = 0xBADCAFE) -> dict:
+    """One Ecache size over the large synthetic data trace (E15)."""
+    from repro.core.config import EcacheConfig
+    from repro.ecache.ecache import Ecache
+    from repro.traces.synthetic import SyntheticProgram
+
+    program = SyntheticProgram(data_words=data_words, seed=seed)
+    cache = Ecache(EcacheConfig(size_words=size_words))
+    stall = 0
+    count = 0
+    for address, is_store in program.data_trace(references):
+        if is_store:
+            stall += cache.write(address, True)
+        else:
+            stall += cache.read(address, True)
+        count += 1
+    return {
+        "size_words": size_words,
+        "miss_rate": cache.stats.miss_rate,
+        "stall_per_ref": stall / count if count else 0.0,
+    }
+
+
+def coproc_scheme_point(name: str) -> dict:
+    """Interface-scheme relative performance for one FP workload (E12)."""
+    from repro.analysis.common import run_measured
+    from repro.coproc.schemes import evaluate_schemes, mix_from_machine
+
+    mix = mix_from_machine(name, run_measured(name))
+    outcomes = {}
+    for outcome in evaluate_schemes(mix):
+        outcomes[outcome.scheme.name] = {
+            "cycles": outcome.cycles,
+            "relative_performance": outcome.relative_performance,
+        }
+    return {
+        "workload": name,
+        "fp_fraction": mix.fp_fraction,
+        "schemes": outcomes,
+    }
+
+
+def workload_cpi_point(name: str) -> dict:
+    """CPI/no-op/throughput measurement for one workload (E6/E7)."""
+    from repro.analysis.cpi import measure, scaled_memory_config
+
+    breakdown = measure(name, scaled_memory_config())
+    return {
+        "workload": name,
+        "cycles": breakdown.cycles,
+        "instructions": breakdown.instructions,
+        "cpi": breakdown.cpi,
+        "noop_fraction": breakdown.noop_fraction,
+        "sustained_mips": breakdown.sustained_mips,
+    }
+
+
+# ------------------------------------------------------------------- grids
+def icache_design_points(total_words: int = 512) -> List[dict]:
+    """The (sets, ways, block) splits of a fixed area budget -- the same
+    enumeration as :func:`repro.icache.explorer.sweep_organizations`."""
+    points = []
+    block = 1
+    while block <= total_words:
+        lines = total_words // block
+        ways = 1
+        while ways <= lines:
+            sets = lines // ways
+            if sets * ways * block == total_words and sets >= 1:
+                points.append({"sets": sets, "ways": ways,
+                               "block_words": block})
+            ways *= 2
+        block *= 2
+    return points
+
+
+_POINT_FNS = {
+    "branch-schemes": "repro.harness.experiments:branch_scheme_point",
+    "icache-organizations":
+        "repro.harness.experiments:icache_organization_point",
+    "ecache-sweep": "repro.harness.experiments:ecache_size_point",
+    "coproc-schemes": "repro.harness.experiments:coproc_scheme_point",
+    "workload-cpi": "repro.harness.experiments:workload_cpi_point",
+}
+
+
+def _branch_jobs(quick: bool) -> List[Job]:
+    from repro.reorg.delay_slots import TABLE1_SCHEMES
+    from repro.workloads import PASCAL_SUITE
+
+    names = list(PASCAL_SUITE[:2]) if quick else None
+    jobs = []
+    for scheme in TABLE1_SCHEMES:
+        params = {"slots": scheme.slots, "squash": scheme.squash,
+                  "squash_if_go": scheme.squash_if_go}
+        if names:
+            params["names"] = names
+        jobs.append(Job(id=f"branch/{scheme.slots}-slot-{scheme.squash}",
+                        fn=_POINT_FNS["branch-schemes"], params=params,
+                        sweep="branch-schemes"))
+    return jobs
+
+
+def _icache_jobs(quick: bool) -> List[Job]:
+    trace_length = 60_000 if quick else TRACE_LENGTH
+    points = icache_design_points()
+    if quick:
+        points = points[::4] or points
+    jobs = [
+        Job(id=f"icache/{p['sets']}set-{p['ways']}way-{p['block_words']}w",
+            fn=_POINT_FNS["icache-organizations"],
+            params=dict(p, trace_length=trace_length),
+            sweep="icache-organizations")
+        for p in points
+    ]
+    # the fetch-back study rides on the paper organization
+    for fetchback in (1, 2, 3, 4):
+        jobs.append(Job(
+            id=f"icache/fetchback-{fetchback}",
+            fn=_POINT_FNS["icache-organizations"],
+            params={"sets": 4, "ways": 8, "block_words": 16,
+                    "fetchback": fetchback,
+                    "miss_cycles": max(2, fetchback),
+                    "trace_length": trace_length},
+            sweep="icache-organizations"))
+    return jobs
+
+
+def _ecache_jobs(quick: bool) -> List[Job]:
+    sizes = (16384, 65536) if quick else (4096, 16384, 65536, 262144)
+    references = 80_000 if quick else 400_000
+    return [Job(id=f"ecache/{size}w",
+                fn=_POINT_FNS["ecache-sweep"],
+                params={"size_words": size, "references": references},
+                sweep="ecache-sweep")
+            for size in sizes]
+
+
+def _coproc_jobs(quick: bool) -> List[Job]:
+    from repro.workloads import FP_SUITE
+
+    names = FP_SUITE[:1] if quick else FP_SUITE
+    return [Job(id=f"coproc/{name}", fn=_POINT_FNS["coproc-schemes"],
+                params={"name": name}, sweep="coproc-schemes")
+            for name in names]
+
+
+def _cpi_jobs(quick: bool) -> List[Job]:
+    from repro.workloads import LISP_SUITE, PASCAL_SUITE
+
+    names = list(PASCAL_SUITE) + list(LISP_SUITE)
+    if quick:
+        names = names[:3]
+    return [Job(id=f"cpi/{name}", fn=_POINT_FNS["workload-cpi"],
+                params={"name": name}, sweep="workload-cpi")
+            for name in names]
+
+
+#: sweep name -> job-list builder (quick: bool) -> List[Job]
+EXPERIMENT_SWEEPS = {
+    "branch-schemes": _branch_jobs,
+    "icache-organizations": _icache_jobs,
+    "ecache-sweep": _ecache_jobs,
+    "coproc-schemes": _coproc_jobs,
+    "workload-cpi": _cpi_jobs,
+}
+
+
+def sweep_jobs(name: str, quick: bool = False,
+               timeout: Optional[float] = None) -> List[Job]:
+    """The job grid for one named sweep."""
+    jobs = EXPERIMENT_SWEEPS[name](quick)
+    if timeout is not None:
+        jobs = [Job(id=j.id, fn=j.fn, params=j.params, timeout=timeout,
+                    sweep=j.sweep) for j in jobs]
+    return jobs
+
+
+def default_jobs(quick: bool = False,
+                 timeout: Optional[float] = None,
+                 sweeps: Optional[Sequence[str]] = None) -> List[Job]:
+    """The full experiment grid (all sweeps, submission-ordered)."""
+    jobs: List[Job] = []
+    for name in (sweeps or EXPERIMENT_SWEEPS):
+        jobs.extend(sweep_jobs(name, quick=quick, timeout=timeout))
+    return jobs

@@ -1,0 +1,219 @@
+"""Process-parallel experiment runner.
+
+Design:
+
+* a :class:`Job` is a picklable spec -- a ``"module:function"`` entry
+  point plus keyword params -- so any module-level function can be a
+  sweep point;
+* one OS process per job (experiment points run for seconds, so process
+  startup is noise), results returned over a pipe;
+* per-job **timeout**: the scheduler terminates the worker and records a
+  ``"timeout"`` result;
+* **retry-once-on-crash**: a worker that dies without reporting
+  (``os._exit``, segfault, OOM kill) is rescheduled once; a second death
+  records ``"crashed"``.  An in-worker Python exception is deterministic,
+  so it is recorded as ``"error"`` without a retry;
+* **deterministic merging**: results come back in submission order keyed
+  by job id, regardless of completion order, so serial and parallel runs
+  of the same jobs produce identical merged output.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+import multiprocessing
+import os
+import time
+import traceback
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+
+@dataclasses.dataclass(frozen=True)
+class Job:
+    """One sweep point: ``resolve(fn)(**params)`` in a worker process."""
+
+    id: str
+    fn: str                              #: "package.module:function"
+    params: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    timeout: Optional[float] = None      #: seconds; None = no limit
+    sweep: str = ""                      #: owning sweep, for grouping
+
+
+@dataclasses.dataclass
+class JobResult:
+    """Outcome of one job, independent of where/when it ran."""
+
+    job_id: str
+    status: str                      #: "ok" | "error" | "timeout" | "crashed"
+    value: Any = None
+    error: str = ""
+    duration: float = 0.0                #: wall seconds of the final attempt
+    attempts: int = 1
+    sweep: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def resolve(fn_spec: str) -> Callable:
+    """``"package.module:function"`` -> the callable."""
+    module_name, sep, fn_name = fn_spec.partition(":")
+    if not sep or not fn_name:
+        raise ValueError(f"job fn must be 'module:function', got {fn_spec!r}")
+    return getattr(importlib.import_module(module_name), fn_name)
+
+
+def _worker_main(fn_spec: str, params: Dict[str, Any], conn) -> None:
+    """Worker process entry point: run the job, report over the pipe."""
+    try:
+        value = resolve(fn_spec)(**params)
+        conn.send(("ok", value, ""))
+    except BaseException:
+        conn.send(("error", None, traceback.format_exc()))
+    finally:
+        conn.close()
+
+
+class _Active:
+    """Bookkeeping for one in-flight worker."""
+
+    __slots__ = ("job", "attempt", "process", "conn", "started")
+
+    def __init__(self, job: Job, attempt: int, process, conn):
+        self.job = job
+        self.attempt = attempt
+        self.process = process
+        self.conn = conn
+        self.started = time.monotonic()
+
+
+class Runner:
+    """Schedules jobs over worker processes (or serially in-process).
+
+    ``max_workers`` defaults to the machine's CPU count.  ``run`` returns
+    one :class:`JobResult` per job **in submission order**.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 poll_interval: float = 0.02):
+        self.max_workers = max(1, max_workers or os.cpu_count() or 1)
+        self.poll_interval = poll_interval
+        self._context = multiprocessing.get_context()
+
+    # ------------------------------------------------------------- serial
+    def run_serial(self, jobs: Sequence[Job]) -> List[JobResult]:
+        """In-process execution, in order.
+
+        The determinism reference for the parallel path: same jobs, same
+        merged results.  Timeouts are not enforced in-process (there is
+        no safe way to interrupt arbitrary Python); crashes take the
+        whole process down, as they would without the harness.
+        """
+        results = []
+        for job in jobs:
+            started = time.monotonic()
+            try:
+                value = resolve(job.fn)(**job.params)
+                result = JobResult(job.id, "ok", value=value, sweep=job.sweep)
+            except Exception:
+                result = JobResult(job.id, "error",
+                                   error=traceback.format_exc(),
+                                   sweep=job.sweep)
+            result.duration = time.monotonic() - started
+            results.append(result)
+        return results
+
+    # ----------------------------------------------------------- parallel
+    def run(self, jobs: Sequence[Job],
+            parallel: bool = True) -> List[JobResult]:
+        jobs = list(jobs)
+        ids = [job.id for job in jobs]
+        if len(set(ids)) != len(ids):
+            raise ValueError("job ids must be unique within a run")
+        if not parallel:
+            return self.run_serial(jobs)
+        merged = self._run_parallel(jobs)
+        return [merged[job.id] for job in jobs]   # deterministic merge
+
+    def _spawn(self, job: Job, attempt: int) -> _Active:
+        parent_conn, child_conn = self._context.Pipe(duplex=False)
+        process = self._context.Process(
+            target=_worker_main, args=(job.fn, job.params, child_conn),
+            daemon=True)
+        process.start()
+        child_conn.close()   # child's end lives in the child now
+        return _Active(job, attempt, process, parent_conn)
+
+    def _run_parallel(self, jobs: List[Job]) -> Dict[str, JobResult]:
+        queue: List[tuple] = [(job, 1) for job in jobs]
+        queue.reverse()                      # pop() takes submission order
+        active: List[_Active] = []
+        results: Dict[str, JobResult] = {}
+        try:
+            while queue or active:
+                while queue and len(active) < self.max_workers:
+                    job, attempt = queue.pop()
+                    active.append(self._spawn(job, attempt))
+                made_progress = False
+                for slot in list(active):
+                    outcome = self._poll(slot)
+                    if outcome is None:
+                        continue
+                    made_progress = True
+                    active.remove(slot)
+                    if outcome == "retry":
+                        queue.append((slot.job, slot.attempt + 1))
+                    else:
+                        results[slot.job.id] = outcome
+                if not made_progress:
+                    time.sleep(self.poll_interval)
+        finally:
+            for slot in active:              # interrupted: no orphans
+                slot.process.terminate()
+                slot.process.join()
+        return results
+
+    def _poll(self, slot: _Active):
+        """One scheduling decision for one worker; None = still running."""
+        job = slot.job
+        elapsed = time.monotonic() - slot.started
+        if slot.conn.poll():
+            try:
+                status, value, error = slot.conn.recv()
+            except (EOFError, OSError):
+                return self._crash_outcome(slot, elapsed)
+            slot.process.join()
+            slot.conn.close()
+            return JobResult(job.id, status, value=value, error=error,
+                             duration=elapsed, attempts=slot.attempt,
+                             sweep=job.sweep)
+        if job.timeout is not None and elapsed > job.timeout:
+            slot.process.terminate()
+            slot.process.join()
+            slot.conn.close()
+            return JobResult(job.id, "timeout",
+                             error=f"exceeded {job.timeout:.1f}s",
+                             duration=elapsed, attempts=slot.attempt,
+                             sweep=job.sweep)
+        if not slot.process.is_alive():
+            return self._crash_outcome(slot, elapsed)
+        return None
+
+    def _crash_outcome(self, slot: _Active, elapsed: float):
+        """The worker died without delivering a result."""
+        slot.process.join()
+        slot.conn.close()
+        if slot.attempt < 2:
+            return "retry"
+        job = slot.job
+        return JobResult(
+            job.id, "crashed",
+            error=f"worker died twice (exitcode {slot.process.exitcode})",
+            duration=elapsed, attempts=slot.attempt, sweep=job.sweep)
+
+
+def merge_values(results: Sequence[JobResult]) -> Dict[str, Any]:
+    """``{job id: value}`` for the successful results."""
+    return {r.job_id: r.value for r in results if r.ok}

@@ -57,6 +57,12 @@ class _Way:
         self.valid = [False] * block_words
 
 
+#: Shared result for every hit: the hot path allocates nothing.  Callers
+#: treat :class:`FetchResult` as read-only (the pipeline and the explorer
+#: only inspect it), so sharing one instance is safe.
+_HIT = FetchResult(hit=True)
+
+
 class Icache:
     """Set-associative sub-block instruction cache.
 
@@ -76,9 +82,25 @@ class Icache:
         self._order: List[List[int]] = [list(range(config.ways))
                                         for _ in range(config.sets)]
         self._rand_state = 0x2545F491
+        # tag -> way index per set: tags are unique within a set (a
+        # structural invariant), so the associative search is a dict probe
+        self._tag_maps: List[Dict[int, int]] = [{} for _ in range(config.sets)]
+        # power-of-two geometries (every organization in the paper's
+        # design space) index with shifts and masks instead of divisions
+        block, sets = config.block_words, config.sets
+        self._pow2 = (block & (block - 1) == 0) and (sets & (sets - 1) == 0)
+        self._block_shift = block.bit_length() - 1
+        self._block_mask = block - 1
+        self._set_shift = sets.bit_length() - 1
+        self._set_mask = sets - 1
+        self._lru = config.replacement == "lru"
 
     # ------------------------------------------------------------ indexing
     def _locate(self, address: int, system_mode: bool) -> Tuple[int, int, int]:
+        if self._pow2:
+            block = address >> self._block_shift
+            tag = ((block >> self._set_shift) << 1) | (1 if system_mode else 0)
+            return block & self._set_mask, tag, address & self._block_mask
         block = address // self.config.block_words
         index = block % self.config.sets
         tag = (block // self.config.sets) * 2 + (1 if system_mode else 0)
@@ -86,10 +108,7 @@ class Icache:
         return index, tag, word
 
     def _find_way(self, index: int, tag: int) -> Optional[int]:
-        for way_index, way in enumerate(self._sets[index]):
-            if way.tag == tag:
-                return way_index
-        return None
+        return self._tag_maps[index].get(tag)
 
     def _victim(self, index: int) -> int:
         policy = self.config.replacement
@@ -105,10 +124,11 @@ class Icache:
         return self._order[index][0]
 
     def _touch(self, index: int, way_index: int, allocation: bool) -> None:
-        order = self._order[index]
-        if self.config.replacement == "lru" or allocation:
-            order.remove(way_index)
-            order.append(way_index)
+        if self._lru or allocation:
+            order = self._order[index]
+            if order[-1] != way_index:  # already most recent: nothing to move
+                order.remove(way_index)
+                order.append(way_index)
 
     # -------------------------------------------------------------- access
     def lookup(self, address: int, system_mode: bool = True) -> bool:
@@ -121,11 +141,17 @@ class Icache:
         """One instruction fetch: probe, and on a miss fill
         ``config.fetchback`` sequential words."""
         self.stats.accesses += 1
-        index, tag, word = self._locate(address, system_mode)
-        way_index = self._find_way(index, tag)
+        if self._pow2:  # inlined _locate: this probe runs once per cycle
+            block = address >> self._block_shift
+            index = block & self._set_mask
+            tag = ((block >> self._set_shift) << 1) | (1 if system_mode else 0)
+            word = address & self._block_mask
+        else:
+            index, tag, word = self._locate(address, system_mode)
+        way_index = self._tag_maps[index].get(tag)
         if way_index is not None and self._sets[index][way_index].valid[word]:
             self._touch(index, way_index, allocation=False)
-            return FetchResult(hit=True)
+            return _HIT  # hits share one immutable-by-convention result
         self.stats.misses += 1
         fills = [address + k for k in range(max(1, self.config.fetchback))]
         for fill_address in fills:
@@ -134,10 +160,14 @@ class Icache:
 
     def _fill(self, address: int, system_mode: bool) -> None:
         index, tag, word = self._locate(address, system_mode)
-        way_index = self._find_way(index, tag)
+        way_index = self._tag_maps[index].get(tag)
         if way_index is None:
             way_index = self._victim(index)
             way = self._sets[index][way_index]
+            tag_map = self._tag_maps[index]
+            if way.tag is not None:
+                del tag_map[way.tag]
+            tag_map[tag] = way_index
             way.tag = tag
             way.valid = [False] * self.config.block_words
             self.stats.tag_allocations += 1
@@ -154,6 +184,7 @@ class Icache:
                 way.valid = [False] * self.config.block_words
         self._order = [list(range(self.config.ways))
                        for _ in range(self.config.sets)]
+        self._tag_maps = [{} for _ in range(self.config.sets)]
 
     # ------------------------------------------------------ trace interface
     def simulate_trace(self, addresses: Iterable[int],

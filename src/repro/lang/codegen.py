@@ -25,13 +25,12 @@ Conventions (see :mod:`repro.isa.registers`):
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.lang import ast_nodes as ast
 from repro.lang.symbols import (
     FunctionScope,
     ProgramSymbols,
-    SemanticError,
     VarSymbol,
     analyze,
 )

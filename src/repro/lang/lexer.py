@@ -11,7 +11,7 @@ and the cons-cell list workloads that stand in for Lisp.
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterator, List, Optional
+from typing import List
 
 KEYWORDS = {
     "program", "var", "func", "proc", "begin", "end", "if", "then", "else",

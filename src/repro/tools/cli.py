@@ -6,11 +6,14 @@ Usage::
     python -m repro.tools.cli compile program.spl [--emit-asm] [--run]
     python -m repro.tools.cli disasm program.s
     python -m repro.tools.cli workload sieve [--stats]
+    python -m repro.tools.cli bench [--quick] [--workers N]
 
 ``run`` executes assembly on the paper-configuration machine; ``compile``
 sends SPL source through the compiler + reorganizer; ``workload`` runs a
 registered benchmark.  ``--trace N`` prints a pipeline diagram of the
-first N cycles.
+first N cycles.  ``bench`` runs the benchmark telemetry suite (core
+cycles/sec plus the parallel experiment sweep) and writes
+``BENCH_pipeline.json`` at the repo root.
 """
 
 from __future__ import annotations
@@ -98,6 +101,22 @@ def cmd_workload(args) -> int:
     return _run_machine(workload.program(), args)
 
 
+def cmd_bench(args) -> int:
+    from repro.harness.bench import collect, format_summary
+
+    payload = collect(quick=args.quick, workers=args.workers,
+                      parallel=not args.serial_only,
+                      serial_baseline=not args.no_serial_baseline,
+                      timeout=args.timeout,
+                      output=args.output)
+    print(format_summary(payload))
+    failed = [job_id for job_id, row in payload["experiments"].items()
+              if row["status"] != "ok"]
+    if failed:
+        print(f"failed jobs: {', '.join(sorted(failed))}", file=sys.stderr)
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="MIPS-X reproduction command line")
@@ -135,6 +154,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_workload.add_argument("name")
     common(p_workload)
     p_workload.set_defaults(func=cmd_workload)
+
+    p_bench = sub.add_parser(
+        "bench", help="benchmark telemetry: core cycles/sec + experiment "
+                      "sweep wall-clock, written to BENCH_pipeline.json")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="reduced grid and shorter traces (CI smoke)")
+    p_bench.add_argument("--workers", type=int, default=None,
+                         help="parallel worker processes (default: CPUs)")
+    p_bench.add_argument("--serial-only", action="store_true",
+                         help="skip the parallel sweep")
+    p_bench.add_argument("--no-serial-baseline", action="store_true",
+                         help="skip the serial sweep (no speedup figure)")
+    p_bench.add_argument("--timeout", type=float, default=None,
+                         help="per-job timeout in seconds")
+    p_bench.add_argument("--output", default=None, metavar="PATH",
+                         help="telemetry file (default: BENCH_pipeline.json "
+                              "at the repo root)")
+    p_bench.set_defaults(func=cmd_bench)
     return parser
 
 

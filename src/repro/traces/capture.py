@@ -14,7 +14,7 @@ records the same streams:
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.pipeline import TraceSink
 from repro.isa.instruction import Instruction

@@ -8,7 +8,6 @@ from repro.asm import (
     assemble,
     disassemble_word,
     listing,
-    parse,
 )
 from repro.asm.assembler import expand_li
 from repro.isa import Opcode, decode

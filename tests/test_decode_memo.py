@@ -1,0 +1,147 @@
+"""Decode-memoization equivalence: the cache must be invisible.
+
+``MachineConfig.decode_cache`` memoizes instruction decode per
+``(mode, pc)``.  These tests pin the safety argument:
+
+* on randomized looped programs, a machine with the cache on and one
+  with it off produce **identical** :class:`PipelineStats` and register
+  state, and both agree with the instruction-level golden simulator;
+* self-modifying code (a store into the instruction stream) invalidates
+  the memo, so patched instructions take effect exactly as they do with
+  the cache off.
+
+Random programs are seeded: every run tests the same programs.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import Machine, MachineConfig
+from repro.core.golden import GoldenSimulator
+from repro.isa import encode
+
+SCRATCH_WORDS = 16
+
+#: three-register ops whose pipeline and naive semantics agree
+_THREE_REG = ("add", "sub", "and", "or", "xor")
+_SHIFTS = ("sll", "srl", "sra")
+
+
+def random_loop_program(seed: int, body_ops: int = 40,
+                        iterations: int = 6) -> str:
+    """A seeded straight-line body run ``iterations`` times.
+
+    Only constructs where pipeline semantics (delay slots, bypassing)
+    and naive golden semantics coincide: arithmetic over t0-t7, stores
+    and loads to a private scratch block (a nop after every load keeps
+    the consumer out of the load delay slot), and a counted backward
+    branch whose delay slots hold nops.
+    """
+    rng = random.Random(seed)
+    temps = [f"t{i}" for i in range(8)]
+    lines = ["_start:", "        la t8, scratch", "        li s1, 1",
+             f"        li s0, {iterations}"]
+    for reg in temps:
+        lines.append(f"        li {reg}, {rng.randint(-40000, 40000)}")
+    lines.append("loop:")
+    for _ in range(body_ops):
+        kind = rng.random()
+        if kind < 0.6:
+            op = rng.choice(_THREE_REG)
+            rd, r1, r2 = (rng.choice(temps) for _ in range(3))
+            lines.append(f"        {op} {rd}, {r1}, {r2}")
+        elif kind < 0.75:
+            op = rng.choice(_SHIFTS)
+            rd, rs = rng.choice(temps), rng.choice(temps)
+            lines.append(f"        {op} {rd}, {rs}, {rng.randint(0, 31)}")
+        elif kind < 0.9:
+            reg = rng.choice(temps)
+            off = rng.randrange(SCRATCH_WORDS)
+            lines.append(f"        st {reg}, {off}(t8)")
+        else:
+            reg = rng.choice(temps)
+            off = rng.randrange(SCRATCH_WORDS)
+            lines.append(f"        ld {reg}, {off}(t8)")
+            lines.append("        nop")
+    lines += ["        sub s0, s0, s1",
+              "        bne s0, r0, loop",
+              "        nop",
+              "        nop",
+              "        halt",
+              f"scratch: .space {SCRATCH_WORDS}"]
+    return "\n".join(lines)
+
+
+def run_machine(program, decode_cache: bool) -> Machine:
+    machine = Machine(MachineConfig(decode_cache=decode_cache))
+    machine.load_program(program)
+    machine.run()
+    assert machine.halted
+    return machine
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 0xC0FFEE, 0xBADCAFE])
+def test_decode_cache_is_cycle_invisible(seed):
+    program = assemble(random_loop_program(seed))
+    cached = run_machine(program, decode_cache=True)
+    uncached = run_machine(program, decode_cache=False)
+
+    assert list(cached.regs) == list(uncached.regs)
+    assert dataclasses.asdict(cached.stats) == dataclasses.asdict(
+        uncached.stats)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_decode_cache_matches_golden(seed):
+    program = assemble(random_loop_program(seed))
+    cached = run_machine(program, decode_cache=True)
+
+    golden = GoldenSimulator()
+    golden.load_program(program)
+    golden.run()
+    # t0-t7 carry the randomized dataflow; s0 the loop counter.
+    assert list(cached.regs)[10:18] == list(golden.regs)[10:18]
+    assert cached.regs[26] == golden.regs[26]
+
+
+def _self_modifying_source() -> str:
+    # The loop body starts as "li t3, 11"; iteration 1 stores the encoded
+    # word for "li t3, 44" over it, so iteration 2 must decode the
+    # patched instruction: t5 ends at 11 + 44.  A stale memo would
+    # replay 11 + 11.
+    patched = encode(assemble("_start: li t3, 44").listing[0])
+    return f"""
+    _start:
+        la t0, target
+        la t1, newword
+        ld t2, 0(t1)
+        nop
+        li s1, 1
+        li s0, 2
+        li t5, 0
+    loop:
+    target:
+        li t3, 11
+        add t5, t5, t3
+        st t2, 0(t0)
+        sub s0, s0, s1
+        bne s0, r0, loop
+        nop
+        nop
+        halt
+    newword: .word {patched}
+    """
+
+
+def test_store_to_code_invalidates_memo():
+    program = assemble(_self_modifying_source())
+    cached = run_machine(program, decode_cache=True)
+    uncached = run_machine(program, decode_cache=False)
+
+    assert cached.regs[15] == 11 + 44            # t5: patch took effect
+    assert list(cached.regs) == list(uncached.regs)
+    assert dataclasses.asdict(cached.stats) == dataclasses.asdict(
+        uncached.stats)

@@ -9,7 +9,6 @@ the *last* jump restores the PSW, so PC-chain shifting stays disabled
 until every chain entry has been consumed.
 """
 
-import pytest
 
 from repro.asm import assemble
 from repro.core import Machine, PswBit, perfect_memory_config

@@ -1,0 +1,191 @@
+"""Tests for the parallel experiment harness.
+
+Covers the :class:`repro.harness.runner.Runner` contract:
+
+* serial and parallel runs of the same jobs merge to identical results,
+  in submission order, regardless of completion order;
+* per-job timeouts terminate the worker and record ``"timeout"``;
+* a worker that dies without reporting is retried once, then recorded as
+  ``"crashed"``; an in-worker exception is ``"error"`` with no retry;
+* the sweep grids are well-formed (unique ids, resolvable entry points).
+
+The job helpers below must be module-level so the ``"module:function"``
+specs resolve inside worker processes.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.harness.experiments import (EXPERIMENT_SWEEPS, default_jobs,
+                                       sweep_jobs)
+from repro.harness.runner import Job, JobResult, Runner, merge_values, resolve
+
+HERE = "tests.test_harness"
+
+
+# ----------------------------------------------------------- job helpers
+def _square(x):
+    return x * x
+
+
+def _sleep_then_return(seconds, value):
+    time.sleep(seconds)
+    return value
+
+
+def _raise(message):
+    raise RuntimeError(message)
+
+
+def _crash_once(marker):
+    """Die hard (no exception, no pipe report) on the first attempt."""
+    if not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        os._exit(17)
+    return "recovered"
+
+
+def _always_crash():
+    os._exit(23)
+
+
+def _squares(count):
+    return [Job(id=f"sq/{i}", fn=f"{HERE}:_square", params={"x": i})
+            for i in range(count)]
+
+
+# ------------------------------------------------------------ scheduling
+class TestRunnerScheduling:
+    def test_serial_matches_parallel(self):
+        jobs = _squares(8)
+        runner = Runner(max_workers=4)
+        serial = runner.run(jobs, parallel=False)
+        parallel = runner.run(jobs, parallel=True)
+        assert merge_values(serial) == merge_values(parallel)
+        assert [r.status for r in parallel] == ["ok"] * len(jobs)
+
+    def test_results_come_back_in_submission_order(self):
+        # Reverse-sorted sleeps: completion order is the opposite of
+        # submission order, the merge must restore the latter.
+        delays = [0.30, 0.15, 0.0]
+        jobs = [Job(id=f"sleep/{i}", fn=f"{HERE}:_sleep_then_return",
+                    params={"seconds": s, "value": i})
+                for i, s in enumerate(delays)]
+        results = Runner(max_workers=len(jobs)).run(jobs)
+        assert [r.job_id for r in results] == [j.id for j in jobs]
+        assert [r.value for r in results] == [0, 1, 2]
+
+    def test_more_jobs_than_workers(self):
+        jobs = _squares(9)
+        results = Runner(max_workers=2).run(jobs)
+        assert merge_values(results) == {f"sq/{i}": i * i for i in range(9)}
+
+    def test_duplicate_ids_rejected(self):
+        jobs = [Job(id="dup", fn=f"{HERE}:_square", params={"x": 1}),
+                Job(id="dup", fn=f"{HERE}:_square", params={"x": 2})]
+        with pytest.raises(ValueError, match="unique"):
+            Runner(max_workers=2).run(jobs)
+
+    def test_resolve_rejects_malformed_spec(self):
+        with pytest.raises(ValueError, match="module:function"):
+            resolve("no_colon_here")
+
+
+# --------------------------------------------------------- failure modes
+class TestFailureModes:
+    def test_timeout_kills_the_worker(self):
+        jobs = [Job(id="fast", fn=f"{HERE}:_square", params={"x": 3}),
+                Job(id="stuck", fn=f"{HERE}:_sleep_then_return",
+                    params={"seconds": 30.0, "value": None}, timeout=0.4)]
+        started = time.monotonic()
+        results = Runner(max_workers=2).run(jobs)
+        assert time.monotonic() - started < 10.0
+        by_id = {r.job_id: r for r in results}
+        assert by_id["fast"].status == "ok" and by_id["fast"].value == 9
+        assert by_id["stuck"].status == "timeout"
+        assert "0.4" in by_id["stuck"].error
+        assert not by_id["stuck"].ok
+
+    def test_crash_is_retried_once(self, tmp_path):
+        marker = str(tmp_path / "crashed-once")
+        jobs = [Job(id="flaky", fn=f"{HERE}:_crash_once",
+                    params={"marker": marker})]
+        (result,) = Runner(max_workers=1).run(jobs)
+        assert result.status == "ok"
+        assert result.value == "recovered"
+        assert result.attempts == 2
+
+    def test_second_crash_is_final(self):
+        jobs = [Job(id="doomed", fn=f"{HERE}:_always_crash")]
+        (result,) = Runner(max_workers=1).run(jobs)
+        assert result.status == "crashed"
+        assert result.attempts == 2
+        assert "exitcode" in result.error
+
+    def test_exception_is_error_without_retry(self):
+        jobs = [Job(id="boom", fn=f"{HERE}:_raise",
+                    params={"message": "deliberate"})]
+        (result,) = Runner(max_workers=1).run(jobs)
+        assert result.status == "error"
+        assert result.attempts == 1
+        assert "deliberate" in result.error
+
+    def test_serial_reports_errors_too(self):
+        jobs = [Job(id="boom", fn=f"{HERE}:_raise",
+                    params={"message": "deliberate"})]
+        (result,) = Runner().run(jobs, parallel=False)
+        assert result.status == "error"
+        assert "deliberate" in result.error
+
+
+# ------------------------------------------------------- experiment grids
+class TestExperimentGrids:
+    def test_grids_are_well_formed(self):
+        jobs = default_jobs(quick=True, timeout=120.0)
+        ids = [j.id for j in jobs]
+        assert len(set(ids)) == len(ids)
+        assert all(j.timeout == 120.0 for j in jobs)
+        assert {j.sweep for j in jobs} == set(EXPERIMENT_SWEEPS)
+        for job in jobs:
+            assert callable(resolve(job.fn))
+
+    def test_quick_grid_is_a_subset(self):
+        quick = {j.id for j in default_jobs(quick=True)}
+        full = {j.id for j in default_jobs(quick=False)}
+        assert quick <= full
+        assert len(quick) < len(full)
+
+    def test_ecache_sweep_deterministic_across_modes(self):
+        # A real experiment point (not a toy helper): the same sweep run
+        # serially and in parallel must merge to identical physics.
+        jobs = [Job(id=j.id, fn=j.fn,
+                    params=dict(j.params, references=20_000),
+                    sweep=j.sweep)
+                for j in sweep_jobs("ecache-sweep", quick=True)]
+        runner = Runner(max_workers=2)
+        serial = merge_values(runner.run(jobs, parallel=False))
+        parallel = merge_values(runner.run(jobs, parallel=True))
+        assert serial == parallel
+        assert all(0.0 <= row["miss_rate"] <= 1.0
+                   for row in parallel.values())
+
+    @pytest.mark.slow
+    def test_full_quick_sweep_deterministic(self):
+        # The whole --quick grid, both execution modes.  Tens of
+        # seconds of simulation: opt in with --run-slow.
+        jobs = default_jobs(quick=True)
+        runner = Runner(max_workers=2)
+        serial = runner.run(jobs, parallel=False)
+        parallel = runner.run(jobs, parallel=True)
+        assert [r.status for r in serial] == ["ok"] * len(jobs)
+        assert [r.status for r in parallel] == ["ok"] * len(jobs)
+        assert merge_values(serial) == merge_values(parallel)
+
+
+def test_job_result_ok_property():
+    assert JobResult("x", "ok").ok
+    for status in ("error", "timeout", "crashed"):
+        assert not JobResult("x", status).ok

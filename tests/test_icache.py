@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.asm import assemble
-from repro.core import IcacheConfig, Machine, MachineConfig, perfect_memory_config
+from repro.core import IcacheConfig, Machine, MachineConfig
 from repro.icache import Icache, contents_invariants, simulate
 
 

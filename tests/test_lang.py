@@ -14,7 +14,7 @@ from repro.lang import (
     parse_program,
     tokenize,
 )
-from repro.lang.ast_nodes import Binary, For, FuncDecl, If, Number, While
+from repro.lang.ast_nodes import Binary, FuncDecl, If
 
 
 def run_golden_src(source, max_instructions=5_000_000):

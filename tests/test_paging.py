@@ -7,7 +7,6 @@ address from the off-chip MMU, maps the page, and returns -- the faulting
 load or store re-executes transparently.
 """
 
-import pytest
 
 from repro.asm import assemble
 from repro.core import Machine, PswBit, perfect_memory_config

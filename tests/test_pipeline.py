@@ -7,7 +7,6 @@ from repro.asm import assemble
 from repro.core import (
     HazardViolation,
     Machine,
-    MachineConfig,
     perfect_memory_config,
 )
 

@@ -9,8 +9,8 @@ and it can only be changed while executing in system mode."
 import pytest
 
 from repro.asm import assemble
-from repro.core import Machine, MachineConfig, PswBit, perfect_memory_config
-from repro.workloads import cached_program, get
+from repro.core import Machine, PswBit, perfect_memory_config
+from repro.workloads import get
 
 PSW_USER_IE = (1 << PswBit.SHIFT_EN)  # user mode (MODE bit clear)
 

@@ -8,7 +8,7 @@
 from hypothesis import given, settings, strategies as st
 
 from repro.asm import assemble, disassemble_word
-from repro.isa import Instruction, Opcode, Funct, SpecialReg, decode, encode
+from repro.isa import Instruction, SpecialReg, decode
 from repro.isa import instruction as I
 from repro.isa.opcodes import BRANCH_OPCODES
 

@@ -1,6 +1,5 @@
 """Tests for the developer tooling: pipeline viewer and CLI."""
 
-import pytest
 
 from repro.asm import assemble
 from repro.core import Machine, perfect_memory_config
