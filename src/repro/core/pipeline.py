@@ -213,6 +213,16 @@ class TraceSink:
     def on_data(self, pc: int, address: int, is_store: bool) -> None:
         pass
 
+    def on_ecache(self, kind: int, address: int) -> None:
+        """External-cache reference: kind 0=read, 1=write, 2=ifetch.
+
+        Unlike :meth:`on_data` this fires only for references that
+        actually reach the Ecache (MMIO accesses are filtered out) and
+        includes the Icache fill traffic, so a replayed stream drives an
+        :class:`~repro.ecache.ecache.Ecache` to identical stats.
+        """
+        pass
+
     def on_exception(self, cause: str) -> None:
         pass
 
@@ -437,13 +447,19 @@ class Pipeline:
         if self.memory.is_mmio(address):
             return 0
         if flight.instr.is_store:
+            if self.trace is not None:
+                self.trace.on_ecache(1, address)
             return self.ecache.write(address, mode)
+        if self.trace is not None:
+            self.trace.on_ecache(0, address)
         return self.ecache.read(address, mode)
 
     def _fetch_probe(self, pc: int, mode: bool) -> int:
         """Icache probe at ``pc``; fills on a miss and returns the stall."""
         cache_config = self.config.icache
         if not cache_config.enabled:
+            if self.trace is not None:
+                self.trace.on_ecache(2, pc)
             external = self.ecache.ifetch(pc, mode)
             total = cache_config.miss_cycles + external
             if total > 0:
@@ -452,8 +468,11 @@ class Pipeline:
         result = self.icache.fetch(pc, mode)
         if result.hit:
             return 0
-        external = sum(self.ecache.ifetch(addr, mode)
-                       for addr in result.fill_addresses)
+        external = 0
+        for addr in result.fill_addresses:
+            if self.trace is not None:
+                self.trace.on_ecache(2, addr)
+            external += self.ecache.ifetch(addr, mode)
         self.miss_fsm.begin_miss(cache_config.miss_cycles, external)
         return cache_config.miss_cycles + external
 

@@ -38,8 +38,14 @@ class Memory:
         self._words[address] = value & 0xFFFFFFFF
 
     def load_image(self, image: Dict[int, int]) -> None:
-        for address, value in image.items():
-            self.write(address, value)
+        """Bulk-load an image, masking every value to 32 bits like
+        :meth:`write` -- hand-built images cannot smuggle wider words
+        past the functional model."""
+        for address in image:
+            if not 0 <= address < self.size_words:
+                raise MemoryFault(f"image word outside memory: {address:#x}")
+        self._words.update(
+            (address, value & 0xFFFFFFFF) for address, value in image.items())
 
     def __len__(self) -> int:
         return len(self._words)

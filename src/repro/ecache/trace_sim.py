@@ -1,0 +1,125 @@
+"""Vectorized trace-driven Ecache replay.
+
+The Ecache is direct-mapped, so its state at any point is just "the tag
+last allocated into each line".  That makes the whole replay expressible
+in numpy without a Python-level loop: stable-sort the reference stream
+by line index, forward-fill the position of the most recent *allocating*
+access within each index segment, and compare tags.  An allocating
+access always leaves its own tag in the line (on a hit the tag is
+already there), so "tag of the latest allocating access before me on my
+line" is exactly the live model's stored tag -- replayed stats equal
+:class:`repro.ecache.ecache.Ecache`'s bit for bit (pinned by
+tests/test_trace_replay.py).
+
+Reference kinds follow the pipeline's ``on_ecache`` stream encoding:
+0 = data read, 1 = data write, 2 = instruction fetch-back.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.config import EcacheConfig
+from repro.ecache.ecache import EcacheStats
+
+KIND_READ = 0
+KIND_WRITE = 1
+KIND_IFETCH = 2
+
+_ArrayLike = Union[Sequence[int], np.ndarray]
+
+
+def replay(config: EcacheConfig, kinds: _ArrayLike,
+           addresses: _ArrayLike) -> Tuple[EcacheStats, int]:
+    """Replay a (kind, address) reference stream against one config.
+
+    Returns ``(stats, total_stall_cycles)`` -- exactly what feeding the
+    same stream through the live :class:`Ecache` one access at a time
+    would produce (at a fixed mode; the mode bit only disambiguates
+    tags, so a single-mode stream yields identical stats either way).
+    """
+    kinds = np.ascontiguousarray(np.asarray(kinds, dtype=np.int8))
+    addresses = np.ascontiguousarray(np.asarray(addresses, dtype=np.int64))
+    if kinds.shape != addresses.shape:
+        raise ValueError("kinds and addresses must have the same length")
+    stats = EcacheStats()
+    if not config.enabled or kinds.size == 0:
+        return stats, 0
+
+    lines = config.size_words // config.line_words
+    if config.size_words % config.line_words:
+        raise ValueError("ecache size must be a multiple of the line size")
+    line_addr = addresses // config.line_words
+    index = line_addr % lines
+    tag = line_addr // lines
+
+    # write-through writes probe without allocating; everything else
+    # (reads, fetch-backs, write-back writes) installs its tag on a miss
+    if config.write_through:
+        allocates = kinds != KIND_WRITE
+    else:
+        allocates = np.ones(kinds.size, dtype=bool)
+
+    hit = _replay_hits(index, tag, allocates)
+
+    is_read = kinds == KIND_READ
+    is_write = kinds == KIND_WRITE
+    is_ifetch = kinds == KIND_IFETCH
+    miss = ~hit
+    stats.reads = int(is_read.sum())
+    stats.writes = int(is_write.sum())
+    stats.ifetches = int(is_ifetch.sum())
+    stats.read_misses = int((is_read & miss).sum())
+    stats.write_misses = int((is_write & miss).sum())
+    stats.ifetch_misses = int((is_ifetch & miss).sum())
+
+    stalling_misses = stats.read_misses + stats.ifetch_misses
+    if not config.write_through:
+        stalling_misses += stats.write_misses
+    return stats, stalling_misses * config.miss_penalty
+
+
+def _replay_hits(index: np.ndarray, tag: np.ndarray,
+                 allocates: np.ndarray) -> np.ndarray:
+    """Per-access hit flags for a direct-mapped cache, vectorized."""
+    n = index.size
+    order = np.argsort(index, kind="stable")
+    idx_sorted = index[order]
+    tag_sorted = tag[order]
+    alloc_sorted = allocates[order]
+
+    positions = np.arange(n, dtype=np.int64)
+    # within each equal-index segment: position of the latest allocating
+    # access at or before each slot (segments are contiguous after the
+    # stable sort, and positions only grow, so a global running max can
+    # never leak across a segment boundary once clamped to the segment
+    # start below)
+    last_alloc = np.maximum.accumulate(
+        np.where(alloc_sorted, positions, np.int64(-1)))
+    prev_alloc = np.empty(n, dtype=np.int64)
+    prev_alloc[0] = -1
+    prev_alloc[1:] = last_alloc[:-1]  # strictly-before semantics
+
+    seg_start = np.empty(n, dtype=bool)
+    seg_start[0] = True
+    seg_start[1:] = idx_sorted[1:] != idx_sorted[:-1]
+    seg_start_pos = np.maximum.accumulate(
+        np.where(seg_start, positions, np.int64(0)))
+
+    in_segment = prev_alloc >= seg_start_pos
+    hit_sorted = in_segment & (
+        tag_sorted[np.maximum(prev_alloc, 0)] == tag_sorted)
+
+    hit = np.empty(n, dtype=bool)
+    hit[order] = hit_sorted
+    return hit
+
+
+def replay_data(config: EcacheConfig, addresses: _ArrayLike,
+                is_store: _ArrayLike) -> Tuple[EcacheStats, int]:
+    """Replay a data-only (address, is_store) stream (the E15 sweep)."""
+    stores = np.asarray(is_store, dtype=bool)
+    kinds = np.where(stores, np.int8(KIND_WRITE), np.int8(KIND_READ))
+    return replay(config, kinds, addresses)

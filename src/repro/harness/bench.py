@@ -81,12 +81,60 @@ def _results_section(results: Sequence[JobResult]) -> Dict[str, Any]:
     }
 
 
+def _traced_section(quick: bool, reuse: bool,
+                    serial_results: Sequence[JobResult]) -> Dict[str, Any]:
+    """Run the capture-once/replay-many sweeps and compare them with the
+    live per-job serial durations (when a serial pass ran)."""
+    from repro.harness.experiments import TRACED_SWEEPS
+
+    live_by_sweep: Dict[str, float] = {}
+    for result in serial_results:
+        live_by_sweep[result.sweep] = (live_by_sweep.get(result.sweep, 0.0)
+                                       + result.duration)
+
+    per_sweep: Dict[str, Any] = {}
+    total_wall = 0.0
+    total_live = 0.0
+    for name, evaluate in TRACED_SWEEPS.items():
+        started = time.perf_counter()
+        outcome = evaluate(quick=quick, reuse=reuse)
+        wall = time.perf_counter() - started
+        total_wall += wall
+        entry: Dict[str, Any] = {
+            "wall_s": round(wall, 3),
+            "capture_s": round(outcome["capture_s"], 3),
+            "replay_s": round(outcome["replay_s"], 3),
+            "rows": len(outcome["rows"]),
+            "cache_hits": outcome["cache_hits"],
+            "cache_misses": outcome["cache_misses"],
+        }
+        live = live_by_sweep.get(name)
+        if live is not None:
+            total_live += live
+            entry["live_serial_s"] = round(live, 3)
+            entry["speedup_vs_serial"] = (round(live / wall, 1) if wall
+                                          else None)
+        per_sweep[name] = entry
+    section: Dict[str, Any] = {
+        "reuse": reuse,
+        "wall_s": round(total_wall, 3),
+        "per_sweep": per_sweep,
+    }
+    if total_live:
+        section["live_serial_s"] = round(total_live, 3)
+        section["speedup_vs_serial"] = (round(total_live / total_wall, 1)
+                                        if total_wall else None)
+    return section
+
+
 def collect(quick: bool = False,
             workers: Optional[int] = None,
             parallel: bool = True,
             serial_baseline: bool = True,
             timeout: Optional[float] = None,
-            output: Optional[pathlib.Path] = None) -> Dict[str, Any]:
+            output: Optional[pathlib.Path] = None,
+            traced: bool = True,
+            trace_reuse: bool = True) -> Dict[str, Any]:
     """Run the telemetry suite and persist ``BENCH_pipeline.json``."""
     from repro.harness.experiments import default_jobs
 
@@ -95,9 +143,10 @@ def collect(quick: bool = False,
 
     core = measure_core_throughput(repeats=2 if quick else 5)
 
-    if not serial_baseline and not parallel:
+    if not serial_baseline and not parallel and not traced:
         serial_baseline = True          # something must produce results
     results: List[JobResult] = []
+    serial_results: List[JobResult] = []
     # Parallel first: forked workers must not inherit caches the serial
     # pass warmed in this process, or the speedup figure flatters itself.
     parallel_wall: Optional[float] = None
@@ -112,6 +161,10 @@ def collect(quick: bool = False,
         serial_wall = time.perf_counter() - started
         if not parallel:
             results = serial_results
+
+    traced_section: Optional[Dict[str, Any]] = None
+    if traced:
+        traced_section = _traced_section(quick, trace_reuse, serial_results)
 
     payload: Dict[str, Any] = {
         "schema": 1,
@@ -132,9 +185,13 @@ def collect(quick: bool = False,
                                 if parallel_wall else None),
             "speedup": (round(serial_wall / parallel_wall, 2)
                         if serial_wall and parallel_wall else None),
+            "sweep_wall_s_traced": (traced_section["wall_s"]
+                                    if traced_section else None),
         },
         "experiments": _results_section(results),
     }
+    if traced_section is not None:
+        payload["traced"] = traced_section
     path = pathlib.Path(output) if output else DEFAULT_OUTPUT
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return payload
@@ -168,8 +225,9 @@ def format_summary(payload: Dict[str, Any]) -> str:
         lines.append(f"  {name:<12} {row['cycles_per_sec']:,} cyc/s "
                      f"({row['cycles']} cycles / {row['wall_s']}s)")
     sweep = payload.get("sweep", {})
-    lines.append(f"sweep             {sweep.get('ok')}/{sweep.get('jobs')} "
-                 "jobs ok")
+    if sweep.get("serial_wall_s") or sweep.get("parallel_wall_s"):
+        lines.append(f"sweep             {sweep.get('ok')}/"
+                     f"{sweep.get('jobs')} jobs ok")
     if sweep.get("serial_wall_s") is not None:
         lines.append(f"  serial          {sweep['serial_wall_s']}s")
     if sweep.get("parallel_wall_s") is not None:
@@ -177,4 +235,22 @@ def format_summary(payload: Dict[str, Any]) -> str:
                      f"({payload['host']['workers']} workers)")
     if sweep.get("speedup") is not None:
         lines.append(f"  speedup         {sweep['speedup']}x")
+    traced = payload.get("traced")
+    if traced:
+        lines.append(f"traced (capture-once/replay-many)  "
+                     f"{traced['wall_s']}s total"
+                     + (f", {traced['speedup_vs_serial']}x vs live serial"
+                        if traced.get("speedup_vs_serial") is not None
+                        else ""))
+        header = (f"  {'sweep':<22} {'live s':>8} {'capture s':>10} "
+                  f"{'replay s':>9} {'speedup':>8}")
+        lines.append(header)
+        for name, row in sorted(traced.get("per_sweep", {}).items()):
+            live = row.get("live_serial_s")
+            speedup = row.get("speedup_vs_serial")
+            lines.append(
+                f"  {name:<22} "
+                f"{live if live is not None else '-':>8} "
+                f"{row['capture_s']:>10} {row['replay_s']:>9} "
+                f"{str(speedup) + 'x' if speedup is not None else '-':>8}")
     return "\n".join(lines)

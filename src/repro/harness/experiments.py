@@ -253,3 +253,137 @@ def default_jobs(quick: bool = False,
     for name in (sweeps or EXPERIMENT_SWEEPS):
         jobs.extend(sweep_jobs(name, quick=quick, timeout=timeout))
     return jobs
+
+
+# ----------------------------------------------------------- traced sweeps
+# Capture-once / replay-many equivalents of the cache and branch sweeps:
+# the event streams are captured (or loaded from the TraceStore) once and
+# every configuration is evaluated by the exact trace-replay models.  Row
+# ids and result fields match the live jobs', so the two paths are
+# directly comparable (and are compared, by tools/check_results.py and
+# tests/test_trace_replay.py).
+
+def traced_icache_sweep(quick: bool = False, reuse: bool = True,
+                        store=None) -> dict:
+    """Replay every Icache organization against one stored fetch trace."""
+    import time
+
+    from repro.core.config import IcacheConfig
+    from repro.icache import trace_sim
+    from repro.traces.store import (
+        TraceStore,
+        capture_synthetic_fetch,
+        synthetic_fetch_descriptor,
+    )
+    from repro.traces.synthetic import paper_regime_program
+
+    store = store if store is not None else TraceStore()
+    trace_length = 60_000 if quick else TRACE_LENGTH
+    program = paper_regime_program()
+    captured, capture_s, hit = store.get_or_capture(
+        synthetic_fetch_descriptor(program, trace_length),
+        lambda: capture_synthetic_fetch(program, trace_length),
+        reuse=reuse)
+    addresses = captured["addresses"]
+
+    points = icache_design_points()
+    if quick:
+        points = points[::4] or points
+    grid = [(f"icache/{p['sets']}set-{p['ways']}way-{p['block_words']}w",
+             dict(p, fetchback=2, miss_cycles=2))
+            for p in points]
+    grid += [(f"icache/fetchback-{fb}",
+              {"sets": 4, "ways": 8, "block_words": 16,
+               "fetchback": fb, "miss_cycles": max(2, fb)})
+             for fb in (1, 2, 3, 4)]
+
+    started = time.perf_counter()
+    rows = []
+    for job_id, params in grid:
+        config = IcacheConfig(**params)
+        stats = trace_sim.replay(config, addresses)
+        rows.append(dict(
+            params, id=job_id, miss_ratio=stats.miss_rate,
+            fetch_cost=stats.average_fetch_cost(config.miss_cycles)))
+    replay_s = time.perf_counter() - started
+    return {"sweep": "icache-organizations", "rows": rows,
+            "capture_s": capture_s, "replay_s": replay_s,
+            "cache_hits": int(hit), "cache_misses": int(not hit)}
+
+
+def traced_branch_sweep(quick: bool = False, reuse: bool = True,
+                        store=None) -> dict:
+    """Replay Table 1 from stored branch counts and scheme plan costs."""
+    import time
+
+    from repro.analysis.trace_replay import ReplayTiming, replay_scheme
+    from repro.reorg.delay_slots import TABLE1_SCHEMES
+    from repro.traces.store import TraceStore
+    from repro.workloads import PASCAL_SUITE
+
+    store = store if store is not None else TraceStore()
+    names = list(PASCAL_SUITE[:2]) if quick else list(PASCAL_SUITE)
+    timing = ReplayTiming()
+    started = time.perf_counter()
+    rows = []
+    for scheme in TABLE1_SCHEMES:
+        evaluation = replay_scheme(scheme, names, store=store, reuse=reuse,
+                                   timing=timing)
+        rows.append({"id": f"branch/{scheme.slots}-slot-{scheme.squash}",
+                     "slots": scheme.slots, "squash": scheme.squash,
+                     "cycles_per_branch": evaluation.cycles_per_branch,
+                     "executions": evaluation.executions,
+                     "cycles": evaluation.cycles})
+    wall = time.perf_counter() - started
+    return {"sweep": "branch-schemes", "rows": rows,
+            "capture_s": timing.capture_s,
+            "replay_s": max(0.0, wall - timing.capture_s),
+            "cache_hits": timing.cache_hits,
+            "cache_misses": timing.cache_misses}
+
+
+def traced_ecache_sweep(quick: bool = False, reuse: bool = True,
+                        store=None) -> dict:
+    """Replay the Ecache size sweep against one stored data trace."""
+    import time
+
+    from repro.core.config import EcacheConfig
+    from repro.ecache import trace_sim as ecache_trace_sim
+    from repro.traces.store import (
+        TraceStore,
+        capture_synthetic_data,
+        synthetic_data_descriptor,
+    )
+    from repro.traces.synthetic import SyntheticProgram
+
+    store = store if store is not None else TraceStore()
+    sizes = (16384, 65536) if quick else (4096, 16384, 65536, 262144)
+    references = 80_000 if quick else 400_000
+    program = SyntheticProgram(data_words=400_000, seed=0xBADCAFE)
+    captured, capture_s, hit = store.get_or_capture(
+        synthetic_data_descriptor(program, references),
+        lambda: capture_synthetic_data(program, references),
+        reuse=reuse)
+
+    started = time.perf_counter()
+    rows = []
+    for size in sizes:
+        config = EcacheConfig(size_words=size)
+        stats, stall = ecache_trace_sim.replay_data(
+            config, captured["addresses"], captured["is_store"])
+        rows.append({"id": f"ecache/{size}w", "size_words": size,
+                     "miss_rate": stats.miss_rate,
+                     "stall_per_ref": stall / references if references
+                     else 0.0})
+    replay_s = time.perf_counter() - started
+    return {"sweep": "ecache-sweep", "rows": rows,
+            "capture_s": capture_s, "replay_s": replay_s,
+            "cache_hits": int(hit), "cache_misses": int(not hit)}
+
+
+#: sweep name -> traced evaluator (quick, reuse, store) -> result dict
+TRACED_SWEEPS = {
+    "branch-schemes": traced_branch_sweep,
+    "icache-organizations": traced_icache_sweep,
+    "ecache-sweep": traced_ecache_sweep,
+}

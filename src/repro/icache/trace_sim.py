@@ -1,0 +1,220 @@
+"""Vectorized trace-driven Icache replay.
+
+The paper's cache study captured instruction traces once and swept every
+organization against them; :func:`replay` is that second phase.  It is an
+*exact* re-implementation of :class:`repro.icache.cache.Icache` semantics
+-- sub-block placement (per-word valid bits), tag allocation vs sub-block
+miss, cross-block fetch-back fills, LRU/FIFO order bookkeeping and the
+deterministic xorshift random policy -- so replayed counters equal the
+live cache's bit for bit (pinned by tests/test_trace_replay.py).
+
+Why it is fast: instruction streams are long stride-1 bursts, so the
+trace is decomposed once (config-independently, in numpy) into maximal
+stride-1 runs.  Each run is walked block-portion by block-portion with
+integer valid-bit masks, which turns per-*access* Python work into
+per-*miss* work:
+
+* a fully-valid portion is one dict probe + one mask compare for the
+  whole burst of accesses;
+* the first invalid word inside a portion falls out of one bit trick
+  (``(inv & -inv).bit_length() - 1``);
+* replacement state lives in one ``OrderedDict`` per set whose key order
+  *is* the live cache's per-set order list (head == victim,
+  ``move_to_end`` == touch), so victim selection is O(1) instead of an
+  order-list scan.
+
+A hit burst inside one portion touches a single way, so collapsing its
+per-access LRU touches into one ``move_to_end`` at the end of the burst
+is exact: nothing else can interleave within a portion.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.core.config import IcacheConfig
+from repro.icache.cache import Icache, IcacheStats
+
+_XORSHIFT_SEED = 0x2545F491
+
+
+def replay(config: IcacheConfig,
+           addresses: Union[Sequence[int], np.ndarray],
+           system_mode: bool = True) -> IcacheStats:
+    """Replay a fetch-address trace against one organization.
+
+    Exact equivalent of ``Icache(config).simulate_trace(addresses)`` for
+    power-of-two geometries; other geometries fall back to the live model.
+    """
+    trace = np.ascontiguousarray(np.asarray(addresses, dtype=np.int64))
+    block, sets = config.block_words, config.sets
+    pow2 = (block & (block - 1) == 0) and (sets & (sets - 1) == 0)
+    if not pow2:
+        return Icache(config).simulate_trace(trace.tolist(), system_mode)
+    if trace.size == 0:
+        return IcacheStats()
+    # The mode bit only disambiguates system vs user tags; a single-mode
+    # trace yields identical stats either way, so replay keys by block.
+    return _replay_runs(config, trace)
+
+
+def _run_starts(trace: np.ndarray) -> np.ndarray:
+    """Start indices of the maximal stride-1 runs of ``trace``."""
+    breaks = np.flatnonzero(trace[1:] != trace[:-1] + 1) + 1
+    return np.concatenate(([0], breaks))
+
+
+def _replay_runs(config: IcacheConfig, trace: np.ndarray) -> IcacheStats:
+    block, sets, ways = config.block_words, config.sets, config.ways
+    fetchback = max(1, config.fetchback)
+    bshift = block.bit_length() - 1
+    bmask = block - 1
+    smask = sets - 1
+    lru = config.replacement == "lru"
+    random = config.replacement == "random"
+    rand_state = _XORSHIFT_SEED
+
+    starts = _run_starts(trace)
+    a0s = trace[starts]
+    lens = np.diff(np.concatenate((starts, [trace.size])))
+    # Loop trips re-issue the identical stride-1 run back to back.  A
+    # repeat of a run that just completed without a single miss can be
+    # skipped outright: it would only repeat the same LRU touches in the
+    # same order (idempotent -- nothing else interleaves between two
+    # consecutive runs), so counters and final state are untouched.
+    repeat = np.empty(a0s.size, dtype=bool)
+    repeat[0] = False
+    repeat[1:] = (a0s[1:] == a0s[:-1]) & (lens[1:] == lens[:-1])
+    run_a0 = a0s.tolist()
+    run_len = lens.tolist()
+    run_repeat = repeat.tolist()
+
+    # per-set state; OrderedDict key order == the live order list
+    # restricted to allocated ways (never-used ways stay in front of it,
+    # in index order -- ``used`` hands them out before the od head).
+    # Keys are raw block numbers: at a fixed mode bit, block <-> tag is a
+    # bijection within a set, so probing by block is exact and skips the
+    # tag arithmetic on every access.
+    tags = [OrderedDict() for _ in range(sets)]
+    way_tag = [[None] * ways for _ in range(sets)]
+    valid = [[0] * ways for _ in range(sets)]
+    used = [0] * sets
+    misses = 0
+    filled = 0
+    allocs = 0
+
+    def fill(addr: int) -> None:
+        nonlocal filled, allocs, rand_state
+        blk = addr >> bshift
+        s = blk & smask
+        od = tags[s]
+        way = od.get(blk)
+        if way is None:
+            if random:
+                x = rand_state
+                x ^= (x << 13) & 0xFFFFFFFF
+                x ^= x >> 17
+                x ^= (x << 5) & 0xFFFFFFFF
+                rand_state = x
+                way = x % ways
+                old = way_tag[s][way]
+                if old is not None:
+                    del od[old]
+            elif used[s] < ways:
+                way = used[s]
+                used[s] = way + 1
+            else:
+                way = od.popitem(last=False)[1]
+            od[blk] = way
+            way_tag[s][way] = blk
+            valid[s][way] = 0
+            allocs += 1
+        bit = 1 << (addr & bmask)
+        v = valid[s][way]
+        if not v & bit:
+            valid[s][way] = v | bit
+            filled += 1
+
+    in_block_fill = fetchback - 1  # last fill offset that can stay in-block
+    clean = False  # previous run completed without a miss
+
+    if block == 1:
+        # One word per block: an allocated block always has its single
+        # valid bit set (fill() sets it in the same call that allocates),
+        # so hit == block present and the sub-block machinery drops out.
+        for a0, length, is_repeat in zip(run_a0, run_len, run_repeat):
+            if is_repeat and clean:
+                continue
+            run_misses = misses
+            if lru:
+                for a in range(a0, a0 + length):
+                    od = tags[a & smask]
+                    if a in od:
+                        od.move_to_end(a)
+                    else:
+                        misses += 1
+                        for k in range(fetchback):
+                            fill(a + k)
+            else:
+                for a in range(a0, a0 + length):
+                    if a not in tags[a & smask]:
+                        misses += 1
+                        for k in range(fetchback):
+                            fill(a + k)
+            clean = misses == run_misses
+        return IcacheStats(accesses=int(trace.size), misses=misses,
+                           words_filled=filled, tag_allocations=allocs)
+
+    for a0, length, is_repeat in zip(run_a0, run_len, run_repeat):
+        if is_repeat and clean:
+            continue
+        run_misses = misses
+        a_end = a0 + length - 1
+        blk = a0 >> bshift
+        blk_end = a_end >> bshift
+        w = a0 & bmask
+        while True:
+            w_hi = bmask if blk != blk_end else a_end & bmask
+            s = blk & smask
+            od = tags[s]
+            valid_s = valid[s]
+            while w <= w_hi:
+                way = od.get(blk)
+                if way is None:
+                    misses += 1
+                    base = (blk << bshift) | w
+                    for k in range(fetchback):
+                        fill(base + k)
+                    w += 1
+                    continue
+                v = valid_s[way]
+                span = ((2 << (w_hi - w)) - 1) << w  # bits w..w_hi
+                inv = span & ~v
+                if inv == 0:
+                    if lru:
+                        od.move_to_end(blk)
+                    break
+                j = (inv & -inv).bit_length() - 1
+                if j > w and lru:  # the leading hits touch once
+                    od.move_to_end(blk)
+                misses += 1
+                if j + in_block_fill <= bmask:
+                    add = (((1 << fetchback) - 1) << j) & ~v
+                    valid_s[way] = v | add
+                    filled += add.bit_count()
+                else:
+                    base = (blk << bshift) | j
+                    for k in range(fetchback):
+                        fill(base + k)
+                w = j + 1
+            if blk == blk_end:
+                break
+            blk += 1
+            w = 0
+        clean = misses == run_misses
+
+    return IcacheStats(accesses=int(trace.size), misses=misses,
+                       words_filled=filled, tag_allocations=allocs)

@@ -122,11 +122,66 @@ def check_ecache_sweep(trace_length: int) -> List[str]:
     return failures
 
 
+def check_trace_replay_equivalence(trace_length: int) -> List[str]:
+    """Trace replay: Table 1 replays to the live ordering (and the live
+    numbers, exactly), and the Icache replay model matches the live cache."""
+    import tempfile
+
+    import numpy as np
+
+    from repro.analysis.branch_schemes import table1
+    from repro.analysis.trace_replay import table1_traced
+    from repro.core.config import IcacheConfig
+    from repro.icache import trace_sim
+    from repro.icache.cache import simulate
+    from repro.traces.store import TraceStore
+    from repro.traces.synthetic import paper_regime_program
+
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        live = table1()
+        traced = table1_traced(store=TraceStore(root=tmp))
+    for a, b in zip(live, traced):
+        if (a.cycles, a.executions) != (b.cycles, b.executions):
+            failures.append(
+                f"trace replay: {a.scheme.name} diverges from live "
+                f"(live {a.cycles}/{a.executions} cycles/execs, "
+                f"traced {b.cycles}/{b.executions})")
+
+    def ranking(evaluations):
+        return [e.scheme.name
+                for e in sorted(evaluations,
+                                key=lambda e: (e.cycles_per_branch,
+                                               e.scheme.name))]
+
+    if ranking(live) != ranking(traced):
+        failures.append(
+            f"trace replay: Table 1 ordering diverges from live "
+            f"(live {ranking(live)}, traced {ranking(traced)})")
+
+    trace = np.fromiter(
+        paper_regime_program().instruction_trace(trace_length),
+        dtype=np.int64, count=trace_length)
+    config = IcacheConfig()  # the paper organization
+    live_stats = simulate(config, trace.tolist())
+    replay_stats = trace_sim.replay(config, trace)
+    if (live_stats.misses, live_stats.words_filled,
+            live_stats.tag_allocations) != (
+            replay_stats.misses, replay_stats.words_filled,
+            replay_stats.tag_allocations):
+        failures.append(
+            f"trace replay: Icache replay diverges from the live cache "
+            f"(live {live_stats}, replay {replay_stats})")
+    return failures
+
+
 CHECKS: List[Tuple[str, Callable[[int], List[str]]]] = [
     ("E1 Table 1 branch-scheme orderings", check_table1_orderings),
     ("E4 fetch-back miss-ratio halving", check_fetchback_ratio),
     ("E5 service time beats miss ratio", check_service_time),
     ("E15 Ecache size sweep", check_ecache_sweep),
+    ("Trace-replay equivalence (Table 1 + Icache)",
+     check_trace_replay_equivalence),
 ]
 
 

@@ -105,10 +105,13 @@ def cmd_bench(args) -> int:
     from repro.harness.bench import collect, format_summary
 
     payload = collect(quick=args.quick, workers=args.workers,
-                      parallel=not args.serial_only,
-                      serial_baseline=not args.no_serial_baseline,
+                      parallel=not args.serial_only and not args.traced_only,
+                      serial_baseline=(not args.no_serial_baseline
+                                       and not args.traced_only),
                       timeout=args.timeout,
-                      output=args.output)
+                      output=args.output,
+                      traced=not args.no_traced,
+                      trace_reuse=not args.no_trace_reuse)
     print(format_summary(payload))
     failed = [job_id for job_id, row in payload["experiments"].items()
               if row["status"] != "ok"]
@@ -168,6 +171,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="skip the serial sweep (no speedup figure)")
     p_bench.add_argument("--timeout", type=float, default=None,
                          help="per-job timeout in seconds")
+    p_bench.add_argument("--no-traced", action="store_true",
+                         help="skip the capture-once/replay-many trace "
+                              "sweeps")
+    p_bench.add_argument("--traced-only", action="store_true",
+                         help="run only the trace-replay sweeps (no live "
+                              "parallel/serial passes)")
+    p_bench.add_argument("--no-trace-reuse", action="store_true",
+                         help="ignore cached traces and re-capture "
+                              "(escape hatch)")
     p_bench.add_argument("--output", default=None, metavar="PATH",
                          help="telemetry file (default: BENCH_pipeline.json "
                               "at the repo root)")

@@ -1,5 +1,13 @@
-"""Trace capture and synthetic trace generation."""
+"""Trace capture, storage, and synthetic trace generation."""
 
 from repro.traces.capture import BranchEvent, BranchOnlyCollector, TraceCollector
+from repro.traces.store import CapturedTrace, TraceStore, descriptor_key
 
-__all__ = ["BranchEvent", "BranchOnlyCollector", "TraceCollector"]
+__all__ = [
+    "BranchEvent",
+    "BranchOnlyCollector",
+    "CapturedTrace",
+    "TraceCollector",
+    "TraceStore",
+    "descriptor_key",
+]

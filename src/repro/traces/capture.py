@@ -8,16 +8,37 @@ records the same streams:
 * the instruction *fetch* stream (for Icache studies),
 * the retired instruction stream,
 * data reference addresses (for Ecache studies),
+* the external-cache reference stream (kind + address, post-MMIO),
 * branch outcomes (for the Table 1 and prediction studies).
+
+Event streams are held in compact ``array.array`` columns (8 bytes per
+address, 1 per flag) rather than per-event Python objects, so
+multi-million-cycle captures stay tens of megabytes instead of gigabytes.
+``approx_bytes()`` reports the footprint and an optional ``max_bytes``
+cap streams full columns to disk (``.npy`` spill files) when capture
+outgrows it; accessors transparently stitch spilled segments back
+together.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Tuple
+import tempfile
+from array import array
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.core.pipeline import TraceSink
 from repro.isa.instruction import Instruction
+
+#: ecache stream kinds (match the order of EcacheStats counters)
+ECACHE_READ = 0
+ECACHE_WRITE = 1
+ECACHE_IFETCH = 2
+
+_SPILL_CHECK_EVERY = 4096
 
 
 @dataclasses.dataclass
@@ -27,28 +48,82 @@ class BranchEvent:
     target: int
 
 
+class _Column:
+    """One append-only event column with optional spill-to-disk."""
+
+    __slots__ = ("buf", "typecode", "dtype", "paths", "spilled_len")
+
+    def __init__(self, typecode: str, dtype: str):
+        self.buf = array(typecode)
+        self.typecode = typecode
+        self.dtype = np.dtype(dtype)
+        self.paths: List[Path] = []
+        self.spilled_len = 0
+
+    def __len__(self) -> int:
+        return self.spilled_len + len(self.buf)
+
+    def nbytes(self) -> int:
+        return len(self) * self.buf.itemsize
+
+    def spill(self, directory: Path, stem: str) -> None:
+        if not self.buf:
+            return
+        path = directory / f"{stem}-{len(self.paths)}.npy"
+        np.save(path, np.frombuffer(self.buf, dtype=self.dtype))
+        self.paths.append(path)
+        self.spilled_len += len(self.buf)
+        self.buf = array(self.typecode)
+
+    def to_numpy(self) -> np.ndarray:
+        parts = [np.load(p) for p in self.paths]
+        if self.buf:
+            # copy: a lingering frombuffer view would pin the array.array's
+            # buffer export and make further appends raise BufferError
+            parts.append(np.frombuffer(self.buf, dtype=self.dtype).copy())
+        if not parts:
+            return np.empty(0, dtype=self.dtype)
+        if len(parts) == 1:
+            return parts[0]
+        return np.concatenate(parts)
+
+
 class TraceCollector(TraceSink):
     """Records pipeline event streams for trace-driven studies.
 
-    Streams can be individually disabled to save memory on long runs.
+    Streams can be individually disabled to save memory on long runs;
+    ``max_bytes`` bounds the in-memory footprint by spilling full
+    columns to disk.
     """
 
     def __init__(self, fetches: bool = True, retires: bool = False,
-                 data: bool = True, branches: bool = True):
+                 data: bool = True, branches: bool = True,
+                 ecache: bool = False,
+                 max_bytes: Optional[int] = None):
         self._want_fetches = fetches
         self._want_retires = retires
         self._want_data = data
         self._want_branches = branches
-        self.fetch_trace: List[int] = []
+        self._want_ecache = ecache
+        self._max_bytes = max_bytes
+        self._events = 0
+        self._spill_dir: Optional[tempfile.TemporaryDirectory] = None
+        self._fetch = _Column("q", "int64")
+        self._data_addr = _Column("q", "int64")
+        self._data_store = _Column("b", "int8")
+        self._br_pc = _Column("q", "int64")
+        self._br_taken = _Column("b", "int8")
+        self._br_target = _Column("q", "int64")
+        self._ec_kind = _Column("b", "int8")
+        self._ec_addr = _Column("q", "int64")
         self.retire_trace: List[Tuple[int, Instruction, bool]] = []
-        self.data_trace: List[Tuple[int, bool]] = []
-        self.branch_events: List[BranchEvent] = []
         self.exceptions: List[str] = []
 
     # ------------------------------------------------------------- sinks
     def on_fetch(self, pc: int) -> None:
         if self._want_fetches:
-            self.fetch_trace.append(pc)
+            self._fetch.buf.append(pc)
+            self._bump()
 
     def on_retire(self, pc: int, instr: Instruction, squashed: bool) -> None:
         if self._want_retires:
@@ -56,30 +131,100 @@ class TraceCollector(TraceSink):
 
     def on_data(self, pc: int, address: int, is_store: bool) -> None:
         if self._want_data:
-            self.data_trace.append((address, is_store))
+            self._data_addr.buf.append(address)
+            self._data_store.buf.append(1 if is_store else 0)
+            self._bump()
 
     def on_branch(self, pc: int, instr: Instruction, taken: bool,
                   target: int) -> None:
         if self._want_branches:
-            self.branch_events.append(BranchEvent(pc, taken, target))
+            self._br_pc.buf.append(pc)
+            self._br_taken.buf.append(1 if taken else 0)
+            self._br_target.buf.append(target)
+            self._bump()
+
+    def on_ecache(self, kind: int, address: int) -> None:
+        if self._want_ecache:
+            self._ec_kind.buf.append(kind)
+            self._ec_addr.buf.append(address)
+            self._bump()
 
     def on_exception(self, cause: str) -> None:
         self.exceptions.append(cause)
 
+    # --------------------------------------------------- memory accounting
+    def approx_bytes(self) -> int:
+        """Approximate capture footprint (in-memory + spilled)."""
+        columns = sum(c.nbytes() for c in self._columns())
+        return columns + 64 * len(self.retire_trace)
+
+    def _columns(self) -> Tuple[_Column, ...]:
+        return (self._fetch, self._data_addr, self._data_store,
+                self._br_pc, self._br_taken, self._br_target,
+                self._ec_kind, self._ec_addr)
+
+    def _bump(self) -> None:
+        self._events += 1
+        if (self._max_bytes is not None
+                and self._events % _SPILL_CHECK_EVERY == 0):
+            self._maybe_spill()
+
+    def _maybe_spill(self) -> None:
+        in_memory = sum(len(c.buf) * c.buf.itemsize for c in self._columns())
+        if in_memory <= self._max_bytes:
+            return
+        if self._spill_dir is None:
+            self._spill_dir = tempfile.TemporaryDirectory(
+                prefix="repro-trace-spill-")
+        directory = Path(self._spill_dir.name)
+        for i, column in enumerate(self._columns()):
+            column.spill(directory, f"col{i}")
+
+    # -------------------------------------------------------- array views
+    def fetch_array(self) -> np.ndarray:
+        return self._fetch.to_numpy()
+
+    def data_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self._data_addr.to_numpy(), self._data_store.to_numpy()
+
+    def branch_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return (self._br_pc.to_numpy(), self._br_taken.to_numpy(),
+                self._br_target.to_numpy())
+
+    def ecache_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self._ec_kind.to_numpy(), self._ec_addr.to_numpy()
+
+    # ---------------------------------------- compatibility list accessors
+    @property
+    def fetch_trace(self) -> np.ndarray:
+        return self.fetch_array()
+
+    @property
+    def data_trace(self) -> List[Tuple[int, bool]]:
+        addresses, stores = self.data_arrays()
+        return [(int(a), bool(s)) for a, s in zip(addresses, stores)]
+
+    @property
+    def branch_events(self) -> List[BranchEvent]:
+        pcs, taken, targets = self.branch_arrays()
+        return [BranchEvent(int(p), bool(t), int(g))
+                for p, t, g in zip(pcs, taken, targets)]
+
     # ---------------------------------------------------------- summaries
     def branch_outcome_counts(self) -> Dict[int, Tuple[int, int]]:
         """Per-branch-pc (taken, not-taken) execution counts."""
-        counts: Dict[int, Tuple[int, int]] = {}
-        for event in self.branch_events:
-            taken, not_taken = counts.get(event.pc, (0, 0))
-            if event.taken:
-                counts[event.pc] = (taken + 1, not_taken)
-            else:
-                counts[event.pc] = (taken, not_taken + 1)
-        return counts
+        pcs, taken, _ = self.branch_arrays()
+        if pcs.size == 0:
+            return {}
+        unique, inverse = np.unique(pcs, return_inverse=True)
+        taken_counts = np.bincount(inverse, weights=taken,
+                                   minlength=unique.size).astype(np.int64)
+        totals = np.bincount(inverse, minlength=unique.size)
+        return {int(pc): (int(t), int(n - t))
+                for pc, t, n in zip(unique, taken_counts, totals)}
 
     def data_addresses(self) -> List[int]:
-        return [address for address, _ in self.data_trace]
+        return self._data_addr.to_numpy().tolist()
 
 
 class BranchOnlyCollector(TraceSink):

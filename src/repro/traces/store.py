@@ -1,0 +1,157 @@
+"""Content-addressed binary trace store: capture once, replay many.
+
+The MIPS-X cache and branch studies were trace-driven: an address trace
+was captured once per workload and then swept against every candidate
+organization (the ATUM/A. J. Smith methodology).  :class:`TraceStore`
+gives the repo the same shape.  A *descriptor* -- a small JSON-able dict
+that names everything the captured streams depend on (workload or
+synthetic-program parameters, trace length, reorganization scheme,
+capture format version) -- is canonicalised and hashed into a
+content-addressed key; the captured streams live in one ``.npz`` per key
+under ``.trace_cache/``.  Change any input and the key changes, so stale
+traces can never be replayed silently.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+#: bump when the capture format or stream semantics change -- it is part
+#: of every cache key, so old .npz files are simply never matched again
+FORMAT = 1
+
+REPO_ROOT = Path(__file__).resolve().parents[3]
+DEFAULT_ROOT = REPO_ROOT / ".trace_cache"
+
+_META_KEY = "__meta__"
+
+
+@dataclasses.dataclass
+class CapturedTrace:
+    """Named event-stream arrays plus their JSON-able capture metadata."""
+
+    arrays: Dict[str, np.ndarray]
+    meta: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.arrays[name]
+
+    def nbytes(self) -> int:
+        return sum(a.nbytes for a in self.arrays.values())
+
+    def save(self, path: Path) -> None:
+        meta_blob = np.frombuffer(
+            json.dumps(self.meta, sort_keys=True).encode(), dtype=np.uint8)
+        payload = dict(self.arrays)
+        payload[_META_KEY] = meta_blob
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".npz.tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez_compressed(handle, **payload)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    @classmethod
+    def load(cls, path: Path) -> "CapturedTrace":
+        with np.load(path) as npz:
+            meta = json.loads(bytes(npz[_META_KEY]).decode())
+            arrays = {name: npz[name] for name in npz.files
+                      if name != _META_KEY}
+        return cls(arrays=arrays, meta=meta)
+
+
+def descriptor_key(descriptor: Dict[str, object]) -> str:
+    """The content-addressed key of a capture descriptor."""
+    material = dict(descriptor)
+    material["format"] = FORMAT
+    canonical = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:24]
+
+
+class TraceStore:
+    """On-disk cache of captured traces keyed by capture descriptor."""
+
+    def __init__(self, root: Optional[Path] = None):
+        self.root = Path(root) if root is not None else DEFAULT_ROOT
+
+    def path_for(self, descriptor: Dict[str, object]) -> Path:
+        return self.root / f"{descriptor_key(descriptor)}.npz"
+
+    def get(self, descriptor: Dict[str, object]) -> Optional[CapturedTrace]:
+        path = self.path_for(descriptor)
+        if not path.exists():
+            return None
+        try:
+            return CapturedTrace.load(path)
+        except (OSError, ValueError, KeyError):
+            return None  # corrupt entry: treat as a miss and re-capture
+
+    def put(self, descriptor: Dict[str, object],
+            trace: CapturedTrace) -> Path:
+        path = self.path_for(descriptor)
+        trace.save(path)
+        return path
+
+    def get_or_capture(
+            self, descriptor: Dict[str, object],
+            capture: Callable[[], CapturedTrace],
+            reuse: bool = True) -> Tuple[CapturedTrace, float, bool]:
+        """Return ``(trace, capture_seconds, cache_hit)``.
+
+        ``reuse=False`` (the ``--no-trace-reuse`` escape hatch) forces a
+        fresh capture; the store entry is refreshed either way.
+        """
+        if reuse:
+            cached = self.get(descriptor)
+            if cached is not None:
+                return cached, 0.0, True
+        start = time.perf_counter()
+        trace = capture()
+        elapsed = time.perf_counter() - start
+        self.put(descriptor, trace)
+        return trace, elapsed, False
+
+
+# ------------------------------------------------- synthetic-trace capture
+def synthetic_fetch_descriptor(program, length: int) -> Dict[str, object]:
+    return {"kind": "synthetic-fetch",
+            "program": dataclasses.asdict(program),
+            "length": int(length)}
+
+
+def capture_synthetic_fetch(program, length: int) -> CapturedTrace:
+    addresses = np.fromiter(program.instruction_trace(length),
+                            dtype=np.int64, count=length)
+    return CapturedTrace(
+        arrays={"addresses": addresses},
+        meta={"kind": "synthetic-fetch", "length": int(length)})
+
+
+def synthetic_data_descriptor(program, references: int) -> Dict[str, object]:
+    return {"kind": "synthetic-data",
+            "program": dataclasses.asdict(program),
+            "references": int(references)}
+
+
+def capture_synthetic_data(program, references: int) -> CapturedTrace:
+    addresses = np.empty(references, dtype=np.int64)
+    is_store = np.empty(references, dtype=np.int8)
+    for i, (address, store) in enumerate(program.data_trace(references)):
+        addresses[i] = address
+        is_store[i] = store
+    return CapturedTrace(
+        arrays={"addresses": addresses, "is_store": is_store},
+        meta={"kind": "synthetic-data", "references": int(references)})

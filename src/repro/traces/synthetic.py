@@ -135,11 +135,11 @@ def combined_fetch_trace(traces: List[List[int]],
     relocated = []
     base = 0
     for trace in traces:
-        if not trace:
+        if len(trace) == 0:  # len(): traces may be numpy arrays
             relocated.append([])
             continue
-        span = max(trace) + 1
-        relocated.append([base + address for address in trace])
+        span = int(max(trace)) + 1
+        relocated.append([base + int(address) for address in trace])
         base += span + 1024  # guard gap between programs
     result: List[int] = []
     cursors = [0] * len(relocated)

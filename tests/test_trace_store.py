@@ -1,0 +1,168 @@
+"""Tests for the binary trace store and the array-backed collector.
+
+Covers the capture-once/replay-many substrate: ``.npz`` round-trips,
+content-addressed key invalidation, the collector's memory accounting and
+spill-to-disk path, and the 32-bit masking on bulk memory image loads.
+"""
+
+import numpy as np
+import pytest
+
+import repro.core  # noqa: F401  -- resolves the core<->ecache import cycle
+from repro.ecache.memory import Memory, MemoryFault
+from repro.traces.capture import TraceCollector
+from repro.traces.store import CapturedTrace, TraceStore, descriptor_key
+
+
+class TestCapturedTrace:
+    def test_npz_round_trip(self, tmp_path):
+        trace = CapturedTrace(
+            arrays={"addresses": np.arange(100, dtype=np.int64),
+                    "is_store": np.array([0, 1, 1], dtype=np.int8)},
+            meta={"kind": "test", "length": 100, "nested": {"a": [1, 2]}})
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = CapturedTrace.load(path)
+        assert loaded.meta == trace.meta
+        assert set(loaded.arrays) == {"addresses", "is_store"}
+        for name in trace.arrays:
+            np.testing.assert_array_equal(loaded[name], trace[name])
+            assert loaded[name].dtype == trace[name].dtype
+
+    def test_save_is_atomic_on_failure(self, tmp_path):
+        # nothing but the final .npz may remain after a successful save
+        trace = CapturedTrace(arrays={"a": np.zeros(4, dtype=np.int64)})
+        path = tmp_path / "sub" / "trace.npz"
+        trace.save(path)
+        assert [p.name for p in path.parent.iterdir()] == ["trace.npz"]
+
+    def test_nbytes_sums_arrays(self):
+        trace = CapturedTrace(
+            arrays={"a": np.zeros(10, dtype=np.int64),
+                    "b": np.zeros(10, dtype=np.int8)})
+        assert trace.nbytes() == 10 * 8 + 10
+
+
+class TestDescriptorKey:
+    def test_key_is_order_independent(self):
+        assert (descriptor_key({"a": 1, "b": "x"})
+                == descriptor_key({"b": "x", "a": 1}))
+
+    def test_key_changes_with_any_field(self):
+        base = {"kind": "synthetic-fetch", "length": 1000, "seed": 7}
+        key = descriptor_key(base)
+        for field, value in (("length", 1001), ("seed", 8),
+                             ("kind", "synthetic-data")):
+            assert descriptor_key(dict(base, **{field: value})) != key
+
+    def test_key_is_stable_and_filename_safe(self):
+        key = descriptor_key({"kind": "x"})
+        assert key == descriptor_key({"kind": "x"})
+        assert len(key) == 24
+        assert all(c in "0123456789abcdef" for c in key)
+
+
+class TestTraceStore:
+    def _descriptor(self):
+        return {"kind": "unit-test", "n": 5}
+
+    def _capture(self, calls):
+        def capture():
+            calls.append(1)
+            return CapturedTrace(arrays={"a": np.arange(5, dtype=np.int64)},
+                                 meta={"kind": "unit-test"})
+        return capture
+
+    def test_miss_captures_then_hit_skips(self, tmp_path):
+        store = TraceStore(root=tmp_path)
+        calls = []
+        trace, elapsed, hit = store.get_or_capture(
+            self._descriptor(), self._capture(calls))
+        assert not hit and calls == [1] and elapsed >= 0.0
+        trace2, elapsed2, hit2 = store.get_or_capture(
+            self._descriptor(), self._capture(calls))
+        assert hit2 and calls == [1] and elapsed2 == 0.0
+        np.testing.assert_array_equal(trace["a"], trace2["a"])
+
+    def test_reuse_false_recaptures(self, tmp_path):
+        store = TraceStore(root=tmp_path)
+        calls = []
+        store.get_or_capture(self._descriptor(), self._capture(calls))
+        store.get_or_capture(self._descriptor(), self._capture(calls),
+                             reuse=False)
+        assert calls == [1, 1]
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = TraceStore(root=tmp_path)
+        calls = []
+        store.get_or_capture(self._descriptor(), self._capture(calls))
+        store.path_for(self._descriptor()).write_bytes(b"not an npz")
+        assert store.get(self._descriptor()) is None
+        _, _, hit = store.get_or_capture(self._descriptor(),
+                                         self._capture(calls))
+        assert not hit and calls == [1, 1]
+        # the re-capture repaired the entry
+        assert store.get(self._descriptor()) is not None
+
+    def test_different_descriptors_do_not_collide(self, tmp_path):
+        store = TraceStore(root=tmp_path)
+        store.put({"n": 1},
+                  CapturedTrace(arrays={"a": np.array([1], dtype=np.int64)}))
+        store.put({"n": 2},
+                  CapturedTrace(arrays={"a": np.array([2], dtype=np.int64)}))
+        assert store.get({"n": 1})["a"][0] == 1
+        assert store.get({"n": 2})["a"][0] == 2
+
+
+class TestCollectorMemory:
+    def _feed(self, collector, events):
+        for i in range(events):
+            collector.on_fetch(i)
+            collector.on_data(i, i * 3, i % 2 == 0)
+            collector.on_ecache(i % 3, i * 3)
+
+    def test_approx_bytes_grows_with_capture(self):
+        collector = TraceCollector(ecache=True)
+        before = collector.approx_bytes()
+        self._feed(collector, 1000)
+        after = collector.approx_bytes()
+        # 8B fetch + 8B+1B data + 1B+8B ecache per event
+        assert after - before == 1000 * 26
+
+    def test_spill_keeps_streams_identical(self):
+        reference = TraceCollector(ecache=True)
+        spilling = TraceCollector(ecache=True, max_bytes=4096)
+        events = 3 * 4096  # several spill checks past the cap
+        self._feed(reference, events)
+        self._feed(spilling, events)
+        assert spilling._spill_dir is not None  # the cap actually tripped
+        np.testing.assert_array_equal(spilling.fetch_array(),
+                                      reference.fetch_array())
+        for got, want in zip(spilling.data_arrays(),
+                             reference.data_arrays()):
+            np.testing.assert_array_equal(got, want)
+        for got, want in zip(spilling.ecache_arrays(),
+                             reference.ecache_arrays()):
+            np.testing.assert_array_equal(got, want)
+        # accounting still sees the spilled bytes
+        assert spilling.approx_bytes() == reference.approx_bytes()
+
+    def test_spilled_collector_keeps_appending(self):
+        collector = TraceCollector(ecache=True, max_bytes=1024)
+        self._feed(collector, 4096)
+        self._feed(collector, 100)  # appends after a spill must not raise
+        assert len(collector.fetch_array()) == 4196
+
+
+class TestMemoryLoadImage:
+    def test_values_are_masked_to_32_bits(self):
+        memory = Memory(64)
+        memory.load_image({0: 1 << 35 | 7, 1: -1 & 0xFFFFFFFFFF})
+        assert memory.read(0) == 7
+        assert memory.read(1) == 0xFFFFFFFF
+
+    def test_out_of_range_image_loads_nothing(self):
+        memory = Memory(16)
+        with pytest.raises(MemoryFault):
+            memory.load_image({0: 1, 99: 2})
+        assert len(memory) == 0  # bounds-checked before any word lands
