@@ -105,6 +105,27 @@ class CoprocessorSet:
         self._slots: Dict[int, Coprocessor] = {}
         self.operations = 0
         self.data_transfers = 0
+        #: fault injection (repro.faults): while ``fault_busy_ops`` > 0 the
+        #: next coprocessor operations each assert "busy" for
+        #: ``fault_busy_stall`` cycles.  Zero when no fault is armed, so the
+        #: pipeline pays one integer truth test per coprocessor op.
+        self.fault_busy_ops = 0
+        self.fault_busy_stall = 0
+        self.fault_busy_events = 0
+
+    def begin_busy(self, ops: int, stall_cycles: int) -> None:
+        """Arm the busy fault: the next ``ops`` coprocessor operations
+        each hold the pipeline for ``stall_cycles`` extra cycles."""
+        self.fault_busy_ops = max(0, ops)
+        self.fault_busy_stall = max(0, stall_cycles)
+
+    def consume_busy(self) -> int:
+        """One coprocessor op consumed; returns its busy stall in cycles."""
+        if self.fault_busy_ops <= 0:
+            return 0
+        self.fault_busy_ops -= 1
+        self.fault_busy_events += 1
+        return self.fault_busy_stall
 
     def attach(self, coprocessor: Coprocessor) -> None:
         if not 1 <= coprocessor.number <= 7:

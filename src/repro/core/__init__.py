@@ -17,6 +17,7 @@ from repro.core.datapath import (
 )
 from repro.core.pc_unit import PcChain, PcUnit
 from repro.core.pipeline import (
+    FaultHook,
     HazardViolation,
     Pipeline,
     PipelineStats,
@@ -29,6 +30,7 @@ __all__ = [
     "Alu",
     "CacheMissFsm",
     "EcacheConfig",
+    "FaultHook",
     "FunnelShifter",
     "HazardViolation",
     "IcacheConfig",

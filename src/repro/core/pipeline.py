@@ -227,6 +227,26 @@ class TraceSink:
         pass
 
 
+class FaultHook:
+    """Hook interface for fault injection (see :mod:`repro.faults`).
+
+    The pipeline calls :meth:`on_cycle` once per :meth:`Pipeline.cycle`
+    invocation *before* any stage work, so a hook can mutate cache state,
+    post interrupts, or arm an injected exception for this cycle's
+    sampling point.  The hot path pays exactly one ``is not None`` check
+    per cycle when no hook is attached (the acceptance budget is a <2%
+    throughput regression with faults disabled).
+
+    During a multi-cycle stall the :meth:`Pipeline.run` fast path burns
+    the stall in bulk without re-entering :meth:`Pipeline.cycle`; hooks
+    therefore observe ``stats.cycles`` jumping and must treat their
+    target cycles as "fire at the first opportunity at or after cycle N".
+    """
+
+    def on_cycle(self, pipeline: "Pipeline") -> None:
+        pass
+
+
 class Pipeline:
     """The processor proper: datapath + control + memory interfaces."""
 
@@ -248,6 +268,10 @@ class Pipeline:
         self.miss_fsm = CacheMissFsm()
         self.stats = PipelineStats()
         self.trace: Optional[TraceSink] = None
+        self.fault_hook: Optional[FaultHook] = None
+        #: cause override for the next injected async exception; rides the
+        #: NMI sampling point so the hot path never tests it directly
+        self._fault_cause: Optional[PswBit] = None
 
         #: s[k] is the flight performing stage k during the current cycle.
         self.s: List[Optional[Flight]] = [None] * 5
@@ -313,6 +337,9 @@ class Pipeline:
         """Advance the machine by one clock cycle."""
         stats = self.stats
         stats.cycles += 1
+
+        if self.fault_hook is not None:
+            self.fault_hook.on_cycle(self)
 
         # w1 withheld: a stall freezes every pipeline latch.
         if self._stall_left > 0:
@@ -391,18 +418,23 @@ class Pipeline:
             return
 
         # Interrupts are sampled at the top of the cycle (but held for
-        # the one-cycle window after a jpcrs restore, see _alu_compute).
+        # the one-cycle window after a jpcrs restore, see _alu_compute,
+        # and while _async_hold says restart would not be clean).
         if self._irq_hold > 0:
             self._irq_hold -= 1
-        elif self._nmi_pending:
-            self._nmi_pending = False
+        elif ((self._nmi_pending
+               or (self._irq_pending and psw.interrupts_enabled))
+              and not self._async_hold()):
+            if self._nmi_pending:
+                self._nmi_pending = False
+                cause = (self._fault_cause if self._fault_cause is not None
+                         else PswBit.CAUSE_NMI)
+                self._fault_cause = None
+            else:
+                self._irq_pending = False
+                cause = PswBit.CAUSE_INT
             stats.interrupts += 1
-            self._take_exception(PswBit.CAUSE_NMI)
-            return
-        elif self._irq_pending and psw.interrupts_enabled:
-            self._irq_pending = False
-            stats.interrupts += 1
-            self._take_exception(PswBit.CAUSE_INT)
+            self._take_exception(cause)
             return
 
         # MEM work.
@@ -514,23 +546,42 @@ class Pipeline:
         word = self.memory.read(flight.mem_address, mode)
         self._fpu().load_word(flight.instr.src2, word)
         self.stats.loads += 1
+        if self.coprocessors.fault_busy_ops:
+            self._coproc_busy_stall()
 
     def _mem_stf(self, flight: Flight, mode: bool) -> None:
         self.memory.write(flight.mem_address,
                           self._fpu().store_word(flight.instr.src2), mode)
         self.stats.stores += 1
+        if self.coprocessors.fault_busy_ops:
+            self._coproc_busy_stall()
 
     def _mem_cop(self, flight: Flight, mode: bool) -> None:
         self.coprocessors.execute(flight.mem_address)
         self.stats.coproc_ops += 1
+        if self.coprocessors.fault_busy_ops:
+            self._coproc_busy_stall()
 
     def _mem_movtoc(self, flight: Flight, mode: bool) -> None:
         self.coprocessors.write_data(flight.mem_address, flight.store_value)
         self.stats.coproc_ops += 1
+        if self.coprocessors.fault_busy_ops:
+            self._coproc_busy_stall()
 
     def _mem_movfrc(self, flight: Flight, mode: bool) -> None:
         flight.result = self.coprocessors.read_data(flight.mem_address)
         self.stats.coproc_ops += 1
+        if self.coprocessors.fault_busy_ops:
+            self._coproc_busy_stall()
+
+    def _coproc_busy_stall(self) -> None:
+        """Injected coprocessor-busy fault: the coprocessor holds its busy
+        line, withholding ``w1`` exactly like a late data miss -- timing
+        only, never architectural state."""
+        stall = self.coprocessors.consume_busy()
+        if stall > 0:
+            self._stall_left += stall
+            self._stall_is_icache = False
 
     def _fpu(self):
         fpu = self.coprocessors.fpu_slot
@@ -804,6 +855,44 @@ class Pipeline:
             self.pc_unit.chain.write(which - SpecialReg.PC1, value)
 
     # ----------------------------------------------------------- exceptions
+    def _async_hold(self) -> bool:
+        """Interlock on *asynchronous* exception sampling.
+
+        Evaluated only while an interrupt/NMI is actually pending, so the
+        per-cycle hot path never pays for it.  The PC chain restarts the
+        three uncompleted instructions (MEM, ALU, RF) after the handler;
+        sampling is therefore held whenever that restart would not be
+        architecturally clean:
+
+        * a **squashed** flight sits in RF/ALU/MEM -- freezing the chain
+          now would record its PC and the handler return would execute a
+          squashed instruction for real (the squash decision is not part
+          of the saved state);
+        * an **mstep/dstep** sits in ALU/MEM/RF -- the step mutates the
+          MD register in its ALU stage, so re-execution would apply it
+          twice (the reorganizer keeps multiply sequences short, and the
+          interlock window is bounded by the sequence length);
+        * PC **shifting is disabled** -- the handler has not yet saved
+          the chain, and a nested exception would overwrite PSWold and
+          the frozen chain, losing the restart state unrecoverably;
+        * the machine is **draining after a halt**.
+
+        Every holding condition clears within a bounded number of cycles
+        (squash windows are two cycles, handlers re-enable shifting on
+        return), so a pending interrupt is delayed, never lost.
+        """
+        if self._halting or not self.psw.shift_enabled:
+            return True
+        for k in (RF, ALU, MEM):
+            flight = self.s[k]
+            if flight is None:
+                continue
+            if flight.squashed:
+                return True
+            if flight.instr.funct in (Funct.MSTEP, Funct.DSTEP):
+                return True
+        return False
+
     def _take_exception(self, cause: PswBit) -> None:
         """Halt the pipeline: no-op everything in flight, freeze the PC
         chain, swap the PSW, and vector to address zero in system space."""

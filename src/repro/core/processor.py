@@ -21,7 +21,7 @@ from typing import Optional
 from repro.asm.unit import Program
 from repro.coproc.interface import Coprocessor, CoprocessorSet
 from repro.core.config import MachineConfig
-from repro.core.pipeline import Pipeline, PipelineStats, TraceSink
+from repro.core.pipeline import FaultHook, Pipeline, PipelineStats, TraceSink
 from repro.ecache.ecache import Ecache
 from repro.ecache.memory import MemorySystem
 from repro.icache.cache import Icache
@@ -90,6 +90,11 @@ class Machine:
 
     def set_trace(self, sink: Optional[TraceSink]) -> None:
         self.pipeline.trace = sink
+
+    def set_fault_hook(self, hook: Optional[FaultHook]) -> None:
+        """Attach (or detach, with ``None``) a fault-injection hook; see
+        :mod:`repro.faults`.  Costs nothing per cycle when detached."""
+        self.pipeline.fault_hook = hook
 
 
 def run_program(program: Program, config: Optional[MachineConfig] = None,

@@ -60,6 +60,24 @@ class Ecache:
         self.lines = config.size_words // config.line_words
         self._tags: List[int] = [self.INVALID] * self.lines
         self.stats = EcacheStats()
+        #: fault injection (repro.faults): while > 0, each read/ifetch
+        #: probe is forced to miss and pays the full late-miss penalty --
+        #: a board-level retry storm.  Zero when disarmed: the happy path
+        #: pays one integer truth test per access.
+        self.fault_forced_misses = 0
+        self.fault_forced_events = 0
+
+    def begin_forced_misses(self, count: int) -> None:
+        """Arm a late-miss retry storm: the next ``count`` read/ifetch
+        probes miss regardless of tag state."""
+        self.fault_forced_misses = max(0, count)
+
+    def _consume_forced_miss(self) -> bool:
+        if self.fault_forced_misses <= 0:
+            return False
+        self.fault_forced_misses -= 1
+        self.fault_forced_events += 1
+        return True
 
     # ------------------------------------------------------------- helpers
     def _probe(self, address: int, system_mode: bool, allocate: bool) -> bool:
@@ -77,7 +95,10 @@ class Ecache:
         if not self.config.enabled:
             return 0
         self.stats.reads += 1
-        if self._probe(address, system_mode, allocate=True):
+        hit = self._probe(address, system_mode, allocate=True)
+        if self.fault_forced_misses and self._consume_forced_miss():
+            hit = False
+        if hit:
             return 0
         self.stats.read_misses += 1
         return self.config.miss_penalty
@@ -102,7 +123,10 @@ class Ecache:
         if not self.config.enabled:
             return 0
         self.stats.ifetches += 1
-        if self._probe(address, system_mode, allocate=True):
+        hit = self._probe(address, system_mode, allocate=True)
+        if self.fault_forced_misses and self._consume_forced_miss():
+            hit = False
+        if hit:
             return 0
         self.stats.ifetch_misses += 1
         return self.config.miss_penalty

@@ -1,0 +1,33 @@
+"""Fault injection and resilience checking for the MIPS-X model.
+
+MIPS-X's most distinctive mechanisms are its *fault paths*: the minimal
+exception mechanism that reuses the branch-squash hardware (Figure 3),
+the external-cache late-miss retry loop (Figure 4), and the per-word
+sub-block valid bits of the on-chip instruction cache.  This package
+deliberately stresses them:
+
+* :mod:`repro.faults.plan` -- a seeded, cycle-targeted :class:`FaultPlan`
+  DSL over the supported fault classes;
+* :mod:`repro.faults.inject` -- a :class:`~repro.core.pipeline.FaultHook`
+  that applies a plan to a live machine (zero overhead when detached);
+* :mod:`repro.faults.workloads` -- small self-checking assembly programs
+  with a register-transparent fault handler at the exception vector;
+* :mod:`repro.faults.invariants` -- the differential checker: each
+  faulted execution runs against a fault-free golden run and the paper's
+  guarantees are asserted (restartability, bounded late-miss inflation,
+  no squashed instruction ever commits);
+* :mod:`repro.faults.campaign` -- the ``repro faults`` campaign driver
+  that fans seeded plans across :class:`repro.harness.runner.Runner`.
+"""
+
+from repro.faults.invariants import DifferentialReport, run_differential
+from repro.faults.plan import FAULT_CLASSES, FaultEvent, FaultPlan, build_plan
+
+__all__ = [
+    "DifferentialReport",
+    "FAULT_CLASSES",
+    "FaultEvent",
+    "FaultPlan",
+    "build_plan",
+    "run_differential",
+]

@@ -1,0 +1,108 @@
+"""Apply a :class:`~repro.faults.plan.FaultPlan` to a live machine.
+
+:class:`FaultInjector` is a :class:`repro.core.pipeline.FaultHook`: the
+pipeline calls :meth:`on_cycle` once per cycle before any stage work.
+When no event is due the hook costs two comparisons; when the pipeline is
+bulk-consuming a stall the cycle counter jumps and every event whose
+target cycle was passed fires at the next opportunity.
+
+Asynchronous exception events (parity NMI, spurious IRQ, overflow) only
+*arm* the pipeline's pending flags; the pipeline's own sampling interlock
+(`Pipeline._async_hold`) delays delivery until the PC-chain restart would
+be architecturally clean, exactly like the hardware holding an interrupt
+for an uninterruptible window.  Two exception events arming while one is
+still pending coalesce into a single delivery -- the pending flag is a
+level, not a queue -- so the invariant checker counts *taken* exceptions,
+never requested ones.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.core.pipeline import FaultHook, Pipeline
+from repro.core.psw import PswBit
+from repro.faults.plan import FaultEvent, FaultPlan
+
+#: ICU cause bits the injected device faults assert
+PARITY_CAUSE = 0x2
+SPURIOUS_CAUSE = 0x4
+
+
+class FaultInjector(FaultHook):
+    """Replays a plan's events against the pipeline, in cycle order."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._events = sorted(plan.events, key=lambda e: (e.cycle, e.kind))
+        self._index = 0
+        self._next_cycle = (self._events[0].cycle if self._events
+                            else None)
+        # injection-local randomness (victim selection inside the caches),
+        # derived only from the plan seed: deterministic across processes
+        self._rng = random.Random(plan.seed ^ 0xC0FFEE)
+        #: (cycle_applied, kind, effective_magnitude) for the report;
+        #: magnitude 0 means the event found nothing to corrupt
+        self.applied: List[tuple] = []
+
+    # ------------------------------------------------------------- the hook
+    def on_cycle(self, pipeline: Pipeline) -> None:
+        next_cycle = self._next_cycle
+        if next_cycle is None or pipeline.stats.cycles < next_cycle:
+            return
+        events = self._events
+        index = self._index
+        now = pipeline.stats.cycles
+        while index < len(events) and events[index].cycle <= now:
+            self._apply(events[index], pipeline, now)
+            index += 1
+        self._index = index
+        self._next_cycle = events[index].cycle if index < len(events) else None
+
+    # ------------------------------------------------------------ dispatch
+    def _apply(self, event: FaultEvent, pipeline: Pipeline,
+               now: int) -> None:
+        kind = event.kind
+        if kind == "icache-valid-flip":
+            done = pipeline.icache.inject_valid_flips(
+                self._rng, event.param("count", 1))
+        elif kind == "icache-tag-corrupt":
+            done = pipeline.icache.inject_tag_corruption(
+                self._rng, event.param("count", 1))
+        elif kind == "ecache-forced-miss":
+            count = event.param("count", 1)
+            pipeline.ecache.begin_forced_misses(count)
+            done = count
+        elif kind == "coproc-busy":
+            pipeline.coprocessors.begin_busy(event.param("ops", 1),
+                                             event.param("stall", 4))
+            done = event.param("ops", 1)
+        elif kind == "parity-nmi":
+            pipeline.post_interrupt(cause_bits=PARITY_CAUSE, nmi=True)
+            done = 1
+        elif kind == "spurious-irq":
+            pipeline.post_interrupt(cause_bits=SPURIOUS_CAUSE, nmi=False)
+            done = 1
+        elif kind == "overflow":
+            # an injected ALU-overflow detection: rides the NMI sampling
+            # point (unmaskable, asynchronous) but reports CAUSE_OVF
+            pipeline._fault_cause = PswBit.CAUSE_OVF
+            pipeline._nmi_pending = True
+            done = 1
+        else:  # pragma: no cover - plan.EVENT_KINDS is the closed set
+            raise ValueError(f"unknown fault event kind {kind!r}")
+        self.applied.append((now, kind, done))
+
+    # ------------------------------------------------------------- summary
+    def summary(self) -> Dict[str, object]:
+        return {
+            "events_planned": len(self._events),
+            "events_applied": len(self.applied),
+            "events_effective": sum(1 for _, _, done in self.applied
+                                    if done),
+            "applied": [
+                {"cycle": cycle, "kind": kind, "magnitude": done}
+                for cycle, kind, done in self.applied
+            ],
+        }

@@ -1,0 +1,234 @@
+"""Differential invariant checking: faulted run vs golden run.
+
+The golden reference is the same workload on the same machine
+configuration with *no* fault hook attached.  After the faulted run the
+checker asserts the paper's guarantees:
+
+* **restartability / reconvergence** -- every injected exception vectors
+  through the handler and the PC-chain restart brings the machine back:
+  final registers, PSW, console output and every memory word outside the
+  handler scratch area equal the golden run's;
+* **bounded late-miss inflation** -- the late-miss retry loop and every
+  other injected stall terminate: the faulted run halts within
+  ``horizon + plan.cycle_budget()`` cycles;
+* **no squashed commit** -- the squash FSM never lets a squashed
+  instruction write the register file (audited on the writeback path);
+* **handler accounting** -- the handler's exception counter equals the
+  number of exceptions the machine actually took (none lost, none
+  duplicated by a botched restart).
+
+A faulted run with zero violations is *absorbed*; a plan none of whose
+events landed before the program halted is *not-triggered* (reported so
+campaigns can tell silence from luck).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.coproc.fpu import Fpu
+from repro.core import Machine, MachineConfig
+from repro.core.pipeline import Flight, Pipeline
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import FaultPlan, build_plan
+from repro.faults.workloads import (
+    CLASS_WORKLOADS,
+    HANDLER_COUNT,
+    SCRATCH_WORDS,
+    fault_program,
+)
+
+#: golden runs must halt well within this many cycles (tiny workloads)
+GOLDEN_MAX_CYCLES = 2_000_000
+
+
+class WritebackAudit:
+    """Watches the writeback stage for squashed commits.
+
+    Wraps ``pipeline._writeback`` as an instance attribute (instance
+    lookup shadows the class method), so only audited -- i.e. faulted --
+    runs pay for it; the hot path of normal runs is untouched.
+    """
+
+    def __init__(self, pipeline: Pipeline):
+        self.violations: List[Dict[str, int]] = []
+        self._regs = pipeline.regs
+        self._original = pipeline._writeback
+        pipeline._writeback = self._audited   # type: ignore[method-assign]
+
+    def _audited(self, flight: Optional[Flight]) -> None:
+        if flight is None or not flight.squashed or not flight.dest:
+            self._original(flight)
+            return
+        before = self._regs.read(flight.dest)
+        self._original(flight)
+        after = self._regs.read(flight.dest)
+        if after != before:
+            self.violations.append(
+                {"pc": flight.pc, "register": flight.dest,
+                 "before": before, "after": after})
+
+
+@dataclasses.dataclass
+class DifferentialReport:
+    """Outcome of one faulted-vs-golden differential run."""
+
+    seed: int
+    fault_class: str
+    workload: str
+    status: str                  #: "absorbed" | "not-triggered" | "violated"
+    violations: List[Dict[str, object]]
+    golden_cycles: int
+    faulted_cycles: int
+    cycle_budget: int
+    exceptions_taken: int
+    handler_count: int
+    events_applied: int
+    events_effective: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> Dict[str, object]:
+        data = dataclasses.asdict(self)
+        data["inflation"] = self.faulted_cycles - self.golden_cycles
+        return data
+
+
+def _build_machine(workload: str,
+                   config: Optional[MachineConfig] = None) -> Machine:
+    machine = Machine(config or MachineConfig())
+    machine.attach_coprocessor(Fpu())
+    machine.load_program(fault_program(workload))
+    return machine
+
+
+def golden_run(workload: str,
+               config: Optional[MachineConfig] = None) -> Machine:
+    """The fault-free reference execution of a workload."""
+    machine = _build_machine(workload, config)
+    machine.run(GOLDEN_MAX_CYCLES)
+    if not machine.halted:
+        raise RuntimeError(
+            f"golden run of fault workload {workload!r} did not halt "
+            f"within {GOLDEN_MAX_CYCLES} cycles -- workload bug")
+    return machine
+
+
+def _compare_state(golden: Machine, faulted: Machine,
+                   violations: List[Dict[str, object]]) -> None:
+    """Architectural-state comparison, scratch words excluded."""
+    for register in range(1, 32):
+        want = golden.regs.read(register)
+        got = faulted.regs.read(register)
+        if want != got:
+            violations.append({
+                "kind": "state-divergence",
+                "detail": f"r{register}: golden {want:#x}, "
+                          f"faulted {got:#x}"})
+    if golden.psw.value != faulted.psw.value:
+        violations.append({
+            "kind": "state-divergence",
+            "detail": f"psw: golden {golden.psw.value:#x}, "
+                      f"faulted {faulted.psw.value:#x}"})
+    if (golden.console.values != faulted.console.values
+            or golden.console.text != faulted.console.text):
+        violations.append({
+            "kind": "state-divergence",
+            "detail": f"console: golden {golden.console.values!r}, "
+                      f"faulted {faulted.console.values!r}"})
+    golden_words = golden.memory.system._words
+    faulted_words = faulted.memory.system._words
+    for address in sorted(set(golden_words) | set(faulted_words)):
+        if address in SCRATCH_WORDS:
+            continue
+        want = golden_words.get(address, 0)
+        got = faulted_words.get(address, 0)
+        if want != got:
+            violations.append({
+                "kind": "state-divergence",
+                "detail": f"mem[{address:#x}]: golden {want:#x}, "
+                          f"faulted {got:#x}"})
+
+
+def run_differential(plan: FaultPlan, workload: str,
+                     config: Optional[MachineConfig] = None,
+                     golden: Optional[Machine] = None) -> DifferentialReport:
+    """Run ``workload`` under ``plan`` and check every invariant.
+
+    ``golden`` may be supplied to amortize the reference run across many
+    plans of the same workload (the campaign driver does this per
+    worker); it must come from :func:`golden_run` on the same config.
+    """
+    if golden is None:
+        golden = golden_run(workload, config)
+
+    faulted = _build_machine(workload, config)
+    injector = FaultInjector(plan)
+    audit = WritebackAudit(faulted.pipeline)
+    faulted.set_fault_hook(injector)
+    budget = plan.cycle_budget()
+    faulted.run(golden.stats.cycles + budget)
+
+    violations: List[Dict[str, object]] = []
+    if not faulted.halted:
+        violations.append({
+            "kind": "no-termination",
+            "detail": f"faulted run still live after golden "
+                      f"{golden.stats.cycles} + budget {budget} cycles "
+                      "(late-miss retry or exception loop did not "
+                      "terminate)"})
+    for entry in audit.violations:
+        violations.append({
+            "kind": "squashed-commit",
+            "detail": f"squashed instruction at pc={entry['pc']:#x} "
+                      f"wrote r{entry['register']}"})
+    if faulted.halted:
+        _compare_state(golden, faulted, violations)
+        handler_count = faulted.memory.system.read(HANDLER_COUNT)
+        if handler_count != faulted.stats.interrupts:
+            violations.append({
+                "kind": "handler-miscount",
+                "detail": f"handler counted {handler_count} exceptions, "
+                          f"machine took {faulted.stats.interrupts}"})
+        handler_seen = handler_count
+    else:
+        handler_seen = faulted.memory.system.read(HANDLER_COUNT)
+
+    summary = injector.summary()
+    if violations:
+        status = "violated"
+    elif summary["events_effective"]:
+        status = "absorbed"
+    else:
+        status = "not-triggered"
+    return DifferentialReport(
+        seed=plan.seed,
+        fault_class=plan.fault_class,
+        workload=workload,
+        status=status,
+        violations=violations,
+        golden_cycles=golden.stats.cycles,
+        faulted_cycles=faulted.stats.cycles,
+        cycle_budget=budget,
+        exceptions_taken=faulted.stats.interrupts,
+        handler_count=handler_seen,
+        events_applied=summary["events_applied"],
+        events_effective=summary["events_effective"],
+    )
+
+
+def differential_for_seed(seed: int, fault_class: str,
+                          workload: Optional[str] = None,
+                          config: Optional[MachineConfig] = None,
+                          golden: Optional[Machine] = None,
+                          max_events: int = 6) -> DifferentialReport:
+    """Plan construction + differential run for one campaign point."""
+    workload = workload or CLASS_WORKLOADS[fault_class]
+    if golden is None:
+        golden = golden_run(workload, config)
+    plan = build_plan(seed, fault_class, horizon=golden.stats.cycles,
+                      max_events=max_events)
+    return run_differential(plan, workload, config=config, golden=golden)

@@ -1,0 +1,201 @@
+"""The :class:`FaultPlan` DSL: seeded, cycle-targeted machine faults.
+
+A plan is a pure description -- which fault classes fire, at which target
+cycles, with what intensity -- fully determined by ``(seed, fault_class,
+horizon)``.  Building a plan touches no machine state; the injector in
+:mod:`repro.faults.inject` applies it.  Because the pipeline's bulk-stall
+fast path can jump the cycle counter, target cycles mean "fire at the
+first injection opportunity at or after this cycle", and plans therefore
+never rely on exact-cycle delivery.
+
+Fault classes (each maps to a paper mechanism; see DESIGN.md):
+
+========================= ==================================================
+``icache-valid``          flip set sub-block valid bits (SEU in the 512-bit
+                          valid array) -> refetch through the miss FSM
+``icache-tag``            corrupt Icache tags -> false misses, Fig. 4 path
+``ecache-storm``          force Ecache probes to miss -> late-miss retry
+                          storm ("re-execute phase 2 of MEM")
+``parity-nmi``            memory parity error raised as a non-maskable
+                          interrupt through the exception mechanism
+``spurious-irq``          spurious maskable device interrupt via the ICU
+``coproc-busy``           coprocessor holds its busy line -> w1 withheld
+``overflow-storm``        burst of injected overflow exceptions through the
+                          squash/exception hardware of Fig. 3
+``mixed``                 a seeded interleaving of all of the above
+========================= ==================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Tuple
+
+FAULT_CLASSES: Tuple[str, ...] = (
+    "icache-valid",
+    "icache-tag",
+    "ecache-storm",
+    "parity-nmi",
+    "spurious-irq",
+    "coproc-busy",
+    "overflow-storm",
+    "mixed",
+)
+
+#: event kinds an injector must implement (class "mixed" draws from all)
+EVENT_KINDS: Tuple[str, ...] = (
+    "icache-valid-flip",
+    "icache-tag-corrupt",
+    "ecache-forced-miss",
+    "parity-nmi",
+    "spurious-irq",
+    "coproc-busy",
+    "overflow",
+)
+
+#: cycles before the first event: the pipe must be full (no ``None``
+#: flights) and past the PSW-setup prologue before anything is injected
+WARMUP_CYCLES = 48
+
+#: generous per-event cycle-inflation allowances, used to derive the
+#: bounded-termination budget a faulted run must respect
+_EVENT_BUDGET: Dict[str, int] = {
+    "icache-valid-flip": 64,     # refills: miss_cycles + ecache penalties
+    "icache-tag-corrupt": 512,   # a whole block may refetch word by word
+    "ecache-forced-miss": 16,    # miss_penalty per forced probe
+    "parity-nmi": 192,           # handler + interlock hold windows
+    "spurious-irq": 192,
+    "coproc-busy": 8,            # per stalled op (scaled by ops*stall below)
+    "overflow": 192,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault: ``kind`` with ``params``, due at ``cycle``."""
+
+    cycle: int
+    kind: str
+    params: Tuple[Tuple[str, int], ...] = ()
+
+    def param(self, name: str, default: int = 0) -> int:
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    def budget(self) -> int:
+        """Worst-case cycle inflation this event may cause."""
+        base = _EVENT_BUDGET[self.kind]
+        if self.kind == "ecache-forced-miss":
+            return base * max(1, self.param("count", 1))
+        if self.kind == "coproc-busy":
+            return (self.param("ops", 1) * self.param("stall", 4)
+                    + _EVENT_BUDGET["coproc-busy"])
+        if self.kind in ("icache-valid-flip", "icache-tag-corrupt"):
+            return base * max(1, self.param("count", 1))
+        return base
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """A seeded schedule of :class:`FaultEvent` over one execution."""
+
+    seed: int
+    fault_class: str
+    horizon: int                       #: golden cycle count of the workload
+    events: Tuple[FaultEvent, ...]
+
+    def cycle_budget(self) -> int:
+        """Cycle-inflation bound for the whole plan: the faulted run must
+        halt within ``horizon + cycle_budget()`` cycles or the late-miss /
+        exception machinery failed to terminate."""
+        return (sum(event.budget() for event in self.events)
+                + max(512, self.horizon // 4))
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "fault_class": self.fault_class,
+            "horizon": self.horizon,
+            "events": [
+                {"cycle": e.cycle, "kind": e.kind, **dict(e.params)}
+                for e in self.events
+            ],
+        }
+
+
+def _params(**kwargs: int) -> Tuple[Tuple[str, int], ...]:
+    return tuple(sorted(kwargs.items()))
+
+
+def _draw_event(rng: random.Random, kind: str, cycle: int) -> FaultEvent:
+    if kind == "icache-valid-flip":
+        return FaultEvent(cycle, kind, _params(count=rng.randint(1, 6)))
+    if kind == "icache-tag-corrupt":
+        return FaultEvent(cycle, kind, _params(count=rng.randint(1, 3)))
+    if kind == "ecache-forced-miss":
+        return FaultEvent(cycle, kind, _params(count=rng.randint(2, 12)))
+    if kind == "coproc-busy":
+        return FaultEvent(cycle, kind,
+                          _params(ops=rng.randint(1, 4),
+                                  stall=rng.randint(2, 10)))
+    # parity-nmi / spurious-irq / overflow carry no parameters
+    return FaultEvent(cycle, kind)
+
+
+_CLASS_KINDS: Dict[str, Tuple[str, ...]] = {
+    "icache-valid": ("icache-valid-flip",),
+    "icache-tag": ("icache-tag-corrupt",),
+    "ecache-storm": ("ecache-forced-miss",),
+    "parity-nmi": ("parity-nmi",),
+    "spurious-irq": ("spurious-irq",),
+    "coproc-busy": ("coproc-busy",),
+    "overflow-storm": ("overflow",),
+    "mixed": EVENT_KINDS,
+}
+
+
+def build_plan(seed: int, fault_class: str, horizon: int,
+               max_events: int = 6) -> FaultPlan:
+    """Build the deterministic plan for ``(seed, fault_class, horizon)``.
+
+    ``horizon`` is the golden (fault-free) cycle count of the workload the
+    plan will run against; all target cycles land inside
+    ``[WARMUP_CYCLES, horizon)`` so every event has a chance to fire
+    before the program halts.  Exception-class events are spaced at least
+    64 cycles apart so one handler invocation completes (and re-enables
+    PC shifting) before the next fault arrives -- back-to-back NMIs
+    before the handler saves the PC chain lose machine state on the real
+    hardware too, and coalescing is already exercised by the pending-flag
+    model.
+    """
+    if fault_class not in _CLASS_KINDS:
+        raise ValueError(f"unknown fault class {fault_class!r}; "
+                         f"expected one of {FAULT_CLASSES}")
+    if horizon <= WARMUP_CYCLES:
+        raise ValueError(f"horizon {horizon} leaves no room after the "
+                         f"{WARMUP_CYCLES}-cycle warmup")
+    # NB: no hash() here -- Python string hashing is salted per process,
+    # and campaign workers must rebuild byte-identical plans
+    class_salt = FAULT_CLASSES.index(fault_class)
+    rng = random.Random(((seed << 8) ^ (class_salt * 0x9E3779B1))
+                        & 0xFFFFFFFF)
+    kinds = _CLASS_KINDS[fault_class]
+    count = rng.randint(1, max_events)
+    exception_kinds = {"parity-nmi", "spurious-irq", "overflow"}
+    events: List[FaultEvent] = []
+    last_exception_cycle = -10_000
+    for _ in range(count):
+        kind = kinds[rng.randrange(len(kinds))]
+        cycle = rng.randint(WARMUP_CYCLES, max(WARMUP_CYCLES + 1,
+                                               horizon - 1))
+        if kind in exception_kinds:
+            if cycle - last_exception_cycle < 64:
+                cycle = last_exception_cycle + 64
+            last_exception_cycle = cycle
+        events.append(_draw_event(rng, kind, cycle))
+    events.sort(key=lambda e: (e.cycle, e.kind))
+    return FaultPlan(seed=seed, fault_class=fault_class, horizon=horizon,
+                     events=tuple(events))

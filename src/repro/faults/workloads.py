@@ -1,0 +1,188 @@
+"""Self-checking assembly workloads for the fault campaigns.
+
+Every workload shares one memory layout so the differential checker can
+compare faulted and golden executions word for word:
+
+* ``0x00``  exception vector: ``br fault_handler`` (+ two delay nops);
+* ``0x10``  the handler: register-transparent (saves/restores its one
+  scratch register to ``SCRATCH_SAVE``), bumps the exception counter at
+  ``HANDLER_COUNT``, returns via the paper's ``jpc; jpc; jpcrs``
+  three-jump restart sequence;
+* ``0x100`` the program, which enables interrupts (so spurious-IRQ
+  faults are deliverable) and finishes by storing its results at
+  ``RESULTS_BASE`` and writing a checksum to the console;
+* ``0x200`` (``RESULTS_BASE``) the result words.
+
+The scratch words are the *only* memory a faulted run may legitimately
+differ in from its golden run (the golden run takes no exceptions), so
+the checker compares every other word.
+
+The workloads deliberately cover the mechanisms the fault classes
+stress: plain and squashing branches (squash FSM), tight load/store
+loops (Ecache late-miss path), and FPU traffic over the coprocessor
+interface (busy-line stalls, ``movfrc`` load timing).
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Dict, Tuple
+
+from repro.asm import assemble
+from repro.asm.unit import Program
+from repro.coproc.fpu import FpuOp, fpu_op
+from repro.core.psw import PswBit
+
+#: handler scratch: the saved register and the exception counter --
+#: excluded from the differential memory comparison
+SCRATCH_SAVE = 128
+HANDLER_COUNT = 132
+SCRATCH_WORDS = frozenset({SCRATCH_SAVE, HANDLER_COUNT})
+
+#: result words start here; everything the workloads compute lands at or
+#: above this address
+RESULTS_BASE = 0x200
+
+#: console word port (mmio_base 0x3FFF00 + console offset 0xF0)
+CONSOLE_PORT = 0x3FFFF0
+
+#: system mode + PC-chain shifting + interrupts enabled
+_PSW_RUN = ((1 << PswBit.MODE) | (1 << PswBit.SHIFT_EN)
+            | (1 << PswBit.IE))
+
+_PROLOGUE = f"""
+; shared fault-campaign scaffolding: vector, transparent handler
+.org 0
+    br fault_handler
+    nop
+    nop
+
+.org 0x10
+fault_handler:
+    ; register-transparent: t8 is saved/restored around the count bump
+    st   t8, {SCRATCH_SAVE}(r0)
+    ld   t8, {HANDLER_COUNT}(r0)
+    nop
+    addi t8, t8, 1
+    st   t8, {HANDLER_COUNT}(r0)
+    ld   t8, {SCRATCH_SAVE}(r0)
+    nop
+    jpc
+    jpc
+    jpcrs
+
+.org 0x100
+_start:
+    li   t9, {_PSW_RUN}
+    movtos psw, t9
+"""
+
+
+def _epilogue(*result_regs: str) -> str:
+    """Store the named registers at RESULTS_BASE and print the first."""
+    lines = []
+    for offset, reg in enumerate(result_regs):
+        lines.append(f"    st   {reg}, {RESULTS_BASE + offset}(r0)")
+    lines.append(f"    li   t9, {CONSOLE_PORT}")
+    lines.append(f"    st   {result_regs[0]}, 0(t9)")
+    lines.append("    halt")
+    return "\n".join(lines)
+
+
+SUM_SOURCE = _PROLOGUE + f"""
+    ; phase 1: plain-branch accumulation loop
+    li   t0, 0          ; acc
+    li   t1, 1          ; i
+    li   t2, 48         ; N
+sumloop:
+    add  t0, t0, t1
+    addi t1, t1, 1
+    ble  t1, t2, sumloop
+    nop
+    nop
+    ; phase 2: squashing branches -- delay slots execute only when taken
+    li   t3, 0
+    li   t4, 12
+    li   t5, 0
+sqloop:
+    addi t3, t3, 1
+    bltsq t3, t4, sqloop
+    addi t5, t5, 3      ; slot 1: runs per taken iteration, squashed at exit
+    nop                 ; slot 2
+    add  t6, t0, t5
+""" + _epilogue("t6", "t0", "t3", "t5")
+
+
+MIX_SOURCE = _PROLOGUE + f"""
+    ; shift/xor mixer with a strided store stream (Ecache traffic)
+    li   t0, 4660       ; 0x1234
+    li   t1, 0          ; index
+    li   t2, 32         ; iterations
+    li   s0, {RESULTS_BASE + 8}
+mixloop:
+    sll  t3, t0, 3
+    xor  t0, t0, t3
+    srl  t3, t0, 5
+    xor  t0, t0, t3
+    rotl t3, t0, 7
+    add  t0, t0, t3
+    add  s1, s0, t1
+    st   t0, 0(s1)
+    ld   t4, 0(s1)      ; read it straight back (late-miss read path)
+    addi t1, t1, 1
+    blt  t1, t2, mixloop
+    nop
+    nop
+    add  t6, t0, t4
+""" + _epilogue("t6", "t0", "t1")
+
+
+COPROC_SOURCE = _PROLOGUE + f"""
+    ; integer <-> FPU round trips over the coprocessor interface
+    li   t0, 0          ; i
+    li   t1, 8          ; iterations
+    li   t2, 0          ; acc
+coploop:
+    movtoc t0, {fpu_op(FpuOp.MTC_INT, fd=0)}(r0)
+    movtoc t2, {fpu_op(FpuOp.MTC_INT, fd=1)}(r0)
+    cop  {fpu_op(FpuOp.FADD, 0, 1)}(r0)
+    movfrc t3, {fpu_op(FpuOp.MFC_INT, fd=0)}(r0)
+    nop                 ; movfrc has load timing
+    add  t2, t3, r0
+    addi t0, t0, 1
+    blt  t0, t1, coploop
+    nop
+    nop
+""" + _epilogue("t2", "t0")
+
+
+_SOURCES: Dict[str, str] = {
+    "sum": SUM_SOURCE,
+    "mix": MIX_SOURCE,
+    "coproc": COPROC_SOURCE,
+}
+
+WORKLOADS: Tuple[str, ...] = tuple(sorted(_SOURCES))
+
+#: the workload whose traffic best exercises each fault class
+CLASS_WORKLOADS: Dict[str, str] = {
+    "icache-valid": "sum",
+    "icache-tag": "mix",
+    "ecache-storm": "mix",
+    "parity-nmi": "sum",
+    "spurious-irq": "sum",
+    "coproc-busy": "coproc",
+    "overflow-storm": "mix",
+    "mixed": "coproc",
+}
+
+
+@functools.lru_cache(maxsize=None)
+def fault_program(name: str) -> Program:
+    """Assemble (once per process) the named fault workload."""
+    try:
+        source = _SOURCES[name]
+    except KeyError:
+        raise ValueError(f"unknown fault workload {name!r}; "
+                         f"expected one of {WORKLOADS}") from None
+    return assemble(source)

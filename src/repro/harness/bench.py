@@ -21,6 +21,7 @@ import json
 import os
 import pathlib
 import platform
+import tempfile
 import time
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -33,6 +34,25 @@ DEFAULT_OUTPUT = REPO_ROOT / "BENCH_pipeline.json"
 #: workloads used for the cycles/sec probe: one loop-heavy integer
 #: program and one branchy one, both in the Pascal suite
 THROUGHPUT_WORKLOADS = ("sieve", "bubble")
+
+
+def write_json_atomic(path: pathlib.Path, payload: Any) -> None:
+    """Crash-safe JSON write: temp file in the target directory, then
+    ``os.replace``.  A reader (or a concurrent producer) never observes a
+    partially-written telemetry file, only the old or the new one."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    fd, tmp = tempfile.mkstemp(dir=path.parent,
+                               suffix=path.suffix + ".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
 
 
 def measure_core_throughput(names: Sequence[str] = THROUGHPUT_WORKLOADS,
@@ -193,7 +213,7 @@ def collect(quick: bool = False,
     if traced_section is not None:
         payload["traced"] = traced_section
     path = pathlib.Path(output) if output else DEFAULT_OUTPUT
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    write_json_atomic(path, payload)
     return payload
 
 
@@ -212,7 +232,7 @@ def merge_section(section: str, data: Any,
         except (ValueError, OSError):
             pass
     payload[section] = data
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    write_json_atomic(path, payload)
 
 
 def format_summary(payload: Dict[str, Any]) -> str:

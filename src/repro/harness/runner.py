@@ -8,25 +8,51 @@ Design:
 * one OS process per job (experiment points run for seconds, so process
   startup is noise), results returned over a pipe;
 * per-job **timeout**: the scheduler terminates the worker and records a
-  ``"timeout"`` result;
-* **retry-once-on-crash**: a worker that dies without reporting
-  (``os._exit``, segfault, OOM kill) is rescheduled once; a second death
-  records ``"crashed"``.  An in-worker Python exception is deterministic,
-  so it is recorded as ``"error"`` without a retry;
+  ``"timeout"`` result; a runner-wide ``default_timeout`` acts as a
+  watchdog for jobs that did not set their own;
+* **retry-on-crash with exponential backoff**: a worker that dies
+  without reporting (``os._exit``, segfault, OOM kill) is rescheduled up
+  to ``max_retries`` times, the respawn before attempt ``n`` delayed by
+  ``backoff_base * 2**(n-2)`` seconds, under a runner-wide
+  ``retry_budget`` (total respawns per run).  An in-worker Python
+  exception is deterministic, so it is recorded as ``"error"`` without a
+  retry;
 * **deterministic merging**: results come back in submission order keyed
   by job id, regardless of completion order, so serial and parallel runs
-  of the same jobs produce identical merged output.
+  of the same jobs produce identical merged output;
+* **chaos mode**: :class:`ChaosMonkey` deterministically ``os._exit``\\ s
+  a seeded subset of first-attempt workers mid-job, so the retry/merge
+  path is itself under test (the fault campaigns double as this test).
+
+Status taxonomy (``JobResult.status``):
+
+============== ===========================================================
+``ok``         the function returned on the first attempt
+``retried-ok`` the function returned after one or more crash retries
+``error``      the function raised; ``error`` carries the **remote
+               traceback**, ``error_kind`` the exception class name
+``timeout``    the watchdog killed the worker after ``timeout`` seconds
+``crashed``    the worker died on every allowed attempt without
+               reporting; ``error_kind`` is ``worker-died``
+============== ===========================================================
+
+``JobResult.ok`` is True for both ``ok`` and ``retried-ok`` -- a retried
+job still produced its value.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import importlib
 import multiprocessing
 import os
 import time
 import traceback
 from typing import Any, Callable, Dict, List, Optional, Sequence
+
+#: the exit code chaos kills use; distinguishable from real crashes in logs
+CHAOS_EXIT_CODE = 86
 
 
 @dataclasses.dataclass(frozen=True)
@@ -36,7 +62,7 @@ class Job:
     id: str
     fn: str                              #: "package.module:function"
     params: Dict[str, Any] = dataclasses.field(default_factory=dict)
-    timeout: Optional[float] = None      #: seconds; None = no limit
+    timeout: Optional[float] = None      #: seconds; None = runner default
     sweep: str = ""                      #: owning sweep, for grouping
 
 
@@ -45,16 +71,42 @@ class JobResult:
     """Outcome of one job, independent of where/when it ran."""
 
     job_id: str
-    status: str                      #: "ok" | "error" | "timeout" | "crashed"
+    status: str     #: "ok" | "retried-ok" | "error" | "timeout" | "crashed"
     value: Any = None
-    error: str = ""
+    error: str = ""                      #: remote traceback / kill reason
+    error_kind: str = ""                 #: exception class | "timeout" |
+    #: "worker-died" -- the structured taxonomy ("" on success)
     duration: float = 0.0                #: wall seconds of the final attempt
     attempts: int = 1
     sweep: str = ""
 
     @property
     def ok(self) -> bool:
-        return self.status == "ok"
+        return self.status in ("ok", "retried-ok")
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosMonkey:
+    """Deterministic worker-killer for chaos testing the runner.
+
+    ``rate`` of the jobs (selected by a stable hash of ``seed`` and the
+    job id -- never Python's salted ``hash()``) are killed with
+    ``os._exit`` *mid-job* on attempts <= ``kill_attempts``.  With
+    ``kill_attempts=1`` (the default) every doomed job succeeds on its
+    retry, so a chaos run must produce values identical to a serial run.
+    """
+
+    rate: float = 0.0
+    seed: int = 0
+    kill_attempts: int = 1
+
+    def dooms(self, job_id: str, attempt: int) -> bool:
+        if self.rate <= 0.0 or attempt > self.kill_attempts:
+            return False
+        digest = hashlib.sha256(
+            f"{self.seed}:{job_id}".encode()).digest()
+        draw = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return draw < self.rate
 
 
 def resolve(fn_spec: str) -> Callable:
@@ -65,13 +117,24 @@ def resolve(fn_spec: str) -> Callable:
     return getattr(importlib.import_module(module_name), fn_name)
 
 
-def _worker_main(fn_spec: str, params: Dict[str, Any], conn) -> None:
-    """Worker process entry point: run the job, report over the pipe."""
+def _worker_main(fn_spec: str, params: Dict[str, Any], conn,
+                 chaos_kill: bool) -> None:
+    """Worker process entry point: run the job, report over the pipe.
+
+    ``chaos_kill`` kills the worker *after* the function started doing
+    real work (module resolved, call under way is approximated by
+    killing between resolve and call) -- the parent sees a silent death,
+    exactly like a segfault or an OOM kill.
+    """
     try:
-        value = resolve(fn_spec)(**params)
-        conn.send(("ok", value, ""))
-    except BaseException:
-        conn.send(("error", None, traceback.format_exc()))
+        fn = resolve(fn_spec)
+        if chaos_kill:
+            os._exit(CHAOS_EXIT_CODE)
+        value = fn(**params)
+        conn.send(("ok", value, "", ""))
+    except BaseException as exc:
+        conn.send(("error", None, traceback.format_exc(),
+                   type(exc).__name__))
     finally:
         conn.close()
 
@@ -94,12 +157,33 @@ class Runner:
 
     ``max_workers`` defaults to the machine's CPU count.  ``run`` returns
     one :class:`JobResult` per job **in submission order**.
+
+    Resilience knobs:
+
+    * ``max_retries`` -- crash retries per job (default 1: the original
+      retry-once-on-crash behaviour);
+    * ``backoff_base`` -- first respawn delay in seconds, doubled per
+      further attempt (exponential backoff);
+    * ``retry_budget`` -- total respawns allowed across the whole run
+      (None = unlimited); once exhausted, crashes are final;
+    * ``default_timeout`` -- watchdog for jobs with ``timeout=None``;
+    * ``chaos`` -- a :class:`ChaosMonkey`, for testing the above.
     """
 
     def __init__(self, max_workers: Optional[int] = None,
-                 poll_interval: float = 0.02):
+                 poll_interval: float = 0.02,
+                 max_retries: int = 1,
+                 backoff_base: float = 0.05,
+                 retry_budget: Optional[int] = None,
+                 default_timeout: Optional[float] = None,
+                 chaos: Optional[ChaosMonkey] = None):
         self.max_workers = max(1, max_workers or os.cpu_count() or 1)
         self.poll_interval = poll_interval
+        self.max_retries = max(0, max_retries)
+        self.backoff_base = max(0.0, backoff_base)
+        self.retry_budget = retry_budget
+        self.default_timeout = default_timeout
+        self.chaos = chaos or ChaosMonkey()
         self._context = multiprocessing.get_context()
 
     # ------------------------------------------------------------- serial
@@ -117,9 +201,10 @@ class Runner:
             try:
                 value = resolve(job.fn)(**job.params)
                 result = JobResult(job.id, "ok", value=value, sweep=job.sweep)
-            except Exception:
+            except Exception as exc:
                 result = JobResult(job.id, "error",
                                    error=traceback.format_exc(),
+                                   error_kind=type(exc).__name__,
                                    sweep=job.sweep)
             result.duration = time.monotonic() - started
             results.append(result)
@@ -139,20 +224,41 @@ class Runner:
 
     def _spawn(self, job: Job, attempt: int) -> _Active:
         parent_conn, child_conn = self._context.Pipe(duplex=False)
+        chaos_kill = self.chaos.dooms(job.id, attempt)
         process = self._context.Process(
-            target=_worker_main, args=(job.fn, job.params, child_conn),
+            target=_worker_main,
+            args=(job.fn, job.params, child_conn, chaos_kill),
             daemon=True)
         process.start()
         child_conn.close()   # child's end lives in the child now
         return _Active(job, attempt, process, parent_conn)
 
+    def _backoff(self, attempt: int) -> float:
+        """Respawn delay before ``attempt`` (exponential: base * 2^(n-2))."""
+        if attempt <= 1 or self.backoff_base <= 0.0:
+            return 0.0
+        return self.backoff_base * (2.0 ** (attempt - 2))
+
     def _run_parallel(self, jobs: List[Job]) -> Dict[str, JobResult]:
         queue: List[tuple] = [(job, 1) for job in jobs]
         queue.reverse()                      # pop() takes submission order
+        #: crash retries waiting out their backoff: (eligible_at, job,
+        #: attempt), respawned in eligibility order
+        waiting: List[tuple] = []
+        self._retries_left = self.retry_budget
         active: List[_Active] = []
         results: Dict[str, JobResult] = {}
         try:
-            while queue or active:
+            while queue or active or waiting:
+                if waiting:
+                    now = time.monotonic()
+                    due = [w for w in waiting if w[0] <= now]
+                    if due:
+                        waiting = [w for w in waiting if w[0] > now]
+                        # due retries take priority over fresh jobs
+                        for eligible_at, job, attempt in sorted(
+                                due, reverse=True):
+                            queue.append((job, attempt))
                 while queue and len(active) < self.max_workers:
                     job, attempt = queue.pop()
                     active.append(self._spawn(job, attempt))
@@ -164,10 +270,15 @@ class Runner:
                     made_progress = True
                     active.remove(slot)
                     if outcome == "retry":
-                        queue.append((slot.job, slot.attempt + 1))
+                        if self._retries_left is not None:
+                            self._retries_left -= 1
+                        attempt = slot.attempt + 1
+                        eligible = (time.monotonic()
+                                    + self._backoff(attempt))
+                        waiting.append((eligible, slot.job, attempt))
                     else:
                         results[slot.job.id] = outcome
-                if not made_progress:
+                if not made_progress and (active or waiting):
                     time.sleep(self.poll_interval)
         finally:
             for slot in active:              # interrupted: no orphans
@@ -175,26 +286,34 @@ class Runner:
                 slot.process.join()
         return results
 
+    def _effective_timeout(self, job: Job) -> Optional[float]:
+        return job.timeout if job.timeout is not None else self.default_timeout
+
     def _poll(self, slot: _Active):
         """One scheduling decision for one worker; None = still running."""
         job = slot.job
         elapsed = time.monotonic() - slot.started
         if slot.conn.poll():
             try:
-                status, value, error = slot.conn.recv()
+                status, value, error, error_kind = slot.conn.recv()
             except (EOFError, OSError):
                 return self._crash_outcome(slot, elapsed)
             slot.process.join()
             slot.conn.close()
+            if status == "ok" and slot.attempt > 1:
+                status = "retried-ok"
             return JobResult(job.id, status, value=value, error=error,
+                             error_kind=error_kind,
                              duration=elapsed, attempts=slot.attempt,
                              sweep=job.sweep)
-        if job.timeout is not None and elapsed > job.timeout:
+        timeout = self._effective_timeout(job)
+        if timeout is not None and elapsed > timeout:
             slot.process.terminate()
             slot.process.join()
             slot.conn.close()
             return JobResult(job.id, "timeout",
-                             error=f"exceeded {job.timeout:.1f}s",
+                             error=f"exceeded {timeout:.1f}s",
+                             error_kind="timeout",
                              duration=elapsed, attempts=slot.attempt,
                              sweep=job.sweep)
         if not slot.process.is_alive():
@@ -205,12 +324,16 @@ class Runner:
         """The worker died without delivering a result."""
         slot.process.join()
         slot.conn.close()
-        if slot.attempt < 2:
+        remaining = getattr(self, "_retries_left", self.retry_budget)
+        budget_open = remaining is None or remaining > 0
+        if slot.attempt <= self.max_retries and budget_open:
             return "retry"
         job = slot.job
         return JobResult(
             job.id, "crashed",
-            error=f"worker died twice (exitcode {slot.process.exitcode})",
+            error=f"worker died {slot.attempt} time(s) "
+                  f"(exitcode {slot.process.exitcode})",
+            error_kind="worker-died",
             duration=elapsed, attempts=slot.attempt, sweep=job.sweep)
 
 

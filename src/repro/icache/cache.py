@@ -177,6 +177,75 @@ class Icache:
             way.valid[word] = True
             self.stats.words_filled += 1
 
+    # ------------------------------------------------------ fault injection
+    def inject_valid_flips(self, rng, count: int = 1) -> int:
+        """Flip up to ``count`` randomly-chosen *set* sub-block valid bits.
+
+        Models single-event upsets in the 512-valid-bit array.  Clearing a
+        valid bit is always safe for correctness (the word refetches from
+        the Ecache; purely a timing fault), which is why only set bits are
+        targeted -- setting a stale bit would be a *functional* cache, and
+        this Icache is timing-only by design.  Returns the number of bits
+        actually flipped (0 when the cache holds no valid words).
+        """
+        candidates = [
+            (index, way_index, word)
+            for index, cache_set in enumerate(self._sets)
+            for way_index, way in enumerate(cache_set)
+            if way.tag is not None
+            for word, valid in enumerate(way.valid) if valid
+        ]
+        if not candidates:
+            return 0
+        flipped = 0
+        for _ in range(count):
+            index, way_index, word = candidates[rng.randrange(len(candidates))]
+            way = self._sets[index][way_index]
+            if way.valid[word]:
+                way.valid[word] = False
+                flipped += 1
+        return flipped
+
+    def inject_tag_corruption(self, rng, count: int = 1) -> int:
+        """Corrupt up to ``count`` tags by flipping one random tag bit.
+
+        Preserves the unique-tags-per-set structural invariant the rest of
+        the cache relies on: if the corrupted value collides with another
+        live way in the set, that way is invalidated first (on hardware the
+        duplicate would make the associative match undefined; the model
+        resolves it the conservative way).  All valid bits of the corrupted
+        way are cleared -- its contents now describe the wrong block, and a
+        stale "valid" word under a wrong tag would be a functional fault a
+        timing-only cache cannot express.  Returns tags corrupted.
+        """
+        live = [
+            (index, way_index)
+            for index, cache_set in enumerate(self._sets)
+            for way_index, way in enumerate(cache_set)
+            if way.tag is not None
+        ]
+        if not live:
+            return 0
+        corrupted = 0
+        for _ in range(count):
+            index, way_index = live[rng.randrange(len(live))]
+            way = self._sets[index][way_index]
+            if way.tag is None:      # already victimized by a collision
+                continue
+            tag_map = self._tag_maps[index]
+            new_tag = way.tag ^ (1 << rng.randrange(8))
+            del tag_map[way.tag]
+            collider = tag_map.pop(new_tag, None)
+            if collider is not None:
+                other = self._sets[index][collider]
+                other.tag = None
+                other.valid = [False] * self.config.block_words
+            way.tag = new_tag
+            way.valid = [False] * self.config.block_words
+            tag_map[new_tag] = way_index
+            corrupted += 1
+        return corrupted
+
     def flush(self) -> None:
         for cache_set in self._sets:
             for way in cache_set:

@@ -17,18 +17,80 @@ The full derivations still live in ``pytest benchmarks/``; this script
 trades trace length for wall-clock (the shapes are stable well below the
 benchmark trace lengths) so it can run on every push.
 
+With ``--bench-file PATH`` the script additionally validates the named
+sections of a ``BENCH_pipeline.json`` telemetry file and reports each
+missing or malformed section by name -- a partial file (crashed bench
+run, hand-edited payload) fails with a readable message instead of a
+``KeyError`` traceback.
+
 Usage::
 
     PYTHONPATH=src python -m repro.tools.check_results [--trace-length N]
+        [--bench-file BENCH_pipeline.json]
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import sys
 from typing import Callable, List, Tuple
 
 DEFAULT_TRACE_LENGTH = 150_000
+
+#: named sections a complete bench telemetry file must carry, with the
+#: keys each section needs for the summary/regression tooling
+BENCH_SECTIONS = {
+    "core": ("cycles_per_sec", "workloads"),
+    "sweep": ("jobs", "ok"),
+    "experiments": (),
+}
+
+
+def check_bench_file(path: pathlib.Path) -> List[str]:
+    """Validate the named sections of a bench telemetry file.
+
+    Every problem is reported against the *section name* so a partial
+    write or schema drift reads as "section 'sweep' is missing", never as
+    a bare ``KeyError: 'sweep'``.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        return [f"bench file {path} does not exist (run `repro bench`)"]
+    try:
+        payload = json.loads(path.read_text())
+    except ValueError as exc:
+        return [f"bench file {path} is not valid JSON: {exc}"]
+    if not isinstance(payload, dict):
+        return [f"bench file {path}: top level must be an object, "
+                f"got {type(payload).__name__}"]
+    failures = []
+    for section, required_keys in BENCH_SECTIONS.items():
+        if section not in payload:
+            failures.append(
+                f"bench file: section '{section}' is missing "
+                "(partial or interrupted bench run?)")
+            continue
+        value = payload[section]
+        if not isinstance(value, dict):
+            failures.append(
+                f"bench file: section '{section}' must be an object, "
+                f"got {type(value).__name__}")
+            continue
+        for key in required_keys:
+            if key not in value:
+                failures.append(
+                    f"bench file: section '{section}' is missing "
+                    f"key '{key}'")
+    experiments = payload.get("experiments")
+    if isinstance(experiments, dict):
+        for job_id, row in experiments.items():
+            if not isinstance(row, dict) or "status" not in row:
+                failures.append(
+                    f"bench file: section 'experiments' row '{job_id}' "
+                    "has no 'status' field")
+    return failures
 
 
 def check_table1_orderings(trace_length: int) -> List[str]:
@@ -192,9 +254,20 @@ def main(argv=None) -> int:
     parser.add_argument("--trace-length", type=int,
                         default=DEFAULT_TRACE_LENGTH,
                         help="synthetic trace length for the cache checks")
+    parser.add_argument("--bench-file", type=pathlib.Path, default=None,
+                        metavar="PATH",
+                        help="also validate the named sections of a bench "
+                             "telemetry file (BENCH_pipeline.json)")
     args = parser.parse_args(argv)
 
     all_failures: List[str] = []
+    if args.bench_file is not None:
+        failures = check_bench_file(args.bench_file)
+        status = "ok" if not failures else "FAIL"
+        print(f"[{status:>4}] bench telemetry file structure")
+        for failure in failures:
+            print(f"       - {failure}")
+        all_failures.extend(failures)
     for name, check in CHECKS:
         failures = check(args.trace_length)
         status = "ok" if not failures else "FAIL"

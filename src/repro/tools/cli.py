@@ -7,13 +7,17 @@ Usage::
     python -m repro.tools.cli disasm program.s
     python -m repro.tools.cli workload sieve [--stats]
     python -m repro.tools.cli bench [--quick] [--workers N]
+    python -m repro.tools.cli faults [--seeds N] [--quick] [--chaos R]
 
 ``run`` executes assembly on the paper-configuration machine; ``compile``
 sends SPL source through the compiler + reorganizer; ``workload`` runs a
 registered benchmark.  ``--trace N`` prints a pipeline diagram of the
 first N cycles.  ``bench`` runs the benchmark telemetry suite (core
 cycles/sec plus the parallel experiment sweep) and writes
-``BENCH_pipeline.json`` at the repo root.
+``BENCH_pipeline.json`` at the repo root.  ``faults`` runs a seeded
+fault-injection campaign (see :mod:`repro.faults`) across the parallel
+runner and writes ``FAULTS_campaign.json``; exit code 2 flags classified
+invariant violations, 1 flags harness-level failures.
 """
 
 from __future__ import annotations
@@ -120,6 +124,30 @@ def cmd_bench(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_faults(args) -> int:
+    from repro.faults.campaign import format_summary, run_campaign
+
+    payload = run_campaign(seeds=args.seeds,
+                           workers=args.workers,
+                           quick=args.quick,
+                           parallel=not args.serial,
+                           chaos_rate=args.chaos,
+                           chaos_seed=args.chaos_seed,
+                           output=args.output)
+    print(format_summary(payload))
+    print(f"report written to {payload['report_path']}")
+    summary = payload["summary"]
+    if summary["unhandled_jobs"]:
+        print(f"{summary['unhandled_jobs']} campaign job(s) failed in the "
+              "harness (see report)", file=sys.stderr)
+        return 1
+    if summary["violated"]:
+        print(f"{summary['violated']} invariant violation(s) classified "
+              "(see report)", file=sys.stderr)
+        return 2
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="MIPS-X reproduction command line")
@@ -184,6 +212,28 @@ def build_parser() -> argparse.ArgumentParser:
                          help="telemetry file (default: BENCH_pipeline.json "
                               "at the repo root)")
     p_bench.set_defaults(func=cmd_bench)
+
+    p_faults = sub.add_parser(
+        "faults", help="seeded fault-injection campaign: differential "
+                       "invariant checking across the parallel runner, "
+                       "written to FAULTS_campaign.json")
+    p_faults.add_argument("--seeds", type=int, default=32,
+                          help="number of seeded fault plans (default 32)")
+    p_faults.add_argument("--quick", action="store_true",
+                          help="fewer events per plan (CI smoke)")
+    p_faults.add_argument("--workers", type=int, default=None,
+                          help="parallel worker processes (default: CPUs)")
+    p_faults.add_argument("--serial", action="store_true",
+                          help="run campaign jobs in-process")
+    p_faults.add_argument("--chaos", type=float, default=0.0, metavar="RATE",
+                          help="kill this fraction of first-attempt workers "
+                               "mid-job (chaos test of the runner)")
+    p_faults.add_argument("--chaos-seed", type=int, default=0,
+                          help="seed for the chaos kill selection")
+    p_faults.add_argument("--output", default=None, metavar="PATH",
+                          help="report file (default: FAULTS_campaign.json "
+                               "at the repo root)")
+    p_faults.set_defaults(func=cmd_faults)
     return parser
 
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import logging
 import os
 import tempfile
 import time
@@ -24,6 +25,8 @@ from pathlib import Path
 from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
+
+logger = logging.getLogger(__name__)
 
 #: bump when the capture format or stream semantics change -- it is part
 #: of every cache key, so old .npz files are simply never matched again
@@ -82,27 +85,128 @@ def descriptor_key(descriptor: Dict[str, object]) -> str:
 
 
 class TraceStore:
-    """On-disk cache of captured traces keyed by capture descriptor."""
+    """On-disk cache of captured traces keyed by capture descriptor.
+
+    Integrity: every entry carries a ``.sha256`` sidecar with the digest
+    of the ``.npz`` payload bytes.  :meth:`get` verifies it -- a corrupt,
+    truncated, or sidecar-less entry is a counted-and-logged **miss**
+    (``integrity_failures``), never a silent wrong replay.  :meth:`put`
+    holds a per-entry lockfile so two concurrent producers (parallel
+    ``repro bench`` runs racing on a cold cache) cannot interleave the
+    payload and its digest.
+    """
+
+    #: a lock older than this is presumed abandoned (crashed writer) and
+    #: is broken; trace captures run seconds, not minutes
+    LOCK_STALE_SECONDS = 120.0
+    LOCK_TIMEOUT_SECONDS = 30.0
 
     def __init__(self, root: Optional[Path] = None):
         self.root = Path(root) if root is not None else DEFAULT_ROOT
+        self.hits = 0
+        self.misses = 0
+        self.integrity_failures = 0
 
     def path_for(self, descriptor: Dict[str, object]) -> Path:
         return self.root / f"{descriptor_key(descriptor)}.npz"
 
+    def digest_path_for(self, descriptor: Dict[str, object]) -> Path:
+        return self.path_for(descriptor).with_suffix(".sha256")
+
     def get(self, descriptor: Dict[str, object]) -> Optional[CapturedTrace]:
         path = self.path_for(descriptor)
         if not path.exists():
+            self.misses += 1
             return None
         try:
-            return CapturedTrace.load(path)
+            payload = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        digest_path = self.digest_path_for(descriptor)
+        try:
+            expected = digest_path.read_text().strip()
+        except OSError:
+            expected = None
+        actual = hashlib.sha256(payload).hexdigest()
+        if expected != actual:
+            self.integrity_failures += 1
+            self.misses += 1
+            reason = ("no sha256 sidecar" if expected is None
+                      else f"sha256 mismatch (expected {expected[:12]}..., "
+                           f"got {actual[:12]}...)")
+            logger.warning("trace store: %s for %s; treating as a miss",
+                           reason, path.name)
+            return None
+        try:
+            trace = CapturedTrace.load(path)
         except (OSError, ValueError, KeyError):
-            return None  # corrupt entry: treat as a miss and re-capture
+            # digest matched but the archive does not parse: a corrupt
+            # payload was stored wholesale (writer bug, not bit rot)
+            self.integrity_failures += 1
+            self.misses += 1
+            logger.warning("trace store: undecodable entry %s; treating "
+                           "as a miss", path.name)
+            return None
+        self.hits += 1
+        return trace
+
+    # ------------------------------------------------------------- locking
+    def _lock_path(self, path: Path) -> Path:
+        return path.with_suffix(".lock")
+
+    def _acquire_lock(self, path: Path) -> Path:
+        lock = self._lock_path(path)
+        lock.parent.mkdir(parents=True, exist_ok=True)
+        deadline = time.monotonic() + self.LOCK_TIMEOUT_SECONDS
+        while True:
+            try:
+                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                os.write(fd, str(os.getpid()).encode())
+                os.close(fd)
+                return lock
+            except FileExistsError:
+                try:
+                    age = time.time() - lock.stat().st_mtime
+                except OSError:
+                    continue                    # holder just released it
+                if age > self.LOCK_STALE_SECONDS:
+                    logger.warning("trace store: breaking stale lock %s "
+                                   "(%.0fs old)", lock.name, age)
+                    try:
+                        lock.unlink()
+                    except OSError:
+                        pass
+                    continue
+                if time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"trace store: could not acquire {lock} within "
+                        f"{self.LOCK_TIMEOUT_SECONDS:.0f}s") from None
+                time.sleep(0.05)
 
     def put(self, descriptor: Dict[str, object],
             trace: CapturedTrace) -> Path:
         path = self.path_for(descriptor)
-        trace.save(path)
+        lock = self._acquire_lock(path)
+        try:
+            trace.save(path)
+            digest = hashlib.sha256(path.read_bytes()).hexdigest()
+            digest_path = self.digest_path_for(descriptor)
+            fd, tmp = tempfile.mkstemp(dir=path.parent,
+                                       suffix=".sha256.tmp")
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(digest + "\n")
+                os.replace(tmp, digest_path)
+            except BaseException:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+                raise
+        finally:
+            try:
+                lock.unlink()
+            except OSError:
+                pass
         return path
 
     def get_or_capture(

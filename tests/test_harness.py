@@ -5,8 +5,14 @@ Covers the :class:`repro.harness.runner.Runner` contract:
 * serial and parallel runs of the same jobs merge to identical results,
   in submission order, regardless of completion order;
 * per-job timeouts terminate the worker and record ``"timeout"``;
-* a worker that dies without reporting is retried once, then recorded as
-  ``"crashed"``; an in-worker exception is ``"error"`` with no retry;
+* the full status taxonomy -- ``"ok"``, ``"error"`` (in-worker exception,
+  remote traceback in ``error``, exception type in ``error_kind``, no
+  retry), ``"timeout"``, ``"crashed"`` (worker died without reporting,
+  retried with backoff until exhausted), ``"retried-ok"`` (ok after at
+  least one crash retry);
+* chaos mode: :class:`ChaosMonkey` kills a seeded subset of first-attempt
+  workers mid-job, and the retry/merge path delivers results identical to
+  a serial run;
 * the sweep grids are well-formed (unique ids, resolvable entry points).
 
 The job helpers below must be module-level so the ``"module:function"``
@@ -20,7 +26,8 @@ import pytest
 
 from repro.harness.experiments import (EXPERIMENT_SWEEPS, default_jobs,
                                        sweep_jobs)
-from repro.harness.runner import Job, JobResult, Runner, merge_values, resolve
+from repro.harness.runner import (CHAOS_EXIT_CODE, ChaosMonkey, Job,
+                                  JobResult, Runner, merge_values, resolve)
 
 HERE = "tests.test_harness"
 
@@ -114,7 +121,8 @@ class TestFailureModes:
         jobs = [Job(id="flaky", fn=f"{HERE}:_crash_once",
                     params={"marker": marker})]
         (result,) = Runner(max_workers=1).run(jobs)
-        assert result.status == "ok"
+        assert result.status == "retried-ok"
+        assert result.ok
         assert result.value == "recovered"
         assert result.attempts == 2
 
@@ -123,6 +131,7 @@ class TestFailureModes:
         (result,) = Runner(max_workers=1).run(jobs)
         assert result.status == "crashed"
         assert result.attempts == 2
+        assert result.error_kind == "worker-died"
         assert "exitcode" in result.error
 
     def test_exception_is_error_without_retry(self):
@@ -131,14 +140,104 @@ class TestFailureModes:
         (result,) = Runner(max_workers=1).run(jobs)
         assert result.status == "error"
         assert result.attempts == 1
+        assert result.error_kind == "RuntimeError"
+        # the remote traceback travels back whole, not just the message
         assert "deliberate" in result.error
+        assert "Traceback" in result.error
+        assert "_raise" in result.error
 
     def test_serial_reports_errors_too(self):
         jobs = [Job(id="boom", fn=f"{HERE}:_raise",
                     params={"message": "deliberate"})]
         (result,) = Runner().run(jobs, parallel=False)
         assert result.status == "error"
+        assert result.error_kind == "RuntimeError"
         assert "deliberate" in result.error
+
+    def test_timeout_error_kind_and_default_timeout(self):
+        # No per-job timeout: the runner default applies.
+        jobs = [Job(id="stuck", fn=f"{HERE}:_sleep_then_return",
+                    params={"seconds": 30.0, "value": None})]
+        (result,) = Runner(max_workers=1, default_timeout=0.4).run(jobs)
+        assert result.status == "timeout"
+        assert result.error_kind == "timeout"
+
+    def test_retry_budget_caps_total_retries(self):
+        # Two doomed jobs, budget of one retry: exactly one of them gets
+        # a second attempt, the other fails on its first.
+        jobs = [Job(id=f"doomed/{i}", fn=f"{HERE}:_always_crash")
+                for i in range(2)]
+        results = Runner(max_workers=1, retry_budget=1).run(jobs)
+        assert [r.status for r in results] == ["crashed", "crashed"]
+        assert sorted(r.attempts for r in results) == [1, 2]
+
+    def test_status_taxonomy_is_closed(self, tmp_path):
+        # One job per terminal status, all in a single run.
+        marker = str(tmp_path / "flaky-marker")
+        jobs = [
+            Job(id="ok", fn=f"{HERE}:_square", params={"x": 2}),
+            Job(id="error", fn=f"{HERE}:_raise",
+                params={"message": "boom"}),
+            Job(id="timeout", fn=f"{HERE}:_sleep_then_return",
+                params={"seconds": 30.0, "value": None}, timeout=0.4),
+            Job(id="crashed", fn=f"{HERE}:_always_crash"),
+            Job(id="retried-ok", fn=f"{HERE}:_crash_once",
+                params={"marker": marker}),
+        ]
+        results = Runner(max_workers=2).run(jobs)
+        assert {r.job_id: r.status for r in results} == {
+            job.id: job.id for job in jobs}
+        assert {r.job_id for r in results if r.ok} == {"ok", "retried-ok"}
+
+
+# ------------------------------------------------------------- chaos mode
+class TestChaosMode:
+    def test_chaos_kill_is_retried_and_merge_matches_serial(self):
+        # The satellite-4 contract: a chaos-killed worker (os._exit
+        # mid-job, after resolve, before the call) is retried with
+        # backoff, and the merged results are identical to a serial run
+        # of the same jobs.
+        jobs = _squares(8)
+        chaos = ChaosMonkey(rate=0.5, seed=11)
+        doomed = [j.id for j in jobs if chaos.dooms(j.id, attempt=1)]
+        assert doomed, "seed must doom at least one job for this test"
+        runner = Runner(max_workers=4, chaos=chaos)
+        results = runner.run(jobs, parallel=True)
+        serial = Runner(max_workers=4).run(jobs, parallel=False)
+        assert merge_values(results) == merge_values(serial)
+        assert [r.job_id for r in results] == [r.job_id for r in serial]
+        by_id = {r.job_id: r for r in results}
+        for job_id in doomed:
+            assert by_id[job_id].status == "retried-ok"
+            assert by_id[job_id].attempts == 2
+        for job in jobs:
+            if job.id not in doomed:
+                assert by_id[job.id].status == "ok"
+
+    def test_chaos_selection_is_deterministic(self):
+        chaos = ChaosMonkey(rate=0.5, seed=3)
+        first = [chaos.dooms(f"job/{i}", 1) for i in range(32)]
+        again = [chaos.dooms(f"job/{i}", 1) for i in range(32)]
+        assert first == again
+        assert any(first) and not all(first)
+        # only the first attempt is killed: retries always run
+        assert not any(chaos.dooms(f"job/{i}", 2) for i in range(32))
+
+    def test_chaos_exit_code_is_visible_in_final_crash(self):
+        # kill_attempts=2 dooms the retry too: the job ends "crashed"
+        # and the recorded exit code is the chaos sentinel.
+        chaos = ChaosMonkey(rate=1.0, seed=0, kill_attempts=2)
+        jobs = [Job(id="victim", fn=f"{HERE}:_square", params={"x": 1})]
+        (result,) = Runner(max_workers=1, chaos=chaos).run(jobs)
+        assert result.status == "crashed"
+        assert str(CHAOS_EXIT_CODE) in result.error
+
+    def test_backoff_schedule(self):
+        runner = Runner(backoff_base=0.05)
+        assert runner._backoff(1) == 0.0
+        assert runner._backoff(2) == pytest.approx(0.05)
+        assert runner._backoff(3) == pytest.approx(0.10)
+        assert runner._backoff(4) == pytest.approx(0.20)
 
 
 # ------------------------------------------------------- experiment grids
@@ -187,5 +286,6 @@ class TestExperimentGrids:
 
 def test_job_result_ok_property():
     assert JobResult("x", "ok").ok
+    assert JobResult("x", "retried-ok").ok
     for status in ("error", "timeout", "crashed"):
         assert not JobResult("x", status).ok

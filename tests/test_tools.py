@@ -139,3 +139,61 @@ class TestCli:
         path = self._write(tmp_path, "p.s", "_start: br _start\nnop\nnop")
         assert main(["run", path, "--ideal",
                      "--max-cycles", "1000"]) == 1
+
+
+class TestCheckBenchFile:
+    def _write(self, tmp_path, payload):
+        import json
+
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(payload))
+        return path
+
+    def _complete(self):
+        return {"core": {"cycles_per_sec": 1000, "workloads": {}},
+                "sweep": {"jobs": 4, "ok": 4},
+                "experiments": {"e/1": {"status": "ok"}}}
+
+    def test_complete_file_passes(self, tmp_path):
+        from repro.tools.check_results import check_bench_file
+
+        assert check_bench_file(self._write(tmp_path, self._complete())) == []
+
+    def test_missing_section_is_named(self, tmp_path):
+        from repro.tools.check_results import check_bench_file
+
+        payload = self._complete()
+        del payload["sweep"]
+        failures = check_bench_file(self._write(tmp_path, payload))
+        assert any("section 'sweep' is missing" in f for f in failures)
+
+    def test_missing_key_is_named(self, tmp_path):
+        from repro.tools.check_results import check_bench_file
+
+        payload = self._complete()
+        del payload["core"]["cycles_per_sec"]
+        failures = check_bench_file(self._write(tmp_path, payload))
+        assert any("section 'core' is missing key 'cycles_per_sec'" in f
+                   for f in failures)
+
+    def test_partial_write_is_not_a_keyerror(self, tmp_path):
+        from repro.tools.check_results import check_bench_file
+
+        path = tmp_path / "bench.json"
+        path.write_text('{"core": {"cycles_per')     # torn write
+        failures = check_bench_file(path)            # must not raise
+        assert failures and "not valid JSON" in failures[0]
+
+    def test_experiment_rows_need_status(self, tmp_path):
+        from repro.tools.check_results import check_bench_file
+
+        payload = self._complete()
+        payload["experiments"]["e/2"] = {"duration_s": 1.0}
+        failures = check_bench_file(self._write(tmp_path, payload))
+        assert any("row 'e/2' has no 'status'" in f for f in failures)
+
+    def test_missing_file_is_reported(self, tmp_path):
+        from repro.tools.check_results import check_bench_file
+
+        failures = check_bench_file(tmp_path / "nope.json")
+        assert failures and "does not exist" in failures[0]

@@ -114,6 +114,93 @@ class TestTraceStore:
         assert store.get({"n": 2})["a"][0] == 2
 
 
+class TestTraceStoreIntegrity:
+    def _descriptor(self):
+        return {"kind": "integrity-test", "n": 3}
+
+    def _put_one(self, store):
+        store.put(self._descriptor(),
+                  CapturedTrace(arrays={"a": np.arange(3, dtype=np.int64)}))
+
+    def test_put_writes_sha256_sidecar(self, tmp_path):
+        import hashlib
+
+        store = TraceStore(root=tmp_path)
+        self._put_one(store)
+        payload = store.path_for(self._descriptor()).read_bytes()
+        sidecar = store.digest_path_for(self._descriptor())
+        assert sidecar.exists()
+        assert sidecar.read_text().strip() == (
+            hashlib.sha256(payload).hexdigest())
+
+    def test_truncated_payload_is_a_counted_miss(self, tmp_path, caplog):
+        store = TraceStore(root=tmp_path)
+        self._put_one(store)
+        path = store.path_for(self._descriptor())
+        path.write_bytes(path.read_bytes()[:-16])  # truncate
+        with caplog.at_level("WARNING", logger="repro.traces.store"):
+            assert store.get(self._descriptor()) is None
+        assert store.integrity_failures == 1
+        assert store.misses == 1
+        assert any("sha256 mismatch" in r.message for r in caplog.records)
+
+    def test_missing_sidecar_is_a_counted_miss(self, tmp_path, caplog):
+        store = TraceStore(root=tmp_path)
+        self._put_one(store)
+        store.digest_path_for(self._descriptor()).unlink()
+        with caplog.at_level("WARNING", logger="repro.traces.store"):
+            assert store.get(self._descriptor()) is None
+        assert store.integrity_failures == 1
+        assert any("no sha256 sidecar" in r.message for r in caplog.records)
+
+    def test_counters_track_hits_and_misses(self, tmp_path):
+        store = TraceStore(root=tmp_path)
+        assert store.get(self._descriptor()) is None   # cold miss
+        self._put_one(store)
+        assert store.get(self._descriptor()) is not None
+        assert (store.hits, store.misses, store.integrity_failures) \
+            == (1, 1, 0)
+
+    def test_recapture_repairs_a_corrupt_entry(self, tmp_path):
+        store = TraceStore(root=tmp_path)
+        self._put_one(store)
+        store.path_for(self._descriptor()).write_bytes(b"garbage")
+        trace, _, hit = store.get_or_capture(
+            self._descriptor(),
+            lambda: CapturedTrace(
+                arrays={"a": np.arange(3, dtype=np.int64)}))
+        assert not hit
+        assert store.get(self._descriptor()) is not None
+
+    def test_put_releases_its_lockfile(self, tmp_path):
+        store = TraceStore(root=tmp_path)
+        self._put_one(store)
+        leftovers = [p.name for p in tmp_path.iterdir()]
+        assert not any(name.endswith(".lock") for name in leftovers)
+        assert not any(".tmp" in name for name in leftovers)
+
+    def test_stale_lock_is_broken(self, tmp_path):
+        import os
+        import time
+
+        store = TraceStore(root=tmp_path)
+        lock = store._lock_path(store.path_for(self._descriptor()))
+        lock.write_text("12345")
+        old = time.time() - store.LOCK_STALE_SECONDS - 10
+        os.utime(lock, (old, old))
+        self._put_one(store)                     # must not time out
+        assert store.get(self._descriptor()) is not None
+        assert not lock.exists()
+
+    def test_held_lock_times_out(self, tmp_path):
+        store = TraceStore(root=tmp_path)
+        store.LOCK_TIMEOUT_SECONDS = 0.2
+        lock = store._lock_path(store.path_for(self._descriptor()))
+        lock.write_text("12345")                 # fresh: genuinely held
+        with pytest.raises(TimeoutError, match="could not acquire"):
+            self._put_one(store)
+
+
 class TestCollectorMemory:
     def _feed(self, collector, events):
         for i in range(events):
