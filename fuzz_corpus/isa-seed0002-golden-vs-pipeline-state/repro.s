@@ -1,0 +1,12 @@
+_start:
+    li r4, 3            ; multiplicand
+    li r5, 5            ; multiplier (101b: three mstep iterations)
+    movtos md, r5
+    mov r10, r4         ; running multiplicand, doubled each step
+    li r3, 0
+mul_loop:
+    mstep r3, r3, r10   ; r3 += r10 if MD bit 0; MD >>= 1
+    sll r10, r10, 1
+    movfrs r11, md      ; early-out test must read MD *after* the step
+    bne r11, r0, mul_loop
+    halt

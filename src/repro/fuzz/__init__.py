@@ -1,0 +1,46 @@
+"""Differential fuzzing of the three MIPS-X semantic models.
+
+The repository holds three independent executions of MIPS-X semantics:
+the naive instruction-level golden simulator (:mod:`repro.core.golden`),
+the cycle-accurate pipeline (:mod:`repro.core.pipeline`), and the
+vectorized trace-replay statistics models (:mod:`repro.icache.trace_sim`
+et al.).  This package turns that redundancy into a standing correctness
+guarantee:
+
+* :mod:`repro.fuzz.gen` -- a seeded random program generator
+  (terminating and memory-bounded by construction), in two modes:
+  structured random instruction sequences through the assembler, and
+  random SPL programs through the compiler + reorganizer;
+* :mod:`repro.fuzz.oracle` -- the differential oracle: naive code on the
+  golden model vs. reorganized code on the pipeline (the reorganizer
+  contract), and live-captured cache streams vs. the trace-replay
+  models;
+* :mod:`repro.fuzz.shrink` -- delta-debugging minimization of a failing
+  program to a smallest reproducer;
+* :mod:`repro.fuzz.corpus` -- the ``fuzz_corpus/`` directory of shrunk
+  reproducers, replayed as a tier-1 regression test;
+* :mod:`repro.fuzz.campaign` -- the ``repro fuzz`` campaign driver over
+  the hardened parallel :class:`~repro.harness.runner.Runner`.
+"""
+
+from repro.fuzz.gen import (
+    GenConfig,
+    GeneratedProgram,
+    generate_program,
+)
+from repro.fuzz.oracle import (
+    DivergenceReport,
+    check_program,
+    check_trace_replay,
+)
+from repro.fuzz.shrink import shrink
+
+__all__ = [
+    "GenConfig",
+    "GeneratedProgram",
+    "generate_program",
+    "DivergenceReport",
+    "check_program",
+    "check_trace_replay",
+    "shrink",
+]

@@ -1,0 +1,381 @@
+"""Seeded random program generator for differential fuzzing.
+
+Two modes, selected by :attr:`GenConfig.mode`:
+
+* ``"isa"`` -- structured random instruction sequences emitted as
+  assembly text.  The programs are *naive* code (no delay slots filled,
+  no scheduling): exactly what the compiler hands the reorganizer, so
+  the golden-vs-pipeline oracle exercises the full reorganizer contract.
+* ``"lang"`` -- random small SPL programs sent through the compiler;
+  the naive and reorganized outputs of one compilation are compared.
+
+Programs are **terminating and memory-bounded by construction**:
+
+* conditional branches only jump *forward*, except loop back-edges
+  driven by a dedicated counter register with a fixed iteration count;
+* calls only target generated leaf subroutines (straight-line bodies);
+* every load/store stays inside a data region placed at a fixed
+  ``.org`` address, so reorganization (which moves code) never moves
+  data and address values are layout-independent.
+
+The only architectural state that legitimately differs between the
+naive and the reorganized program is a *code* address captured by a
+``jspci`` link; the generator confines links to ``ra`` and reports it in
+:attr:`GeneratedProgram.excluded_regs` so the oracle can skip it.
+
+Determinism: the same ``(seed, GenConfig)`` produces byte-identical
+source text (pinned by a test); generation uses one private
+``random.Random`` and no global state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import List, Optional, Tuple
+
+#: fixed word address of the data region (far above any generated code)
+DATA_BASE = 0x2000
+
+#: the console MMIO value port (mmio_base + CONSOLE_OFFSET of the
+#: default MachineConfig) -- writes append to ``console.values``
+CONSOLE_PORT = 0x3FFF00 + 0xF0
+
+#: registers the generator computes with (t0..t15 minus reserved ones)
+_POOL = tuple(range(10, 24))
+#: loop counters / scratch kept out of the arithmetic pool
+_COUNTER_REG = 24      # t14
+_ADDR_REG = 25         # t15: scratch base for computed addressing
+_DATA_REG = 31         # gp: base of the data region
+_CONSOLE_REG = 30      # s4: console value port
+_LINK_REG = 2          # ra: jspci link target (excluded from comparison)
+
+#: boundary immediates for the memory-format 17-bit signed field
+_ADDI_BOUNDARIES = (0, 1, -1, 2, -2, 255, -256, 32767, -32768, 65535, -65536)
+
+
+@dataclasses.dataclass(frozen=True)
+class GenConfig:
+    """Knobs for one generated program (all defaults are fuzz-sized)."""
+
+    mode: str = "isa"            #: "isa" | "lang"
+    segments: int = 12           #: body segments (isa) / statements (lang)
+    data_words: int = 32         #: size of the bounded data region
+    max_loop_iters: int = 6      #: fixed trip count bound for loops
+    subroutines: int = 2         #: generated leaf functions (isa mode)
+    quick: bool = False          #: smaller programs (CI smoke)
+
+    def sized(self) -> "GenConfig":
+        if not self.quick:
+            return self
+        return dataclasses.replace(self, segments=min(self.segments, 8),
+                                   subroutines=min(self.subroutines, 1))
+
+
+@dataclasses.dataclass
+class GeneratedProgram:
+    """One generated test program plus everything the oracle needs."""
+
+    seed: int
+    mode: str                    #: "isa" | "lang"
+    source: str                  #: asm text (isa) or SPL text (lang)
+    excluded_regs: Tuple[int, ...]   #: regs that may hold code addresses
+    data_base: int = DATA_BASE
+    data_words: int = 0
+    #: generous execution bounds (terminating programs finish far below)
+    max_instructions: int = 400_000
+    max_cycles: int = 4_000_000
+
+
+# ---------------------------------------------------------------- isa mode
+class _IsaEmitter:
+    """Builds one structured random assembly program."""
+
+    def __init__(self, rng: random.Random, config: GenConfig):
+        self.rng = rng
+        self.config = config
+        self.lines: List[str] = []
+        self.label_counter = 0
+        self.subroutine_names: List[str] = []
+
+    def fresh_label(self, stem: str) -> str:
+        self.label_counter += 1
+        return f"{stem}_{self.label_counter}"
+
+    def emit(self, text: str) -> None:
+        self.lines.append(f"    {text}")
+
+    def emit_label(self, name: str) -> None:
+        self.lines.append(f"{name}:")
+
+    # ------------------------------------------------------------ operands
+    def reg(self) -> int:
+        return self.rng.choice(_POOL)
+
+    def reg_or_zero(self) -> int:
+        return 0 if self.rng.random() < 0.08 else self.reg()
+
+    def immediate(self) -> int:
+        if self.rng.random() < 0.35:
+            return self.rng.choice(_ADDI_BOUNDARIES)
+        return self.rng.randint(-4096, 4096)
+
+    def data_offset(self) -> int:
+        return self.rng.randrange(self.config.data_words)
+
+    # ------------------------------------------------------------ segments
+    def seg_compute(self) -> None:
+        """A short straight-line run of random ALU/shift operations."""
+        for _ in range(self.rng.randint(1, 4)):
+            choice = self.rng.random()
+            rd = self.reg()
+            if choice < 0.45:
+                op = self.rng.choice(("add", "sub", "and", "or", "xor"))
+                self.emit(f"{op} r{rd}, r{self.reg_or_zero()}, "
+                          f"r{self.reg_or_zero()}")
+            elif choice < 0.65:
+                op = self.rng.choice(("sll", "srl", "sra", "rotl"))
+                self.emit(f"{op} r{rd}, r{self.reg_or_zero()}, "
+                          f"{self.rng.randrange(32)}")
+            elif choice < 0.75:
+                self.emit(f"not r{rd}, r{self.reg_or_zero()}")
+            elif choice < 0.9:
+                self.emit(f"addi r{rd}, r{self.reg_or_zero()}, "
+                          f"{self.immediate()}")
+            else:
+                self.emit(f"mov r{rd}, r{self.reg_or_zero()}")
+
+    def seg_memory(self) -> None:
+        """Loads and stores confined to the data region.
+
+        Half the accesses go through the fixed data base register, half
+        through a computed base (``_ADDR_REG``) so the pipeline's
+        address path and the reorganizer's alias analysis both see
+        non-trivial cases -- still bounded, because the computed base is
+        always ``data_base + small offset``.
+        """
+        for _ in range(self.rng.randint(1, 3)):
+            offset = self.data_offset()
+            if self.rng.random() < 0.5:
+                base = _DATA_REG
+            else:
+                self.emit(f"addi r{_ADDR_REG}, r{_DATA_REG}, "
+                          f"{self.rng.randrange(self.config.data_words)}")
+                base = _ADDR_REG
+                offset = 0
+            if self.rng.random() < 0.5:
+                self.emit(f"ld r{self.reg()}, {offset}(r{base})")
+            else:
+                self.emit(f"st r{self.reg()}, {offset}(r{base})")
+
+    def seg_muldiv(self) -> None:
+        """MD-register sequences: movtos/mstep/dstep/movfrs."""
+        self.emit(f"movtos md, r{self.reg()}")
+        for _ in range(self.rng.randint(1, 3)):
+            op = self.rng.choice(("mstep", "dstep"))
+            self.emit(f"{op} r{self.reg()}, r{self.reg()}, r{self.reg()}")
+        self.emit(f"movfrs r{self.reg()}, md")
+
+    def seg_branch(self) -> None:
+        """A forward conditional branch over a small straight-line run."""
+        label = self.fresh_label("skip")
+        cond = self.rng.choice(("beq", "bne", "blt", "ble", "bgt", "bge"))
+        self.emit(f"{cond} r{self.reg_or_zero()}, r{self.reg_or_zero()}, "
+                  f"{label}")
+        self.seg_compute()
+        if self.rng.random() < 0.5:
+            self.seg_memory()
+        self.emit_label(label)
+
+    def seg_diamond(self) -> None:
+        """if/else shape: both arms are straight-line."""
+        else_label = self.fresh_label("else")
+        join_label = self.fresh_label("join")
+        cond = self.rng.choice(("beq", "bne", "blt", "ble", "bgt", "bge"))
+        self.emit(f"{cond} r{self.reg_or_zero()}, r{self.reg_or_zero()}, "
+                  f"{else_label}")
+        self.seg_compute()
+        self.emit(f"br {join_label}")
+        self.emit_label(else_label)
+        self.seg_compute()
+        self.emit_label(join_label)
+
+    def seg_loop(self) -> None:
+        """A counted loop: fixed trip count, dedicated counter register."""
+        head = self.fresh_label("loop")
+        trips = self.rng.randint(1, self.config.max_loop_iters)
+        self.emit(f"li r{_COUNTER_REG}, {trips}")
+        self.emit_label(head)
+        self.seg_compute()
+        if self.rng.random() < 0.6:
+            self.seg_memory()
+        self.emit(f"addi r{_COUNTER_REG}, r{_COUNTER_REG}, -1")
+        self.emit(f"bne r{_COUNTER_REG}, r0, {head}")
+
+    def seg_call(self) -> None:
+        if not self.subroutine_names:
+            return
+        self.emit(f"call {self.rng.choice(self.subroutine_names)}")
+
+    def seg_console(self) -> None:
+        """Write a value to the console MMIO port (output comparison)."""
+        self.emit(f"st r{self.reg()}, 0(r{_CONSOLE_REG})")
+
+    # ------------------------------------------------------------- program
+    def build(self, seed: int) -> GeneratedProgram:
+        config = self.config
+        for index in range(config.subroutines):
+            self.subroutine_names.append(f"sub_{index}")
+
+        self.emit_label("_start")
+        # seed a few registers with interesting values
+        for reg in self.rng.sample(_POOL, k=min(6, len(_POOL))):
+            value = self.rng.choice((
+                0, 1, -1, 2, 0x7FFFFFFF, -0x80000000, 0xFFFF, -0x10000,
+                self.rng.randint(-(1 << 31), (1 << 31) - 1)))
+            self.emit(f"li r{reg}, {value}")
+        self.emit(f"la r{_DATA_REG}, data")
+        self.emit(f"li r{_CONSOLE_REG}, {CONSOLE_PORT:#x}")
+
+        segments = (self.seg_compute, self.seg_memory, self.seg_muldiv,
+                    self.seg_branch, self.seg_diamond, self.seg_loop,
+                    self.seg_call, self.seg_console)
+        weights = (5, 4, 1, 3, 2, 2, 2, 1)
+        for _ in range(config.segments):
+            self.rng.choices(segments, weights=weights)[0]()
+        self.seg_console()
+        self.emit("halt")
+
+        for name in self.subroutine_names:
+            self.emit_label(name)
+            self.seg_compute()
+            if self.rng.random() < 0.5:
+                self.seg_memory()
+            self.emit("ret")
+
+        # the data region lives at a fixed address so code growth under
+        # reorganization cannot move it
+        self.lines.append(f"    .org {DATA_BASE:#x}")
+        self.emit_label("data")
+        values = [self.rng.randint(0, 0xFFFFFFFF)
+                  for _ in range(config.data_words)]
+        self.emit(".word " + ", ".join(str(v) for v in values))
+
+        return GeneratedProgram(
+            seed=seed, mode="isa", source="\n".join(self.lines) + "\n",
+            excluded_regs=(_LINK_REG,),
+            data_words=config.data_words)
+
+
+# --------------------------------------------------------------- lang mode
+class _SplEmitter:
+    """Builds one random small SPL program.
+
+    Loops are bounded (``for`` with constant bounds, ``while`` over an
+    explicit down-counter), array indices come from bounded loop
+    variables or constants, and every program ends by ``write``-ing the
+    global variables, so the console stream captures the full observable
+    state.
+    """
+
+    def __init__(self, rng: random.Random, config: GenConfig):
+        self.rng = rng
+        self.config = config
+        self.scalars = [f"g{i}" for i in range(4)]
+        self.array = "arr"
+        self.array_size = 8
+        self.lines: List[str] = []
+
+    def expr(self, depth: int = 0, loop_var: Optional[str] = None) -> str:
+        roll = self.rng.random()
+        if depth >= 2 or roll < 0.35:
+            if self.rng.random() < 0.5:
+                return str(self.rng.randint(-100, 100))
+            names = list(self.scalars)
+            if loop_var:
+                names.append(loop_var)
+            return self.rng.choice(names)
+        if roll < 0.5:
+            index = (loop_var if loop_var and self.rng.random() < 0.5
+                     else str(self.rng.randrange(self.array_size)))
+            return f"{self.array}[{index}]"
+        op = self.rng.choice(("+", "-", "*"))
+        return (f"({self.expr(depth + 1, loop_var)} {op} "
+                f"{self.expr(depth + 1, loop_var)})")
+
+    def cond(self, loop_var: Optional[str] = None) -> str:
+        op = self.rng.choice(("=", "<>", "<", "<=", ">", ">="))
+        return f"{self.expr(1, loop_var)} {op} {self.expr(1, loop_var)}"
+
+    def assign(self, indent: str, loop_var: Optional[str] = None) -> None:
+        if self.rng.random() < 0.3:
+            index = (loop_var if loop_var and self.rng.random() < 0.6
+                     else str(self.rng.randrange(self.array_size)))
+            target = f"{self.array}[{index}]"
+        else:
+            target = self.rng.choice(self.scalars)
+        self.lines.append(f"{indent}{target} := {self.expr(0, loop_var)};")
+
+    def statement(self, indent: str) -> None:
+        roll = self.rng.random()
+        if roll < 0.45:
+            self.assign(indent)
+        elif roll < 0.65:
+            self.lines.append(f"{indent}if {self.cond()} then begin")
+            self.assign(indent + "  ")
+            if self.rng.random() < 0.5:
+                self.lines.append(f"{indent}end else begin")
+                self.assign(indent + "  ")
+            self.lines.append(f"{indent}end;")
+        elif roll < 0.85:
+            var = "i"
+            lo = self.rng.randint(0, 3)
+            hi = lo + self.rng.randint(0, self.config.max_loop_iters - 1)
+            self.lines.append(
+                f"{indent}for {var} := {lo} to {hi} do begin")
+            self.assign(indent + "  ", loop_var=var)
+            if self.rng.random() < 0.5:
+                self.assign(indent + "  ", loop_var=var)
+            self.lines.append(f"{indent}end;")
+        else:
+            trips = self.rng.randint(1, self.config.max_loop_iters)
+            self.lines.append(f"{indent}c := {trips};")
+            self.lines.append(f"{indent}while c > 0 do begin")
+            self.assign(indent + "  ")
+            self.lines.append(f"{indent}  c := c - 1;")
+            self.lines.append(f"{indent}end;")
+
+    def build(self, seed: int) -> GeneratedProgram:
+        self.lines.append(f"program fuzz{seed};")
+        decls = ", ".join(self.scalars)
+        self.lines.append(
+            f"var {decls}, c, i, {self.array}[{self.array_size}];")
+        self.lines.append("begin")
+        for index, name in enumerate(self.scalars):
+            self.lines.append(f"  {name} := {self.rng.randint(-50, 50)};")
+        for index in range(self.array_size):
+            self.lines.append(
+                f"  {self.array}[{index}] := {self.rng.randint(-50, 50)};")
+        for _ in range(self.config.segments):
+            self.statement("  ")
+        for name in self.scalars:
+            self.lines.append(f"  write({name});")
+        self.lines.append(f"  for i := 0 to {self.array_size - 1} do")
+        self.lines.append(f"    write({self.array}[i]);")
+        self.lines.append("end.")
+        return GeneratedProgram(
+            seed=seed, mode="lang", source="\n".join(self.lines) + "\n",
+            excluded_regs=(_LINK_REG,))
+
+
+# ------------------------------------------------------------------ driver
+def generate_program(seed: int,
+                     config: Optional[GenConfig] = None) -> GeneratedProgram:
+    """Generate the program for ``seed`` under ``config`` (deterministic)."""
+    config = (config or GenConfig()).sized()
+    rng = random.Random(seed)
+    if config.mode == "isa":
+        return _IsaEmitter(rng, config).build(seed)
+    if config.mode == "lang":
+        return _SplEmitter(rng, config).build(seed)
+    raise ValueError(f"unknown generator mode {config.mode!r}")

@@ -1,0 +1,98 @@
+"""Dev-only semantic mutations for testing the fuzzer itself.
+
+A mutation plants a *known* bug in the golden model so tests (and the
+``repro fuzz --mutate`` dev flag) can assert the end-to-end loop works:
+the differential oracle must catch the planted divergence and the
+shrinker must reduce it to a tiny reproducer.  Mutations patch one
+simulator *instance* (never the class), so nothing leaks between runs.
+
+These hooks exist only to validate the fuzzing harness; production
+campaigns never set them, and a campaign report records the active
+mutation so a mutated run can never masquerade as a real finding.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.core.datapath import FunnelShifter, to_signed, to_unsigned
+from repro.core.golden import GoldenSimulator
+from repro.isa.opcodes import Funct, Opcode
+
+
+def _mutate_sra_logical(sim: GoldenSimulator) -> None:
+    """SRA loses its sign extension (behaves like SRL)."""
+    original = sim.step
+
+    def step() -> None:
+        instr_word = sim.memory.system.read(sim.pc)
+        from repro.isa.encoding import decode
+
+        instr = decode(instr_word)
+        if (instr.opcode == Opcode.COMPUTE and instr.funct == Funct.SRA):
+            sim.instructions += 1
+            sim.regs[instr.dst] = FunnelShifter.srl(sim.regs[instr.src1],
+                                                    instr.shamt)
+            sim.pc += 1
+            return
+        original()
+
+    sim.step = step  # type: ignore[method-assign]
+
+
+def _mutate_addi_trunc(sim: GoldenSimulator) -> None:
+    """ADDI sign-extends only 8 bits of its immediate."""
+    original = sim.step
+
+    def step() -> None:
+        from repro.isa.encoding import decode
+
+        instr = decode(sim.memory.system.read(sim.pc))
+        if instr.opcode == Opcode.ADDI:
+            sim.instructions += 1
+            imm = instr.imm & 0xFF
+            if imm & 0x80:
+                imm -= 0x100
+            sim.regs[instr.src2] = to_unsigned(
+                to_signed(sim.regs[instr.src1]) + imm)
+            sim.pc += 1
+            return
+        original()
+
+    sim.step = step  # type: ignore[method-assign]
+
+
+def _mutate_branch_off_by_one(sim: GoldenSimulator) -> None:
+    """Taken branches land one instruction past their target."""
+    from repro.core.datapath import Alu
+    from repro.core.golden import _CONDITIONS
+    from repro.isa.encoding import decode
+
+    original = sim.step
+
+    def step() -> None:
+        instr = decode(sim.memory.system.read(sim.pc))
+        if instr.opcode in _CONDITIONS:
+            sim.instructions += 1
+            taken = Alu.compare(_CONDITIONS[instr.opcode],
+                                sim.regs[instr.src1], sim.regs[instr.src2])
+            sim.pc = sim.pc + instr.imm + 1 if taken else sim.pc + 1
+            return
+        original()
+
+    sim.step = step  # type: ignore[method-assign]
+
+
+#: name -> mutator applied to a GoldenSimulator instance (dev-only)
+MUTATIONS: Dict[str, Callable[[GoldenSimulator], None]] = {
+    "sra-logical": _mutate_sra_logical,
+    "addi-trunc8": _mutate_addi_trunc,
+    "branch-off-by-one": _mutate_branch_off_by_one,
+}
+
+
+def get_mutator(name: str) -> Callable[[GoldenSimulator], None]:
+    if name not in MUTATIONS:
+        raise KeyError(
+            f"unknown mutation {name!r} (have: {', '.join(sorted(MUTATIONS))})")
+    return MUTATIONS[name]

@@ -1,0 +1,287 @@
+"""The differential oracle: run one generated program on independent
+models of MIPS-X semantics and compare everything observable.
+
+Two model pairs, matching the repo's two redundancy axes:
+
+* **golden-vs-pipeline** (the reorganizer contract): the *naive* program
+  runs on the instruction-level golden simulator; the *reorganized*
+  program runs on the cycle-accurate pipeline.  Full architectural state
+  is compared -- registers (minus the generator's declared code-address
+  registers), the MD register, the bounded data region, and the console
+  stream.  A reorganizer crash (:class:`ReorgError`) or a pipeline
+  hazard trap (:class:`HazardViolation`) is itself a divergence: the
+  reorganizer emitted hazardous code.
+* **live-vs-replay** (the capture-once/replay-many contract): the same
+  pipeline run is captured with a :class:`TraceCollector`, and the
+  recorded fetch/ecache streams are replayed through the vectorized
+  trace models, which must reproduce the live cache statistics exactly.
+
+Every check returns ``None`` for agreement or a structured
+:class:`DivergenceReport`; programs that fail to terminate or assemble
+raise, and the campaign layer records those as harness failures, not
+divergences.
+
+``golden_mutator`` is a **dev-only hook**: tests (and nothing else) use
+it to plant a known semantic bug in the golden model and assert the
+fuzzer catches and shrinks it (see :mod:`repro.fuzz.mutation`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.asm.assembler import parse as parse_asm
+from repro.asm.unit import Program
+from repro.core import Machine, MachineConfig
+from repro.core.golden import GoldenError, GoldenSimulator
+from repro.core.pipeline import HazardViolation
+from repro.ecache import trace_sim as ecache_sim
+from repro.fuzz.gen import GeneratedProgram
+from repro.icache import trace_sim as icache_sim
+from repro.reorg import ReorgError, reorganize
+from repro.traces.capture import TraceCollector
+
+#: model pair names used in reports and corpus metadata
+PAIR_GOLDEN_PIPELINE = "golden-vs-pipeline"
+PAIR_LIVE_REPLAY = "live-vs-replay"
+
+
+@dataclasses.dataclass
+class DivergenceReport:
+    """One observed disagreement between two models."""
+
+    pair: str                    #: PAIR_GOLDEN_PIPELINE | PAIR_LIVE_REPLAY
+    kind: str                    #: "state" | "reorg-error" | "hazard" | ...
+    mismatches: List[Dict[str, object]]
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    def summary(self, limit: int = 4) -> str:
+        parts = [f"{self.pair} [{self.kind}]"]
+        for mismatch in self.mismatches[:limit]:
+            parts.append(str(mismatch.get("detail", mismatch)))
+        if len(self.mismatches) > limit:
+            parts.append(f"... {len(self.mismatches) - limit} more")
+        return "; ".join(parts)
+
+
+class FuzzProgramError(RuntimeError):
+    """The generated program is unusable (did not assemble/terminate).
+
+    This is a *generator or harness* bug, not a model divergence; the
+    campaign records it under the harness taxonomy (exit 1), never as a
+    finding (exit 2).
+    """
+
+
+# ------------------------------------------------------------- model runs
+def _programs_for(generated: GeneratedProgram) -> Tuple[Program, Program]:
+    """(naive program, reorganized program) for one generated test."""
+    if generated.mode == "lang":
+        from repro.lang import compile_spl
+
+        compilation = compile_spl(generated.source, scheme=None)
+        naive = compilation.naive_program()
+        reorganized = reorganize(parse_asm(compilation.asm_text)).unit.assemble()
+        return naive, reorganized
+    naive = parse_asm(generated.source).assemble()
+    reorganized = reorganize(parse_asm(generated.source)).unit.assemble()
+    return naive, reorganized
+
+
+def run_golden(program: Program, generated: GeneratedProgram,
+               mutator: Optional[Callable[[GoldenSimulator], None]] = None,
+               ) -> GoldenSimulator:
+    sim = GoldenSimulator()
+    if mutator is not None:
+        mutator(sim)
+    sim.load_program(program)
+    try:
+        sim.run(generated.max_instructions)
+    except GoldenError as exc:
+        raise FuzzProgramError(
+            f"golden run failed (seed {generated.seed}): {exc}") from exc
+    return sim
+
+
+def run_pipeline(program: Program, generated: GeneratedProgram,
+                 config: Optional[MachineConfig] = None,
+                 collector: Optional[TraceCollector] = None) -> Machine:
+    machine = Machine(config or MachineConfig())
+    if collector is not None:
+        machine.set_trace(collector)
+    machine.load_program(program)
+    machine.run(generated.max_cycles)
+    if not machine.halted:
+        raise FuzzProgramError(
+            f"pipeline run did not halt within {generated.max_cycles} "
+            f"cycles (seed {generated.seed})")
+    return machine
+
+
+# ------------------------------------------------------------ comparisons
+def _compare_state(golden: GoldenSimulator, machine: Machine,
+                   generated: GeneratedProgram) -> List[Dict[str, object]]:
+    mismatches: List[Dict[str, object]] = []
+    excluded = set(generated.excluded_regs)
+    for register in range(1, 32):
+        if register in excluded:
+            continue
+        want = golden.regs[register]
+        got = machine.regs[register]
+        if want != got:
+            mismatches.append({
+                "what": f"r{register}",
+                "detail": f"r{register}: golden {want:#x}, "
+                          f"pipeline {got:#x}"})
+    if golden.md.value != machine.pipeline.md.value:
+        mismatches.append({
+            "what": "md",
+            "detail": f"md: golden {golden.md.value:#x}, "
+                      f"pipeline {machine.pipeline.md.value:#x}"})
+    if generated.data_words:
+        golden_words = golden.memory.system
+        machine_words = machine.memory.system
+        for offset in range(generated.data_words):
+            address = generated.data_base + offset
+            want = golden_words.read(address)
+            got = machine_words.read(address)
+            if want != got:
+                mismatches.append({
+                    "what": f"mem[{address:#x}]",
+                    "detail": f"mem[{address:#x}]: golden {want:#x}, "
+                              f"pipeline {got:#x}"})
+    if (golden.console.values != machine.console.values
+            or golden.console.text != machine.console.text):
+        mismatches.append({
+            "what": "console",
+            "detail": f"console: golden {golden.console.values!r}/"
+                      f"{golden.console.text!r}, pipeline "
+                      f"{machine.console.values!r}/"
+                      f"{machine.console.text!r}"})
+    return mismatches
+
+
+def check_program(generated: GeneratedProgram,
+                  config: Optional[MachineConfig] = None,
+                  golden_mutator: Optional[
+                      Callable[[GoldenSimulator], None]] = None,
+                  collector: Optional[TraceCollector] = None,
+                  ) -> Optional[DivergenceReport]:
+    """Golden-vs-pipeline oracle; ``None`` means the models agree.
+
+    ``collector`` optionally captures the pipeline run's event streams
+    so :func:`check_trace_replay` can reuse the same execution.
+    """
+    try:
+        naive, reorganized = _programs_for(generated)
+    except ReorgError as exc:
+        return DivergenceReport(
+            pair=PAIR_GOLDEN_PIPELINE, kind="reorg-error",
+            mismatches=[{"what": "reorganizer",
+                         "detail": f"reorganizer rejected its own output: "
+                                   f"{exc}"}])
+    except (ValueError, KeyError) as exc:
+        raise FuzzProgramError(
+            f"generated program did not build (seed {generated.seed}): "
+            f"{exc}") from exc
+
+    golden = run_golden(naive, generated, mutator=golden_mutator)
+    try:
+        machine = run_pipeline(reorganized, generated, config=config,
+                               collector=collector)
+    except HazardViolation as exc:
+        return DivergenceReport(
+            pair=PAIR_GOLDEN_PIPELINE, kind="hazard",
+            mismatches=[{"what": "pipeline",
+                         "detail": f"reorganized code tripped the hazard "
+                                   f"checker: {exc}"}])
+    mismatches = _compare_state(golden, machine, generated)
+    if mismatches:
+        return DivergenceReport(pair=PAIR_GOLDEN_PIPELINE, kind="state",
+                                mismatches=mismatches)
+    return None
+
+
+def _icache_signature(stats) -> Tuple[int, ...]:
+    return (stats.accesses, stats.hits, stats.misses,
+            stats.words_filled, stats.tag_allocations)
+
+
+def check_trace_replay(machine: Machine, collector: TraceCollector,
+                       ) -> Optional[DivergenceReport]:
+    """Live-vs-replay oracle over one captured pipeline run."""
+    mismatches: List[Dict[str, object]] = []
+    if machine.config.icache.enabled:
+        replayed = icache_sim.replay(machine.config.icache,
+                                     collector.fetch_array())
+        live = _icache_signature(machine.icache.stats)
+        traced = _icache_signature(replayed)
+        if live != traced:
+            mismatches.append({
+                "what": "icache",
+                "detail": f"icache replay diverged: live "
+                          f"acc/hit/miss/fill/tag {live}, replay {traced}"})
+    if machine.config.ecache.enabled:
+        kinds, addresses = collector.ecache_arrays()
+        replayed_stats, _ = ecache_sim.replay(machine.config.ecache,
+                                              kinds, addresses)
+        if replayed_stats != machine.ecache.stats:
+            mismatches.append({
+                "what": "ecache",
+                "detail": f"ecache replay diverged: live "
+                          f"{machine.ecache.stats}, replay "
+                          f"{replayed_stats}"})
+    if mismatches:
+        return DivergenceReport(pair=PAIR_LIVE_REPLAY, kind="stats",
+                                mismatches=mismatches)
+    return None
+
+
+def check_all(generated: GeneratedProgram,
+              config: Optional[MachineConfig] = None,
+              golden_mutator: Optional[
+                  Callable[[GoldenSimulator], None]] = None,
+              ) -> List[DivergenceReport]:
+    """Run both oracles on one generated program.
+
+    One pipeline execution serves both: it is compared against the
+    golden run *and* captured for the trace-replay comparison.
+    """
+    try:
+        naive, reorganized = _programs_for(generated)
+    except ReorgError as exc:
+        return [DivergenceReport(
+            pair=PAIR_GOLDEN_PIPELINE, kind="reorg-error",
+            mismatches=[{"what": "reorganizer",
+                         "detail": f"reorganizer rejected its own output: "
+                                   f"{exc}"}])]
+    except (ValueError, KeyError) as exc:
+        raise FuzzProgramError(
+            f"generated program did not build (seed {generated.seed}): "
+            f"{exc}") from exc
+
+    golden = run_golden(naive, generated, mutator=golden_mutator)
+    collector = TraceCollector(fetches=True, data=False, branches=False,
+                               ecache=True)
+    try:
+        machine = run_pipeline(reorganized, generated, config=config,
+                               collector=collector)
+    except HazardViolation as exc:
+        return [DivergenceReport(
+            pair=PAIR_GOLDEN_PIPELINE, kind="hazard",
+            mismatches=[{"what": "pipeline",
+                         "detail": f"reorganized code tripped the hazard "
+                                   f"checker: {exc}"}])]
+
+    reports: List[DivergenceReport] = []
+    mismatches = _compare_state(golden, machine, generated)
+    if mismatches:
+        reports.append(DivergenceReport(pair=PAIR_GOLDEN_PIPELINE,
+                                        kind="state", mismatches=mismatches))
+    replay_report = check_trace_replay(machine, collector)
+    if replay_report is not None:
+        reports.append(replay_report)
+    return reports

@@ -172,6 +172,13 @@ class Icache:
             way.valid = [False] * self.config.block_words
             self.stats.tag_allocations += 1
             self._touch(index, way_index, allocation=True)
+        else:
+            # a fill into a live way (sub-block miss, or a fetch-back word
+            # landing in a resident block) is a use of that block: under
+            # LRU it must refresh recency, exactly as a hit does --
+            # otherwise a block serving a long streak of sub-block misses
+            # looks idle and gets evicted over genuinely cold ways
+            self._touch(index, way_index, allocation=False)
         way = self._sets[index][way_index]
         if not way.valid[word]:
             way.valid[word] = True

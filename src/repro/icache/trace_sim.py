@@ -132,6 +132,8 @@ def _replay_runs(config: IcacheConfig, trace: np.ndarray) -> IcacheStats:
             way_tag[s][way] = blk
             valid[s][way] = 0
             allocs += 1
+        elif lru:
+            od.move_to_end(blk)  # fill into a live way refreshes recency
         bit = 1 << (addr & bmask)
         v = valid[s][way]
         if not v & bit:
@@ -198,8 +200,8 @@ def _replay_runs(config: IcacheConfig, trace: np.ndarray) -> IcacheStats:
                         od.move_to_end(blk)
                     break
                 j = (inv & -inv).bit_length() - 1
-                if j > w and lru:  # the leading hits touch once
-                    od.move_to_end(blk)
+                if lru:  # leading hits and the sub-block miss's own fill
+                    od.move_to_end(blk)  # both touch this way exactly once
                 misses += 1
                 if j + in_block_fill <= bmask:
                     add = (((1 << fetchback) - 1) << j) & ~v

@@ -31,6 +31,15 @@ LOAD_LIKE = (Opcode.LD, Opcode.MOVFRC)
 #: compute functs that are unsafe to move or copy (machine-state effects)
 PINNED_FUNCTS = {Funct.MOVTOS, Funct.TRAP, Funct.JPC, Funct.JPCRS, Funct.HALT}
 
+#: compute functs that read / write the special-register file (MD, PSW).
+#: The file is modelled as a single scheduling resource: MSTEP and DSTEP
+#: shift MD as a side effect, so reordering one across a MOVFRS changes
+#: which value the move observes even though no GPR dependence connects
+#: them (this is exactly the multiply-runtime loop: the early-out test
+#: must read MD *after* the step of its own iteration).
+SPECIAL_READ_FUNCTS = {Funct.MSTEP, Funct.DSTEP, Funct.MOVFRS}
+SPECIAL_WRITE_FUNCTS = {Funct.MSTEP, Funct.DSTEP, Funct.MOVTOS}
+
 
 def is_load_like(op: Op) -> bool:
     return op.instr.opcode in LOAD_LIKE
@@ -52,6 +61,24 @@ def reads(op: Op) -> Set[int]:
 
 def writes(op: Op) -> Optional[int]:
     return op.instr.writes_register()
+
+
+def special_access(op: Op) -> tuple:
+    """(reads special file, writes special file) for scheduling purposes."""
+    instr = op.instr
+    if instr.opcode != Opcode.COMPUTE or instr.funct is None:
+        return (False, False)
+    return (instr.funct in SPECIAL_READ_FUNCTS,
+            instr.funct in SPECIAL_WRITE_FUNCTS)
+
+
+def _special_conflict(candidate: Op, other: Op) -> bool:
+    """True when reordering the pair would break a dependence through the
+    special-register file (RAW, WAR, or WAW on MD/PSW)."""
+    cand_reads, cand_writes = special_access(candidate)
+    other_reads, other_writes = special_access(other)
+    return ((cand_writes and (other_reads or other_writes))
+            or (cand_reads and other_writes))
 
 
 @dataclasses.dataclass
@@ -126,6 +153,8 @@ def _independent(candidate: Op, crossed: List[Op]) -> bool:
                                        or cand_write == other_write):
             return False
         if _memory_conflict(candidate, other):
+            return False
+        if _special_conflict(candidate, other):
             return False
     return True
 

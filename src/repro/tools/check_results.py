@@ -21,12 +21,15 @@ With ``--bench-file PATH`` the script additionally validates the named
 sections of a ``BENCH_pipeline.json`` telemetry file and reports each
 missing or malformed section by name -- a partial file (crashed bench
 run, hand-edited payload) fails with a readable message instead of a
-``KeyError`` traceback.
+``KeyError`` traceback.  ``--fuzz-file PATH`` does the same for a
+``FUZZ_campaign.json`` fuzzing report, additionally failing when the
+campaign itself recorded unexplained divergences or harness failures
+(so CI can gate on the artifact alone).
 
 Usage::
 
     PYTHONPATH=src python -m repro.tools.check_results [--trace-length N]
-        [--bench-file BENCH_pipeline.json]
+        [--bench-file BENCH_pipeline.json] [--fuzz-file FUZZ_campaign.json]
 """
 
 from __future__ import annotations
@@ -90,6 +93,67 @@ def check_bench_file(path: pathlib.Path) -> List[str]:
                 failures.append(
                     f"bench file: section 'experiments' row '{job_id}' "
                     "has no 'status' field")
+    return failures
+
+
+#: keys a complete fuzz campaign report must carry
+FUZZ_TOTALS_KEYS = ("jobs", "completed", "ok", "diverged",
+                    "harness_failures")
+
+
+def check_fuzz_file(path: pathlib.Path) -> List[str]:
+    """Validate a ``FUZZ_campaign.json`` report and its verdict.
+
+    Structural problems read as named-section messages (like
+    :func:`check_bench_file`); a structurally sound report still fails
+    when the campaign is incomplete, diverged without a planted
+    mutation, or lost jobs to the harness.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        return [f"fuzz file {path} does not exist (run `repro fuzz`)"]
+    try:
+        payload = json.loads(path.read_text())
+    except ValueError as exc:
+        return [f"fuzz file {path} is not valid JSON: {exc}"]
+    if not isinstance(payload, dict):
+        return [f"fuzz file {path}: top level must be an object, "
+                f"got {type(payload).__name__}"]
+    failures = []
+    totals = payload.get("totals")
+    if not isinstance(totals, dict):
+        failures.append("fuzz file: section 'totals' is missing or not "
+                        "an object (partial or interrupted campaign?)")
+        return failures
+    for key in FUZZ_TOTALS_KEYS:
+        if key not in totals:
+            failures.append(f"fuzz file: section 'totals' is missing "
+                            f"key '{key}'")
+    if failures:
+        return failures
+    if not payload.get("complete", False):
+        failures.append(
+            f"fuzz file: campaign incomplete "
+            f"({totals['completed']}/{totals['jobs']} jobs; resume it "
+            "by rerunning the same `repro fuzz` command)")
+    config = payload.get("config", {})
+    if totals["diverged"] and not config.get("mutation"):
+        failures.append(
+            f"fuzz file: {totals['diverged']} unexplained model "
+            "divergence(s) recorded (see the report's 'divergences')")
+    if (config.get("mutation") and payload.get("complete")
+            and not totals["diverged"]):
+        failures.append(
+            f"fuzz file: planted mutation {config['mutation']!r} was not "
+            "caught -- the oracle failed its self-test")
+    if totals["harness_failures"]:
+        failures.append(
+            f"fuzz file: {totals['harness_failures']} campaign job(s) "
+            "failed in the harness (see the report's 'harness')")
+    divergences = payload.get("divergences")
+    if not isinstance(divergences, list):
+        failures.append("fuzz file: section 'divergences' is missing or "
+                        "not a list")
     return failures
 
 
@@ -258,6 +322,11 @@ def main(argv=None) -> int:
                         metavar="PATH",
                         help="also validate the named sections of a bench "
                              "telemetry file (BENCH_pipeline.json)")
+    parser.add_argument("--fuzz-file", type=pathlib.Path, default=None,
+                        metavar="PATH",
+                        help="also validate a fuzz campaign report "
+                             "(FUZZ_campaign.json): structure, "
+                             "completeness, and a clean verdict")
     args = parser.parse_args(argv)
 
     all_failures: List[str] = []
@@ -265,6 +334,13 @@ def main(argv=None) -> int:
         failures = check_bench_file(args.bench_file)
         status = "ok" if not failures else "FAIL"
         print(f"[{status:>4}] bench telemetry file structure")
+        for failure in failures:
+            print(f"       - {failure}")
+        all_failures.extend(failures)
+    if args.fuzz_file is not None:
+        failures = check_fuzz_file(args.fuzz_file)
+        status = "ok" if not failures else "FAIL"
+        print(f"[{status:>4}] fuzz campaign report")
         for failure in failures:
             print(f"       - {failure}")
         all_failures.extend(failures)

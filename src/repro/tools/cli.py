@@ -8,6 +8,7 @@ Usage::
     python -m repro.tools.cli workload sieve [--stats]
     python -m repro.tools.cli bench [--quick] [--workers N]
     python -m repro.tools.cli faults [--seeds N] [--quick] [--chaos R]
+    python -m repro.tools.cli fuzz [--seeds N] [--quick] [--max-seconds S]
 
 ``run`` executes assembly on the paper-configuration machine; ``compile``
 sends SPL source through the compiler + reorganizer; ``workload`` runs a
@@ -16,8 +17,18 @@ first N cycles.  ``bench`` runs the benchmark telemetry suite (core
 cycles/sec plus the parallel experiment sweep) and writes
 ``BENCH_pipeline.json`` at the repo root.  ``faults`` runs a seeded
 fault-injection campaign (see :mod:`repro.faults`) across the parallel
-runner and writes ``FAULTS_campaign.json``; exit code 2 flags classified
-invariant violations, 1 flags harness-level failures.
+runner and writes ``FAULTS_campaign.json``.  ``fuzz`` runs a seeded
+differential-fuzzing campaign (see :mod:`repro.fuzz`) cross-checking the
+golden, pipeline, and trace-replay models on generated programs, writing
+``FUZZ_campaign.json``.
+
+Both campaign commands share one exit-code taxonomy:
+
+* **0** -- campaign ran and found nothing wrong;
+* **1** -- harness failure: a job errored/timed out/crashed (the
+  infrastructure broke, nothing is known about the models);
+* **2** -- a classified finding: an invariant violation (``faults``) or
+  an unexplained model divergence (``fuzz``).
 """
 
 from __future__ import annotations
@@ -148,6 +159,38 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    from repro.fuzz.campaign import exit_code, format_summary, run_campaign
+
+    modes = args.modes.split(",") if args.modes else ("isa", "lang")
+    payload = run_campaign(seeds=args.seeds,
+                           modes=tuple(modes),
+                           quick=args.quick,
+                           workers=args.workers,
+                           parallel=not args.serial,
+                           max_seconds=args.max_seconds,
+                           chaos_rate=args.chaos,
+                           chaos_seed=args.chaos_seed,
+                           mutation=args.mutate,
+                           output=args.output,
+                           corpus_dir=args.corpus_dir,
+                           write_corpus=not args.no_corpus)
+    print(format_summary(payload))
+    print(f"report written to {payload['report_path']}")
+    code = exit_code(payload)
+    if code == 2 and args.mutate:
+        print(f"planted mutation {args.mutate!r} was NOT caught -- the "
+              "oracle failed its self-test", file=sys.stderr)
+    elif code == 2:
+        print(f"{payload['totals']['diverged']} unexplained model "
+              "divergence(s) -- shrunk repros in the report and corpus",
+              file=sys.stderr)
+    elif code == 1:
+        print(f"{payload['totals']['harness_failures']} campaign job(s) "
+              "failed in the harness (see report)", file=sys.stderr)
+    return code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="MIPS-X reproduction command line")
@@ -214,9 +257,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.set_defaults(func=cmd_bench)
 
     p_faults = sub.add_parser(
-        "faults", help="seeded fault-injection campaign: differential "
-                       "invariant checking across the parallel runner, "
-                       "written to FAULTS_campaign.json")
+        "faults",
+        help="seeded fault-injection campaign: differential invariant "
+             "checking across the parallel runner, written to "
+             "FAULTS_campaign.json",
+        description="Inject seeded hardware-fault plans into pipeline "
+                    "runs and check architectural invariants against a "
+                    "clean differential run.  Exit codes: 0 = every fault "
+                    "was absorbed or classified benign, 1 = a campaign "
+                    "job failed in the harness (infrastructure, not a "
+                    "finding), 2 = classified invariant violation.")
     p_faults.add_argument("--seeds", type=int, default=32,
                           help="number of seeded fault plans (default 32)")
     p_faults.add_argument("--quick", action="store_true",
@@ -234,6 +284,55 @@ def build_parser() -> argparse.ArgumentParser:
                           help="report file (default: FAULTS_campaign.json "
                                "at the repo root)")
     p_faults.set_defaults(func=cmd_faults)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing campaign: cross-check golden, pipeline "
+             "and trace-replay models on seeded generated programs, "
+             "written to FUZZ_campaign.json",
+        description="Generate seeded random programs (ISA instruction "
+                    "sequences and SPL sources), run each on the golden "
+                    "simulator (naive code) and the pipeline (reorganized "
+                    "code), replay the captured cache streams through the "
+                    "trace models, and compare everything observable.  "
+                    "Divergent programs are auto-shrunk to a minimal repro "
+                    "and filed under fuzz_corpus/.  Campaigns journal "
+                    "every finished seed and resume from the journal when "
+                    "rerun.  Exit codes: 0 = all models agree, 1 = a "
+                    "campaign job failed in the harness (infrastructure, "
+                    "not a finding), 2 = unexplained model divergence.")
+    p_fuzz.add_argument("--seeds", type=int, default=50,
+                        help="seeds per mode (default 50)")
+    p_fuzz.add_argument("--modes", default=None, metavar="M[,M]",
+                        help="comma-separated modes: isa, lang "
+                             "(default both)")
+    p_fuzz.add_argument("--quick", action="store_true",
+                        help="smaller generated programs (CI smoke)")
+    p_fuzz.add_argument("--workers", type=int, default=None,
+                        help="parallel worker processes (default: CPUs)")
+    p_fuzz.add_argument("--serial", action="store_true",
+                        help="run campaign jobs in-process")
+    p_fuzz.add_argument("--max-seconds", type=float, default=None,
+                        help="wall-clock budget; finished seeds are "
+                             "journaled, rerun the same command to resume")
+    p_fuzz.add_argument("--chaos", type=float, default=0.0, metavar="RATE",
+                        help="kill this fraction of first-attempt workers "
+                             "mid-job (chaos test of the runner)")
+    p_fuzz.add_argument("--chaos-seed", type=int, default=0,
+                        help="seed for the chaos kill selection")
+    p_fuzz.add_argument("--mutate", default=None, metavar="NAME",
+                        help="dev-only: plant a known golden-model bug "
+                             "(see repro.fuzz.mutation); divergences are "
+                             "then expected and do not fail the campaign")
+    p_fuzz.add_argument("--output", default=None, metavar="PATH",
+                        help="report file (default: FUZZ_campaign.json at "
+                             "the repo root)")
+    p_fuzz.add_argument("--corpus-dir", default=None, metavar="DIR",
+                        help="where to file shrunk repros (default: "
+                             "fuzz_corpus/ at the repo root)")
+    p_fuzz.add_argument("--no-corpus", action="store_true",
+                        help="do not file repros for divergences")
+    p_fuzz.set_defaults(func=cmd_fuzz)
     return parser
 
 

@@ -2,7 +2,9 @@
 
 * instruction -> text -> assembler -> instruction (every format);
 * instruction -> word -> disassembler -> text -> assembler -> word;
-* workload programs disassemble to re-assemblable listings.
+* every opcode and funct at the boundary values of its immediate field;
+* workload programs and fuzzer-generated programs disassemble to
+  re-assemblable listings.
 """
 
 from hypothesis import given, settings, strategies as st
@@ -10,7 +12,7 @@ from hypothesis import given, settings, strategies as st
 from repro.asm import assemble, disassemble_word
 from repro.isa import Instruction, SpecialReg, decode
 from repro.isa import instruction as I
-from repro.isa.opcodes import BRANCH_OPCODES
+from repro.isa.opcodes import BRANCH_OPCODES, Funct, Opcode
 
 regs = st.integers(0, 31)
 fregs = st.integers(0, 15)
@@ -99,6 +101,58 @@ def test_word_disassemble_reassemble_is_canonicalizing(word):
     assert assemble(text2).image[0] == canonical
 
 
+class TestExhaustiveEncodingRoundTrip:
+    """Every opcode and funct, pinned at its immediate field's boundaries.
+
+    The hypothesis properties above sample the space; this test *covers*
+    it: the case list is asserted to exercise every member of
+    :class:`Opcode` and :class:`Funct`, so adding an instruction without
+    extending the round-trip contract fails loudly.
+    """
+
+    MEM_OFFSETS = (-(1 << 16), -1, 0, 1, (1 << 16) - 1)
+    BRANCH_DISPS = (-(1 << 15), -1, 1, (1 << 15) - 1)
+    PAYLOADS = (0, 1, (1 << 16) - 1)
+    SHAMTS = (0, 1, 31)
+
+    def _cases(self):
+        cases = []
+        for off in self.MEM_OFFSETS:
+            cases += [I.ld(1, 2, off), I.st(1, 2, off), I.ldf(3, 2, off),
+                      I.stf(3, 2, off), I.addi(1, 2, off),
+                      I.jspci(2, 4, off)]
+        for payload in self.PAYLOADS:
+            cases += [I.cop(2, payload), I.movtoc(1, 2, payload),
+                      I.movfrc(1, 2, payload)]
+        for disp in self.BRANCH_DISPS:
+            for opcode in sorted(BRANCH_OPCODES):
+                for squash in (False, True):
+                    cases.append(I.branch(opcode, 1, 2, disp, squash))
+        for amount in self.SHAMTS:
+            cases += [I.sll(1, 2, amount), I.srl(1, 2, amount),
+                      I.sra(1, 2, amount), I.rotl(1, 2, amount)]
+        cases += [I.add(1, 2, 3), I.sub(1, 2, 3), I.and_(1, 2, 3),
+                  I.or_(1, 2, 3), I.xor(1, 2, 3), I.not_(1, 2),
+                  I.mstep(1, 2, 3), I.dstep(1, 2, 3)]
+        for special in SpecialReg:
+            cases += [I.movfrs(1, special), I.movtos(special, 1)]
+        cases += [I.trap(), I.jpc(), I.jpcrs(), I.halt(), I.nop()]
+        return cases
+
+    def test_every_opcode_and_funct_round_trips_at_boundaries(self):
+        covered_opcodes, covered_functs = set(), set()
+        for instr in self._cases():
+            word = assemble(str(instr)).image[0]
+            text = disassemble_word(word)
+            assert assemble(text).image[0] == word, str(instr)
+            decoded = decode(word)
+            covered_opcodes.add(decoded.opcode)
+            if decoded.opcode is Opcode.COMPUTE:
+                covered_functs.add(decoded.funct)
+        assert covered_opcodes == set(Opcode)
+        assert covered_functs == set(Funct)
+
+
 class TestWorkloadListings:
     def test_compiled_program_listing_reassembles(self):
         """Full circle on a real program: every instruction word of the
@@ -110,3 +164,28 @@ class TestWorkloadListings:
         for address, instr in program.listing.items():
             word = program.image[address]
             assert assemble(disassemble_word(word)).image[0] == word
+
+
+class TestGeneratedPrograms:
+    def test_fuzzer_distribution_round_trips(self):
+        """The fuzzer's output lives inside the round-trip contract: every
+        instruction word of a generated program disassembles to text that
+        assembles back to the identical word, across both modes."""
+        from repro.fuzz.gen import GenConfig, generate_program
+
+        for mode in ("isa", "lang"):
+            config = GenConfig(mode=mode, quick=True)
+            for seed in range(8):
+                generated = generate_program(seed, config)
+                if mode == "lang":
+                    from repro.lang import compile_spl
+
+                    program = compile_spl(generated.source,
+                                          scheme=None).naive_program()
+                else:
+                    program = assemble(generated.source)
+                assert program.listing, f"{mode} seed {seed} empty"
+                for address, _ in program.listing.items():
+                    word = program.image[address]
+                    assert (assemble(disassemble_word(word)).image[0]
+                            == word), (mode, seed, address)

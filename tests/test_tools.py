@@ -197,3 +197,83 @@ class TestCheckBenchFile:
 
         failures = check_bench_file(tmp_path / "nope.json")
         assert failures and "does not exist" in failures[0]
+
+
+class TestCheckFuzzFile:
+    def _write(self, tmp_path, payload):
+        import json
+
+        path = tmp_path / "fuzz.json"
+        path.write_text(json.dumps(payload))
+        return path
+
+    def _clean(self):
+        return {"schema": 1,
+                "config": {"seeds": 2, "modes": ["isa"], "quick": True,
+                           "mutation": None, "chaos_rate": 0.0},
+                "totals": {"jobs": 2, "completed": 2, "ok": 2,
+                           "diverged": 0, "harness_failures": 0},
+                "complete": True,
+                "divergences": []}
+
+    def test_clean_report_passes(self, tmp_path):
+        from repro.tools.check_results import check_fuzz_file
+
+        assert check_fuzz_file(self._write(tmp_path, self._clean())) == []
+
+    def test_missing_file_is_reported(self, tmp_path):
+        from repro.tools.check_results import check_fuzz_file
+
+        failures = check_fuzz_file(tmp_path / "nope.json")
+        assert failures and "does not exist" in failures[0]
+
+    def test_missing_totals_key_is_named(self, tmp_path):
+        from repro.tools.check_results import check_fuzz_file
+
+        payload = self._clean()
+        del payload["totals"]["diverged"]
+        failures = check_fuzz_file(self._write(tmp_path, payload))
+        assert any("missing key 'diverged'" in f for f in failures)
+
+    def test_incomplete_campaign_fails_with_resume_hint(self, tmp_path):
+        from repro.tools.check_results import check_fuzz_file
+
+        payload = self._clean()
+        payload["complete"] = False
+        payload["totals"]["completed"] = 1
+        failures = check_fuzz_file(self._write(tmp_path, payload))
+        assert any("incomplete" in f and "resume" in f for f in failures)
+
+    def test_unexplained_divergence_fails(self, tmp_path):
+        from repro.tools.check_results import check_fuzz_file
+
+        payload = self._clean()
+        payload["totals"]["diverged"] = 1
+        payload["totals"]["ok"] = 1
+        failures = check_fuzz_file(self._write(tmp_path, payload))
+        assert any("unexplained model divergence" in f for f in failures)
+
+    def test_mutation_divergence_is_explained(self, tmp_path):
+        from repro.tools.check_results import check_fuzz_file
+
+        payload = self._clean()
+        payload["config"]["mutation"] = "sra-logical"
+        payload["totals"]["diverged"] = 1
+        payload["totals"]["ok"] = 1
+        assert check_fuzz_file(self._write(tmp_path, payload)) == []
+
+    def test_harness_failures_fail(self, tmp_path):
+        from repro.tools.check_results import check_fuzz_file
+
+        payload = self._clean()
+        payload["totals"]["harness_failures"] = 1
+        failures = check_fuzz_file(self._write(tmp_path, payload))
+        assert any("failed in the harness" in f for f in failures)
+
+    def test_missed_mutation_fails_the_self_test(self, tmp_path):
+        from repro.tools.check_results import check_fuzz_file
+
+        payload = self._clean()
+        payload["config"]["mutation"] = "sra-logical"
+        failures = check_fuzz_file(self._write(tmp_path, payload))
+        assert any("failed its self-test" in f for f in failures)
