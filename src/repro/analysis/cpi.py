@@ -14,9 +14,10 @@ Reproduces the paper's performance accounting:
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.config import MachineConfig, perfect_memory_config
+from repro.telemetry.metrics import Metrics, collect_machine
 from repro.workloads import LISP_SUITE, PASCAL_SUITE
 
 from repro.analysis.common import profiled_result, run_measured
@@ -90,30 +91,62 @@ class CpiBreakdown:
         """One instruction and one data word per cycle."""
         return 2 * self.clock_mhz
 
+    @classmethod
+    def from_metrics(cls, name: str, snapshot: Mapping[str, object],
+                     static_code_words: int,
+                     clock_mhz: float = 20.0) -> "CpiBreakdown":
+        """Build a breakdown from a telemetry snapshot.
+
+        ``snapshot`` is the flat ``{metric name: value}`` mapping of
+        :meth:`repro.telemetry.Metrics.snapshot` -- the audited catalog
+        names, not raw stat attributes.  This makes the analysis module
+        and the ``check_results.py --metrics-file`` gate read the *same*
+        numbers by construction.
+        """
+        def value(metric: str) -> int:
+            return int(snapshot.get(metric, 0))
+
+        return cls(
+            name=name,
+            cycles=value("pipeline.cycles"),
+            instructions=value("pipeline.instructions.retired"),
+            noops=value("pipeline.instructions.noops"),
+            squashed=value("pipeline.instructions.squashed"),
+            icache_stalls=value("pipeline.stall.icache_miss"),
+            data_stalls=value("pipeline.stall.ecache_late_miss"),
+            loads=value("pipeline.mem.loads"),
+            stores=value("pipeline.mem.stores"),
+            fetched=value("pipeline.instructions.fetched"),
+            branches=value("pipeline.branch.executed"),
+            jumps=value("pipeline.jumps"),
+            icache_miss_rate=float(snapshot.get("icache.miss_rate", 0.0)),
+            static_code_words=static_code_words,
+            clock_mhz=clock_mhz,
+        )
+
+
+def measure_with_metrics(
+        name: str, config: Optional[MachineConfig] = None,
+) -> Tuple[CpiBreakdown, Metrics]:
+    """Run the profiled build of a workload; decompose via telemetry.
+
+    Returns the :class:`CpiBreakdown` *and* the telemetry registry it
+    was built from, so callers (the harness, the metrics gate) can keep
+    the raw counters alongside the derived view.
+    """
+    config = config or MachineConfig()
+    machine = run_measured(name, config)
+    metrics = collect_machine(machine)
+    program = profiled_result(name).unit.assemble()
+    breakdown = CpiBreakdown.from_metrics(
+        name, metrics.snapshot(), static_code_words=program.code_size,
+        clock_mhz=config.clock_mhz)
+    return breakdown, metrics
+
 
 def measure(name: str, config: Optional[MachineConfig] = None) -> CpiBreakdown:
     """Run the profiled build of a workload and decompose its cycles."""
-    config = config or MachineConfig()
-    machine = run_measured(name, config)
-    stats = machine.stats
-    program = profiled_result(name).unit.assemble()
-    return CpiBreakdown(
-        name=name,
-        cycles=stats.cycles,
-        instructions=stats.retired,
-        noops=stats.noops,
-        squashed=stats.squashed,
-        icache_stalls=stats.icache_stall_cycles,
-        data_stalls=stats.data_stall_cycles,
-        loads=stats.loads,
-        stores=stats.stores,
-        fetched=stats.fetched,
-        branches=stats.branches,
-        jumps=stats.jumps,
-        icache_miss_rate=machine.icache.stats.miss_rate,
-        static_code_words=program.code_size,
-        clock_mhz=config.clock_mhz,
-    )
+    return measure_with_metrics(name, config)[0]
 
 
 @dataclasses.dataclass

@@ -127,6 +127,14 @@ class CoprocessorSet:
         self.fault_busy_events += 1
         return self.fault_busy_stall
 
+    def as_metrics(self) -> "dict[str, int]":
+        """Counter values under canonical telemetry catalog names."""
+        return {
+            "coproc.operations": self.operations,
+            "coproc.data_transfers": self.data_transfers,
+            "coproc.fault.busy_events": self.fault_busy_events,
+        }
+
     def attach(self, coprocessor: Coprocessor) -> None:
         if not 1 <= coprocessor.number <= 7:
             raise ValueError(

@@ -196,6 +196,33 @@ class PipelineStats:
     def mips(self, clock_mhz: float) -> float:
         return clock_mhz / self.cpi if self.cpi else 0.0
 
+    def as_metrics(self) -> "dict[str, int]":
+        """Counter values under canonical telemetry catalog names.
+
+        The one audited mapping from these fields to the hierarchical
+        names in :mod:`repro.telemetry.catalog`; consumers read this
+        instead of scraping attributes.
+        """
+        return {
+            "pipeline.cycles": self.cycles,
+            "pipeline.instructions.fetched": self.fetched,
+            "pipeline.instructions.retired": self.retired,
+            "pipeline.instructions.squashed": self.squashed,
+            "pipeline.instructions.noops": self.noops,
+            "pipeline.branch.executed": self.branches,
+            "pipeline.branch.taken": self.branches_taken,
+            "pipeline.branch.squashes": self.branch_squashes,
+            "pipeline.jumps": self.jumps,
+            "pipeline.mem.loads": self.loads,
+            "pipeline.mem.stores": self.stores,
+            "pipeline.coproc.ops": self.coproc_ops,
+            "pipeline.exceptions.taken": self.exceptions,
+            "pipeline.interrupts.taken": self.interrupts,
+            "pipeline.page_faults": self.page_faults,
+            "pipeline.stall.icache_miss": self.icache_stall_cycles,
+            "pipeline.stall.ecache_late_miss": self.data_stall_cycles,
+        }
+
 
 class TraceSink:
     """Hook interface for trace capture; all methods are optional no-ops."""

@@ -96,6 +96,17 @@ class Machine:
         :mod:`repro.faults`.  Costs nothing per cycle when detached."""
         self.pipeline.fault_hook = hook
 
+    def metrics(self, into=None):
+        """Harvest this machine into a telemetry registry.
+
+        Convenience for :func:`repro.telemetry.collect_machine`
+        (imported lazily so plain simulation never loads telemetry).
+        Returns the registry; pass ``into`` to accumulate across runs.
+        """
+        from repro.telemetry.metrics import collect_machine
+
+        return collect_machine(self, into)
+
 
 def run_program(program: Program, config: Optional[MachineConfig] = None,
                 max_cycles: int = 10_000_000) -> Machine:

@@ -40,6 +40,25 @@ class EcacheStats:
     def miss_rate(self) -> float:
         return self.misses / self.accesses if self.accesses else 0.0
 
+    def as_metrics(self) -> "dict[str, int]":
+        """Counter values under canonical telemetry catalog names.
+
+        ``ecache.late_miss.retries`` counts late-miss protocol
+        invocations: every read or ifetch miss re-executes phase 2 of
+        MEM until the data arrives, so it equals their sum by
+        construction (``check_results.py`` audits this identity).
+        """
+        return {
+            "ecache.reads": self.reads,
+            "ecache.read_misses": self.read_misses,
+            "ecache.writes": self.writes,
+            "ecache.write_misses": self.write_misses,
+            "ecache.ifetches": self.ifetches,
+            "ecache.ifetch_misses": self.ifetch_misses,
+            "ecache.late_miss.retries": (self.read_misses
+                                         + self.ifetch_misses),
+        }
+
 
 class Ecache:
     """Direct-mapped external cache with per-mode tagging.
@@ -71,6 +90,12 @@ class Ecache:
         """Arm a late-miss retry storm: the next ``count`` read/ifetch
         probes miss regardless of tag state."""
         self.fault_forced_misses = max(0, count)
+
+    def as_metrics(self) -> "dict[str, int]":
+        """Stats counters plus the fault-injection event counter."""
+        metrics = self.stats.as_metrics()
+        metrics["ecache.fault.forced_misses"] = self.fault_forced_events
+        return metrics
 
     def _consume_forced_miss(self) -> bool:
         if self.fault_forced_misses <= 0:

@@ -12,6 +12,11 @@ and writes ``BENCH_pipeline.json`` at the repo root so successive PRs
 leave a machine-readable perf trajectory.  ``merge_section`` lets other
 producers (the pytest benchmark suite) fold their timings into the same
 file without clobbering it.
+
+The workload-cpi sweep's per-job telemetry snapshots (see
+:mod:`repro.telemetry`) are aggregated by :func:`build_metrics_summary`
+into ``METRICS_summary.json`` -- the file ``tools/check_results.py
+--metrics-file`` audits for counter/analysis CPI consistency.
 """
 
 from __future__ import annotations
@@ -30,6 +35,7 @@ from repro.harness.runner import Job, JobResult, Runner
 #: src/repro/harness/bench.py -> repository root
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_pipeline.json"
+DEFAULT_METRICS_OUTPUT = REPO_ROOT / "METRICS_summary.json"
 
 #: workloads used for the cycles/sec probe: one loop-heavy integer
 #: program and one branchy one, both in the Pascal suite
@@ -101,6 +107,50 @@ def _results_section(results: Sequence[JobResult]) -> Dict[str, Any]:
     }
 
 
+def build_metrics_summary(results: Sequence[JobResult]) -> Dict[str, Any]:
+    """Aggregate per-job telemetry snapshots into one summary payload.
+
+    Pure and deterministic: no timestamps, counters summed across jobs,
+    derived gauges recomputed from the summed counters (never averaged)
+    -- so a parallel sweep aggregates **byte-identically** to a serial
+    one (pinned by ``tests/test_telemetry.py``).  The payload is what
+    ``METRICS_summary.json`` holds and what ``check_results.py
+    --metrics-file`` audits: each workload's full snapshot, the analysis
+    CPI reported alongside it (the identity under test), and the suite
+    totals.
+    """
+    per_workload: Dict[str, Any] = {}
+    analysis: Dict[str, Any] = {}
+    for result in results:
+        if not result.ok or result.sweep != "workload-cpi":
+            continue
+        value = result.value or {}
+        snapshot = value.get("metrics")
+        if not isinstance(snapshot, dict):
+            continue
+        name = value.get("workload", result.job_id)
+        per_workload[name] = {key: snapshot[key] for key in sorted(snapshot)}
+        analysis[name] = {
+            "cpi": value.get("cpi"),
+            "noop_fraction": value.get("noop_fraction"),
+            "cycles": value.get("cycles"),
+            "instructions": value.get("instructions"),
+        }
+    from repro.telemetry.metrics import (derived_from_counters,
+                                         merge_counter_snapshots)
+
+    totals = merge_counter_snapshots(per_workload.values())
+    return {
+        "schema": 1,
+        "sweep": "workload-cpi",
+        "workloads": sorted(per_workload),
+        "per_workload": per_workload,
+        "analysis": analysis,
+        "totals": totals,
+        "derived": derived_from_counters(totals),
+    }
+
+
 def _traced_section(quick: bool, reuse: bool,
                     serial_results: Sequence[JobResult]) -> Dict[str, Any]:
     """Run the capture-once/replay-many sweeps and compare them with the
@@ -154,8 +204,15 @@ def collect(quick: bool = False,
             timeout: Optional[float] = None,
             output: Optional[pathlib.Path] = None,
             traced: bool = True,
-            trace_reuse: bool = True) -> Dict[str, Any]:
-    """Run the telemetry suite and persist ``BENCH_pipeline.json``."""
+            trace_reuse: bool = True,
+            metrics_output: Optional[pathlib.Path] = None) -> Dict[str, Any]:
+    """Run the telemetry suite and persist ``BENCH_pipeline.json``.
+
+    Also aggregates the per-job telemetry snapshots of the workload-cpi
+    sweep into ``METRICS_summary.json`` (see :func:`build_metrics_summary`)
+    and embeds the suite totals in the bench payload's ``metrics``
+    section.
+    """
     from repro.harness.experiments import default_jobs
 
     runner = Runner(max_workers=workers)
@@ -212,6 +269,16 @@ def collect(quick: bool = False,
     }
     if traced_section is not None:
         payload["traced"] = traced_section
+    metrics_summary = build_metrics_summary(results)
+    if metrics_summary["per_workload"]:
+        payload["metrics"] = {
+            "workloads": metrics_summary["workloads"],
+            "totals": metrics_summary["totals"],
+            "derived": metrics_summary["derived"],
+        }
+        metrics_path = (pathlib.Path(metrics_output) if metrics_output
+                        else DEFAULT_METRICS_OUTPUT)
+        write_json_atomic(metrics_path, metrics_summary)
     path = pathlib.Path(output) if output else DEFAULT_OUTPUT
     write_json_atomic(path, payload)
     return payload
@@ -244,6 +311,14 @@ def format_summary(payload: Dict[str, Any]) -> str:
     for name, row in sorted(core.get("workloads", {}).items()):
         lines.append(f"  {name:<12} {row['cycles_per_sec']:,} cyc/s "
                      f"({row['cycles']} cycles / {row['wall_s']}s)")
+    metrics = payload.get("metrics")
+    if metrics:
+        derived = metrics.get("derived", {})
+        lines.append(
+            f"metrics           {len(metrics.get('workloads', []))} "
+            f"workloads aggregated, suite CPI "
+            f"{derived.get('pipeline.cpi', 0.0):.3f} "
+            "(METRICS_summary.json)")
     sweep = payload.get("sweep", {})
     if sweep.get("serial_wall_s") or sweep.get("parallel_wall_s"):
         lines.append(f"sweep             {sweep.get('ok')}/"

@@ -110,10 +110,17 @@ def coproc_scheme_point(name: str) -> dict:
 
 
 def workload_cpi_point(name: str) -> dict:
-    """CPI/no-op/throughput measurement for one workload (E6/E7)."""
-    from repro.analysis.cpi import measure, scaled_memory_config
+    """CPI/no-op/throughput measurement for one workload (E6/E7).
 
-    breakdown = measure(name, scaled_memory_config())
+    The row carries the full telemetry snapshot of the run (catalogued
+    counter names, see :mod:`repro.telemetry.catalog`) so the harness
+    can aggregate ``METRICS_summary.json`` and ``check_results.py
+    --metrics-file`` can audit counter-derived CPI against the analysis
+    CPI reported here.
+    """
+    from repro.analysis.cpi import measure_with_metrics, scaled_memory_config
+
+    breakdown, metrics = measure_with_metrics(name, scaled_memory_config())
     return {
         "workload": name,
         "cycles": breakdown.cycles,
@@ -121,6 +128,7 @@ def workload_cpi_point(name: str) -> dict:
         "cpi": breakdown.cpi,
         "noop_fraction": breakdown.noop_fraction,
         "sustained_mips": breakdown.sustained_mips,
+        "metrics": metrics.snapshot(),
     }
 
 

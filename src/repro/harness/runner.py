@@ -82,6 +82,7 @@ class JobResult:
 
     @property
     def ok(self) -> bool:
+        """True when the job produced its value ("ok" or "retried-ok")."""
         return self.status in ("ok", "retried-ok")
 
 
@@ -101,6 +102,7 @@ class ChaosMonkey:
     kill_attempts: int = 1
 
     def dooms(self, job_id: str, attempt: int) -> bool:
+        """Whether this (job, attempt) is selected for a chaos kill."""
         if self.rate <= 0.0 or attempt > self.kill_attempts:
             return False
         digest = hashlib.sha256(
@@ -213,6 +215,11 @@ class Runner:
     # ----------------------------------------------------------- parallel
     def run(self, jobs: Sequence[Job],
             parallel: bool = True) -> List[JobResult]:
+        """Run ``jobs``; results come back in submission order.
+
+        ``parallel=False`` falls back to :meth:`run_serial` -- the
+        determinism reference: both paths must merge identically.
+        """
         jobs = list(jobs)
         ids = [job.id for job in jobs]
         if len(set(ids)) != len(ids):

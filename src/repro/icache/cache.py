@@ -39,6 +39,15 @@ class IcacheStats:
         """Average cycles per instruction fetch (1 + miss rate x service)."""
         return 1.0 + self.miss_rate * miss_cycles
 
+    def as_metrics(self) -> "dict[str, int]":
+        """Counter values under canonical telemetry catalog names."""
+        return {
+            "icache.accesses": self.accesses,
+            "icache.misses": self.misses,
+            "icache.words_filled": self.words_filled,
+            "icache.tag_allocations": self.tag_allocations,
+        }
+
 
 @dataclasses.dataclass
 class FetchResult:

@@ -1,0 +1,165 @@
+"""Export cycle traces as Chrome/Perfetto ``trace_event`` JSON.
+
+The output is the classic ``traceEvents`` JSON accepted by
+``ui.perfetto.dev`` and ``chrome://tracing``: one process (the MIPS-X
+core), one thread per pipestage of Figure 1 (IF, RF, ALU, MEM, WB), so
+the staircase of instructions moving down the pipe -- and the plateaus
+where a stall freezes it -- reads directly off the timeline.
+
+Timebase: **1 clock cycle = 1 microsecond** of trace time (``ts``/
+``dur`` are in µs per the trace_event spec).  At the paper's 20 MHz
+clock a real cycle is 50 ns; the 20x inflation is deliberate so cycle
+boundaries stay legible at default zoom.
+
+Track layout (``pid`` 1, ``tid`` below):
+
+====  ======================  =========================================
+tid   track                   contents
+====  ======================  =========================================
+1-5   IF, RF, ALU, MEM, WB    one ``X`` slice per instruction per stage
+6     Icache miss stall       ``X`` slices, one per miss-service span
+7     Ecache late-miss stall  ``X`` slices, one per late-miss span
+8     events                  ``i`` instants: branch squashes,
+                              exceptions
+====  ======================  =========================================
+
+:func:`validate_trace_events` is the schema gate the tests and the
+``repro trace`` CLI run before writing anything to disk.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.telemetry.tracer import STAGES, CycleTracer
+
+#: pid for the single simulated core
+CORE_PID = 1
+#: tid of the first pipestage track (IF); stage k maps to tid k+1
+STAGE_TID_BASE = 1
+#: tids for the two stall tracks and the instant-event track
+STALL_TIDS = {"icache_miss": 6, "ecache_late_miss": 7}
+EVENT_TID = 8
+
+#: display names for the stall tracks
+_STALL_TRACK_NAMES = {"icache_miss": "Icache miss stall",
+                      "ecache_late_miss": "Ecache late-miss stall"}
+
+
+def _metadata_events() -> List[Dict[str, Any]]:
+    """Process/thread-name ``M`` events that label the tracks."""
+    events: List[Dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": CORE_PID, "tid": 0,
+        "ts": 0, "args": {"name": "MIPS-X core"},
+    }]
+    names = {STAGE_TID_BASE + k: f"{k + 1}. {stage}"
+             for k, stage in enumerate(STAGES)}
+    names[STALL_TIDS["icache_miss"]] = _STALL_TRACK_NAMES["icache_miss"]
+    names[STALL_TIDS["ecache_late_miss"]] = (
+        _STALL_TRACK_NAMES["ecache_late_miss"])
+    names[EVENT_TID] = "events"
+    for tid, name in sorted(names.items()):
+        events.append({"name": "thread_name", "ph": "M", "pid": CORE_PID,
+                       "tid": tid, "ts": 0, "args": {"name": name}})
+    return events
+
+
+def trace_events(tracer: CycleTracer) -> Dict[str, Any]:
+    """Render a :class:`CycleTracer`'s ring buffers as trace JSON.
+
+    Returns the ``{"traceEvents": [...]}`` payload;
+    :func:`write_trace` serialises it, :func:`validate_trace_events`
+    schema-checks it.
+    """
+    events = _metadata_events()
+    for record in tracer.records:
+        label = record.text
+        if record.squashed:
+            label += " (squashed)"
+        for stage, span in enumerate(record.spans):
+            if span is None:
+                continue
+            start, end = span
+            events.append({
+                "name": label, "ph": "X", "cat": "pipeline",
+                "pid": CORE_PID, "tid": STAGE_TID_BASE + stage,
+                "ts": start, "dur": end - start + 1,
+                "args": {"pc": f"{record.pc:#x}", "stage": STAGES[stage],
+                         "squashed": record.squashed},
+            })
+    for kind, start, end in tracer.stall_spans:
+        events.append({
+            "name": _STALL_TRACK_NAMES[kind], "ph": "X", "cat": "stall",
+            "pid": CORE_PID, "tid": STALL_TIDS[kind],
+            "ts": start, "dur": end - start + 1,
+            "args": {"cycles": end - start + 1},
+        })
+    for cycle, name, args in tracer.instants:
+        events.append({
+            "name": name, "ph": "i", "cat": "event", "s": "t",
+            "pid": CORE_PID, "tid": EVENT_TID, "ts": cycle,
+            "args": dict(args),
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "1 us = 1 cycle",
+                      "source": "repro.telemetry.perfetto"},
+    }
+
+
+def validate_trace_events(payload: Any) -> List[str]:
+    """Schema-check a trace payload; returns problems ([] = valid).
+
+    Enforces the subset of the trace_event format the exporter uses:
+    a ``traceEvents`` list whose members carry ``name``/``ph``/``pid``/
+    ``tid``/``ts``, with ``dur >= 0`` on complete (``X``) slices and a
+    scope field on instants (``i``).
+    """
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return [f"payload is {type(payload).__name__}, expected dict"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["payload has no traceEvents list"]
+    if not events:
+        problems.append("traceEvents is empty")
+    for k, event in enumerate(events):
+        where = f"traceEvents[{k}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        for field in ("name", "ph", "pid", "tid", "ts"):
+            if field not in event:
+                problems.append(f"{where} missing {field!r}")
+        phase = event.get("ph")
+        if phase not in ("X", "i", "M"):
+            problems.append(f"{where} has unexpected ph {phase!r}")
+        for field in ("ts", "dur"):
+            value = event.get(field)
+            if value is not None and (not isinstance(value, (int, float))
+                                      or value < 0):
+                problems.append(f"{where} has bad {field}: {value!r}")
+        if phase == "X" and "dur" not in event:
+            problems.append(f"{where} is a complete slice without dur")
+        if phase == "i" and event.get("s") not in ("g", "p", "t"):
+            problems.append(f"{where} instant has bad scope "
+                            f"{event.get('s')!r}")
+    return problems
+
+
+def write_trace(path, tracer: CycleTracer) -> Dict[str, Any]:
+    """Validate and write the trace JSON for ``tracer`` to ``path``.
+
+    Raises ``ValueError`` listing the problems if the payload fails
+    :func:`validate_trace_events`; returns the payload on success.
+    """
+    payload = trace_events(tracer)
+    problems = validate_trace_events(payload)
+    if problems:
+        raise ValueError("invalid trace payload: " + "; ".join(problems))
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+    return payload

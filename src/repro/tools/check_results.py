@@ -24,12 +24,17 @@ run, hand-edited payload) fails with a readable message instead of a
 ``KeyError`` traceback.  ``--fuzz-file PATH`` does the same for a
 ``FUZZ_campaign.json`` fuzzing report, additionally failing when the
 campaign itself recorded unexplained divergences or harness failures
-(so CI can gate on the artifact alone).
+(so CI can gate on the artifact alone).  ``--metrics-file PATH`` audits
+an aggregated ``METRICS_summary.json`` (see :mod:`repro.telemetry`):
+counter-derived CPI must equal the analysis-module CPI for every
+workload, and the counter accounting identities must hold on each
+snapshot and on the suite totals.
 
 Usage::
 
     PYTHONPATH=src python -m repro.tools.check_results [--trace-length N]
         [--bench-file BENCH_pipeline.json] [--fuzz-file FUZZ_campaign.json]
+        [--metrics-file METRICS_summary.json]
 """
 
 from __future__ import annotations
@@ -93,6 +98,85 @@ def check_bench_file(path: pathlib.Path) -> List[str]:
                 failures.append(
                     f"bench file: section 'experiments' row '{job_id}' "
                     "has no 'status' field")
+    return failures
+
+
+#: keys a complete metrics summary must carry
+METRICS_KEYS = ("per_workload", "analysis", "totals", "derived")
+
+
+def check_metrics_file(path: pathlib.Path) -> List[str]:
+    """Validate a ``METRICS_summary.json`` aggregate and its identities.
+
+    Structural problems read as named-section messages (like
+    :func:`check_bench_file`).  A structurally sound summary still fails
+    when the telemetry is inconsistent:
+
+    * **CPI identity** -- each workload's counter-derived CPI
+      (``pipeline.cycles / pipeline.instructions.retired``) must equal
+      the analysis-module CPI recorded alongside it;
+    * **accounting identities** -- per workload and on the suite totals,
+      the counters must satisfy the invariants of
+      :func:`repro.telemetry.metrics.check_counter_consistency` (stall
+      cycles bounded by total cycles, retired+squashed bounded by
+      fetched, late-miss retries equal to read+ifetch misses, ...);
+    * **derived gauges** -- the summary's ``derived`` section must match
+      what the summed counters derive to (no hand-edited gauges).
+    """
+    from repro.telemetry.metrics import (check_counter_consistency,
+                                         derived_from_counters)
+
+    path = pathlib.Path(path)
+    if not path.exists():
+        return [f"metrics file {path} does not exist (run `repro bench`)"]
+    try:
+        payload = json.loads(path.read_text())
+    except ValueError as exc:
+        return [f"metrics file {path} is not valid JSON: {exc}"]
+    if not isinstance(payload, dict):
+        return [f"metrics file {path}: top level must be an object, "
+                f"got {type(payload).__name__}"]
+    failures = []
+    for key in METRICS_KEYS:
+        if not isinstance(payload.get(key), dict):
+            failures.append(
+                f"metrics file: section '{key}' is missing or not an "
+                "object (partial or interrupted bench run?)")
+    if failures:
+        return failures
+    if not payload["per_workload"]:
+        failures.append("metrics file: section 'per_workload' is empty "
+                        "(the workload-cpi sweep produced no snapshots)")
+    analysis = payload["analysis"]
+    for name, snapshot in sorted(payload["per_workload"].items()):
+        if not isinstance(snapshot, dict):
+            failures.append(f"metrics file: workload '{name}' snapshot "
+                            "is not an object")
+            continue
+        counters = {key: value for key, value in snapshot.items()
+                    if isinstance(value, int)}
+        row = analysis.get(name)
+        if not isinstance(row, dict) or "cpi" not in row:
+            failures.append(f"metrics file: workload '{name}' has no "
+                            "analysis CPI to check against")
+            analysis_cpi = None
+        else:
+            analysis_cpi = row["cpi"]
+        for issue in check_counter_consistency(counters, analysis_cpi):
+            failures.append(f"metrics file: workload '{name}' failed "
+                            f"{issue.name}: {issue.message}")
+    totals = payload["totals"]
+    for issue in check_counter_consistency(totals):
+        failures.append(
+            f"metrics file: suite totals failed {issue.name}: "
+            f"{issue.message}")
+    expected_derived = derived_from_counters(totals)
+    for name, expected in expected_derived.items():
+        recorded = payload["derived"].get(name)
+        if recorded is None or abs(recorded - expected) > 1e-9:
+            failures.append(
+                f"metrics file: derived gauge '{name}' is {recorded!r}, "
+                f"but the summed counters derive to {expected!r}")
     return failures
 
 
@@ -327,6 +411,12 @@ def main(argv=None) -> int:
                         help="also validate a fuzz campaign report "
                              "(FUZZ_campaign.json): structure, "
                              "completeness, and a clean verdict")
+    parser.add_argument("--metrics-file", type=pathlib.Path, default=None,
+                        metavar="PATH",
+                        help="also audit an aggregated metrics summary "
+                             "(METRICS_summary.json): counter-derived CPI "
+                             "must equal the analysis CPI, and the "
+                             "accounting identities must hold")
     args = parser.parse_args(argv)
 
     all_failures: List[str] = []
@@ -334,6 +424,13 @@ def main(argv=None) -> int:
         failures = check_bench_file(args.bench_file)
         status = "ok" if not failures else "FAIL"
         print(f"[{status:>4}] bench telemetry file structure")
+        for failure in failures:
+            print(f"       - {failure}")
+        all_failures.extend(failures)
+    if args.metrics_file is not None:
+        failures = check_metrics_file(args.metrics_file)
+        status = "ok" if not failures else "FAIL"
+        print(f"[{status:>4}] metrics summary consistency")
         for failure in failures:
             print(f"       - {failure}")
         all_failures.extend(failures)

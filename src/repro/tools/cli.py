@@ -6,6 +6,7 @@ Usage::
     python -m repro.tools.cli compile program.spl [--emit-asm] [--run]
     python -m repro.tools.cli disasm program.s
     python -m repro.tools.cli workload sieve [--stats]
+    python -m repro.tools.cli trace sieve [--output TRACE.json]
     python -m repro.tools.cli bench [--quick] [--workers N]
     python -m repro.tools.cli faults [--seeds N] [--quick] [--chaos R]
     python -m repro.tools.cli fuzz [--seeds N] [--quick] [--max-seconds S]
@@ -13,7 +14,10 @@ Usage::
 ``run`` executes assembly on the paper-configuration machine; ``compile``
 sends SPL source through the compiler + reorganizer; ``workload`` runs a
 registered benchmark.  ``--trace N`` prints a pipeline diagram of the
-first N cycles.  ``bench`` runs the benchmark telemetry suite (core
+first N cycles.  ``trace`` runs a workload under the telemetry cycle
+tracer (:mod:`repro.telemetry`) and writes Chrome/Perfetto trace JSON
+for ``ui.perfetto.dev`` (see ``docs/OBSERVABILITY.md``).  ``bench``
+runs the benchmark telemetry suite (core
 cycles/sec plus the parallel experiment sweep) and writes
 ``BENCH_pipeline.json`` at the repo root.  ``faults`` runs a seeded
 fault-injection campaign (see :mod:`repro.faults`) across the parallel
@@ -45,19 +49,24 @@ from repro.tools.pipeview import PipelineTracer
 
 
 def _print_stats(machine: Machine) -> None:
-    stats = machine.stats
-    print(f"cycles        {stats.cycles}")
-    print(f"instructions  {stats.retired} ({stats.noops} no-ops, "
-          f"{stats.squashed} squashed)")
-    print(f"CPI           {stats.cpi:.3f}")
-    print(f"branches      {stats.branches} ({stats.branches_taken} taken), "
-          f"jumps {stats.jumps}")
-    print(f"loads/stores  {stats.loads}/{stats.stores}")
-    print(f"icache        {machine.icache.stats.miss_rate:.1%} miss rate, "
-          f"{stats.icache_stall_cycles} stall cycles")
-    print(f"ecache        {machine.ecache.stats.miss_rate:.1%} miss rate, "
-          f"{stats.data_stall_cycles} data stall cycles")
-    print(f"@20 MHz       {stats.mips(20.0):.1f} sustained MIPS")
+    # read the audited telemetry snapshot, not raw stat attributes
+    snap = machine.metrics().snapshot()
+    cpi = snap["pipeline.cpi"]
+    print(f"cycles        {snap['pipeline.cycles']}")
+    print(f"instructions  {snap['pipeline.instructions.retired']} "
+          f"({snap['pipeline.instructions.noops']} no-ops, "
+          f"{snap['pipeline.instructions.squashed']} squashed)")
+    print(f"CPI           {cpi:.3f}")
+    print(f"branches      {snap['pipeline.branch.executed']} "
+          f"({snap['pipeline.branch.taken']} taken), "
+          f"jumps {snap['pipeline.jumps']}")
+    print(f"loads/stores  {snap['pipeline.mem.loads']}/"
+          f"{snap['pipeline.mem.stores']}")
+    print(f"icache        {snap['icache.miss_rate']:.1%} miss rate, "
+          f"{snap['pipeline.stall.icache_miss']} stall cycles")
+    print(f"ecache        {snap['ecache.miss_rate']:.1%} miss rate, "
+          f"{snap['pipeline.stall.ecache_late_miss']} data stall cycles")
+    print(f"@20 MHz       {20.0 / cpi if cpi else 0.0:.1f} sustained MIPS")
 
 
 def _run_machine(program, args) -> int:
@@ -116,6 +125,49 @@ def cmd_workload(args) -> int:
     return _run_machine(workload.program(), args)
 
 
+def cmd_trace(args) -> int:
+    import json
+    import os
+
+    from repro.telemetry import CycleTracer, Metrics, write_trace
+
+    config = perfect_memory_config() if args.ideal else MachineConfig()
+    machine = Machine(config)
+    machine.attach_coprocessor(Fpu())
+    if os.path.exists(args.target):
+        with open(args.target) as handle:
+            source = handle.read()
+        if args.target.endswith(".spl"):
+            machine.load_program(compile_spl(source).program())
+        else:
+            machine.load_program(assemble(source))
+    else:
+        from repro.workloads import get
+
+        machine.load_program(get(args.target).program())
+    metrics = Metrics()
+    tracer = CycleTracer(machine, capacity=args.capacity, metrics=metrics)
+    tracer.run(args.max_cycles)
+    machine.metrics(metrics)
+    write_trace(args.output, tracer)
+    print(f"trace written to {args.output} "
+          f"({len(tracer.records)} instruction records, "
+          f"{len(tracer.stall_spans)} stall spans, "
+          f"{len(tracer.instants)} events) -- open in ui.perfetto.dev")
+    if args.metrics_output:
+        with open(args.metrics_output, "w", encoding="utf-8") as handle:
+            handle.write(metrics.to_json())
+            handle.write("\n")
+        print(f"metrics written to {args.metrics_output}")
+    if args.stats:
+        _print_stats(machine)
+    if not machine.halted:
+        print(f"warning: did not halt within {args.max_cycles} cycles",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_bench(args) -> int:
     from repro.harness.bench import collect, format_summary
 
@@ -126,7 +178,8 @@ def cmd_bench(args) -> int:
                       timeout=args.timeout,
                       output=args.output,
                       traced=not args.no_traced,
-                      trace_reuse=not args.no_trace_reuse)
+                      trace_reuse=not args.no_trace_reuse,
+                      metrics_output=args.metrics_output)
     print(format_summary(payload))
     failed = [job_id for job_id, row in payload["experiments"].items()
               if row["status"] != "ok"]
@@ -229,6 +282,32 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_workload)
     p_workload.set_defaults(func=cmd_workload)
 
+    p_trace = sub.add_parser(
+        "trace",
+        help="run under the cycle tracer and export Perfetto trace JSON",
+        description="Run a registered workload (or a .s/.spl file) under "
+                    "the telemetry cycle tracer and write a Chrome/"
+                    "Perfetto trace_event JSON of instruction lifecycles "
+                    "per pipestage, stall spans, and squash/exception "
+                    "events.  Open the output in ui.perfetto.dev; see "
+                    "docs/OBSERVABILITY.md for a reading guide.")
+    p_trace.add_argument("target",
+                         help="workload name, or path to a .s/.spl file")
+    p_trace.add_argument("--output", default="TRACE_pipeline.json",
+                         metavar="PATH",
+                         help="trace file (default: TRACE_pipeline.json)")
+    p_trace.add_argument("--metrics-output", default=None, metavar="PATH",
+                         help="also write the metrics snapshot JSON here")
+    p_trace.add_argument("--capacity", type=int, default=65536,
+                         help="ring-buffer capacity: keep the last N "
+                              "instruction records (default 65536)")
+    p_trace.add_argument("--ideal", action="store_true",
+                         help="perfect-memory machine (pipeline only)")
+    p_trace.add_argument("--stats", action="store_true",
+                         help="print pipeline statistics")
+    p_trace.add_argument("--max-cycles", type=int, default=10_000_000)
+    p_trace.set_defaults(func=cmd_trace)
+
     p_bench = sub.add_parser(
         "bench", help="benchmark telemetry: core cycles/sec + experiment "
                       "sweep wall-clock, written to BENCH_pipeline.json")
@@ -254,6 +333,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--output", default=None, metavar="PATH",
                          help="telemetry file (default: BENCH_pipeline.json "
                               "at the repo root)")
+    p_bench.add_argument("--metrics-output", default=None, metavar="PATH",
+                         help="aggregated metrics file (default: "
+                              "METRICS_summary.json at the repo root)")
     p_bench.set_defaults(func=cmd_bench)
 
     p_faults = sub.add_parser(

@@ -1,0 +1,128 @@
+"""The documentation stays true: anchors import, generated docs current.
+
+* every Implementation symbol in ``docs/GLOSSARY.md`` imports, and its
+  ``file.py:line`` anchor points into the symbol's actual source span --
+  a refactor that moves or renames an implementation fails here until
+  the glossary is updated;
+* ``docs/API.md`` matches what ``repro.tools.gen_api_docs`` generates
+  (the same gate CI runs with ``--check``);
+* ``docs/OBSERVABILITY.md`` documents every name in the metric catalog;
+* README.md and DESIGN.md link all three documents.
+"""
+
+import importlib
+import inspect
+import pathlib
+import re
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+GLOSSARY = REPO_ROOT / "docs" / "GLOSSARY.md"
+OBSERVABILITY = REPO_ROOT / "docs" / "OBSERVABILITY.md"
+API = REPO_ROOT / "docs" / "API.md"
+
+#: | term | usage | `repro.mod.Symbol` | `src/repro/mod.py:NN` |
+_ROW = re.compile(
+    r"^\|[^|]+\|[^|]+\| `(?P<symbol>repro\.[\w.]+)` "
+    r"\| `(?P<file>src/repro/[\w/]+\.py):(?P<line>\d+)` \|$")
+
+
+def glossary_rows():
+    """Parsed (symbol, file, line) triples from the glossary table."""
+    rows = []
+    for line in GLOSSARY.read_text().splitlines():
+        match = _ROW.match(line.strip())
+        if match:
+            rows.append((match["symbol"], match["file"],
+                         int(match["line"])))
+    return rows
+
+
+def _resolve(dotted: str):
+    """Import the longest module prefix, then getattr the rest."""
+    parts = dotted.split(".")
+    for split in range(len(parts), 0, -1):
+        try:
+            obj = importlib.import_module(".".join(parts[:split]))
+        except ImportError:
+            continue
+        for attr in parts[split:]:
+            obj = getattr(obj, attr)
+        return obj
+    raise ImportError(dotted)
+
+
+class TestGlossary:
+    def test_table_parsed(self):
+        assert len(glossary_rows()) >= 12
+
+    @pytest.mark.parametrize(
+        "symbol,file,line", glossary_rows(),
+        ids=[row[0] for row in glossary_rows()])
+    def test_anchor_is_honest(self, symbol, file, line):
+        obj = _resolve(symbol)                     # ImportError = stale
+        target = inspect.unwrap(obj)
+        source_file = pathlib.Path(inspect.getsourcefile(target))
+        assert source_file == REPO_ROOT / file, (
+            f"{symbol} lives in {source_file}, glossary says {file}")
+        _, start = inspect.getsourcelines(target)
+        length = len(inspect.getsource(target).splitlines())
+        assert start <= line < start + length, (
+            f"{symbol} spans {file}:{start}..{start + length - 1}, "
+            f"glossary anchors {line} -- update docs/GLOSSARY.md")
+
+
+class TestGeneratedApiDocs:
+    def test_api_md_is_current(self):
+        from repro.tools.gen_api_docs import generate
+
+        assert API.exists(), "docs/API.md missing -- run gen_api_docs"
+        assert API.read_text() == generate(), (
+            "docs/API.md is stale -- regenerate with "
+            "`PYTHONPATH=src python -m repro.tools.gen_api_docs`")
+
+    def test_lint_scoped_packages_are_fully_documented(self):
+        from repro.tools.gen_api_docs import generate
+
+        for block in generate().split("\n## ")[1:]:
+            module = block.split("`")[1]
+            if module.startswith(("repro.telemetry", "repro.harness")):
+                assert "*undocumented*" not in block, (
+                    f"{module} has undocumented public members -- "
+                    "ruff D1xx will fail CI")
+
+
+class TestObservabilityCatalog:
+    def test_every_catalogued_metric_is_documented(self):
+        from repro.telemetry import CATALOG
+
+        text = OBSERVABILITY.read_text()
+        missing = [spec.name for spec in CATALOG
+                   if f"`{spec.name}`" not in text]
+        assert not missing, (
+            f"docs/OBSERVABILITY.md is missing catalog rows: {missing}")
+
+    def test_catalog_table_has_no_stale_rows(self):
+        from repro.telemetry import CATALOG_BY_NAME
+
+        text = OBSERVABILITY.read_text()
+        documented = re.findall(r"^\| `([\w.]+)` \|", text, re.M)
+        stale = [name for name in documented
+                 if name not in CATALOG_BY_NAME]
+        assert not stale, (
+            f"docs/OBSERVABILITY.md documents uncatalogued names: {stale}")
+
+
+class TestDocLinks:
+    @pytest.mark.parametrize("source,targets", [
+        ("README.md", ["docs/OBSERVABILITY.md", "docs/GLOSSARY.md",
+                       "docs/API.md", "DESIGN.md", "EXPERIMENTS.md"]),
+        ("DESIGN.md", ["docs/OBSERVABILITY.md", "docs/GLOSSARY.md",
+                       "docs/API.md"]),
+    ])
+    def test_docs_are_linked(self, source, targets):
+        text = (REPO_ROOT / source).read_text()
+        for target in targets:
+            assert f"({target})" in text, f"{source} must link {target}"
+            assert (REPO_ROOT / target).exists()
