@@ -156,5 +156,29 @@ class Ecache:
         self.stats.ifetch_misses += 1
         return self.config.miss_penalty
 
+    # ------------------------------------------------------ fault injection
+    def inject_tag_corruption(self, rng, count: int = 1) -> int:
+        """Corrupt up to ``count`` randomly-chosen live line tags.
+
+        Models single-event upsets in the board-level tag RAM.  A
+        corrupted tag is set to :data:`INVALID` rather than a random
+        value: this cache is timing-only (data lives in shared memory),
+        and a wrong-but-matching tag would be a *functional* fault the
+        model cannot express, whereas an invalidated line simply forces
+        the next access to pay the late-miss penalty.  Returns the
+        number of tags actually corrupted (0 when the cache is cold).
+        """
+        live = [index for index, tag in enumerate(self._tags)
+                if tag != self.INVALID]
+        if not live:
+            return 0
+        corrupted = 0
+        for _ in range(count):
+            index = live[rng.randrange(len(live))]
+            if self._tags[index] != self.INVALID:
+                self._tags[index] = self.INVALID
+                corrupted += 1
+        return corrupted
+
     def flush(self) -> None:
         self._tags = [self.INVALID] * self.lines

@@ -17,10 +17,14 @@ deliberately stresses them:
   guarantees are asserted (restartability, bounded late-miss inflation,
   no squashed instruction ever commits);
 * :mod:`repro.faults.campaign` -- the ``repro faults`` campaign driver
-  that fans seeded plans across :class:`repro.harness.runner.Runner`.
+  that fans seeded plans across :class:`repro.harness.runner.Runner`;
+* :mod:`repro.faults.multi` -- node-level campaigns on the shared-memory
+  multiprocessor: corrupt one node's caches mid-run, assert the other
+  nodes' results stay golden and the victim reconverges.
 """
 
 from repro.faults.invariants import DifferentialReport, run_differential
+from repro.faults.multi import MULTI_FAULT_CLASSES, node_fault_point
 from repro.faults.plan import FAULT_CLASSES, FaultEvent, FaultPlan, build_plan
 
 __all__ = [
@@ -28,6 +32,8 @@ __all__ = [
     "FAULT_CLASSES",
     "FaultEvent",
     "FaultPlan",
+    "MULTI_FAULT_CLASSES",
     "build_plan",
+    "node_fault_point",
     "run_differential",
 ]

@@ -1,0 +1,304 @@
+"""Node-level fault campaigns on the shared-memory multiprocessor.
+
+Single-node fault campaigns (:mod:`repro.faults.campaign`) check that one
+machine absorbs its own cache faults.  The multiprocessor campaign checks
+the *system-level* guarantee: a timing fault injected into **one node's**
+caches mid-run must leave every other node's results golden and let the
+victim reconverge -- because both the Icache valid array and the Ecache
+tags are timing-only models over the single shared functional memory
+image, the only legal effect of corrupting them is extra refetch latency
+(and the bus contention it radiates to the neighbours).
+
+Each campaign point runs a parallel workload twice on an ``n``-node
+:class:`~repro.multi.system.MultiMachine` -- once fault-free, once with a
+seeded mid-run injection into a seeded victim node -- and then asserts
+
+* **bounded termination**: the faulted system halts within the golden
+  cycle count plus a per-fault budget (late-miss retries and bus
+  contention terminate);
+* **result integrity**: the shared console output and every shared
+  memory word *outside the per-node stack region* equal the golden
+  run's.  Stacks are excluded because barrier spin counts (and so the
+  locals frames hold at halt) legitimately depend on timing.
+
+Only ``psieve`` and ``pintmm`` participate: ``pring``'s Peterson lock
+state (``pturn``) finishes at a timing-dependent value by design, so its
+memory image is not comparable across timing perturbations.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import random
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.config import MachineConfig
+from repro.faults.plan import WARMUP_CYCLES
+from repro.harness.bench import REPO_ROOT, write_json_atomic
+from repro.harness.runner import Job, JobResult, Runner
+from repro.lang.codegen import NODE_STACK_WORDS, STACK_TOP
+from repro.multi.system import MultiMachine
+from repro.workloads.parallel import QUICK_SIZES, parallel_program
+
+DEFAULT_MULTI_REPORT = REPO_ROOT / "FAULTS_multi.json"
+
+#: node-level fault classes: which timing structure of the victim node
+#: gets corrupted mid-run
+MULTI_FAULT_CLASSES: Tuple[str, ...] = ("node-icache-valid",
+                                        "node-ecache-tag")
+
+#: workloads with timing-independent final memory (see module docstring)
+MULTI_FAULT_WORKLOADS: Tuple[str, ...] = ("psieve", "pintmm")
+
+#: default node count for campaign points (a mid-size system: big enough
+#: for real neighbour traffic, small enough for CI)
+DEFAULT_NODES = 4
+
+#: per-differential-run watchdog for the Runner
+JOB_TIMEOUT = 120.0
+
+#: golden multiprocessor runs must halt within this many global cycles
+GOLDEN_MAX_CYCLES = 5_000_000
+
+
+def _stack_region(nodes: int) -> range:
+    """Shared-memory word addresses holding the per-node stacks."""
+    return range(STACK_TOP - nodes * NODE_STACK_WORDS, STACK_TOP)
+
+
+def _build_system(workload: str, nodes: int,
+                  size: Optional[int]) -> MultiMachine:
+    system = MultiMachine(nodes, MachineConfig())
+    system.load_program(parallel_program(workload, nodes, size))
+    return system
+
+
+def _inject(system: MultiMachine, victim: int, fault_class: str,
+            rng: random.Random, count: int) -> int:
+    """Corrupt the victim node's cache; returns structures corrupted."""
+    machine = system.node(victim)
+    if fault_class == "node-icache-valid":
+        return machine.icache.inject_valid_flips(rng, count)
+    if fault_class == "node-ecache-tag":
+        return machine.ecache.inject_tag_corruption(rng, count)
+    raise ValueError(f"unknown node fault class {fault_class!r}; "
+                     f"expected one of {MULTI_FAULT_CLASSES}")
+
+
+def _fault_budget(fault_class: str, count: int, nodes: int,
+                  horizon: int) -> int:
+    """Worst-case global-cycle inflation for one injection.
+
+    Refetches pay the late-miss penalty *and* radiate bus contention to
+    up to ``nodes - 1`` waiting neighbours, hence the node multiplier.
+    """
+    per_event = 64 if fault_class == "node-icache-valid" else 16
+    return per_event * count * nodes + max(1024, horizon // 2)
+
+
+def node_fault_point(seed: int, fault_class: str,
+                     nodes: int = DEFAULT_NODES,
+                     quick: bool = False) -> Dict[str, Any]:
+    """One campaign point: golden run, seeded victim injection, verdict.
+
+    Deterministic in ``(seed, fault_class, nodes, quick)``.  Returns a
+    picklable verdict dict with ``status`` one of ``"absorbed"``
+    (fault landed, every invariant held), ``"not-triggered"`` (the
+    program halted before the injection cycle, or the victim's cache was
+    cold), or ``"violated"`` (with a ``violations`` list).
+    """
+    class_salt = MULTI_FAULT_CLASSES.index(fault_class)
+    rng = random.Random(((seed << 8) ^ (class_salt * 0x9E3779B1))
+                        & 0xFFFFFFFF)
+    workload = MULTI_FAULT_WORKLOADS[seed % len(MULTI_FAULT_WORKLOADS)]
+    size = QUICK_SIZES[workload] if quick else None
+    victim = rng.randrange(nodes)
+    count = rng.randint(1, 6)
+
+    golden = _build_system(workload, nodes, size)
+    golden.run(GOLDEN_MAX_CYCLES)
+    if not golden.all_halted:
+        raise RuntimeError(
+            f"golden {nodes}-node run of {workload!r} did not halt "
+            f"within {GOLDEN_MAX_CYCLES} cycles -- workload bug")
+    horizon = golden.cycles
+    fault_cycle = rng.randint(WARMUP_CYCLES,
+                              max(WARMUP_CYCLES + 1, horizon * 2 // 3))
+
+    faulted = _build_system(workload, nodes, size)
+    faulted.run(fault_cycle)
+    effective = 0
+    if not faulted.all_halted:
+        effective = _inject(faulted, victim, fault_class, rng, count)
+    budget = _fault_budget(fault_class, count, nodes, horizon)
+    faulted.run(horizon + budget)
+
+    violations: List[Dict[str, str]] = []
+    if not faulted.all_halted:
+        violations.append({
+            "kind": "no-termination",
+            "detail": f"system still live after golden {horizon} + "
+                      f"budget {budget} global cycles"})
+    else:
+        if (golden.console.values != faulted.console.values
+                or golden.console.text != faulted.console.text):
+            violations.append({
+                "kind": "result-divergence",
+                "detail": f"console: golden {golden.console.values!r}, "
+                          f"faulted {faulted.console.values!r}"})
+        stacks = _stack_region(nodes)
+        golden_words = golden.memory.system._words
+        faulted_words = faulted.memory.system._words
+        for address in sorted(set(golden_words) | set(faulted_words)):
+            if address in stacks:
+                continue
+            want = golden_words.get(address, 0)
+            got = faulted_words.get(address, 0)
+            if want != got:
+                violations.append({
+                    "kind": "result-divergence",
+                    "detail": f"mem[{address:#x}]: golden {want:#x}, "
+                              f"faulted {got:#x}"})
+
+    if violations:
+        status = "violated"
+    elif effective:
+        status = "absorbed"
+    else:
+        status = "not-triggered"
+    return {
+        "seed": seed,
+        "fault_class": fault_class,
+        "workload": workload,
+        "nodes": nodes,
+        "victim": victim,
+        "fault_cycle": fault_cycle,
+        "status": status,
+        "violations": violations,
+        "golden_cycles": horizon,
+        "faulted_cycles": faulted.cycles,
+        "cycle_budget": budget,
+        "events_effective": effective,
+        "inflation": faulted.cycles - horizon,
+    }
+
+
+def multi_campaign_jobs(seeds: int, nodes: int = DEFAULT_NODES,
+                        quick: bool = False,
+                        timeout: Optional[float] = JOB_TIMEOUT) -> List[Job]:
+    """The seeded grid: fault classes rotate across seeds (and workloads
+    rotate inside :func:`node_fault_point`), so every (class, workload)
+    pair is hit roughly ``seeds / 4`` times."""
+    jobs = []
+    for seed in range(seeds):
+        fault_class = MULTI_FAULT_CLASSES[seed % len(MULTI_FAULT_CLASSES)]
+        jobs.append(Job(
+            id=f"faults-multi/{seed:03d}-{fault_class}",
+            fn="repro.faults.multi:node_fault_point",
+            params={"seed": seed, "fault_class": fault_class,
+                    "nodes": nodes, "quick": quick},
+            timeout=timeout,
+            sweep="faults-multi"))
+    return jobs
+
+
+def _aggregate(results: List[JobResult]) -> Dict[str, Any]:
+    per_class: Dict[str, Dict[str, Any]] = {}
+    for fault_class in MULTI_FAULT_CLASSES:
+        per_class[fault_class] = {
+            "runs": 0, "absorbed": 0, "not_triggered": 0, "violated": 0,
+            "max_inflation": 0, "violations": [],
+        }
+    for result in results:
+        if not result.ok or not isinstance(result.value, dict):
+            continue
+        verdict = result.value
+        row = per_class[verdict["fault_class"]]
+        row["runs"] += 1
+        row[verdict["status"].replace("-", "_")] += 1
+        row["max_inflation"] = max(row["max_inflation"],
+                                   verdict["inflation"])
+        for violation in verdict["violations"]:
+            row["violations"].append(
+                {"seed": verdict["seed"],
+                 "workload": verdict["workload"],
+                 "victim": verdict["victim"], **violation})
+    return {name: row for name, row in per_class.items() if row["runs"]}
+
+
+def run_multi_campaign(seeds: int = 16,
+                       nodes: int = DEFAULT_NODES,
+                       workers: Optional[int] = None,
+                       quick: bool = False,
+                       parallel: bool = True,
+                       output: Optional[pathlib.Path] = None
+                       ) -> Dict[str, Any]:
+    """Fan the node-fault grid across the Runner; persist the report.
+
+    Same exit taxonomy as the single-node campaign: an ``unhandled`` job
+    is a harness/model crash; a classified violation is a finding.
+    """
+    jobs = multi_campaign_jobs(seeds, nodes=nodes, quick=quick)
+    runner = Runner(max_workers=workers, default_timeout=JOB_TIMEOUT)
+    results = runner.run(jobs, parallel=parallel)
+
+    unhandled = {r.job_id: (r.error or r.status) for r in results
+                 if not r.ok}
+    classes = _aggregate(results)
+    payload: Dict[str, Any] = {
+        "schema": 1,
+        "seeds": seeds,
+        "nodes": nodes,
+        "quick": quick,
+        "summary": {
+            "runs": sum(row["runs"] for row in classes.values()),
+            "absorbed": sum(row["absorbed"] for row in classes.values()),
+            "not_triggered": sum(row["not_triggered"]
+                                 for row in classes.values()),
+            "violated": sum(row["violated"] for row in classes.values()),
+            "unhandled_jobs": len(unhandled),
+        },
+        "classes": classes,
+        "harness": {
+            r.job_id: {
+                "status": r.status,
+                "attempts": r.attempts,
+                "duration_s": round(r.duration, 4),
+            }
+            for r in results
+        },
+    }
+    if unhandled:
+        payload["unhandled"] = unhandled
+    path = pathlib.Path(output) if output else DEFAULT_MULTI_REPORT
+    write_json_atomic(path, payload)
+    payload["report_path"] = str(path)
+    return payload
+
+
+def format_summary(payload: Dict[str, Any]) -> str:
+    """Human-readable one-screen summary of a node-fault report."""
+    summary = payload["summary"]
+    lines = [
+        f"node faults       {summary['runs']} runs on "
+        f"{payload['nodes']}-node systems ({payload['seeds']} seeds"
+        + (", quick" if payload.get("quick") else "") + ")",
+        f"  absorbed        {summary['absorbed']}",
+        f"  not triggered   {summary['not_triggered']}",
+        f"  violations      {summary['violated']}",
+        f"  harness         {summary['unhandled_jobs']} unhandled",
+    ]
+    for name, row in sorted(payload["classes"].items()):
+        lines.append(
+            f"  {name:<18} {row['runs']:>4} runs, "
+            f"{row['absorbed']} absorbed, {row['not_triggered']} quiet, "
+            f"{row['violated']} violated, "
+            f"max inflation {row['max_inflation']}")
+    for name, row in sorted(payload["classes"].items()):
+        for violation in row["violations"][:10]:
+            lines.append(
+                f"  ! {name} seed {violation['seed']} "
+                f"({violation['workload']}, victim node "
+                f"{violation['victim']}): [{violation['kind']}] "
+                f"{violation['detail']}")
+    return "\n".join(lines)

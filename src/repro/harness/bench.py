@@ -151,6 +151,74 @@ def build_metrics_summary(results: Sequence[JobResult]) -> Dict[str, Any]:
     }
 
 
+def build_multi_section(results: Sequence[JobResult]) -> Dict[str, Any]:
+    """Aggregate multi-scaling job results into the ``multi`` section.
+
+    Pure and deterministic (no wall-clock fields): per-job rows keyed by
+    job id, plus speedup/contention curves grouped by ``(workload,
+    bus_latency, invalidation)`` with the curve's smallest node count as
+    the speedup baseline -- so ``speedup[0] == 1.0`` by construction and
+    a serial sweep aggregates byte-identically to a parallel one.
+    """
+    rows: Dict[str, Any] = {}
+    failures: List[str] = []
+    total = 0
+    for result in results:
+        if result.sweep != "multi-scaling":
+            continue
+        total += 1
+        if not result.ok or not isinstance(result.value, dict):
+            failures.append(result.job_id)
+            continue
+        value = result.value
+        rows[result.job_id] = {
+            "workload": value["workload"],
+            "nodes": value["nodes"],
+            "bus_latency": value["bus_latency"],
+            "invalidation": value["invalidation"],
+            "size": value["size"],
+            "cycles": value["cycles"],
+            "node_cycles": value["node_cycles"],
+            "instructions": value["instructions"],
+            "bus": value["bus"],
+            "result": value["result"],
+            "result_ok": value["result_ok"],
+        }
+    groups: Dict[tuple, List[dict]] = {}
+    for row in rows.values():
+        key = (row["workload"], row["bus_latency"], row["invalidation"])
+        groups.setdefault(key, []).append(row)
+    curves: Dict[str, Any] = {}
+    for (workload, latency, invalidation), members in groups.items():
+        members.sort(key=lambda row: row["nodes"])
+        base = members[0]["cycles"]
+        label = (f"{workload}/bus{latency}/"
+                 f"{'inv' if invalidation else 'noinv'}")
+        curves[label] = {
+            "workload": workload,
+            "bus_latency": latency,
+            "invalidation": invalidation,
+            "nodes": [row["nodes"] for row in members],
+            "cycles": [row["cycles"] for row in members],
+            "speedup": [round(base / row["cycles"], 6) if row["cycles"]
+                        else 0.0 for row in members],
+            "acquisitions": [row["bus"]["acquisitions"]
+                             for row in members],
+            "contention_cycles": [row["bus"]["contention_cycles"]
+                                  for row in members],
+            "invalidations": [row["bus"]["invalidations"]
+                              for row in members],
+        }
+    return {
+        "schema": 1,
+        "jobs": total,
+        "ok": len(rows),
+        "failures": sorted(failures),
+        "rows": {key: rows[key] for key in sorted(rows)},
+        "curves": {key: curves[key] for key in sorted(curves)},
+    }
+
+
 def _traced_section(quick: bool, reuse: bool,
                     serial_results: Sequence[JobResult]) -> Dict[str, Any]:
     """Run the capture-once/replay-many sweeps and compare them with the
@@ -205,18 +273,32 @@ def collect(quick: bool = False,
             output: Optional[pathlib.Path] = None,
             traced: bool = True,
             trace_reuse: bool = True,
-            metrics_output: Optional[pathlib.Path] = None) -> Dict[str, Any]:
+            metrics_output: Optional[pathlib.Path] = None,
+            multi: bool = False,
+            multi_nodes: Optional[Sequence[int]] = None,
+            multi_only: bool = False) -> Dict[str, Any]:
     """Run the telemetry suite and persist ``BENCH_pipeline.json``.
 
     Also aggregates the per-job telemetry snapshots of the workload-cpi
     sweep into ``METRICS_summary.json`` (see :func:`build_metrics_summary`)
     and embeds the suite totals in the bench payload's ``metrics``
     section.
-    """
-    from repro.harness.experiments import default_jobs
 
+    ``multi=True`` additionally fans the multiprocessor scaling grid
+    (:func:`repro.harness.experiments.multi_scaling_jobs`) across the
+    Runner and writes the aggregate as the payload's ``multi`` section;
+    ``multi_nodes`` restricts the node counts (e.g. ``(1, 2, 4)`` in CI
+    smoke jobs) and ``multi_only`` skips the uniprocessor sweeps and
+    trace replays so a CI lane can produce just the multi section fast.
+    """
+    from repro.harness.experiments import default_jobs, multi_scaling_jobs
+
+    if multi_only:
+        multi = True
+        serial_baseline = False
+        traced = False
     runner = Runner(max_workers=workers)
-    jobs = default_jobs(quick=quick, timeout=timeout)
+    jobs = [] if multi_only else default_jobs(quick=quick, timeout=timeout)
 
     core = measure_core_throughput(repeats=2 if quick else 5)
 
@@ -227,7 +309,7 @@ def collect(quick: bool = False,
     # Parallel first: forked workers must not inherit caches the serial
     # pass warmed in this process, or the speedup figure flatters itself.
     parallel_wall: Optional[float] = None
-    if parallel:
+    if parallel and jobs:
         started = time.perf_counter()
         results = runner.run(jobs, parallel=True)
         parallel_wall = time.perf_counter() - started
@@ -242,6 +324,19 @@ def collect(quick: bool = False,
     traced_section: Optional[Dict[str, Any]] = None
     if traced:
         traced_section = _traced_section(quick, trace_reuse, serial_results)
+
+    multi_section: Optional[Dict[str, Any]] = None
+    multi_wall: Optional[float] = None
+    if multi:
+        multi_jobs = multi_scaling_jobs(quick=quick, nodes=multi_nodes,
+                                        timeout=timeout)
+        started = time.perf_counter()
+        multi_results = runner.run(multi_jobs, parallel=parallel)
+        multi_wall = time.perf_counter() - started
+        # wall-clock stays OUT of the section itself: the section must be
+        # byte-identical between serial and parallel runs (pinned by
+        # tests/test_multi.py); the timing goes under "sweep" instead
+        multi_section = build_multi_section(multi_results)
 
     payload: Dict[str, Any] = {
         "schema": 1,
@@ -264,11 +359,15 @@ def collect(quick: bool = False,
                         if serial_wall and parallel_wall else None),
             "sweep_wall_s_traced": (traced_section["wall_s"]
                                     if traced_section else None),
+            "multi_wall_s": (round(multi_wall, 3)
+                             if multi_wall is not None else None),
         },
         "experiments": _results_section(results),
     }
     if traced_section is not None:
         payload["traced"] = traced_section
+    if multi_section is not None:
+        payload["multi"] = multi_section
     metrics_summary = build_metrics_summary(results)
     if metrics_summary["per_workload"]:
         payload["metrics"] = {
@@ -348,4 +447,17 @@ def format_summary(payload: Dict[str, Any]) -> str:
                 f"{live if live is not None else '-':>8} "
                 f"{row['capture_s']:>10} {row['replay_s']:>9} "
                 f"{str(speedup) + 'x' if speedup is not None else '-':>8}")
+    multi = payload.get("multi")
+    if multi:
+        wall = payload.get("sweep", {}).get("multi_wall_s")
+        lines.append(f"multi scaling     {multi.get('ok')}/"
+                     f"{multi.get('jobs')} points ok"
+                     + (f" ({wall}s)" if wall is not None else ""))
+        for label, curve in sorted(multi.get("curves", {}).items()):
+            pairs = ", ".join(
+                f"n{n}={s}x" for n, s in zip(curve.get("nodes", []),
+                                             curve.get("speedup", [])))
+            lines.append(f"  {label:<22} {pairs}")
+        for job_id in multi.get("failures", []):
+            lines.append(f"  FAILED {job_id}")
     return "\n".join(lines)

@@ -132,6 +132,97 @@ def workload_cpi_point(name: str) -> dict:
     }
 
 
+def multi_scaling_point(workload: str, nodes: int, bus_latency: int = 0,
+                        invalidation: bool = True,
+                        size: Optional[int] = None,
+                        max_cycles: int = 50_000_000) -> dict:
+    """One multiprocessor scaling point: ``workload`` on ``nodes`` nodes.
+
+    Runs one parallel SPL workload on a
+    :class:`~repro.multi.system.MultiMachine` with the given bus-latency
+    and invalidation knobs, self-checks the console against the
+    independently computed expectation, and reports global cycles plus
+    the bus counters.  Deliberately carries no wall-clock fields so a
+    serial sweep and a Runner-parallel sweep produce byte-identical
+    ``multi`` sections.
+    """
+    from repro.core.config import MachineConfig
+    from repro.multi import MultiMachine
+    from repro.workloads.parallel import expected_console, parallel_program
+
+    program = parallel_program(workload, nodes, size=size)
+    system = MultiMachine(nodes, MachineConfig(), bus_latency=bus_latency,
+                          invalidation=invalidation)
+    system.load_program(program)
+    system.run(max_cycles)
+    if not system.all_halted:
+        raise RuntimeError(
+            f"{workload} on {nodes} nodes did not halt in {max_cycles} "
+            "global cycles")
+    expected = expected_console(workload, nodes, size=size)
+    result = list(system.console.values)
+    snapshot = system.metrics().snapshot()
+    return {
+        "workload": workload,
+        "nodes": nodes,
+        "bus_latency": bus_latency,
+        "invalidation": invalidation,
+        "size": size,
+        "cycles": system.cycles,
+        "node_cycles": [m.stats.cycles for m in system.machines],
+        "instructions": snapshot["pipeline.instructions.retired"],
+        "bus": {
+            "acquisitions": system.bus.acquisitions,
+            "contention_cycles": system.bus.contention_cycles,
+            "invalidations": system.bus.invalidations,
+        },
+        "result": result,
+        "expected": list(expected),
+        "result_ok": result == list(expected),
+    }
+
+
+#: node grids for the multi-scaling sweep (full: the paper's 6-10 range
+#: bracketed from 1; quick: the CI smoke grid)
+MULTI_FULL_NODES = tuple(range(1, 11))
+MULTI_QUICK_NODES = (1, 2, 4)
+
+#: the non-zero bus-latency arm of the contention study
+MULTI_BUS_LATENCY = 4
+
+
+def multi_scaling_jobs(quick: bool = False,
+                       nodes: Optional[Sequence[int]] = None,
+                       timeout: Optional[float] = None) -> List[Job]:
+    """The multi-scaling grid: workloads x nodes (+ psieve knob arms).
+
+    Every workload sweeps the node grid at bus latency 0 with
+    invalidation on; the sieve additionally sweeps the non-zero bus
+    latency and invalidation-off arms so the BENCH ``multi`` section
+    carries one contention curve and one coherence-cost curve.
+    """
+    from repro.workloads.parallel import PARALLEL_WORKLOADS, QUICK_SIZES
+
+    node_list = [int(n) for n in nodes] if nodes else list(
+        MULTI_QUICK_NODES if quick else MULTI_FULL_NODES)
+    grid = [(name, n, 0, True) for name in PARALLEL_WORKLOADS
+            for n in node_list]
+    grid += [("psieve", n, MULTI_BUS_LATENCY, True) for n in node_list]
+    grid += [("psieve", n, 0, False) for n in node_list]
+    jobs = []
+    for name, n, latency, invalidation in grid:
+        params = {"workload": name, "nodes": n, "bus_latency": latency,
+                  "invalidation": invalidation}
+        if quick:
+            params["size"] = QUICK_SIZES[name]
+        flavor = "inv" if invalidation else "noinv"
+        jobs.append(Job(
+            id=f"multi/{name}-n{n:02d}-bus{latency}-{flavor}",
+            fn=_POINT_FNS["multi-scaling"], params=params,
+            timeout=timeout, sweep="multi-scaling"))
+    return jobs
+
+
 # ------------------------------------------------------------------- grids
 def icache_design_points(total_words: int = 512) -> List[dict]:
     """The (sets, ways, block) splits of a fixed area budget -- the same
@@ -158,6 +249,7 @@ _POINT_FNS = {
     "ecache-sweep": "repro.harness.experiments:ecache_size_point",
     "coproc-schemes": "repro.harness.experiments:coproc_scheme_point",
     "workload-cpi": "repro.harness.experiments:workload_cpi_point",
+    "multi-scaling": "repro.harness.experiments:multi_scaling_point",
 }
 
 

@@ -37,6 +37,9 @@ from repro.lang.symbols import (
 
 CONSOLE_ADDRESS = 0x3FFFF0
 STACK_TOP = 0x200000
+#: default per-node stack size (words) for multiprocessor SPL programs;
+#: must be a power of two so the prologue can compute sp with a shift
+NODE_STACK_WORDS = 4096
 
 #: expression temporaries (t0..t15)
 TEMP_REGS = [f"t{i}" for i in range(16)]
@@ -56,9 +59,14 @@ class CompileError(Exception):
 class CodeGenerator:
     """Generates one program; use :func:`generate` as the entry point."""
 
-    def __init__(self, program: ast.Program, symbols: ProgramSymbols):
+    def __init__(self, program: ast.Program, symbols: ProgramSymbols,
+                 node_stack_words: int = 0):
+        if node_stack_words and (node_stack_words < 0 or
+                                 node_stack_words & (node_stack_words - 1)):
+            raise CompileError("node_stack_words must be a power of two")
         self.program = program
         self.symbols = symbols
+        self.node_stack_words = node_stack_words
         self.lines: List[str] = []
         self.stack: List[str] = []      #: temp registers currently live
         self.label_counter = 0
@@ -104,6 +112,12 @@ class CodeGenerator:
     def generate(self) -> str:
         self.emit_label("_start")
         self.emit(f"li sp, {STACK_TOP}")
+        if self.node_stack_words:
+            # multiprocessor prologue: carve one stack per node below the
+            # shared stack top, keyed by the per-CPU id delivered in gp
+            shift = self.node_stack_words.bit_length() - 1
+            self.emit(f"sll t0, gp, {shift}")
+            self.emit("sub sp, sp, t0")
         self.emit(f"li s4, {CONSOLE_ADDRESS}")
         self.scope = self.symbols.main_scope
         self.epilogue_label = self.new_label("Lmain_exit")
@@ -401,6 +415,12 @@ class CodeGenerator:
 
     # ---------------------------------------------------------------- calls
     def gen_call(self, name: str, args: List[ast.Expr]) -> str:
+        if name == "cpuid" and name not in self.symbols.functions:
+            # builtin: the per-CPU identity convention (gp at reset); a
+            # plain register move, no call machinery
+            reg = self.alloc()
+            self.emit(f"mov {reg}, gp")
+            return reg
         if name.startswith("__"):
             label = name
             self.used_runtime.add(name)
@@ -458,8 +478,16 @@ def _power_of_two(expr: ast.Expr) -> Optional[int]:
 
 
 def generate(program: ast.Program,
-             symbols: Optional[ProgramSymbols] = None) -> str:
-    """AST -> naive assembly text (the compiler's back end)."""
+             symbols: Optional[ProgramSymbols] = None,
+             node_stack_words: int = 0) -> str:
+    """AST -> naive assembly text (the compiler's back end).
+
+    ``node_stack_words`` (a power of two, 0 to disable) emits the
+    multiprocessor prologue: ``sp = STACK_TOP - gp * node_stack_words``,
+    one private stack per node.  On a uniprocessor ``gp`` is 0, so the
+    same image runs unchanged on a single machine.
+    """
     if symbols is None:
         symbols = analyze(program)
-    return CodeGenerator(program, symbols).generate()
+    return CodeGenerator(program, symbols,
+                         node_stack_words=node_stack_words).generate()

@@ -48,15 +48,18 @@ class Compilation:
 
 def compile_spl(source: str, scheme: Optional[BranchScheme] = MIPSX_SCHEME,
                 profile: Optional[dict] = None,
-                schedule_loads: bool = True) -> Compilation:
+                schedule_loads: bool = True,
+                node_stack_words: int = 0) -> Compilation:
     """Compile SPL source.
 
     ``scheme=None`` skips reorganization (naive output only, for the
     golden model); otherwise the reorganizer runs under ``scheme``.
+    ``node_stack_words`` (power of two) emits the multiprocessor
+    per-node stack prologue -- see :func:`repro.lang.codegen.generate`.
     """
     tree = parse_program(source)
     symbols = analyze(tree)
-    asm_text = generate(tree, symbols)
+    asm_text = generate(tree, symbols, node_stack_words=node_stack_words)
     reorg = None
     if scheme is not None:
         reorg = reorganize(parse_asm(asm_text), scheme, profile=profile,

@@ -205,6 +205,11 @@ def _check_expr(expr: ast.Expr, scope: FunctionScope,
         _check_expr(expr.left, scope, symbols)
         _check_expr(expr.right, scope, symbols)
     elif isinstance(expr, ast.Call):
+        if expr.name == "cpuid" and expr.name not in symbols.functions:
+            # builtin: reads the per-CPU identity register (gp)
+            if expr.args:
+                raise SemanticError("cpuid() takes no arguments", expr.line)
+            return
         if expr.name not in symbols.functions:
             raise SemanticError(f"undefined function {expr.name!r}", expr.line)
         func = symbols.functions[expr.name]

@@ -22,19 +22,22 @@ from repro.telemetry.catalog import (CATALOG, CATALOG_BY_NAME, MetricSpec,
 from repro.telemetry.metrics import (ConsistencyIssue, Counter, Gauge,
                                      Histogram, Metrics,
                                      check_counter_consistency,
-                                     collect_machine, derived_from_counters,
+                                     collect_machine, collect_multi,
+                                     derived_from_counters,
                                      merge_counter_snapshots,
                                      set_derived_gauges)
-from repro.telemetry.perfetto import (trace_events, validate_trace_events,
-                                      write_trace)
+from repro.telemetry.perfetto import (multi_trace_events, trace_events,
+                                      validate_trace_events,
+                                      write_multi_trace, write_trace)
 from repro.telemetry.tracer import STAGES, CycleTracer, FlightTrace
 
 __all__ = [
     "CATALOG", "CATALOG_BY_NAME", "MetricSpec", "spec_for",
     "ConsistencyIssue", "Counter", "Gauge", "Histogram", "Metrics",
-    "check_counter_consistency", "collect_machine",
+    "check_counter_consistency", "collect_machine", "collect_multi",
     "derived_from_counters", "merge_counter_snapshots",
     "set_derived_gauges",
-    "trace_events", "validate_trace_events", "write_trace",
+    "multi_trace_events", "trace_events", "validate_trace_events",
+    "write_multi_trace", "write_trace",
     "STAGES", "CycleTracer", "FlightTrace",
 ]

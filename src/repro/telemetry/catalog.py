@@ -163,6 +163,28 @@ CATALOG: Tuple[MetricSpec, ...] = (
     MetricSpec("pipeline.instruction.lifetime", "histogram", "cycles",
                "Cycles from IF entry to WB completion per retired "
                "instruction (5 on an unstalled pipe).", "Figure 1"),
+    # ------------------------------------------------- multiprocessor (bus)
+    MetricSpec("multi.cycles", "counter", "cycles",
+               "Global clock cycles of the shared-bus multiprocessor (one "
+               "tick steps every live node once).",
+               "E13 (multiprocessor endgame)"),
+    MetricSpec("multi.bus.acquisitions", "counter", "events",
+               "Times a stalled node won ownership of the shared "
+               "memory bus.", "E13 (bus bandwidth)"),
+    MetricSpec("multi.bus.contention_cycles", "counter", "cycles",
+               "Cycles nodes spent frozen waiting for a bus another node "
+               "owned.", "E13 (bus bandwidth)"),
+    MetricSpec("multi.bus.invalidations", "counter", "events",
+               "Ecache lines invalidated by the write-through broadcast "
+               "(Smith's transmit-all-stores policy).",
+               "E13 (cache consistency)"),
+    MetricSpec("multi.nodes", "gauge", "count",
+               "Number of processor nodes sharing the bus (the paper "
+               "targets 6-10).", "E13 (multiprocessor endgame)"),
+    MetricSpec("multi.bus.wait.length", "histogram", "cycles",
+               "Distribution of individual bus-wait episode lengths "
+               "observed by the per-node cycle tracers.",
+               "E13 (bus bandwidth)"),
 )
 
 #: name -> spec, for validation and documentation lookups

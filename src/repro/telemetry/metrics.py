@@ -225,6 +225,29 @@ def collect_machine(machine, metrics: Optional[Metrics] = None) -> Metrics:
     return metrics
 
 
+def collect_multi(system, metrics: Optional[Metrics] = None) -> Metrics:
+    """Harvest a :class:`~repro.multi.system.MultiMachine` into one registry.
+
+    Every node is harvested through :func:`collect_machine` (counters
+    sum across nodes, exactly the aggregation rule the harness uses for
+    jobs), then the shared-bus counters land under the ``multi.*``
+    catalog names and the derived gauges are recomputed from the summed
+    totals.  Per-node views remain available by calling
+    :func:`collect_machine` on ``system.machines[i]`` directly.
+    """
+    metrics = metrics if metrics is not None else Metrics()
+    for machine in system.machines:
+        collect_machine(machine, metrics)
+    metrics.counter("multi.cycles").inc(system.cycles)
+    metrics.counter("multi.bus.acquisitions").inc(system.bus.acquisitions)
+    metrics.counter("multi.bus.contention_cycles").inc(
+        system.bus.contention_cycles)
+    metrics.counter("multi.bus.invalidations").inc(system.bus.invalidations)
+    metrics.gauge("multi.nodes").set(len(system.machines))
+    set_derived_gauges(metrics)
+    return metrics
+
+
 def set_derived_gauges(metrics: Metrics) -> None:
     """(Re)compute the catalogued derived gauges from the counters.
 

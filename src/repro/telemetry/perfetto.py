@@ -11,7 +11,8 @@ Timebase: **1 clock cycle = 1 microsecond** of trace time (``ts``/
 clock a real cycle is 50 ns; the 20x inflation is deliberate so cycle
 boundaries stay legible at default zoom.
 
-Track layout (``pid`` 1, ``tid`` below):
+Track layout (``pid`` 1 for a single core; a multiprocessor export
+uses one pid per node, ``pid = node index + 1``):
 
 ====  ======================  =========================================
 tid   track                   contents
@@ -21,16 +22,22 @@ tid   track                   contents
 7     Ecache late-miss stall  ``X`` slices, one per late-miss span
 8     events                  ``i`` instants: branch squashes,
                               exceptions
+9     Bus wait                ``X`` slices, one per bus-contention
+                              episode (multiprocessor traces only)
 ====  ======================  =========================================
 
 :func:`validate_trace_events` is the schema gate the tests and the
 ``repro trace`` CLI run before writing anything to disk.
+:func:`multi_trace_events` renders one
+:class:`~repro.telemetry.tracer.CycleTracer` per node of a
+:class:`~repro.multi.system.MultiMachine` into a single payload so
+cross-node stall interleaving is visible on one timeline.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List
+from typing import Any, Dict, Iterable, List
 
 from repro.telemetry.tracer import STAGES, CycleTracer
 
@@ -38,20 +45,22 @@ from repro.telemetry.tracer import STAGES, CycleTracer
 CORE_PID = 1
 #: tid of the first pipestage track (IF); stage k maps to tid k+1
 STAGE_TID_BASE = 1
-#: tids for the two stall tracks and the instant-event track
-STALL_TIDS = {"icache_miss": 6, "ecache_late_miss": 7}
+#: tids for the stall tracks and the instant-event track
+STALL_TIDS = {"icache_miss": 6, "ecache_late_miss": 7, "bus_wait": 9}
 EVENT_TID = 8
 
 #: display names for the stall tracks
 _STALL_TRACK_NAMES = {"icache_miss": "Icache miss stall",
-                      "ecache_late_miss": "Ecache late-miss stall"}
+                      "ecache_late_miss": "Ecache late-miss stall",
+                      "bus_wait": "Bus wait"}
 
 
-def _metadata_events() -> List[Dict[str, Any]]:
-    """Process/thread-name ``M`` events that label the tracks."""
+def _metadata_events(pid: int, process_name: str,
+                     bus_track: bool = False) -> List[Dict[str, Any]]:
+    """Process/thread-name ``M`` events that label one process's tracks."""
     events: List[Dict[str, Any]] = [{
-        "name": "process_name", "ph": "M", "pid": CORE_PID, "tid": 0,
-        "ts": 0, "args": {"name": "MIPS-X core"},
+        "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+        "ts": 0, "args": {"name": process_name},
     }]
     names = {STAGE_TID_BASE + k: f"{k + 1}. {stage}"
              for k, stage in enumerate(STAGES)}
@@ -59,20 +68,17 @@ def _metadata_events() -> List[Dict[str, Any]]:
     names[STALL_TIDS["ecache_late_miss"]] = (
         _STALL_TRACK_NAMES["ecache_late_miss"])
     names[EVENT_TID] = "events"
+    if bus_track:
+        names[STALL_TIDS["bus_wait"]] = _STALL_TRACK_NAMES["bus_wait"]
     for tid, name in sorted(names.items()):
-        events.append({"name": "thread_name", "ph": "M", "pid": CORE_PID,
+        events.append({"name": "thread_name", "ph": "M", "pid": pid,
                        "tid": tid, "ts": 0, "args": {"name": name}})
     return events
 
 
-def trace_events(tracer: CycleTracer) -> Dict[str, Any]:
-    """Render a :class:`CycleTracer`'s ring buffers as trace JSON.
-
-    Returns the ``{"traceEvents": [...]}`` payload;
-    :func:`write_trace` serialises it, :func:`validate_trace_events`
-    schema-checks it.
-    """
-    events = _metadata_events()
+def _tracer_events(tracer: CycleTracer, pid: int) -> List[Dict[str, Any]]:
+    """One tracer's ring buffers as ``X``/``i`` events under ``pid``."""
+    events: List[Dict[str, Any]] = []
     for record in tracer.records:
         label = record.text
         if record.squashed:
@@ -83,7 +89,7 @@ def trace_events(tracer: CycleTracer) -> Dict[str, Any]:
             start, end = span
             events.append({
                 "name": label, "ph": "X", "cat": "pipeline",
-                "pid": CORE_PID, "tid": STAGE_TID_BASE + stage,
+                "pid": pid, "tid": STAGE_TID_BASE + stage,
                 "ts": start, "dur": end - start + 1,
                 "args": {"pc": f"{record.pc:#x}", "stage": STAGES[stage],
                          "squashed": record.squashed},
@@ -91,20 +97,55 @@ def trace_events(tracer: CycleTracer) -> Dict[str, Any]:
     for kind, start, end in tracer.stall_spans:
         events.append({
             "name": _STALL_TRACK_NAMES[kind], "ph": "X", "cat": "stall",
-            "pid": CORE_PID, "tid": STALL_TIDS[kind],
+            "pid": pid, "tid": STALL_TIDS[kind],
             "ts": start, "dur": end - start + 1,
             "args": {"cycles": end - start + 1},
         })
     for cycle, name, args in tracer.instants:
         events.append({
             "name": name, "ph": "i", "cat": "event", "s": "t",
-            "pid": CORE_PID, "tid": EVENT_TID, "ts": cycle,
+            "pid": pid, "tid": EVENT_TID, "ts": cycle,
             "args": dict(args),
         })
+    return events
+
+
+def trace_events(tracer: CycleTracer) -> Dict[str, Any]:
+    """Render a :class:`CycleTracer`'s ring buffers as trace JSON.
+
+    Returns the ``{"traceEvents": [...]}`` payload;
+    :func:`write_trace` serialises it, :func:`validate_trace_events`
+    schema-checks it.
+    """
+    has_bus = any(kind == "bus_wait" for kind, _, _ in tracer.stall_spans)
+    events = _metadata_events(CORE_PID, "MIPS-X core", bus_track=has_bus)
+    events.extend(_tracer_events(tracer, CORE_PID))
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
         "otherData": {"clock": "1 us = 1 cycle",
+                      "source": "repro.telemetry.perfetto"},
+    }
+
+
+def multi_trace_events(tracers: Iterable[CycleTracer]) -> Dict[str, Any]:
+    """Render per-node tracers as one payload, one pid per node.
+
+    ``tracers[k]`` becomes process ``pid = k + 1`` named ``node k``;
+    every node carries the full track layout including the bus-wait
+    track, so cross-node stall interleaving (one node's Ecache miss
+    freezing its neighbours on the bus) lines up on a shared timeline.
+    """
+    events: List[Dict[str, Any]] = []
+    for index, tracer in enumerate(tracers):
+        pid = index + 1
+        events.extend(_metadata_events(pid, f"node {index}",
+                                       bus_track=True))
+        events.extend(_tracer_events(tracer, pid))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "1 us = 1 global cycle",
                       "source": "repro.telemetry.perfetto"},
     }
 
@@ -156,6 +197,22 @@ def write_trace(path, tracer: CycleTracer) -> Dict[str, Any]:
     :func:`validate_trace_events`; returns the payload on success.
     """
     payload = trace_events(tracer)
+    problems = validate_trace_events(payload)
+    if problems:
+        raise ValueError("invalid trace payload: " + "; ".join(problems))
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+    return payload
+
+
+def write_multi_trace(path, tracers: Iterable[CycleTracer]) -> Dict[str, Any]:
+    """Validate and write a per-node multiprocessor trace to ``path``.
+
+    The multiprocessor analogue of :func:`write_trace`: same schema
+    gate, one pid per node (see :func:`multi_trace_events`).
+    """
+    payload = multi_trace_events(tracers)
     problems = validate_trace_events(payload)
     if problems:
         raise ValueError("invalid trace payload: " + "; ".join(problems))

@@ -39,6 +39,7 @@ STAGES = ("IF", "RF", "ALU", "MEM", "WB")
 STALL_KINDS = {
     "icache_miss": "pipeline.stall.icache_miss.length",
     "ecache_late_miss": "pipeline.stall.ecache_late_miss.length",
+    "bus_wait": "multi.bus.wait.length",
 }
 
 
@@ -163,21 +164,40 @@ class CycleTracer:
     def step(self, cycles: int = 1) -> None:
         """Advance the machine ``cycles`` clock cycles, recording each."""
         pipeline = self.machine.pipeline
-        stats = pipeline.stats
         for _ in range(cycles):
             if pipeline.halted:
                 break
-            icache_stalls = stats.icache_stall_cycles
-            data_stalls = stats.data_stall_cycles
+            before = self.begin_cycle()
             pipeline.cycle()
-            cycle = stats.cycles
-            if stats.icache_stall_cycles != icache_stalls:
-                self._stall_cycle("icache_miss", cycle)
-            elif stats.data_stall_cycles != data_stalls:
-                self._stall_cycle("ecache_late_miss", cycle)
-            else:
-                self._close_stall()
-            self._observe_stages(pipeline, cycle)
+            self.end_cycle(before)
+
+    def begin_cycle(self) -> Tuple[int, int]:
+        """Snapshot the stall counters before an externally-driven cycle.
+
+        For drivers that own the clock (``MultiMachine``): call this,
+        execute exactly one ``pipeline.cycle()`` (or ``machine.step()``)
+        yourself, then hand the returned snapshot to :meth:`end_cycle`.
+        """
+        stats = self.machine.pipeline.stats
+        return (stats.icache_stall_cycles, stats.data_stall_cycles)
+
+    def end_cycle(self, before: Tuple[int, int]) -> None:
+        """Classify and record the cycle an external driver just ran."""
+        pipeline = self.machine.pipeline
+        stats = pipeline.stats
+        cycle = stats.cycles
+        icache_stalls, data_stalls = before
+        if stats.icache_stall_cycles != icache_stalls:
+            self._stall_cycle("icache_miss", cycle)
+        elif stats.data_stall_cycles != data_stalls:
+            self._stall_cycle("ecache_late_miss", cycle)
+        else:
+            self._close_stall()
+        self._observe_stages(pipeline, cycle)
+
+    def observe_wait(self, cycle: int) -> None:
+        """Record one bus-wait cycle (node frozen on a contended bus)."""
+        self._stall_cycle("bus_wait", cycle)
 
     def run(self, max_cycles: int = 10_000_000):
         """Run to halt (or ``max_cycles``), then finalize open spans.

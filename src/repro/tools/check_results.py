@@ -28,13 +28,17 @@ campaign itself recorded unexplained divergences or harness failures
 an aggregated ``METRICS_summary.json`` (see :mod:`repro.telemetry`):
 counter-derived CPI must equal the analysis-module CPI for every
 workload, and the counter accounting identities must hold on each
-snapshot and on the suite totals.
+snapshot and on the suite totals.  ``--multi PATH`` validates the
+``multi`` section a ``repro bench --multi`` run writes: every scaling
+point self-checked, results bit-equal to the single-node reference,
+``speedup(N=1) == 1.0``, bus contention monotone in the node count, and
+a psieve speedup floor at 4 nodes.
 
 Usage::
 
     PYTHONPATH=src python -m repro.tools.check_results [--trace-length N]
         [--bench-file BENCH_pipeline.json] [--fuzz-file FUZZ_campaign.json]
-        [--metrics-file METRICS_summary.json]
+        [--metrics-file METRICS_summary.json] [--multi BENCH_pipeline.json]
 """
 
 from __future__ import annotations
@@ -177,6 +181,138 @@ def check_metrics_file(path: pathlib.Path) -> List[str]:
             failures.append(
                 f"metrics file: derived gauge '{name}' is {recorded!r}, "
                 f"but the summed counters derive to {expected!r}")
+    return failures
+
+
+#: keys a complete multi section must carry
+MULTI_KEYS = ("jobs", "ok", "failures", "rows", "curves")
+
+#: keys every multi row must carry
+MULTI_ROW_KEYS = ("workload", "nodes", "bus_latency", "invalidation",
+                  "cycles", "bus", "result", "result_ok")
+
+#: minimum psieve speedup at 4 nodes (measured: ~1.56 at the quick size,
+#: ~2.25 at the full size -- below 1.2 the bus or barrier regressed)
+MULTI_PSIEVE_N4_SPEEDUP = 1.2
+
+
+def check_multi_file(path: pathlib.Path) -> List[str]:
+    """Validate the ``multi`` section of a bench telemetry file.
+
+    Structural problems read as named-section messages (like
+    :func:`check_bench_file`, never a ``KeyError`` traceback).  A
+    structurally sound section still fails when the multiprocessor
+    results are wrong:
+
+    * **job failures** -- every scaling point must have completed;
+    * **self-check** -- every row's ``result_ok`` (the workload's
+      console output against the independently computed expectation);
+    * **node-count invariance** -- the parallel workloads report the
+      same result at every node count, so all rows of one workload must
+      be bit-equal to the single-node reference;
+    * **speedup identity** -- each curve's baseline (smallest node
+      count) must have speedup exactly 1.0, and an ``N=1`` row can only
+      be that baseline;
+    * **contention monotonicity** -- at fixed bus latency, bus
+      contention cycles must not decrease as nodes are added;
+    * **measured scaling** -- when a psieve curve (bus latency 0,
+      invalidation on) reaches 4 nodes, its speedup must clear
+      :data:`MULTI_PSIEVE_N4_SPEEDUP`.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        return [f"multi file {path} does not exist "
+                "(run `repro bench --multi`)"]
+    try:
+        payload = json.loads(path.read_text())
+    except ValueError as exc:
+        return [f"multi file {path} is not valid JSON: {exc}"]
+    if not isinstance(payload, dict):
+        return [f"multi file {path}: top level must be an object, "
+                f"got {type(payload).__name__}"]
+    multi = payload.get("multi")
+    if not isinstance(multi, dict):
+        return ["multi file: section 'multi' is missing or not an object "
+                "(was the bench run started with --multi?)"]
+    failures = []
+    for key in MULTI_KEYS:
+        if key not in multi:
+            failures.append(f"multi file: section 'multi' is missing "
+                            f"key '{key}'")
+    if failures:
+        return failures
+    for job_id in multi["failures"]:
+        failures.append(f"multi file: scaling point '{job_id}' failed "
+                        "in the harness")
+    rows = multi["rows"]
+    if not isinstance(rows, dict) or not rows:
+        failures.append("multi file: section 'multi' has no rows "
+                        "(empty sweep?)")
+        return failures
+    by_workload: dict = {}
+    for job_id, row in sorted(rows.items()):
+        if not isinstance(row, dict):
+            failures.append(f"multi file: row '{job_id}' is not an object")
+            continue
+        missing = [key for key in MULTI_ROW_KEYS if key not in row]
+        if missing:
+            failures.append(f"multi file: row '{job_id}' is missing "
+                            f"{missing}")
+            continue
+        if not row["result_ok"]:
+            failures.append(
+                f"multi file: row '{job_id}' failed its self-check "
+                f"(result {row['result']!r})")
+        by_workload.setdefault(row["workload"], []).append((job_id, row))
+    for workload, entries in sorted(by_workload.items()):
+        entries.sort(key=lambda pair: pair[1]["nodes"])
+        reference_id, reference = entries[0]
+        for job_id, row in entries[1:]:
+            if row["result"] != reference["result"]:
+                failures.append(
+                    f"multi file: row '{job_id}' result "
+                    f"{row['result']!r} differs from the "
+                    f"'{reference_id}' reference "
+                    f"{reference['result']!r} (results must be "
+                    "node-count invariant)")
+    for label, curve in sorted(multi["curves"].items()):
+        if not isinstance(curve, dict):
+            failures.append(f"multi file: curve '{label}' is not an object")
+            continue
+        nodes = curve.get("nodes", [])
+        speedup = curve.get("speedup", [])
+        contention = curve.get("contention_cycles", [])
+        if not nodes or not (len(nodes) == len(speedup)
+                             == len(contention)):
+            failures.append(f"multi file: curve '{label}' arrays are "
+                            "empty or misaligned")
+            continue
+        if list(nodes) != sorted(set(nodes)):
+            failures.append(f"multi file: curve '{label}' node counts "
+                            f"{nodes} are not strictly increasing")
+        if speedup[0] != 1.0:
+            failures.append(
+                f"multi file: curve '{label}' baseline speedup is "
+                f"{speedup[0]!r}, must be exactly 1.0")
+        if 1 in nodes and nodes.index(1) != 0:
+            failures.append(
+                f"multi file: curve '{label}' has an N=1 row that is "
+                "not the baseline")
+        for a, b in zip(contention, contention[1:]):
+            if b < a:
+                failures.append(
+                    f"multi file: curve '{label}' contention cycles "
+                    f"{contention} decrease with node count")
+                break
+        if (curve.get("workload") == "psieve"
+                and curve.get("bus_latency") == 0
+                and curve.get("invalidation") and 4 in nodes):
+            measured = speedup[nodes.index(4)]
+            if measured < MULTI_PSIEVE_N4_SPEEDUP:
+                failures.append(
+                    f"multi file: curve '{label}' speedup at 4 nodes is "
+                    f"{measured}, below the {MULTI_PSIEVE_N4_SPEEDUP} "
+                    "floor (bus or barrier regression)")
     return failures
 
 
@@ -417,6 +553,12 @@ def main(argv=None) -> int:
                              "(METRICS_summary.json): counter-derived CPI "
                              "must equal the analysis CPI, and the "
                              "accounting identities must hold")
+    parser.add_argument("--multi", dest="multi_file", type=pathlib.Path,
+                        default=None, metavar="PATH",
+                        help="also validate the 'multi' section of a bench "
+                             "telemetry file: self-checks, node-count "
+                             "invariant results, speedup(N=1)==1.0, "
+                             "monotone bus contention, psieve N=4 speedup")
     args = parser.parse_args(argv)
 
     all_failures: List[str] = []
@@ -438,6 +580,13 @@ def main(argv=None) -> int:
         failures = check_fuzz_file(args.fuzz_file)
         status = "ok" if not failures else "FAIL"
         print(f"[{status:>4}] fuzz campaign report")
+        for failure in failures:
+            print(f"       - {failure}")
+        all_failures.extend(failures)
+    if args.multi_file is not None:
+        failures = check_multi_file(args.multi_file)
+        status = "ok" if not failures else "FAIL"
+        print(f"[{status:>4}] multiprocessor scaling section")
         for failure in failures:
             print(f"       - {failure}")
         all_failures.extend(failures)

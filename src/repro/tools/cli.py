@@ -7,8 +7,10 @@ Usage::
     python -m repro.tools.cli disasm program.s
     python -m repro.tools.cli workload sieve [--stats]
     python -m repro.tools.cli trace sieve [--output TRACE.json]
-    python -m repro.tools.cli bench [--quick] [--workers N]
+    python -m repro.tools.cli trace psieve --nodes 4 [--bus-latency L]
+    python -m repro.tools.cli bench [--quick] [--workers N] [--multi]
     python -m repro.tools.cli faults [--seeds N] [--quick] [--chaos R]
+    python -m repro.tools.cli faults --multi-nodes 4 [--seeds N] [--quick]
     python -m repro.tools.cli fuzz [--seeds N] [--quick] [--max-seconds S]
 
 ``run`` executes assembly on the paper-configuration machine; ``compile``
@@ -19,9 +21,16 @@ tracer (:mod:`repro.telemetry`) and writes Chrome/Perfetto trace JSON
 for ``ui.perfetto.dev`` (see ``docs/OBSERVABILITY.md``).  ``bench``
 runs the benchmark telemetry suite (core
 cycles/sec plus the parallel experiment sweep) and writes
-``BENCH_pipeline.json`` at the repo root.  ``faults`` runs a seeded
-fault-injection campaign (see :mod:`repro.faults`) across the parallel
-runner and writes ``FAULTS_campaign.json``.  ``fuzz`` runs a seeded
+``BENCH_pipeline.json`` at the repo root; ``bench --multi`` adds the
+multiprocessor scaling sweep (nodes x bus latency x invalidation) as the
+payload's ``multi`` section.  ``trace --nodes N`` runs a parallel
+workload on an N-node :class:`~repro.multi.system.MultiMachine` and
+exports one Perfetto process per node so cross-node stall interleaving
+(including bus-wait spans) is visible on one timeline.  ``faults`` runs
+a seeded fault-injection campaign (see :mod:`repro.faults`) across the
+parallel runner and writes ``FAULTS_campaign.json``; ``faults
+--multi-nodes N`` instead runs the node-level multiprocessor campaign
+(:mod:`repro.faults.multi`), writing ``FAULTS_multi.json``.  ``fuzz`` runs a seeded
 differential-fuzzing campaign (see :mod:`repro.fuzz`) cross-checking the
 golden, pipeline, and trace-replay models on generated programs, writing
 ``FUZZ_campaign.json``.
@@ -125,12 +134,52 @@ def cmd_workload(args) -> int:
     return _run_machine(workload.program(), args)
 
 
+def _cmd_trace_multi(args) -> int:
+    """``trace --nodes N``: one Perfetto process per node."""
+    from repro.multi import MultiMachine
+    from repro.telemetry import Metrics, write_multi_trace
+    from repro.workloads.parallel import parallel_program
+
+    try:
+        program = parallel_program(args.target, args.nodes)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 1
+    system = MultiMachine(args.nodes, MachineConfig(),
+                          bus_latency=args.bus_latency)
+    system.load_program(program)
+    metrics = Metrics()
+    tracers = system.attach_tracers(capacity=args.capacity, metrics=metrics)
+    system.run(args.max_cycles)
+    system.metrics(metrics)
+    write_multi_trace(args.output, tracers)
+    records = sum(len(t.records) for t in tracers)
+    spans = sum(len(t.stall_spans) for t in tracers)
+    print(f"multi trace written to {args.output} ({args.nodes} nodes, "
+          f"{records} instruction records, {spans} stall spans, "
+          f"bus: {system.bus.acquisitions} acquisitions / "
+          f"{system.bus.contention_cycles} contention cycles) -- open in "
+          "ui.perfetto.dev")
+    if args.metrics_output:
+        with open(args.metrics_output, "w", encoding="utf-8") as handle:
+            handle.write(metrics.to_json())
+            handle.write("\n")
+        print(f"metrics written to {args.metrics_output}")
+    if not system.all_halted:
+        print(f"warning: did not halt within {args.max_cycles} cycles",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_trace(args) -> int:
     import json
     import os
 
     from repro.telemetry import CycleTracer, Metrics, write_trace
 
+    if args.nodes:
+        return _cmd_trace_multi(args)
     config = perfect_memory_config() if args.ideal else MachineConfig()
     machine = Machine(config)
     machine.attach_coprocessor(Fpu())
@@ -171,24 +220,35 @@ def cmd_trace(args) -> int:
 def cmd_bench(args) -> int:
     from repro.harness.bench import collect, format_summary
 
+    multi_nodes = None
+    if args.multi_nodes:
+        multi_nodes = tuple(int(part) for part
+                            in args.multi_nodes.split(","))
     payload = collect(quick=args.quick, workers=args.workers,
                       parallel=not args.serial_only and not args.traced_only,
                       serial_baseline=(not args.no_serial_baseline
-                                       and not args.traced_only),
+                                       and not args.traced_only
+                                       and not args.multi_only),
                       timeout=args.timeout,
                       output=args.output,
                       traced=not args.no_traced,
                       trace_reuse=not args.no_trace_reuse,
-                      metrics_output=args.metrics_output)
+                      metrics_output=args.metrics_output,
+                      multi=args.multi or bool(args.multi_nodes),
+                      multi_nodes=multi_nodes,
+                      multi_only=args.multi_only)
     print(format_summary(payload))
     failed = [job_id for job_id, row in payload["experiments"].items()
               if row["status"] != "ok"]
+    failed += payload.get("multi", {}).get("failures", [])
     if failed:
         print(f"failed jobs: {', '.join(sorted(failed))}", file=sys.stderr)
     return 1 if failed else 0
 
 
 def cmd_faults(args) -> int:
+    if args.multi_nodes:
+        return _cmd_faults_multi(args)
     from repro.faults.campaign import format_summary, run_campaign
 
     payload = run_campaign(seeds=args.seeds,
@@ -198,6 +258,31 @@ def cmd_faults(args) -> int:
                            chaos_rate=args.chaos,
                            chaos_seed=args.chaos_seed,
                            output=args.output)
+    print(format_summary(payload))
+    print(f"report written to {payload['report_path']}")
+    summary = payload["summary"]
+    if summary["unhandled_jobs"]:
+        print(f"{summary['unhandled_jobs']} campaign job(s) failed in the "
+              "harness (see report)", file=sys.stderr)
+        return 1
+    if summary["violated"]:
+        print(f"{summary['violated']} invariant violation(s) classified "
+              "(see report)", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_faults_multi(args) -> int:
+    """``faults --multi-nodes N``: the node-level multiprocessor campaign
+    (same 0/1/2 exit taxonomy as the single-node campaign)."""
+    from repro.faults.multi import format_summary, run_multi_campaign
+
+    payload = run_multi_campaign(seeds=args.seeds,
+                                 nodes=args.multi_nodes,
+                                 workers=args.workers,
+                                 quick=args.quick,
+                                 parallel=not args.serial,
+                                 output=args.output)
     print(format_summary(payload))
     print(f"report written to {payload['report_path']}")
     summary = payload["summary"]
@@ -305,6 +390,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="perfect-memory machine (pipeline only)")
     p_trace.add_argument("--stats", action="store_true",
                          help="print pipeline statistics")
+    p_trace.add_argument("--nodes", type=int, default=0, metavar="N",
+                         help="run a parallel workload on an N-node "
+                              "multiprocessor: one Perfetto process per "
+                              "node (target must be psieve/pintmm/pring)")
+    p_trace.add_argument("--bus-latency", type=int, default=0, metavar="L",
+                         help="extra global cycles the shared bus stays "
+                              "held after each acquisition (with --nodes)")
     p_trace.add_argument("--max-cycles", type=int, default=10_000_000)
     p_trace.set_defaults(func=cmd_trace)
 
@@ -336,6 +428,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--metrics-output", default=None, metavar="PATH",
                          help="aggregated metrics file (default: "
                               "METRICS_summary.json at the repo root)")
+    p_bench.add_argument("--multi", action="store_true",
+                         help="also run the multiprocessor scaling sweep "
+                              "(nodes x bus latency x invalidation) and "
+                              "write it as the payload's 'multi' section")
+    p_bench.add_argument("--multi-nodes", default=None, metavar="N[,N]",
+                         help="comma-separated node counts for the multi "
+                              "sweep (default 1..10; implies --multi)")
+    p_bench.add_argument("--multi-only", action="store_true",
+                         help="run only the multi sweep (plus the core "
+                              "probe): skip the uniprocessor sweeps and "
+                              "trace replays")
     p_bench.set_defaults(func=cmd_bench)
 
     p_faults = sub.add_parser(
@@ -365,6 +468,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_faults.add_argument("--output", default=None, metavar="PATH",
                           help="report file (default: FAULTS_campaign.json "
                                "at the repo root)")
+    p_faults.add_argument("--multi-nodes", type=int, default=0, metavar="N",
+                          help="run the node-level multiprocessor campaign "
+                               "on N-node systems instead (flip one node's "
+                               "Icache valid bits / corrupt its Ecache "
+                               "tags mid-run; report: FAULTS_multi.json)")
     p_faults.set_defaults(func=cmd_faults)
 
     p_fuzz = sub.add_parser(

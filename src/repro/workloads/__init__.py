@@ -22,6 +22,9 @@ from repro.reorg.reorganizer import ReorgResult, reorganize
 from repro.workloads.extra import EXTRA_PROGRAMS, EXTRA_TEXT
 from repro.workloads.fp import dot_product_source, saxpy_source
 from repro.workloads.lisp import LISP_PROGRAMS
+from repro.workloads.parallel import (PARALLEL_PROGRAMS, PARALLEL_WORKLOADS,
+                                      expected_console, parallel_program,
+                                      parallel_source)
 from repro.workloads.stanford import PASCAL_PROGRAMS
 
 
@@ -72,6 +75,13 @@ def _registry() -> Dict[str, Workload]:
     workloads["fp_saxpy"] = Workload(
         name="fp_saxpy", category="fp", source=saxpy_source(),
         is_assembly=True, needs_fpu=True)
+    # single-node builds of the parallel suite: correctness coverage on
+    # the uniprocessor; the multiprocessor runs them via
+    # repro.workloads.parallel.parallel_program at higher node counts
+    for name, (source, expected) in PARALLEL_PROGRAMS.items():
+        workloads[name] = Workload(
+            name=name, category="parallel", source=source,
+            expected=tuple(expected))
     return workloads
 
 
@@ -87,6 +97,11 @@ FP_SUITE: List[str] = [name for name, w in WORKLOADS.items()
 #: suites (see EXPERIMENTS.md)
 EXTRA_SUITE: List[str] = [name for name, w in WORKLOADS.items()
                           if w.category == "extra"]
+#: parallel workloads (single-node builds); the multi-scaling sweep runs
+#: them at N nodes, and they stay out of the calibrated uniprocessor
+#: experiment suites
+PARALLEL_SUITE: List[str] = [name for name, w in WORKLOADS.items()
+                             if w.category == "parallel"]
 
 
 def get(name: str) -> Workload:
@@ -129,10 +144,15 @@ __all__ = [
     "EXTRA_TEXT",
     "FP_SUITE",
     "LISP_SUITE",
+    "PARALLEL_SUITE",
+    "PARALLEL_WORKLOADS",
     "PASCAL_SUITE",
     "WORKLOADS",
     "Workload",
     "cached_program",
+    "expected_console",
     "get",
+    "parallel_program",
+    "parallel_source",
     "run_workload",
 ]

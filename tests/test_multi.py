@@ -57,9 +57,9 @@ counter: .word 0
 """
 
 
-def run_peterson(config):
+def run_peterson(config, **kwargs):
     program = assemble(PETERSON)
-    system = MultiMachine(2, config)
+    system = MultiMachine(2, config, **kwargs)
     system.load_program(program)
     system.run(5_000_000)
     assert system.all_halted
@@ -76,6 +76,14 @@ class TestMutualExclusion:
         assert counter == 100
         # caches were actively invalidated by the write-through broadcast
         assert system.bus.invalidations > 0
+
+    def test_peterson_holds_under_bus_latency(self):
+        """Mutual exclusion is a *correctness* property: stretching bus
+        occupancy reshuffles the interleaving but must not lose
+        updates."""
+        system, counter = run_peterson(MachineConfig(), bus_latency=4)
+        assert counter == 100
+        assert system.bus.contention_cycles > 0
 
     def test_without_lock_updates_are_lost(self):
         """The control experiment: racing increments lose updates, which
@@ -279,3 +287,309 @@ class TestBusModel:
         system.load_program(assemble(source))
         system.run(100_000)
         assert sorted(system.console.values) == [0, 1, 2]
+
+    def test_memory_must_hold_the_node_stacks(self):
+        """config.memory_words has to leave room for the per-node stacks
+        below the conventional stack top -- a clear error, not a silent
+        out-of-range store at runtime."""
+        from repro.lang.codegen import STACK_TOP
+
+        config = MachineConfig()
+        config.memory_words = STACK_TOP // 2
+        with pytest.raises(ValueError, match="memory_words"):
+            MultiMachine(4, config)
+
+    def test_bus_latency_validation(self):
+        with pytest.raises(ValueError):
+            MultiMachine(2, bus_latency=-1)
+
+    def test_bus_latency_zero_is_the_plain_bus(self):
+        """bus_latency=0 must be behavior-identical to the pre-knob bus:
+        an owner releases as soon as its stall drains."""
+        plain, counter_plain = run_peterson(MachineConfig())
+        knob, counter_knob = run_peterson(MachineConfig(), bus_latency=0)
+        assert counter_plain == counter_knob == 100
+        assert plain.cycles == knob.cycles
+        assert (plain.bus.contention_cycles == knob.bus.contention_cycles)
+
+
+class TestSequentialConsistency:
+    DEKKER = """
+    ; the classic store-buffering litmus: each node raises its own flag,
+    ; then reads the other's.  Under sequential consistency at least one
+    ; node must observe the other's store -- (0, 0) is forbidden.
+    _start:
+        la  t0, x
+        add t0, t0, gp     ; &x[me]
+        li  t1, 1
+        st  t1, 0(t0)      ; x[me] := 1
+        la  t2, x
+        li  t3, 1
+        sub t3, t3, gp
+        add t2, t2, t3     ; &x[other]
+        ld  t4, 0(t2)
+        nop
+        li  a0, 0x3FFFF0
+        st  t4, 0(a0)
+        halt
+    x: .space 2
+    """
+
+    def test_store_buffering_outcome_is_forbidden(self):
+        system = MultiMachine(2, perfect_memory_config())
+        system.load_program(assemble(self.DEKKER))
+        system.run(100_000)
+        assert system.all_halted
+        assert sorted(system.console.values) != [0, 0]
+        # stronger: a store lands in the shared image within its global
+        # cycle, so two lockstep nodes that both store before loading
+        # each observe the other's write
+        assert system.console.values == [1, 1]
+
+
+class TestParallelWorkloads:
+    """The SPL parallel suite on real multiprocessors (reduced sizes)."""
+
+    @pytest.mark.parametrize("name", ["psieve", "pintmm", "pring"])
+    @pytest.mark.parametrize("ncpu", [1, 2, 4])
+    def test_self_checking_result_on_n_nodes(self, name, ncpu):
+        from repro.workloads.parallel import (QUICK_SIZES, expected_console,
+                                              parallel_program)
+
+        size = QUICK_SIZES[name]
+        system = MultiMachine(ncpu, MachineConfig())
+        system.load_program(parallel_program(name, ncpu, size))
+        system.run(20_000_000)
+        assert system.all_halted
+        assert (system.console.values
+                == expected_console(name, ncpu, size))
+
+    def test_psieve_speeds_up_on_4_nodes(self):
+        from repro.harness.experiments import multi_scaling_point
+
+        single = multi_scaling_point("psieve", 1, size=240)
+        quad = multi_scaling_point("psieve", 4, size=240)
+        assert single["result_ok"] and quad["result_ok"]
+        assert quad["cycles"] * 1.2 < single["cycles"]
+
+    def test_single_node_timing_is_unchanged_by_the_bus(self):
+        """speedup(N=1) == 1.0 by construction: one node can never
+        contend, so the multi wrapper must add zero cycles over the
+        node's own run."""
+        from repro.harness.experiments import multi_scaling_point
+
+        point = multi_scaling_point("pring", 1, size=8)
+        assert point["cycles"] == point["node_cycles"][0]
+        assert point["bus"]["contention_cycles"] == 0
+
+
+class TestMultiBenchSection:
+    def _jobs(self):
+        from repro.harness.runner import Job
+
+        return [
+            Job(id=f"multi/psieve-n{n:02d}-bus0-inv",
+                fn="repro.harness.experiments:multi_scaling_point",
+                params={"workload": "psieve", "nodes": n, "size": 120},
+                timeout=120.0,
+                sweep="multi-scaling")
+            for n in (1, 2)
+        ]
+
+    def test_serial_and_parallel_sections_are_byte_identical(self):
+        """The ``multi`` BENCH section carries no wall-clock fields, so
+        fanning the sweep across worker processes must aggregate to the
+        same bytes as running it serially."""
+        import json
+
+        from repro.harness.bench import build_multi_section
+        from repro.harness.runner import Runner
+
+        runner = Runner(max_workers=2)
+        jobs = self._jobs()
+        serial = build_multi_section(runner.run(jobs, parallel=False))
+        parallel = build_multi_section(runner.run(jobs, parallel=True))
+        assert (json.dumps(serial, sort_keys=True)
+                == json.dumps(parallel, sort_keys=True))
+        assert serial["ok"] == 2 and not serial["failures"]
+        curve = serial["curves"]["psieve/bus0/inv"]
+        assert curve["nodes"] == [1, 2]
+        assert curve["speedup"][0] == 1.0
+
+    def test_check_multi_gate_failure_modes(self, tmp_path):
+        """The --multi gate reports named failures, never KeyErrors."""
+        import copy
+        import json
+
+        from repro.tools.check_results import check_multi_file
+
+        rows = {
+            f"multi/psieve-n{n:02d}-bus0-inv": {
+                "workload": "psieve", "nodes": n, "bus_latency": 0,
+                "invalidation": True, "size": 120, "cycles": cycles,
+                "node_cycles": [cycles] * n, "instructions": 100,
+                "bus": {"acquisitions": n, "contention_cycles": n - 1,
+                        "invalidations": 0},
+                "result": [30], "result_ok": True,
+            }
+            for n, cycles in ((1, 1000), (2, 700), (4, 500))
+        }
+        good = {"multi": {
+            "schema": 1, "jobs": 3, "ok": 3, "failures": [],
+            "rows": rows,
+            "curves": {"psieve/bus0/inv": {
+                "workload": "psieve", "bus_latency": 0,
+                "invalidation": True, "nodes": [1, 2, 4],
+                "cycles": [1000, 700, 500],
+                "speedup": [1.0, 1.428571, 2.0],
+                "acquisitions": [1, 2, 4],
+                "contention_cycles": [0, 1, 3],
+                "invalidations": [0, 0, 0],
+            }},
+        }}
+
+        def verdict(mutate):
+            payload = copy.deepcopy(good)
+            mutate(payload)
+            path = tmp_path / "bench.json"
+            path.write_text(json.dumps(payload))
+            return check_multi_file(path)
+
+        assert verdict(lambda p: None) == []
+        assert verdict(lambda p: p.pop("multi"))
+        assert verdict(lambda p: p["multi"].pop("curves"))
+        curves = "psieve/bus0/inv"
+
+        def bad_baseline(p):
+            p["multi"]["curves"][curves]["speedup"][0] = 1.01
+
+        def contention_drop(p):
+            p["multi"]["curves"][curves]["contention_cycles"][2] = 0
+
+        def result_drift(p):
+            p["multi"]["rows"]["multi/psieve-n04-bus0-inv"][
+                "result"] = [31]
+
+        def failed_check(p):
+            p["multi"]["rows"]["multi/psieve-n02-bus0-inv"][
+                "result_ok"] = False
+
+        def slow_n4(p):
+            p["multi"]["curves"][curves]["speedup"][2] = 1.1
+
+        def job_failure(p):
+            p["multi"]["failures"] = ["multi/psieve-n08-bus0-inv"]
+
+        for mutate in (bad_baseline, contention_drop, result_drift,
+                       failed_check, slow_n4, job_failure):
+            failures = verdict(mutate)
+            assert failures, mutate.__name__
+            assert all("Error" not in f for f in failures)
+
+
+class TestMultiObservability:
+    def _traced_system(self, metrics=None):
+        from repro.workloads.parallel import parallel_program
+
+        system = MultiMachine(2, MachineConfig(), bus_latency=2)
+        system.load_program(parallel_program("pring", 2, 8))
+        tracers = system.attach_tracers(metrics=metrics)
+        system.run(2_000_000)
+        assert system.all_halted
+        return system, tracers
+
+    def test_one_perfetto_process_per_node(self, tmp_path):
+        from repro.telemetry import write_multi_trace
+
+        system, tracers = self._traced_system()
+        path = tmp_path / "trace.json"
+        write_multi_trace(path, tracers)    # schema-validates internally
+        import json
+
+        events = json.loads(path.read_text())["traceEvents"]
+        assert {e["pid"] for e in events} == {1, 2}
+        names = {(e["pid"], e["args"]["name"]) for e in events
+                 if e.get("name") == "process_name"}
+        assert names == {(1, "node 0"), (2, "node 1")}
+        # the bus-wait track exists in every node's metadata
+        threads = {(e["pid"], e["tid"], e["args"]["name"])
+                   for e in events if e.get("name") == "thread_name"}
+        for pid in (1, 2):
+            assert (pid, 9, "Bus wait") in threads
+
+    def test_bus_wait_spans_cover_the_contention(self):
+        system, tracers = self._traced_system()
+        waits = [(start, end) for tracer in tracers
+                 for kind, start, end in tracer.stall_spans
+                 if kind == "bus_wait"]
+        covered = sum(end - start + 1 for start, end in waits)
+        assert covered == system.bus.contention_cycles
+
+    def test_shared_metrics_collects_bus_wait_histogram(self):
+        from repro.telemetry import Metrics
+
+        metrics = Metrics()
+        system, _ = self._traced_system(metrics=metrics)
+        system.metrics(metrics)
+        snapshot = metrics.snapshot()
+        histogram = snapshot["multi.bus.wait.length"]
+        assert histogram["count"] > 0
+
+
+class TestNodeFaults:
+    @pytest.mark.parametrize("fault_class",
+                             ["node-icache-valid", "node-ecache-tag"])
+    def test_node_fault_is_absorbed(self, fault_class):
+        from repro.faults.multi import node_fault_point
+
+        verdict = node_fault_point(0, fault_class, nodes=2, quick=True)
+        assert verdict["status"] in ("absorbed", "not-triggered")
+        assert not verdict["violations"]
+        assert verdict["faulted_cycles"] <= (verdict["golden_cycles"]
+                                             + verdict["cycle_budget"])
+
+    def test_unknown_fault_class_raises(self):
+        from repro.faults.multi import node_fault_point
+
+        with pytest.raises(ValueError):
+            node_fault_point(0, "node-psw-bit", nodes=2, quick=True)
+
+
+class TestCpuid:
+    def test_cpuid_compiles_to_gp_read(self):
+        from repro.lang import compile_spl
+
+        compilation = compile_spl(
+            "program p;\nbegin\n    write(cpuid());\nend.")
+        assert "mov" in compilation.asm_text
+        assert "gp" in compilation.asm_text
+
+    def test_cpuid_rejects_arguments(self):
+        from repro.lang import compile_spl
+        from repro.lang.symbols import SemanticError
+
+        with pytest.raises(SemanticError):
+            compile_spl("program p;\nbegin\n    write(cpuid(1));\nend.")
+
+    def test_node_stack_words_must_be_a_power_of_two(self):
+        from repro.lang import compile_spl
+        from repro.lang.codegen import CompileError
+
+        with pytest.raises(CompileError):
+            compile_spl("program p;\nbegin\n    write(1);\nend.",
+                        node_stack_words=100)
+
+    def test_uniprocessor_sees_id_zero_and_full_stack(self):
+        """gp is 0 on a plain Machine, so the per-node prologue leaves
+        the uniprocessor layout untouched."""
+        from repro.core import Machine
+        from repro.lang import compile_spl
+
+        program = compile_spl(
+            "program p;\nbegin\n    write(cpuid());\nend.",
+            node_stack_words=4096).program()
+        machine = Machine(MachineConfig())
+        machine.load_program(program)
+        machine.run(100_000)
+        assert machine.halted
+        assert machine.console.values == [0]

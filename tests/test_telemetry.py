@@ -77,9 +77,31 @@ class TestCollectMachine:
         machine = _machine()
         machine.run()
         snapshot = machine.metrics().snapshot()
+        # multi.* counters come from the MultiMachine harvest
+        # (collect_multi), not from a single machine
+        counters = {spec.name for spec in CATALOG
+                    if spec.kind == "counter"
+                    and not spec.name.startswith("multi.")}
+        assert counters <= set(snapshot)
+
+    def test_collect_multi_reports_every_catalogued_counter(self):
+        from repro.multi import MultiMachine
+        from repro.workloads.parallel import parallel_program
+
+        system = MultiMachine(2)
+        system.load_program(parallel_program("pring", 2, 8))
+        system.run(2_000_000)
+        assert system.all_halted
+        snapshot = system.metrics().snapshot()
         counters = {spec.name for spec in CATALOG
                     if spec.kind == "counter"}
         assert counters <= set(snapshot)
+        for name in snapshot:
+            assert name in CATALOG_BY_NAME, name
+        assert snapshot["multi.nodes"] == 2
+        assert snapshot["multi.cycles"] == system.cycles
+        assert (snapshot["multi.bus.acquisitions"]
+                == system.bus.acquisitions)
 
     def test_harvest_is_a_pure_read(self):
         machine = _machine()

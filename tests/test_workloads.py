@@ -12,6 +12,7 @@ from repro.workloads import (
     EXTRA_TEXT,
     FP_SUITE,
     LISP_SUITE,
+    PARALLEL_SUITE,
     PASCAL_SUITE,
     WORKLOADS,
     get,
@@ -34,10 +35,11 @@ def golden_output(workload, max_instructions=10_000_000):
 class TestRegistry:
     def test_suites_are_disjoint_and_complete(self):
         union = (set(PASCAL_SUITE) | set(LISP_SUITE) | set(FP_SUITE)
-                 | set(EXTRA_SUITE))
+                 | set(EXTRA_SUITE) | set(PARALLEL_SUITE))
         assert union == set(WORKLOADS)
         assert not set(PASCAL_SUITE) & set(LISP_SUITE)
         assert not set(EXTRA_SUITE) & set(PASCAL_SUITE)
+        assert not set(PARALLEL_SUITE) & set(PASCAL_SUITE)
 
     def test_unknown_name_raises(self):
         with pytest.raises(KeyError):
