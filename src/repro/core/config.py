@@ -92,6 +92,15 @@ class MachineConfig:
     memory_words: int = 1 << 22
     #: Word address at and above which accesses are uncached MMIO.
     mmio_base: int = 0x3FFF00
+    #: Translate hot loops into specialized closures (the translated fast
+    #: path, :mod:`repro.core.translate`).  Cycle-exact and bit-identical
+    #: to the interpretive pipeline; off by default so the interpretive
+    #: path stays the reference behavior.
+    jit: bool = False
+    #: Taken-branch count at a loop head before translation is attempted.
+    jit_threshold: int = 8
+    #: Admission bound on the translation cache (LRU-evicted beyond this).
+    jit_max_blocks: int = 64
 
     @property
     def cycle_ns(self) -> float:

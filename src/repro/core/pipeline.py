@@ -311,9 +311,20 @@ class Pipeline:
         self._nmi_pending = False
         self._cycle_branch_wrong = False
         self._irq_hold = 0
-        self._decode_cache: dict = {}
+        #: decode memos per address space (index 0: user, 1: system),
+        #: keyed by bare word address so a store invalidates its entry
+        #: with one dict pop -- the same O(1) word-address indexing the
+        #: translator's block-invalidation map uses.
+        self._decode_caches: "tuple[dict, dict]" = ({}, {})
         self._decode_enabled = config.decode_cache
-        memory.write_listeners.append(self._invalidate_decode)
+        #: hot-loop translator (the translated fast path); None unless
+        #: ``config.jit`` is on and the config shape is supported.
+        self._translator = None
+        if config.jit:
+            from repro.core.translate import Translator
+            if Translator.supports(config):
+                self._translator = Translator(self)
+        memory.write_listeners.append(self._on_store)
 
     # ------------------------------------------------------------ external
     def reset(self, entry_pc: int = 0) -> None:
@@ -322,6 +333,10 @@ class Pipeline:
         self._halting = False
         self.halted = False
         self._ready_fetch = None
+        if self._translator is not None:
+            # a fresh program image is loaded around reset without firing
+            # store listeners, so translated blocks may be stale
+            self._translator.clear()
 
     def post_interrupt(self, cause_bits: int = 1, nmi: bool = False) -> None:
         """Assert the (off-chip) interrupt request line."""
@@ -331,8 +346,12 @@ class Pipeline:
         else:
             self._irq_pending = True
 
-    def _invalidate_decode(self, address: int, system_mode: bool) -> None:
-        self._decode_cache.pop((system_mode, address), None)
+    def _on_store(self, address: int, system_mode: bool) -> None:
+        """Store listener: one O(1) pop per memo index (self-modifying
+        code re-decodes / re-translates the written word)."""
+        self._decode_caches[1 if system_mode else 0].pop(address, None)
+        if self._translator is not None:
+            self._translator.note_store(address, system_mode)
 
     # ------------------------------------------------------------- decode
     def _decode_at(self, pc: int, system_mode: bool):
@@ -345,9 +364,9 @@ class Pipeline:
         self-modifying code re-decodes.  ``config.decode_cache=False``
         restores decode-on-every-fetch for equivalence testing.
         """
-        key = (system_mode, pc)
+        memo = self._decode_caches[1 if system_mode else 0]
         if self._decode_enabled:
-            cached = self._decode_cache.get(key)
+            cached = memo.get(pc)
             if cached is not None:
                 return cached
         word = self.memory.space(system_mode).read(pc)
@@ -356,7 +375,7 @@ class Pipeline:
         except DecodeError:
             instr = _ILLEGAL_INSTRUCTION
         if self._decode_enabled:
-            self._decode_cache[key] = instr
+            memo[pc] = instr
         return instr
 
     # ---------------------------------------------------------- main cycle
@@ -953,11 +972,38 @@ class Pipeline:
         single-stepping via :meth:`cycle` is unchanged.
         """
         stats = self.stats
+        translator = self._translator
+        if translator is None:
+            while not self.halted and stats.cycles < max_cycles:
+                if self._stall_left > 1:
+                    bulk = min(self._stall_left, max_cycles - stats.cycles)
+                    self._consume_stall_bulk(bulk)
+                    continue
+                self.cycle()
+            return self.stats
+        # Translated fast path: a fetch discontinuity (branch target,
+        # vector, bail continuation) is the only place a translated loop
+        # can start, so hot-head counting and block dispatch live here
+        # and sequential fetches stay on the interpretive path untouched.
+        blocks = translator.blocks
+        dead = translator.dead
+        last_pc = -2
         while not self.halted and stats.cycles < max_cycles:
             if self._stall_left > 1:
                 bulk = min(self._stall_left, max_cycles - stats.cycles)
                 self._consume_stall_bulk(bulk)
                 continue
+            fetch_pc = self.pc_unit.fetch_pc
+            if fetch_pc != last_pc + 1 and self._stall_left == 0:
+                block = blocks.get(fetch_pc)
+                if block is None and fetch_pc not in dead:
+                    translator.note_target(fetch_pc)
+                    block = blocks.get(fetch_pc)
+                if block is not None and translator.try_enter(block,
+                                                              max_cycles):
+                    last_pc = -2
+                    continue
+            last_pc = fetch_pc
             self.cycle()
         return self.stats
 

@@ -1,0 +1,1493 @@
+"""Translated fast path: hot inner loops compiled to Python closures.
+
+The interpretive pipeline dispatches every instruction of every cycle
+through the full stage machinery.  For the loops that dominate simulated
+time this re-derives the same facts -- decode results, bypass routing,
+stall-free Icache hits, per-cycle stat increments -- millions of times.
+This module is the MIPS-X *reorganizer* philosophy applied to the
+simulator itself: move the per-cycle complexity into a one-time software
+precomputation and keep the hot path trivial.
+
+**What gets translated.**  Three block shapes, tried in order when a
+fetch-discontinuity target gets hot:
+
+* a *straight taken-branch loop*: a contiguous run ``head .. head+N-1``
+  whose instruction at ``head+N-3`` is a conditional branch back to
+  ``head`` (so its two delay slots are the last two words of the
+  block).  While such a loop iterates, the five-stage pipeline is in a
+  perfectly periodic regime -- every fetch hits the same Icache lines,
+  every bypass resolves the same way, the PC chain and latches cycle
+  through the same N states.  The compiler proves the periodic schedule
+  once and emits one specialized Python function that replays whole
+  iterations, touching only architectural state;
+* a *phase-rotated loop*: the same periodic regime entered mid-body (a
+  hot branch target that lands after the loop's seam); the PC table
+  carries one wrap and the per-cycle formulas rotate with it;
+* a *linear one-pass block*: a straight-line run entered at any hot
+  fetch discontinuity.  The four in-flight predecessors observed in
+  the stage latches at compile time -- their PCs, squash pattern, and
+  branch outcomes -- become the entry contract; the body extends to
+  the first backward branch plus its two delay slots, and the periodic
+  emission machinery degenerates to the non-wrapping case.  Linear
+  blocks let translated regions *chain*: a loop's fall-through exit
+  re-dispatches into a linear block whose bottom branch enters the
+  next loop.
+
+**Exactness contract.**  Translated execution is cycle-exact and
+bit-identical to the interpretive pipeline: identical
+:class:`~repro.core.pipeline.PipelineStats`, register file, memory,
+MD/PSW, Icache and Ecache statistics and LRU state, and identical
+pipeline latches at every entry/exit boundary.  Anything the closure
+cannot reproduce exactly is either *refused at compile time* (control
+transfers other than the backward branch, coprocessor ops, special-PC
+reads, unbypassable load-use hazards), *guarded at entry* (wrong mode,
+pending interrupts, trace/fault hooks, squash FSM not quiescent, Icache
+lines not resident) or *bailed out mid-block at a cycle boundary* (MMIO
+access, store into a translated region, branch falling through, cycle
+budget).  On every bail the closure materializes the exact latch,
+chain, PC and statistics state the interpreter would have had, so the
+interpretive pipeline resumes seamlessly.
+
+Store invalidation rides the same ``memory.write_listeners`` path that
+already invalidates decode memos: the pipeline's store listener feeds
+:meth:`Translator.note_store`, which kills any block whose words are
+overwritten (self-modifying code) and raises the ``dirty`` flag that
+running closures poll after every store cycle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import MachineConfig
+from repro.core.control import SquashState
+from repro.isa.opcodes import Funct, Opcode, SpecialReg
+
+_NORMAL = SquashState.NORMAL
+_BRANCH_SQUASH = SquashState.BRANCH_SQUASH
+
+#: Longest run of words the block scanner will walk before giving up.
+MAX_BLOCK_WORDS = 64
+
+#: Compute functs the translator can inline (everything here is a pure
+#: register-to-register operation with no control or special-state side
+#: effects besides MD, which is modelled).
+_INLINE_FUNCTS = frozenset({
+    Funct.ADD, Funct.SUB, Funct.AND, Funct.OR, Funct.XOR, Funct.NOT,
+    Funct.SLL, Funct.SRL, Funct.SRA, Funct.ROTL,
+    Funct.MSTEP, Funct.DSTEP, Funct.MOVFRS,
+})
+
+#: Special registers a ``movfrs`` may read inside a block.  PC1..PC3
+#: would need the chain maintained per cycle, so they refuse the block.
+_INLINE_SPECIALS = frozenset({SpecialReg.PSW, SpecialReg.PSWOLD,
+                              SpecialReg.MD})
+
+_BRANCH_EXPR = {
+    Opcode.BEQ: ("==", False),
+    Opcode.BNE: ("!=", False),
+    Opcode.BLT: ("<", True),
+    Opcode.BLE: ("<=", True),
+    Opcode.BGT: (">", True),
+    Opcode.BGE: (">=", True),
+}
+
+_MASK = 0xFFFFFFFF
+_SIGN = 0x80000000
+
+
+@dataclasses.dataclass
+class TranslateStats:
+    """Counters for the translated fast path (``core.translate.*``)."""
+
+    compiled: int = 0        #: blocks successfully translated
+    rejected: int = 0        #: hot heads refused by the compiler
+    entries: int = 0         #: closure activations (guards all passed)
+    entry_rejected: int = 0  #: lookups that hit a block but failed a guard
+    cycles: int = 0          #: machine cycles executed by closures
+    instructions: int = 0    #: instructions retired by closures
+    bails: int = 0           #: mid-block exits (MMIO touch / dirty store)
+    side_exits: int = 0      #: mid-block exits via a taken side branch
+    invalidations: int = 0   #: blocks killed by stores into their words
+    evictions: int = 0       #: blocks evicted by the admission bound
+
+    def as_metrics(self) -> Dict[str, int]:
+        """Counter values under canonical telemetry catalog names."""
+        return {
+            "core.translate.blocks.compiled": self.compiled,
+            "core.translate.blocks.rejected": self.rejected,
+            "core.translate.blocks.invalidated": self.invalidations,
+            "core.translate.blocks.evicted": self.evictions,
+            "core.translate.entries.taken": self.entries,
+            "core.translate.entries.rejected": self.entry_rejected,
+            "core.translate.cycles": self.cycles,
+            "core.translate.instructions": self.instructions,
+            "core.translate.bails": self.bails,
+            "core.translate.side_exits": self.side_exits,
+        }
+
+
+class TranslatedBlock:
+    """One compiled loop: metadata plus the specialized closure."""
+
+    __slots__ = ("head", "mode", "n", "instrs", "fn", "needs_no_ovf",
+                 "max_pass", "lines", "line_segs", "n_segs", "last_used",
+                 "passes", "slot3_squashed", "pcs", "linear", "entry_sq",
+                 "entry_taken", "entry_fsm_squash")
+
+    def __init__(self, head: int, mode: bool, instrs: tuple, fn,
+                 needs_no_ovf: bool, max_pass: int, lines: tuple,
+                 line_segs: tuple = (), n_segs: int = 0,
+                 slot3_squashed: bool = False, pcs: tuple = (),
+                 linear: bool = False, entry_sq: tuple = (),
+                 entry_taken: tuple = (), entry_fsm_squash: bool = False):
+        self.head = head
+        self.mode = mode
+        self.n = len(instrs)
+        self.instrs = instrs
+        #: absolute fetch PC per index.  Straight blocks are contiguous
+        #: (``head .. head+n-1``); rotated blocks have one seam where
+        #: the original loop branch redirects back over the entry.
+        self.pcs = pcs if pcs else tuple(range(head, head + self.n))
+        self.fn = fn
+        self.needs_no_ovf = needs_no_ovf
+        self.max_pass = max_pass
+        #: ((set_index, tag, (word_offsets...)), ...) in fetch order --
+        #: the Icache lines the block spans, probed once per entry.
+        self.lines = lines
+        #: aligned with ``lines``: each line's word offsets grouped by
+        #: fetch segment (-1 = entry segment, k >= 0 = fetched only
+        #: after side branch k falls through).  See ``_segment_lines``.
+        self.line_segs = line_segs
+        self.n_segs = n_segs
+        self.last_used = 0
+        self.passes = 0
+        #: the instruction at n-4 is an annulled delay slot, so at a
+        #: canonical entry the s[3] latch must hold a *squashed* flight.
+        self.slot3_squashed = slot3_squashed
+        #: one-pass straight-line block: indices 0..3 are the four
+        #: *prologue* instructions preceding the entry PC (in the
+        #: latches at entry), indices 4.. are the fetched body, and the
+        #: body ends at a backward branch plus its two delay slots.
+        self.linear = linear
+        #: linear only: which of the four prologue flights must be
+        #: squashed at entry (annulled slots of a prologue squash
+        #: branch that resolved not taken).
+        self.entry_sq = entry_sq
+        #: linear only: the observed taken outcome of each resolved
+        #: prologue branch (indices 0..1; always False elsewhere) --
+        #: part of the entry contract, baked into flight
+        #: materialization at exit sites.
+        self.entry_taken = entry_taken
+        #: linear only: the prologue instruction at index 1 is an active
+        #: squashing branch that resolved not taken one cycle before
+        #: entry, so the squash FSM must be in BRANCH_SQUASH (the
+        #: closure emits the clear on its first cycle).
+        self.entry_fsm_squash = entry_fsm_squash
+
+
+def _segment_lines(lines: tuple, n: int, sides: tuple) -> tuple:
+    """Group each Icache line's word offsets by fetch segment.
+
+    Segment -1 holds the words fetched unconditionally from a canonical
+    entry (up to and including the first side branch's second delay
+    slot); segment ``k >= 0`` holds the words only fetched once side
+    branch ``k`` has resolved not taken.  ``try_enter`` must prove
+    segment -1 resident, while later segments degrade to per-side
+    ``seg_ok`` flags the closure checks at that side's fall-through --
+    a word in a never-taken path may simply never have been fetched,
+    and must not block entry.
+    """
+    if not lines:
+        return ()
+    seg_of = [-1] * n
+    for ordinal, i in enumerate(sides):
+        for w in range(i + 3, n):
+            seg_of[w] = ordinal
+    out = []
+    pos = 0
+    for _, _, words in lines:
+        groups: List[Tuple[int, List[int]]] = []
+        for offset, word in enumerate(words):
+            seg_id = seg_of[pos + offset]
+            if groups and groups[-1][0] == seg_id:
+                groups[-1][1].append(word)
+            else:
+                groups.append((seg_id, [word]))
+        out.append(tuple((seg_id, tuple(ws)) for seg_id, ws in groups))
+        pos += len(words)
+    return tuple(out)
+
+
+class Translator:
+    """Per-pipeline translation cache, hot-loop detector, and compiler."""
+
+    def __init__(self, pipeline):
+        self.pipeline = pipeline
+        config = pipeline.config
+        self.threshold = max(2, config.jit_threshold)
+        self.max_blocks = max(1, config.jit_max_blocks)
+        self.stats = TranslateStats()
+        #: head -> TranslatedBlock, bounded by ``max_blocks`` (LRU).
+        self.blocks: Dict[int, TranslatedBlock] = {}
+        #: taken-branch-target counts awaiting the threshold.
+        self._counts: Dict[int, int] = {}
+        #: heads the compiler refused; never re-scanned until cleared.
+        self.dead: set = set()
+        #: word address -> [heads] per mode, shared invalidation index.
+        self._word_heads: Tuple[dict, dict] = ({}, {})
+        #: raised by :meth:`note_store` when a store lands in any
+        #: translated region; polled by running closures after every
+        #: store cycle, cleared on entry.
+        self.dirty = False
+        self._clock = 0
+        #: bounded span log for the Perfetto "Translated blocks" track;
+        #: populated only while ``record_spans`` is on.
+        self.record_spans = False
+        self.spans: List[dict] = []
+        #: wall seconds spent inside :meth:`_compile` (bench telemetry;
+        #: not a machine-state quantity, never part of equivalence)
+        self.compile_s = 0.0
+
+    # ------------------------------------------------------------ support
+    @staticmethod
+    def supports(config: MachineConfig) -> bool:
+        """Machine shapes the translator can reproduce exactly.
+
+        Two-delay-slot machines only (the 1-slot alternative resolves
+        branches in RF), with either a real Icache (in-block fetches are
+        proven resident, so they are exact zero-stall hits) or fully
+        ideal memory (every fetch and data access is free).
+        """
+        if config.branch_delay_slots != 2:
+            return False
+        if config.icache.enabled:
+            return True
+        return config.icache.miss_cycles == 0 and not config.ecache.enabled
+
+    # ------------------------------------------------------- invalidation
+    def note_store(self, address: int, system_mode: bool) -> None:
+        """A store committed at ``address``: kill overlapping blocks.
+
+        Driven by the pipeline's single store listener (the same O(1)
+        word-address index that invalidates decode memos).  Any running
+        closure sees ``dirty`` and bails at the end of the store's MEM
+        cycle, before the next fetch could observe the new word.
+        """
+        heads = self._word_heads[1 if system_mode else 0].get(address)
+        if heads:
+            self.dirty = True
+            for head in list(heads):
+                self.invalidate(head)
+
+    def invalidate(self, head: int) -> None:
+        """Drop one block and its invalidation-index entries."""
+        block = self.blocks.pop(head, None)
+        if block is None:
+            return
+        index = self._word_heads[1 if block.mode else 0]
+        for address in block.pcs:
+            entry = index.get(address)
+            if entry is not None:
+                if head in entry:
+                    entry.remove(head)
+                if not entry:
+                    del index[address]
+        self.stats.invalidations += 1
+
+    def clear(self) -> None:
+        """Forget everything (called on :meth:`Pipeline.reset`: a fresh
+        program image is loaded without firing store listeners)."""
+        self.blocks.clear()
+        self._counts.clear()
+        self.dead.clear()
+        self._word_heads[0].clear()
+        self._word_heads[1].clear()
+        self.dirty = False
+
+    # ---------------------------------------------------------- discovery
+    def note_target(self, pc: int) -> None:
+        """Count a fetch discontinuity landing on ``pc``; compile at the
+        threshold.  Untranslatable heads go to the dead set so the
+        scanner never re-walks them."""
+        counts = self._counts
+        count = counts.get(pc, 0) + 1
+        if count < self.threshold:
+            if len(counts) >= 4096:
+                counts.clear()
+            counts[pc] = count
+            return
+        counts.pop(pc, None)
+        started = time.perf_counter()
+        block = self._compile(pc)
+        self.compile_s += time.perf_counter() - started
+        if block is None:
+            self.stats.rejected += 1
+            if len(self.dead) >= 65536:
+                self.dead.clear()
+            self.dead.add(pc)
+            return
+        self._admit(block)
+        self.stats.compiled += 1
+
+    def _admit(self, block: TranslatedBlock) -> None:
+        if len(self.blocks) >= self.max_blocks:
+            victim = min(self.blocks.values(), key=lambda b: b.last_used)
+            self.invalidate(victim.head)
+            self.stats.invalidations -= 1
+            self.stats.evictions += 1
+        self._clock += 1
+        block.last_used = self._clock
+        self.blocks[block.head] = block
+        index = self._word_heads[1 if block.mode else 0]
+        for address in block.pcs:
+            index.setdefault(address, []).append(block.head)
+
+    # -------------------------------------------------------------- entry
+    def try_enter(self, block: TranslatedBlock, max_cycles: int) -> bool:
+        """Run the block's closure if every entry guard holds.
+
+        The canonical entry point is the cycle boundary at which the
+        loop branch has just been resolved taken: the latches hold the
+        block's last four instructions at known stage ages and the fetch
+        PC is back at ``head``.  Everything the closure assumes constant
+        is (re)checked here; the Icache ways backing the block are
+        gathered for the deferred LRU touches.
+        """
+        pipe = self.pipeline
+        stats = self.stats
+        psw = pipe.psw
+        n = block.n
+        head = block.head
+        budget = max_cycles - pipe.stats.cycles
+        if (budget < block.max_pass
+                or psw.system_mode is not block.mode
+                or not psw.shift_enabled
+                or (block.needs_no_ovf and psw.trap_on_overflow)
+                or pipe.trace is not None
+                or pipe.fault_hook is not None
+                or pipe._halting or pipe.halted
+                or pipe._stall_left != 0
+                or pipe._ready_fetch is not None
+                or pipe._irq_hold != 0
+                or pipe._irq_pending or pipe._nmi_pending
+                or pipe.pc_unit._redirect != -1
+                or pipe.squash_fsm.state is not (
+                    _BRANCH_SQUASH if block.entry_fsm_squash else _NORMAL)
+                or pipe.memory.mmu.enabled):
+            stats.entry_rejected += 1
+            return False
+        s = pipe.s
+        instrs = block.instrs
+        pcs = block.pcs
+        if block.linear:
+            # One-pass entry: the latches must reproduce the prologue
+            # observed at compile time -- the four in-flight
+            # predecessors (indices 0..3) with the same PCs, squash
+            # pattern and branch outcomes.
+            entry_sq = block.entry_sq
+            entry_taken = block.entry_taken
+            for latch, idx in ((0, 3), (1, 2), (2, 1), (3, 0)):
+                flight = s[latch]
+                if (flight is None
+                        or flight.squashed != entry_sq[idx]
+                        or flight.pc != pcs[idx]
+                        or not (flight.instr is instrs[idx]
+                                or flight.instr == instrs[idx])):
+                    stats.entry_rejected += 1
+                    return False
+            # Prologue branches at 0..1 resolved before entry: their
+            # observed outcome is baked into the closure's exit-site
+            # flights.  Index 0's memory access already ran its MEM
+            # stage; index 1's runs on the first in-block cycle, so it
+            # must still be pending and must not touch MMIO space
+            # (the closure accesses backing storage directly).
+            for latch, idx in ((2, 1), (3, 0)):
+                if (not entry_sq[idx]
+                        and instrs[idx].opcode in _BRANCH_EXPR
+                        and bool(s[latch].taken) != entry_taken[idx]):
+                    stats.entry_rejected += 1
+                    return False
+            if (not entry_sq[0] and instrs[0].is_memory_access
+                    and not s[3].mem_resolved):
+                stats.entry_rejected += 1
+                return False
+            if (not entry_sq[1] and instrs[1].is_memory_access
+                    and (s[2].mem_resolved
+                         or s[2].mem_address >= pipe.config.mmio_base)):
+                stats.entry_rejected += 1
+                return False
+        else:
+            for latch, idx in ((0, n - 1), (1, n - 2), (2, n - 3),
+                               (3, n - 4)):
+                flight = s[latch]
+                if (flight is None
+                        or flight.squashed != (latch == 3
+                                               and block.slot3_squashed)
+                        or flight.pc != pcs[idx]
+                        or not (flight.instr is instrs[idx]
+                                or flight.instr == instrs[idx])):
+                    stats.entry_rejected += 1
+                    return False
+            if not s[2].taken:
+                stats.entry_rejected += 1
+                return False
+            if (not block.slot3_squashed
+                    and instrs[n - 4].is_memory_access
+                    and not s[3].mem_resolved):
+                stats.entry_rejected += 1
+                return False
+        # Residency: the entry segment (words fetched before the first
+        # side branch could redirect) must be fully resident -- those
+        # fetches are unconditional.  Words beyond a side branch degrade
+        # to per-side ``seg_ok`` flags: the closure bails at that side's
+        # fall-through, before the first fetch that could miss, and the
+        # interpreter takes the miss with its exact stall timing.
+        ways: List[Tuple[int, int]] = []
+        seg_ok: List[bool] = [True] * block.n_segs
+        if block.lines:
+            residency = pipe.icache.residency
+            for (index, tag, _), segs in zip(block.lines, block.line_segs):
+                hit = residency(index, tag)
+                if hit is None:
+                    for seg_id, _words in segs:
+                        if seg_id < 0:
+                            stats.entry_rejected += 1
+                            return False
+                        seg_ok[seg_id] = False
+                    # cold line: never touched (the pass bails before
+                    # its first word's fetch cycle)
+                    ways.append((index, 0))
+                    continue
+                way, valid = hit
+                for seg_id, seg_words in segs:
+                    for word in seg_words:
+                        if not valid[word]:
+                            if seg_id < 0:
+                                stats.entry_rejected += 1
+                                return False
+                            seg_ok[seg_id] = False
+                            break
+                ways.append((index, way))
+        stats.entries += 1
+        self._clock += 1
+        block.last_used = self._clock
+        self.dirty = False
+        if self.record_spans:
+            start = pipe.stats.cycles
+            before = stats.cycles
+            block.fn(budget, ways, seg_ok)
+            if len(self.spans) < 65536:
+                self.spans.append({
+                    "head": head, "n": n, "start_cycle": start,
+                    "end_cycle": pipe.stats.cycles,
+                    "cycles": stats.cycles - before,
+                })
+        else:
+            block.fn(budget, ways, seg_ok)
+        return True
+
+    # ----------------------------------------------------------- compiler
+    def _compile(self, head: int) -> Optional[TranslatedBlock]:
+        """Scan, prove and code-generate the loop at ``head``; ``None``
+        refuses the head (any construct outside the exact-translation
+        subset)."""
+        pipe = self.pipeline
+        config = pipe.config
+        mode = pipe.psw.system_mode
+        if head + MAX_BLOCK_WORDS + 3 >= config.mmio_base:
+            return None
+        linear = False
+        entry_sq: tuple = ()
+        entry_taken: tuple = ()
+        shape = self._scan(head, mode)
+        if shape is not None:
+            instrs, n = shape
+            pcs = tuple(range(head, head + n))
+            inv_sides: frozenset = frozenset()
+        else:
+            rotated = self._scan_rotated(head, mode)
+            if rotated is not None:
+                instrs, pcs, inv_sides = rotated
+                n = len(instrs)
+            else:
+                lshape = self._scan_linear(head, mode)
+                if lshape is None:
+                    return None
+                instrs, pcs, entry_sq, entry_taken = lshape
+                n = len(instrs)
+                inv_sides = frozenset()
+                linear = True
+        # Squashing side branches annul their two delay slots on every
+        # continuing pass (continuing means not taken, the wrong way for
+        # a squash-filled branch).  ``sq_owner`` maps each annulled slot
+        # index to its branch.  An annulled branch never resolves, so it
+        # annuls nothing itself; increasing order makes that causal.
+        # Slots may not reach the loop branch at n-3, and the FSM must
+        # be back to NORMAL before the pass boundary: i <= n-6.
+        # Inverted sides (rotated blocks) continue on *taken* -- the
+        # right way -- so their slots execute and are never annulled.
+        # A linear block's prologue carries its own observed annulment
+        # pattern (owner -10: squashed before entry, stays squashed).
+        sq_owner: Dict[int, int] = {}
+        if linear:
+            for i, squashed in enumerate(entry_sq):
+                if squashed:
+                    sq_owner[i] = -10
+        for i in range(4 if linear else 0, n - 3):
+            if (instrs[i].opcode in _BRANCH_EXPR and instrs[i].squash
+                    and i not in sq_owner and i not in inv_sides):
+                if i > n - 6:
+                    return None
+                sq_owner[i + 1] = i
+                sq_owner[i + 2] = i
+        sources = self._resolve_operands(instrs, n, sq_owner, linear)
+        if sources is None:
+            return None
+        sides = tuple(i for i in range(4 if linear else 0, n - 3)
+                      if instrs[i].opcode in _BRANCH_EXPR
+                      and i not in sq_owner)
+        if linear:
+            # only the body (indices 4..) is fetched during the pass
+            lines = self._icache_lines(pcs[4:], mode)
+            line_segs = _segment_lines(lines, n - 4,
+                                       tuple(i - 4 for i in sides))
+        else:
+            lines = self._icache_lines(pcs, mode)
+            line_segs = _segment_lines(lines, n, sides)
+        source_text, needs_no_ovf, max_pass = _generate(
+            self, head, mode, instrs, n, sources, lines, sq_owner,
+            pcs, inv_sides, linear, entry_taken)
+        namespace = _exec_namespace(self, mode, instrs)
+        code = compile(source_text, f"<translated block {head:#x}>", "exec")
+        exec(code, namespace)  # noqa: S102 - self-generated source
+        entry_fsm_squash = (linear and instrs[1].opcode in _BRANCH_EXPR
+                            and instrs[1].squash and not entry_sq[1]
+                            and not entry_taken[1])
+        return TranslatedBlock(head, mode, instrs, namespace["_block"],
+                               needs_no_ovf, max_pass, lines, line_segs,
+                               len(sides), (n - 4) in sq_owner, pcs,
+                               linear, entry_sq, entry_taken,
+                               entry_fsm_squash)
+
+    def _scan(self, head: int, mode: bool):
+        """Find the backward branch and whitelist every instruction.
+
+        Conditional branches *within* the run are admitted as side
+        exits: taken means an exact mid-pass exit to their target, not
+        taken falls through.  A *squashing* side branch is also exact,
+        because a pass only continues past it when it resolved not
+        taken -- the wrong way for a squash-filled branch -- so its two
+        delay slots are annulled on every continuing pass and compile
+        to squashed no-op flights (see ``sq_owner`` in the generator).
+        The loop branch's own delay slots still refuse branches -- a
+        branch there resolves after the pass boundary.
+        """
+        pipe = self.pipeline
+        decode_at = pipe._decode_at
+        instrs = []
+        branch_at = -1
+        for k in range(MAX_BLOCK_WORDS + 1):
+            instr = decode_at(head + k, mode)
+            if instr.opcode in _BRANCH_EXPR:
+                target = (head + k + instr.imm) & _MASK
+                if target == head and k >= 1:
+                    branch_at = k
+                    instrs.append(instr)
+                    break
+                instrs.append(instr)  # side exit
+                continue
+            if not _translatable(instr):
+                return None
+            instrs.append(instr)
+        else:
+            return None
+        for k in (branch_at + 1, branch_at + 2):  # the two delay slots
+            instr = decode_at(head + k, mode)
+            if not _translatable(instr):
+                return None
+            instrs.append(instr)
+        return tuple(instrs), branch_at + 3
+
+    def _scan_rotated(self, entry: int, mode: bool):
+        """Recognize a *phase-rotated* loop entered at ``entry``.
+
+        A hot side-branch target ``entry`` inside a straight loop
+        ``h .. h+N-1`` traces its own periodic cycle: ``entry ..`` tail,
+        loop branch taken back to ``h``, head run to a side branch whose
+        target is ``entry``, taken back to ``entry``.  In that rotated
+        frame the side branch *is* the loop branch (backward to the
+        rotated head) and the original loop branch is a polarity-
+        inverted side: the pass continues when it is *taken* (the right
+        way, so its slots execute and nothing squashes) and exits when
+        it falls through.  The instruction sequence is two contiguous
+        PC spans with one seam; everything else -- bypass proof, latch
+        schedule, stats -- is the same periodic machinery.
+
+        Returns ``(instrs, pcs, inv_sides)`` or ``None``.
+        """
+        decode_at = self.pipeline._decode_at
+        instrs: List = []
+        pcs: List[int] = []
+        loop_at = -1
+        loop_target = -1
+        for k in range(MAX_BLOCK_WORDS + 1):
+            instr = decode_at(entry + k, mode)
+            if instr.opcode in _BRANCH_EXPR:
+                target = (entry + k + instr.imm) & _MASK
+                if target < entry:   # the original loop branch
+                    loop_at = k
+                    loop_target = target
+                    instrs.append(instr)
+                    pcs.append(entry + k)
+                    break
+                instrs.append(instr)  # side exit (any other target)
+                pcs.append(entry + k)
+                continue
+            if not _translatable(instr):
+                return None
+            instrs.append(instr)
+            pcs.append(entry + k)
+        else:
+            return None
+        for k in (loop_at + 1, loop_at + 2):  # its two delay slots
+            instr = decode_at(entry + k, mode)
+            if not _translatable(instr):
+                return None
+            instrs.append(instr)
+            pcs.append(entry + k)
+        inv_idx = loop_at
+        # head run: loop_target .. the side branch taken back to entry,
+        # plus that branch's two delay slots -- all strictly below entry
+        h = loop_target
+        k2 = 0
+        while h + k2 + 2 < entry and len(instrs) < MAX_BLOCK_WORDS + 3:
+            pc = h + k2
+            instr = decode_at(pc, mode)
+            if instr.opcode in _BRANCH_EXPR:
+                target = (pc + instr.imm) & _MASK
+                if target == entry:   # the rotated loop branch
+                    instrs.append(instr)
+                    pcs.append(pc)
+                    for spc in (pc + 1, pc + 2):
+                        slot = decode_at(spc, mode)
+                        if not _translatable(slot):
+                            return None
+                        instrs.append(slot)
+                        pcs.append(spc)
+                    if len(instrs) > MAX_BLOCK_WORDS + 3:
+                        return None
+                    return tuple(instrs), tuple(pcs), frozenset({inv_idx})
+                if target <= pc:
+                    return None   # unrelated backward branch: refuse
+                instrs.append(instr)  # side exit
+                pcs.append(pc)
+                k2 += 1
+                continue
+            if not _translatable(instr):
+                return None
+            instrs.append(instr)
+            pcs.append(pc)
+            k2 += 1
+        return None
+
+    def _scan_linear(self, entry: int, mode: bool):
+        """Recognize a hot *straight-line run*: ``entry`` is a fetch
+        discontinuity target (a block's fall-through exit or a taken
+        branch's landing) whose body runs forward to the first backward
+        branch plus its two delay slots.  The block executes exactly one
+        pass per entry and then redirects wherever the bottom branch
+        decides -- chaining into the loop blocks on either side.
+
+        The four in-flight predecessors observed in the latches *right
+        now* (``note_target`` compiles at a live arrival) become the
+        *prologue*, indices 0..3: their PCs, squash pattern and branch
+        outcomes are baked into the entry contract, their writebacks --
+        and, for index 1, the MEM stage -- retire during the first pass
+        cycles, and their results seed the body's bypass proof from the
+        latches.  Arrivals that do not reproduce the observed pattern
+        are rejected at entry and stay interpreted; hot targets have a
+        dominant arrival path, so the observed instance is the one that
+        pays.
+
+        Returns ``(instrs, pcs, entry_sq, entry_taken)`` over the
+        combined prologue+body sequence, or ``None``.
+        """
+        pipe = self.pipeline
+        s = pipe.s
+        if s[0] is None or s[1] is None or s[2] is None or s[3] is None:
+            return None
+        mmio_base = pipe.config.mmio_base
+        decode_at = pipe._decode_at
+        instrs: List = []
+        pcs: List[int] = []
+        entry_sq: List[bool] = []
+        entry_taken: List[bool] = []
+        for flight in (s[3], s[2], s[1], s[0]):
+            pc = flight.pc
+            if pc < 0 or pc + 1 >= mmio_base:
+                return None
+            instr = decode_at(pc, mode)
+            squashed = flight.squashed
+            if instr.opcode in _BRANCH_EXPR:
+                # indices 2..3 resolve mid-pass: only annulled ones are
+                # static; indices 0..1 resolved pre-entry either way
+                if len(instrs) >= 2 and not squashed:
+                    return None
+            elif not _translatable(instr):
+                return None
+            instrs.append(instr)
+            pcs.append(pc)
+            entry_sq.append(squashed)
+            entry_taken.append(bool(flight.taken) and not squashed)
+        bottom_at = -1
+        for k in range(MAX_BLOCK_WORDS + 1):
+            instr = decode_at(entry + k, mode)
+            if instr.opcode in _BRANCH_EXPR:
+                target = (entry + k + instr.imm) & _MASK
+                if target <= entry + k:   # backward: the terminator
+                    bottom_at = k
+                    instrs.append(instr)
+                    pcs.append(entry + k)
+                    break
+                instrs.append(instr)  # forward side exit
+                pcs.append(entry + k)
+                continue
+            if not _translatable(instr):
+                return None
+            instrs.append(instr)
+            pcs.append(entry + k)
+        else:
+            return None
+        for k in (bottom_at + 1, bottom_at + 2):  # its two delay slots
+            instr = decode_at(entry + k, mode)
+            if not _translatable(instr):
+                return None
+            instrs.append(instr)
+            pcs.append(entry + k)
+        return (tuple(instrs), tuple(pcs),
+                tuple(entry_sq), tuple(entry_taken))
+
+    def _resolve_operands(self, instrs: tuple, n: int, sq_owner: dict,
+                          linear: bool = False):
+        """Static bypass routing: map every register read of every
+        instruction to a producer local, a loop-invariant binding, or a
+        literal zero -- or refuse on an unbypassable load-use pair.
+        Annulled slots (``sq_owner`` keys) neither read nor produce:
+        the interpreter's bypass skips squashed flights the same way.
+        Linear blocks walk producers backward without wrapping (one
+        pass, no previous iteration) and skip prologue indices 0..1 as
+        consumers -- their reads resolved before entry; their latched
+        results still serve as producers."""
+        sources: List[dict] = []
+        invariants = set()
+        for idx, instr in enumerate(instrs):
+            resolved = {}
+            if idx in sq_owner or (linear and idx < 2):
+                sources.append(resolved)
+                continue
+            for slot, reg in _operand_slots(instr):
+                if reg == 0:
+                    resolved[slot] = "0"
+                    continue
+                expr = None
+                for distance in range(1, (idx + 1) if linear else (n + 1)):
+                    p = idx - distance if linear else (idx - distance) % n
+                    if p in sq_owner:
+                        continue
+                    if instrs[p].writes_register() == reg:
+                        if distance == 1 and instrs[p].opcode == Opcode.LD:
+                            return None  # load-use: interpreter territory
+                        expr = f"v{p}"
+                        break
+                if expr is None:
+                    expr = f"rr{reg}"
+                    invariants.add(reg)
+                resolved[slot] = expr
+            sources.append(resolved)
+        return sources, invariants
+
+    def _icache_lines(self, pcs: tuple, mode: bool) -> tuple:
+        """The (set, tag, word-offsets) triples the block's fetches span,
+        in fetch order, for entry-time residency probes and deferred
+        LRU touches.  A rotated block's seam may split (or even repeat)
+        a line; repeats are harmless -- probes and touches follow fetch
+        order exactly.  Empty when the Icache is disabled."""
+        icache = self.pipeline.icache
+        if not self.pipeline.config.icache.enabled:
+            return ()
+        lines: List[Tuple[int, int, List[int]]] = []
+        for pc in pcs:
+            index, tag, word = icache.locate(pc, mode)
+            if lines and lines[-1][0] == index and lines[-1][1] == tag:
+                lines[-1][2].append(word)
+            else:
+                lines.append((index, tag, [word]))
+        return tuple((index, tag, tuple(words))
+                     for index, tag, words in lines)
+
+
+def _translatable(instr) -> bool:
+    """Inlineable straight-line instruction (no control, no coproc)."""
+    op = instr.opcode
+    if op in (Opcode.LD, Opcode.ST, Opcode.ADDI):
+        return True
+    if op != Opcode.COMPUTE:
+        return False
+    funct = instr.funct
+    if funct not in _INLINE_FUNCTS:
+        return False
+    if funct == Funct.MOVFRS:
+        try:
+            return SpecialReg(instr.shamt) in _INLINE_SPECIALS
+        except ValueError:
+            return False
+    return True
+
+
+def _operand_slots(instr):
+    """(slot_name, register) pairs the ALU stage reads for ``instr``."""
+    op = instr.opcode
+    if op == Opcode.COMPUTE:
+        funct = instr.funct
+        if funct in (Funct.SLL, Funct.SRL, Funct.SRA, Funct.ROTL,
+                     Funct.NOT):
+            return (("a", instr.src1),)
+        if funct == Funct.MOVFRS:
+            return ()
+        return (("a", instr.src1), ("b", instr.src2))
+    if op in (Opcode.LD, Opcode.ADDI):
+        return (("a", instr.src1),)
+    if op == Opcode.ST:
+        return (("a", instr.src1), ("b", instr.src2))
+    # branch
+    return (("a", instr.src1), ("b", instr.src2))
+
+
+def _exec_namespace(translator: Translator, mode: bool,
+                    instrs: tuple) -> dict:
+    """Globals for one block's generated function: everything stable
+    over the pipeline's lifetime is pre-bound here, so the closure does
+    no attribute walks on its hot path."""
+    pipe = translator.pipeline
+    from repro.core.pipeline import Flight  # local: avoid import cycle
+    return {
+        "__builtins__": {},
+        "P": pipe,
+        "F": Flight,
+        "I": instrs,
+        "ST": pipe.stats,
+        "IST": pipe.icache.stats,
+        "TS": translator.stats,
+        "TR": translator,
+        "ECR": pipe.ecache.read,
+        "ECW": pipe.ecache.write,
+        "MW": pipe.memory.write,
+        "SP": pipe.memory.space(mode),
+        "MD": pipe.md,
+        "CH": pipe.pc_unit.chain.shift,
+        "SFS": pipe.squash_fsm.step,
+        "REGS": pipe.regs,
+        "TCH": pipe.icache.bulk_touch,
+    }
+
+
+# ---------------------------------------------------------------- codegen
+class _Emitter:
+    """Tiny indented-source builder."""
+
+    def __init__(self):
+        self.lines: List[str] = []
+        self.depth = 0
+
+    def emit(self, text: str) -> None:
+        self.lines.append("    " * self.depth + text)
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def _alu_expr(instr, src: dict) -> Optional[str]:
+    """Inline expression for a compute/addi result, or ``None`` when the
+    operation needs statements (mstep/dstep) handled by the caller."""
+    funct = instr.funct
+    a = src.get("a")
+    b = src.get("b")
+    if funct == Funct.ADD:
+        return f"({a} + {b}) & {_MASK}"
+    if funct == Funct.SUB:
+        return f"({a} - {b}) & {_MASK}"
+    if funct == Funct.AND:
+        return f"{a} & {b}"
+    if funct == Funct.OR:
+        return f"{a} | {b}"
+    if funct == Funct.XOR:
+        return f"{a} ^ {b}"
+    if funct == Funct.NOT:
+        return f"~{a} & {_MASK}"
+    shamt = instr.shamt
+    if funct == Funct.SLL:
+        return f"({a} << {shamt}) & {_MASK}" if shamt else f"{a}"
+    if funct == Funct.SRL:
+        return f"{a} >> {shamt}" if shamt else f"{a}"
+    if funct == Funct.SRA:
+        if not shamt:
+            return f"{a}"
+        return (f"((({a} - {1 << 32}) >> {shamt}) & {_MASK}) "
+                f"if {a} & {_SIGN} else ({a} >> {shamt})")
+    if funct == Funct.ROTL:
+        if not shamt:
+            return f"{a}"
+        return f"(({a} << {shamt}) | ({a} >> {32 - shamt})) & {_MASK}"
+    if funct == Funct.MOVFRS:
+        special = SpecialReg(instr.shamt)
+        if special == SpecialReg.PSW:
+            return "_psw"
+        if special == SpecialReg.PSWOLD:
+            return "_pswold"
+        return "MD.value"
+    return None
+
+
+def _generate(translator: Translator, head: int, mode: bool, instrs: tuple,
+              n: int, sources, lines: tuple, sq_owner: Dict[int, int],
+              pcs: tuple, inv_sides: frozenset, linear: bool = False,
+              entry_taken: tuple = ()):  # noqa: C901
+    """Emit the block's specialized function source.
+
+    The emitted per-pass body replays the interpreter's exact event
+    order for cycles ``0..n-1`` of one loop iteration: Ecache probe for
+    the op entering MEM, (implicit always-hit) fetch, writeback,
+    MEM work, ALU work, with the loop branch resolved in cycle ``n-1``.
+    Exits and bails materialize end-of-cycle machine state.
+    ``sq_owner`` slots are annulled on every continuing pass: they are
+    fetched and occupy latch slots but do no work and retire nothing.
+    ``pcs`` maps index to absolute fetch PC (rotated blocks have one
+    seam); ``inv_sides`` are polarity-inverted sides (the original loop
+    branch of a rotated block): the pass continues when they are taken.
+
+    ``linear`` blocks run the same schedule for exactly one pass over a
+    combined prologue+body sequence: indices 0..3 are already in flight
+    at entry (their latched results seed the locals; ``entry_taken``
+    records prologue branch outcomes), the per-cycle emission covers
+    cycles ``4..n-1`` -- over which every ``(cycle - k) % n`` formula
+    degenerates to its non-wrapping form -- and the bottom backward
+    branch redirects out at cycle ``n-1`` instead of looping.
+    """
+    pipe = translator.pipeline
+    config = pipe.config
+    per_site, invariants = sources
+    ecache_on = config.ecache.enabled
+    icache_on = config.icache.enabled
+    lru = icache_on and config.icache.replacement == "lru"
+    mode_lit = "True" if mode else "False"
+    mmio_base = config.mmio_base
+    sq_set = frozenset(sq_owner)
+    n_sq = len(sq_set)
+    n_retired = n - n_sq
+
+    writers = {}           # idx -> dest register
+    for idx, instr in enumerate(instrs):
+        dest = instr.writes_register()
+        if dest is not None and idx not in sq_set:
+            writers[idx] = dest
+    carries_result = {idx for idx, instr in enumerate(instrs)
+                      if instr.opcode in (Opcode.COMPUTE, Opcode.ADDI,
+                                          Opcode.LD) and idx not in sq_set}
+    mem_ops = {idx for idx, instr in enumerate(instrs)
+               if instr.opcode in (Opcode.LD, Opcode.ST)
+               and idx not in sq_set}
+    noop_idx = {idx for idx, instr in enumerate(instrs)
+                if instr.is_nop and idx not in sq_set}
+    ld_count = sum(1 for idx in mem_ops if instrs[idx].opcode == Opcode.LD)
+    st_count = len(mem_ops) - ld_count
+    # linear prologue indices 0..1 ran their ALU before entry: any
+    # overflow trap already happened (or not) under interpretation
+    needs_no_ovf = any(
+        instrs[idx].opcode == Opcode.COMPUTE
+        and instrs[idx].funct in (Funct.ADD, Funct.SUB, Funct.MSTEP)
+        for idx in range((2 if linear else 0), n) if idx not in sq_set)
+    max_pass = (n - 4 if linear else n) + (
+        len(mem_ops) * config.ecache.miss_penalty if ecache_on else 0)
+
+    # distinct-line prefix counts for the deferred LRU touches
+    line_prefix = [0] * n
+    if lines:
+        seen = 0
+        boundaries = []
+        offset = 0
+        for _, _, words in lines:
+            boundaries.append(offset)
+            offset += len(words)
+        for cycle in range(n):
+            # linear lines cover only the body: fetch cycle c pulls
+            # combined index c = body word c-4
+            while seen < len(boundaries) and boundaries[seen] <= (
+                    cycle - 4 if linear else cycle):
+                seen += 1
+            line_prefix[cycle] = seen
+    total_lines = len(lines)
+
+    branch = instrs[n - 3]
+    #: every in-run conditional branch resolved mid-pass, in index
+    #: order; segment ordinals for the residency flags index this.
+    #: Linear prologue branches (indices < 4) resolved before entry and
+    #: were already counted by the interpreter -- excluded throughout.
+    all_sides = tuple(i for i in range(4 if linear else 0, n - 3)
+                      if instrs[i].opcode in _BRANCH_EXPR
+                      and i not in sq_set)
+    #: normal sides: taken -> exact exit to their target, not-taken ->
+    #: fall through.  Annulled branches never resolve and are not here.
+    side_branches = tuple(i for i in all_sides if i not in inv_sides)
+    #: active squashing sides: continuing past one is the wrong way, so
+    #: the squash FSM pulses BRANCH_SQUASH for the following cycle.
+    squashing_sides = tuple(i for i in side_branches if instrs[i].squash)
+    sfs_clear_cycles = {i + 3 for i in squashing_sides}
+    if (linear and instrs[1].opcode in _BRANCH_EXPR and instrs[1].squash
+            and 1 not in sq_set and not entry_taken[1]):
+        # entered one cycle after prologue index 1 squashed the wrong
+        # way: the FSM is in BRANCH_SQUASH at entry and falls back to
+        # NORMAL at the end of the first in-block cycle
+        sfs_clear_cycles.add(4)
+    branches_per_pass = 1 + len(all_sides)
+    #: taken branches per completed pass: the loop branch plus every
+    #: inverted side (which is taken on the continuing path).
+    taken_per_pass = 1 + len(inv_sides)
+
+    def sides_resolved_by(cycle: int) -> int:
+        """Side branches whose ALU resolution is at or before ``cycle``."""
+        return sum(1 for i in all_sides if i + 2 <= cycle)
+
+    def taken_resolved_by(cycle: int) -> int:
+        """Inverted sides resolved (taken) at or before ``cycle``."""
+        return sum(1 for i in inv_sides if i + 2 <= cycle)
+
+    out = _Emitter()
+    emit = out.emit
+    emit("def _block(bud, ws, sok):")
+    out.depth += 1
+    emit("R = REGS._regs")
+    emit("MG = SP._words.get")
+    # Per-side segment-residency flags: a False flag means the words
+    # past that side's fall-through were not all Icache-resident at
+    # entry, so the pass must bail there (the interpreter then takes
+    # the miss with exact stall timing).  Fixed for the whole
+    # activation: in-block fetches hit and cannot evict anything.
+    if icache_on and total_lines:
+        for ordinal in range(len(all_sides)):
+            emit(f"sk{ordinal} = sok[{ordinal}]")
+    if any(instrs[idx].opcode == Opcode.COMPUTE
+           and instrs[idx].funct == Funct.MOVFRS
+           and SpecialReg(instrs[idx].shamt) == SpecialReg.PSW
+           for idx in range(n)):
+        emit("_psw = P.psw.value")
+    if any(instrs[idx].opcode == Opcode.COMPUTE
+           and instrs[idx].funct == Funct.MOVFRS
+           and SpecialReg(instrs[idx].shamt) == SpecialReg.PSWOLD
+           for idx in range(n)):
+        emit("_pswold = P.psw_old.value")
+    for reg in sorted(invariants):
+        emit(f"rr{reg} = R[{reg}]")
+    # Seeds: locals that can be read (as operands or in bail-site flight
+    # materializations) before their first in-pass assignment.  w locals
+    # hold each writer's last *written-back* value; at entry that is by
+    # definition the register-file content.
+    if linear:
+        # one pass only: w locals are always assigned at their WB cycle
+        # before any site reads them, so only the prologue's latched
+        # results need seeding (an in-flight load's value arrives via
+        # its in-pass MEM stage instead)
+        if 0 in carries_result:
+            emit("v0 = P.s[3].result")
+        if 0 in mem_ops:
+            emit("a0 = P.s[3].mem_address")
+            if instrs[0].opcode == Opcode.ST:
+                emit("sv0 = P.s[3].store_value")
+        if 1 in carries_result and instrs[1].opcode != Opcode.LD:
+            emit("v1 = P.s[2].result")
+        if 1 in mem_ops:
+            emit("a1 = P.s[2].mem_address")
+            if instrs[1].opcode == Opcode.ST:
+                emit("sv1 = P.s[2].store_value")
+    else:
+        for idx in sorted(writers):
+            emit(f"w{idx} = R[{writers[idx]}]")
+            if idx != n - 4:
+                emit(f"v{idx} = w{idx}")
+        if (n - 4) in carries_result:
+            emit("v%d = P.s[3].result" % (n - 4))
+        for idx in sorted(carries_result - set(writers)):
+            if idx != n - 4:
+                emit(f"v{idx} = 0")
+        if (n - 4) in mem_ops:
+            emit("a%d = P.s[3].mem_address" % (n - 4))
+            if instrs[n - 4].opcode == Opcode.ST:
+                emit("sv%d = P.s[3].store_value" % (n - 4))
+    emit("pen = 0")
+    emit("it = 0")
+    if not linear:
+        emit("while True:")
+        out.depth += 1
+
+    def emit_flight(var: str, idx: int, age: int,
+                    side_taken: bool = False,
+                    squashed: bool = False) -> None:
+        """Materialize the idx-instance at stage-age ``age`` (stages
+        completed) exactly as the interpreter would have left it."""
+        instr = instrs[idx]
+        emit(f"{var} = F({pcs[idx]}, I[{idx}])")
+        if squashed:
+            # annulled in IF/RF: no stage ever computed a field
+            emit(f"{var}.squashed = True")
+            return
+        if age < 2:
+            return
+        op = instr.opcode
+        if op in _BRANCH_EXPR:
+            # The loop branch and inverted sides are taken at every
+            # resolution a pass sees (their not-taken is the "exit" /
+            # "iexit" site, which overwrites f2); a normal side resolved
+            # in-pass was *not* taken -- except at its own taken-exit
+            # site, flagged by the caller.  A linear prologue branch
+            # resolved before entry keeps its observed outcome.
+            if (idx == n - 3 or idx in inv_sides or side_taken
+                    or (linear and idx < 2 and entry_taken[idx])):
+                emit(f"{var}.taken = True")
+            return
+        if op == Opcode.LD:
+            emit(f"{var}.mem_address = a{idx}")
+            if writers.get(idx) is not None:
+                emit(f"{var}.dest = {writers[idx]}")
+            if age >= 3:
+                emit(f"{var}.result = v{idx}")
+                emit(f"{var}.mem_resolved = True")
+            return
+        if op == Opcode.ST:
+            emit(f"{var}.mem_address = a{idx}")
+            emit(f"{var}.store_value = sv{idx}")
+            if age >= 3:
+                emit(f"{var}.mem_resolved = True")
+            return
+        if op == Opcode.ADDI:
+            emit(f"{var}.mem_address = v{idx}")
+        if idx in carries_result:
+            if writers.get(idx) is not None:
+                emit(f"{var}.dest = {writers[idx]}")
+            emit(f"{var}.result = v{idx}")
+
+    def emit_commits(cycle: int) -> None:
+        """Register-file commits at an end-of-cycle ``cycle`` site: for
+        each written register, the writer with the most recent WB.
+        Linear passes only commit writers whose WB cycle has been
+        reached; earlier registers still hold their entry values."""
+        by_reg: Dict[int, int] = {}
+        for idx, reg in writers.items():
+            if linear:
+                if idx + 4 > cycle:
+                    continue
+                best = by_reg.get(reg)
+                if best is None or idx > best:
+                    by_reg[reg] = idx
+            else:
+                age = (cycle - (idx + 4)) % n
+                best = by_reg.get(reg)
+                if best is None or age < (cycle - (best + 4)) % n:
+                    by_reg[reg] = idx
+        for reg in sorted(by_reg):
+            emit(f"R[{reg}] = w{by_reg[reg]}")
+
+    def emit_site(cycle: int, kind: str, side_idx: int = -1) -> None:
+        """One exit site at the end of emitted-pass cycle ``cycle``.
+
+        ``kind``: "bail" (MMIO/dirty/cold-segment mid-pass), "side"
+        (the normal side branch at ``side_idx`` resolved taken; exit to
+        its target), "iexit" (the inverted side at ``side_idx`` fell
+        through; exit past its delay slots, wrong-way squash applied
+        when it has the squash bit), "exit" (loop branch not taken;
+        likewise wrong-way), "ltaken" (a linear block's bottom branch
+        taken: redirect to its target), "canonical" (pass boundary:
+        budget exhausted or dirty store in the final MEM slot).
+        """
+        mid_pass = kind in ("bail", "side", "iexit")
+        if linear:
+            # exactly one partial pass over cycles 4..cycle (it == 0);
+            # WBs retire combined indices 0..cycle-4
+            cycles_c = cycle - 3
+            sq_c = sum(1 for j in range(4, cycle + 1) if j - 4 in sq_set)
+            retired_c = cycles_c - sq_c
+        elif mid_pass:
+            cycles_c = cycle + 1
+            sq_c = sum(1 for j in range(cycle + 1)
+                       if (j - 4) % n in sq_set)
+            retired_c = cycles_c - sq_c
+        else:
+            cycles_c = 0 if kind == "canonical" else n
+            sq_c = n_sq if kind == "exit" else 0
+            retired_c = n_retired if kind == "exit" else 0
+        # pipeline statistics: it complete taken passes + this partial
+        emit(f"ST.cycles += it * {n} + {cycles_c} + pen")
+        emit(f"ST.fetched += it * {n} + {cycles_c}")
+        emit(f"ST.retired += it * {n_retired} + {retired_c}")
+        if n_sq:
+            emit(f"ST.squashed += it * {n_sq} + {sq_c}")
+        if noop_idx:
+            if linear:
+                partial_noops = sum(
+                    1 for j in range(4, cycle + 1) if j - 4 in noop_idx)
+            elif mid_pass:
+                partial_noops = sum(
+                    1 for j in range(cycle + 1) if (j - 4) % n in noop_idx)
+            else:
+                partial_noops = len(noop_idx) if kind == "exit" else 0
+            emit(f"ST.noops += it * {len(noop_idx)} + {partial_noops}")
+        if kind == "exit":
+            branch_c = branches_per_pass
+            taken_c = len(inv_sides)
+        elif kind == "ltaken":
+            branch_c = branches_per_pass
+            taken_c = 1
+        elif kind == "canonical":
+            branch_c = 0
+            taken_c = 0
+        else:
+            branch_c = sides_resolved_by(cycle)
+            taken_c = taken_resolved_by(cycle)
+            if kind == "side":
+                taken_c += 1   # this normal side resolved taken
+            elif kind == "iexit":
+                taken_c -= 1   # this inverted side resolved not taken
+        it_branches = (f"it * {branches_per_pass}"
+                       if branches_per_pass != 1 else "it")
+        it_taken = (f"it * {taken_per_pass}"
+                    if taken_per_pass != 1 else "it")
+        emit(f"ST.branches += {it_branches} + {branch_c}")
+        emit(f"ST.branches_taken += {it_taken} + {taken_c}")
+        if ld_count or st_count:
+            if linear:
+                # MEM cycles 4..cycle retire combined indices 1..cycle-3
+                # (index 0's MEM stage completed before entry and was
+                # counted under interpretation)
+                part_ld = sum(1 for j in range(4, cycle + 1)
+                              if j - 3 in mem_ops
+                              and instrs[j - 3].opcode == Opcode.LD)
+                part_st = sum(1 for j in range(4, cycle + 1)
+                              if j - 3 in mem_ops
+                              and instrs[j - 3].opcode == Opcode.ST)
+            elif mid_pass:
+                part_ld = sum(1 for j in range(cycle + 1)
+                              if (j - 3) % n in mem_ops
+                              and instrs[(j - 3) % n].opcode == Opcode.LD)
+                part_st = sum(1 for j in range(cycle + 1)
+                              if (j - 3) % n in mem_ops
+                              and instrs[(j - 3) % n].opcode == Opcode.ST)
+            else:
+                part_ld = ld_count if kind == "exit" else 0
+                part_st = st_count if kind == "exit" else 0
+            if ld_count or part_ld:
+                emit(f"ST.loads += it * {ld_count} + {part_ld}")
+            if st_count or part_st:
+                emit(f"ST.stores += it * {st_count} + {part_st}")
+        emit("ST.data_stall_cycles += pen")
+        if icache_on:
+            emit(f"IST.accesses += it * {n} + {cycles_c}")
+        emit(f"TS.cycles += it * {n} + {cycles_c} + pen")
+        emit(f"TS.instructions += it * {n_retired} + {retired_c}")
+        if kind == "bail":
+            emit("TS.bails += 1")
+        elif kind == "side":
+            emit("TS.side_exits += 1")
+        # deferred Icache LRU reordering
+        if lru and total_lines:
+            if not mid_pass:
+                emit(f"TCH(ws, {total_lines})")
+            else:
+                emit("if it:")
+                out.depth += 1
+                emit(f"TCH(ws, {total_lines})")
+                out.depth -= 1
+                prefix = line_prefix[cycle]
+                if prefix:
+                    emit(f"TCH(ws, {prefix})")
+        # latches: end of ``cycle``, s[k] holds idx (cycle-k) mod n at
+        # stage-age k
+        wrong_way = (kind == "exit" and branch.squash) or (
+            kind == "iexit" and instrs[side_idx].squash)
+        for k in range(5):
+            idx = (cycle - k) % n
+            owner = sq_owner.get(idx)
+            if owner is None:
+                sq = False
+            elif k > cycle:
+                sq = True   # previous-pass instance: that pass continued
+            else:
+                # same pass: annulled once its branch resolved not taken
+                sq = (cycle > owner + 2
+                      or (cycle == owner + 2
+                          and not (kind == "side" and side_idx == owner)))
+            emit_flight(f"f{k}", idx, k, kind == "side" and k == 2, sq)
+        if wrong_way:
+            emit("f0.squashed = True")
+            emit("f1.squashed = True")
+        if kind in ("exit", "iexit"):
+            emit("f2.taken = False")  # overwrite the age>=2 default
+        emit("P.s = [f0, f1, f2, f3, f4]")
+        emit_commits(cycle)
+        emit(f"CH({pcs[(cycle - 3) % n]}, {pcs[(cycle - 2) % n]}, "
+             f"{pcs[(cycle - 1) % n]})")
+        if kind == "bail":
+            emit(f"P.pc_unit.fetch_pc = {pcs[cycle + 1]}")
+        elif kind in ("side", "ltaken"):
+            target = (pcs[side_idx] + instrs[side_idx].imm) & _MASK
+            emit(f"P.pc_unit.fetch_pc = {target}")
+        elif kind == "iexit":
+            emit(f"P.pc_unit.fetch_pc = {pcs[side_idx] + 3}")
+        elif kind == "exit":
+            emit(f"P.pc_unit.fetch_pc = {pcs[n - 1] + 1}")
+        else:
+            emit(f"P.pc_unit.fetch_pc = {pcs[0]}")
+        if wrong_way:
+            emit("ST.branch_squashes += 1")
+            emit("SFS(False, True)")
+        emit("return")
+
+    def emit_branch_cond(idx: int) -> str:
+        """Emit operand prep for the branch at ``idx`` and return its
+        taken-condition expression."""
+        cmp_op, signed = _BRANCH_EXPR[instrs[idx].opcode]
+        src = per_site[idx]
+        a_expr, b_expr = src["a"], src["b"]
+        if not signed:
+            return f"{a_expr} {cmp_op} {b_expr}"
+        emit(f"_ba = {a_expr}")
+        emit(f"_bb = {b_expr}")
+        emit(f"_ba = _ba - {1 << 32} if _ba & {_SIGN} else _ba")
+        emit(f"_bb = _bb - {1 << 32} if _bb & {_SIGN} else _bb")
+        return f"_ba {cmp_op} _bb"
+
+    # ------------------------------------------------- per-cycle emission
+    for cycle in range(4 if linear else 0, n):
+        probe_idx = (cycle - 3) % n
+        wb_idx = (cycle - 4) % n
+        alu_idx = (cycle - 2) % n
+        emit(f"# cycle {cycle}: fetch {pcs[cycle]:#x} | wb i{wb_idx} "
+             f"| mem i{probe_idx} | alu i{alu_idx}")
+        bail_conditions = []
+        # MEM-entry Ecache probe (late-miss protocol timing)
+        if probe_idx in mem_ops and ecache_on:
+            fn = "ECR" if instrs[probe_idx].opcode == Opcode.LD else "ECW"
+            emit(f"pen += {fn}(a{probe_idx}, {mode_lit})")
+        # WB: commit the writer's value into its w local
+        if wb_idx in writers:
+            emit(f"w{wb_idx} = v{wb_idx}")
+        # MEM work
+        if probe_idx in mem_ops:
+            if instrs[probe_idx].opcode == Opcode.LD:
+                emit(f"v{probe_idx} = MG(a{probe_idx}, 0)")
+            else:
+                emit(f"MW(a{probe_idx}, sv{probe_idx}, {mode_lit})")
+                if cycle != n - 1:
+                    bail_conditions.append("TR.dirty")
+        # ALU work
+        if alu_idx == n - 3:
+            # loop branch: resolved below, after any store-dirty check
+            pass
+        elif alu_idx in sq_set:
+            pass  # annulled delay slot: fetched, no work, no effects
+        elif alu_idx in inv_sides:
+            # inverted side (rotated frame): this is the original loop
+            # branch, and TAKEN is the way that *continues* the rotated
+            # sequence -- its delay slots straddle the seam and always
+            # execute.  Not-taken exits at the original fall-through;
+            # for a squash-filled branch that is the wrong way, so the
+            # iexit site annuls the two seam slots and pulses the FSM.
+            cond = emit_branch_cond(alu_idx)
+            emit(f"if not ({cond}):")
+            out.depth += 1
+            emit_site(cycle, "iexit", alu_idx)
+            out.depth -= 1
+            if icache_on and total_lines:
+                # continuing crosses the seam into this side's segment
+                bail_conditions.append(
+                    f"not sk{all_sides.index(alu_idx)}")
+        elif alu_idx in side_branches:
+            # side branch: taken -> exact exit to its target.  The
+            # redirect out-prioritizes a dirty store committed this same
+            # cycle (both happened; only the exit PC differs), so the
+            # taken site is emitted before the dirty bail below.
+            cond = emit_branch_cond(alu_idx)
+            emit(f"if {cond}:")
+            out.depth += 1
+            emit_site(cycle, "side", alu_idx)
+            out.depth -= 1
+            if instrs[alu_idx].squash:
+                # continuing = not taken = the wrong way for a
+                # squash-filled branch: its delay slots (annulled, see
+                # sq_owner) are counted squashed at their WB, and the
+                # squash FSM pulses BRANCH_SQUASH for one cycle.
+                emit("ST.branch_squashes += 1")
+                emit("SFS(False, True)")
+            if icache_on and total_lines:
+                # next fetch (cycle+1) starts this side's fall-through
+                # segment; if it was cold at entry, bail before it
+                bail_conditions.append(
+                    f"not sk{all_sides.index(alu_idx)}")
+        else:
+            instr = instrs[alu_idx]
+            src = per_site[alu_idx]
+            op = instr.opcode
+            if op in (Opcode.LD, Opcode.ST, Opcode.ADDI):
+                imm = instr.imm
+                base = src["a"]
+                addr = f"({base} + {imm}) & {_MASK}" if imm else f"{base}"
+                if op == Opcode.ADDI:
+                    emit(f"v{alu_idx} = {addr}")
+                else:
+                    emit(f"a{alu_idx} = {addr}")
+                    if op == Opcode.ST:
+                        emit(f"sv{alu_idx} = {src['b']}")
+                    bail_conditions.append(f"a{alu_idx} >= {mmio_base}")
+            elif instr.funct in (Funct.MSTEP, Funct.DSTEP):
+                call = "mstep" if instr.funct == Funct.MSTEP else "dstep"
+                emit(f"_t = MD.{call}({src['a']}, {src['b']})")
+                emit(f"v{alu_idx} = _t.value")
+            else:
+                emit(f"v{alu_idx} = {_alu_expr(instr, src)}")
+        if cycle in sfs_clear_cycles:
+            emit("SFS(False, False)")  # FSM falls back to NORMAL
+        if bail_conditions:
+            emit(f"if {' or '.join(bail_conditions)}:")
+            out.depth += 1
+            emit_site(cycle, "bail")
+            out.depth -= 1
+
+    # --------------------------------------------- loop branch resolution
+    cond = emit_branch_cond(n - 3)
+    if linear:
+        # one pass: the bottom backward branch redirects out either way
+        emit(f"if {cond}:")
+        out.depth += 1
+        emit_site(n - 1, "ltaken", n - 3)
+        out.depth -= 1
+        emit("else:")
+        out.depth += 1
+        emit_site(n - 1, "exit")
+        out.depth -= 1
+    else:
+        emit(f"if {cond}:")
+        out.depth += 1
+        emit("it += 1")
+        exit_conditions = [f"bud - it * {n} - pen < {max_pass}"]
+        if (n - 4) in mem_ops and instrs[n - 4].opcode == Opcode.ST:
+            exit_conditions.insert(0, "TR.dirty")
+        emit(f"if {' or '.join(exit_conditions)}:")
+        out.depth += 1
+        emit_site(n - 1, "canonical")
+        out.depth -= 2
+        emit("else:")
+        out.depth += 1
+        emit_site(n - 1, "exit")
+        out.depth -= 1
+
+    return out.source(), needs_no_ovf, max_pass

@@ -13,8 +13,9 @@ guarantee:
   random SPL programs through the compiler + reorganizer;
 * :mod:`repro.fuzz.oracle` -- the differential oracle: naive code on the
   golden model vs. reorganized code on the pipeline (the reorganizer
-  contract), and live-captured cache streams vs. the trace-replay
-  models;
+  contract), live-captured cache streams vs. the trace-replay models,
+  and the interpretive pipeline vs. the translated fast path
+  (bit-exact, cycles included);
 * :mod:`repro.fuzz.shrink` -- delta-debugging minimization of a failing
   program to a smallest reproducer;
 * :mod:`repro.fuzz.corpus` -- the ``fuzz_corpus/`` directory of shrunk
@@ -30,6 +31,7 @@ from repro.fuzz.gen import (
 )
 from repro.fuzz.oracle import (
     DivergenceReport,
+    check_jit_equivalence,
     check_program,
     check_trace_replay,
 )
@@ -40,6 +42,7 @@ __all__ = [
     "GeneratedProgram",
     "generate_program",
     "DivergenceReport",
+    "check_jit_equivalence",
     "check_program",
     "check_trace_replay",
     "shrink",

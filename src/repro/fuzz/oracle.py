@@ -1,7 +1,7 @@
 """The differential oracle: run one generated program on independent
 models of MIPS-X semantics and compare everything observable.
 
-Two model pairs, matching the repo's two redundancy axes:
+Three model pairs, matching the repo's redundancy axes:
 
 * **golden-vs-pipeline** (the reorganizer contract): the *naive* program
   runs on the instruction-level golden simulator; the *reorganized*
@@ -15,6 +15,12 @@ Two model pairs, matching the repo's two redundancy axes:
   pipeline run is captured with a :class:`TraceCollector`, and the
   recorded fetch/ecache streams are replayed through the vectorized
   trace models, which must reproduce the live cache statistics exactly.
+* **jit-vs-interpreter** (the translated-fast-path contract): the
+  reorganized program runs again with the block translator enabled at a
+  low threshold, and *everything* must match the interpretive run
+  bit-for-bit -- every pipeline counter (cycles included: the fast path
+  is cycle-exact, not just architecturally equivalent), registers, MD,
+  memory, console, and cache statistics.
 
 Every check returns ``None`` for agreement or a structured
 :class:`DivergenceReport`; programs that fail to terminate or assemble
@@ -45,6 +51,7 @@ from repro.traces.capture import TraceCollector
 #: model pair names used in reports and corpus metadata
 PAIR_GOLDEN_PIPELINE = "golden-vs-pipeline"
 PAIR_LIVE_REPLAY = "live-vs-replay"
+PAIR_JIT_INTERP = "jit-vs-interpreter"
 
 
 @dataclasses.dataclass
@@ -240,15 +247,79 @@ def check_trace_replay(machine: Machine, collector: TraceCollector,
     return None
 
 
+def _machine_signature(machine: Machine) -> Dict[str, object]:
+    """Everything the jit-vs-interpreter oracle compares, as one dict.
+
+    Cycle-exactness is part of the contract, so the *full* pipeline
+    stat struct is included -- a fast path that reaches the right
+    registers in the wrong number of cycles is a finding.
+    """
+    pipe = machine.pipeline
+    return {
+        "stats": dataclasses.asdict(pipe.stats),
+        "regs": list(pipe.regs._regs),
+        "md": pipe.md.value,
+        "psw": (pipe.psw.value, pipe.psw_old.value),
+        "console": (list(machine.console.values), machine.console.text),
+        "icache": dataclasses.asdict(machine.icache.stats),
+        "ecache": dataclasses.asdict(machine.ecache.stats),
+        "memory": (dict(pipe.memory.space(True)._words),
+                   dict(pipe.memory.space(False)._words)),
+    }
+
+
+def check_jit_equivalence(program: Program, generated: GeneratedProgram,
+                          reference: Machine,
+                          config: Optional[MachineConfig] = None,
+                          ) -> Optional[DivergenceReport]:
+    """Jit-vs-interpreter oracle; ``None`` means bit-identical.
+
+    ``reference`` is an already-completed interpretive run of
+    ``program``.  The same program runs again with the translator
+    enabled at threshold 2 (so even short fuzz programs get hot enough
+    to translate), and the full machine signatures must match.
+    """
+    from repro.core.translate import Translator
+
+    base = config or MachineConfig()
+    if not Translator.supports(base):
+        return None
+    jit_config = dataclasses.replace(base, jit=True, jit_threshold=2)
+    try:
+        jit_machine = run_pipeline(program, generated, config=jit_config)
+    except HazardViolation as exc:
+        return DivergenceReport(
+            pair=PAIR_JIT_INTERP, kind="hazard",
+            mismatches=[{"what": "pipeline",
+                         "detail": f"jit run tripped the hazard checker "
+                                   f"where the interpreter did not: {exc}"}])
+    want = _machine_signature(reference)
+    got = _machine_signature(jit_machine)
+    if want == got:
+        return None
+    mismatches: List[Dict[str, object]] = []
+    for key in want:
+        if want[key] != got[key]:
+            mismatches.append({
+                "what": key,
+                "detail": f"{key}: interpreter {want[key]!r} != jit "
+                          f"{got[key]!r}"})
+    return DivergenceReport(pair=PAIR_JIT_INTERP, kind="state",
+                            mismatches=mismatches)
+
+
 def check_all(generated: GeneratedProgram,
               config: Optional[MachineConfig] = None,
               golden_mutator: Optional[
                   Callable[[GoldenSimulator], None]] = None,
               ) -> List[DivergenceReport]:
-    """Run both oracles on one generated program.
+    """Run all three oracles on one generated program.
 
-    One pipeline execution serves both: it is compared against the
-    golden run *and* captured for the trace-replay comparison.
+    One interpretive pipeline execution serves the first two: it is
+    compared against the golden run *and* captured for the trace-replay
+    comparison.  It then becomes the bit-exact reference for a second
+    execution with the block translator enabled
+    (:func:`check_jit_equivalence`).
     """
     try:
         naive, reorganized = _programs_for(generated)
@@ -284,4 +355,8 @@ def check_all(generated: GeneratedProgram,
     replay_report = check_trace_replay(machine, collector)
     if replay_report is not None:
         reports.append(replay_report)
+    jit_report = check_jit_equivalence(reorganized, generated, machine,
+                                       config=config)
+    if jit_report is not None:
+        reports.append(jit_report)
     return reports

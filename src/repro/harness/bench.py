@@ -95,6 +95,75 @@ def measure_core_throughput(names: Sequence[str] = THROUGHPUT_WORKLOADS,
     }
 
 
+def measure_jit_throughput(names: Sequence[str] = THROUGHPUT_WORKLOADS,
+                           repeats: int = 3) -> Dict[str, Any]:
+    """Translated-fast-path speedup per workload: jit vs interpreter.
+
+    Each workload runs ``repeats`` times per configuration (programs
+    compiled once, outside the timed region).  Alongside the wall-clock
+    ratio, the section records what the timing means: ``equivalent``
+    asserts the jit run's cycle and retired-instruction counts match the
+    interpretive run's exactly (the fast path is cycle-exact or it is
+    broken), ``compile_s`` is the wall time the block compiler spent,
+    and ``entry_hit_rate`` is taken entries over dispatch hits -- a low
+    rate means guards keep bouncing blocks back to the interpreter.
+    """
+    import dataclasses as _dc
+
+    from repro.core import Machine, MachineConfig
+    from repro.workloads import cached_program
+
+    per_workload: Dict[str, Any] = {}
+    total_nojit = 0.0
+    total_jit = 0.0
+    all_equivalent = True
+    for name in names:
+        program = cached_program(name)
+        row: Dict[str, Any] = {}
+        baseline = None
+        for jit in (False, True):
+            config = _dc.replace(MachineConfig(), jit=jit)
+            started = time.perf_counter()
+            cycles = 0
+            machine = None
+            for _ in range(repeats):
+                machine = Machine(config)
+                machine.load_program(program)
+                cycles += machine.run().cycles
+            wall = time.perf_counter() - started
+            key = "jit" if jit else "nojit"
+            row[f"{key}_wall_s"] = round(wall, 4)
+            row[f"{key}_cycles_per_sec"] = round(cycles / wall) if wall else 0
+            if not jit:
+                baseline = (cycles, machine.pipeline.stats.retired)
+                total_nojit += wall
+            else:
+                row["equivalent"] = (
+                    (cycles, machine.pipeline.stats.retired) == baseline)
+                all_equivalent &= row["equivalent"]
+                total_jit += wall
+                translator = machine.pipeline._translator
+                stats = translator.stats
+                hits = stats.entries + stats.entry_rejected
+                row["compile_s"] = round(translator.compile_s, 4)
+                row["blocks_compiled"] = stats.compiled
+                row["entry_hit_rate"] = (round(stats.entries / hits, 4)
+                                         if hits else 0.0)
+                run_cycles = machine.pipeline.stats.cycles
+                row["cycle_coverage"] = (
+                    round(stats.cycles / run_cycles, 4) if run_cycles
+                    else 0.0)
+        row["speedup"] = (round(row["nojit_wall_s"] / row["jit_wall_s"], 2)
+                          if row["jit_wall_s"] else 0.0)
+        per_workload[name] = row
+    return {
+        "workloads": per_workload,
+        "repeats": repeats,
+        "equivalent": all_equivalent,
+        "speedup": (round(total_nojit / total_jit, 2) if total_jit else 0.0),
+    }
+
+
 def _results_section(results: Sequence[JobResult]) -> Dict[str, Any]:
     return {
         r.job_id: {
@@ -301,6 +370,8 @@ def collect(quick: bool = False,
     jobs = [] if multi_only else default_jobs(quick=quick, timeout=timeout)
 
     core = measure_core_throughput(repeats=2 if quick else 5)
+    jit = (None if multi_only
+           else measure_jit_throughput(repeats=1 if quick else 3))
 
     if not serial_baseline and not parallel and not traced:
         serial_baseline = True          # something must produce results
@@ -364,6 +435,8 @@ def collect(quick: bool = False,
         },
         "experiments": _results_section(results),
     }
+    if jit is not None:
+        payload["jit"] = jit
     if traced_section is not None:
         payload["traced"] = traced_section
     if multi_section is not None:
@@ -410,6 +483,19 @@ def format_summary(payload: Dict[str, Any]) -> str:
     for name, row in sorted(core.get("workloads", {}).items()):
         lines.append(f"  {name:<12} {row['cycles_per_sec']:,} cyc/s "
                      f"({row['cycles']} cycles / {row['wall_s']}s)")
+    jit = payload.get("jit")
+    if jit:
+        lines.append(f"jit speedup       {jit.get('speedup', 0.0)}x vs "
+                     "interpreter"
+                     + ("" if jit.get("equivalent", True)
+                        else "  [NOT CYCLE-EXACT]"))
+        for name, row in sorted(jit.get("workloads", {}).items()):
+            lines.append(
+                f"  {name:<12} {row.get('speedup', 0.0)}x "
+                f"({row.get('jit_cycles_per_sec', 0):,} vs "
+                f"{row.get('nojit_cycles_per_sec', 0):,} cyc/s, "
+                f"{row.get('cycle_coverage', 0.0):.1%} coverage, "
+                f"compile {row.get('compile_s', 0.0)}s)")
     metrics = payload.get("metrics")
     if metrics:
         derived = metrics.get("derived", {})

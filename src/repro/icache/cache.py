@@ -119,6 +119,40 @@ class Icache:
     def _find_way(self, index: int, tag: int) -> Optional[int]:
         return self._tag_maps[index].get(tag)
 
+    # ------------------------------------------------ translator support
+    def locate(self, address: int, system_mode: bool) -> Tuple[int, int, int]:
+        """Public ``(set_index, tag, word_offset)`` mapping for an
+        address -- the geometry the translated fast path compiles its
+        line tables against."""
+        return self._locate(address, system_mode)
+
+    def residency(self, index: int, tag: int
+                  ) -> Optional[Tuple[int, List[bool]]]:
+        """Non-observing residency probe: ``(way, valid_bits)`` when the
+        tag is allocated in the set, else ``None``.  Touches no stats
+        and no replacement state -- entry guards use it to prove a
+        block's fetches will all hit before committing to the fast
+        path."""
+        way = self._tag_maps[index].get(tag)
+        if way is None:
+            return None
+        return way, self._sets[index][way].valid
+
+    def bulk_touch(self, ways, count: int) -> None:
+        """Apply ``count`` deferred LRU touches, one ``(set_index,
+        way)`` pair each, in fetch order -- the batched equivalent of
+        the MRU promotion each individual hit performs.  A full pass's
+        touch sequence is idempotent (it leaves each set's order with
+        the pass's ways as the MRU suffix), which is what lets a
+        translated block collapse many passes into one application."""
+        order_table = self._order
+        for j in range(count):
+            index, way = ways[j]
+            order = order_table[index]
+            if order[-1] != way:
+                order.remove(way)
+                order.append(way)
+
     def _victim(self, index: int) -> int:
         policy = self.config.replacement
         if policy == "random":

@@ -26,8 +26,9 @@ from repro.telemetry.metrics import (ConsistencyIssue, Counter, Gauge,
                                      derived_from_counters,
                                      merge_counter_snapshots,
                                      set_derived_gauges)
-from repro.telemetry.perfetto import (multi_trace_events, trace_events,
-                                      validate_trace_events,
+from repro.telemetry.perfetto import (jit_trace_events, multi_trace_events,
+                                      trace_events, translate_span_events,
+                                      validate_trace_events, write_jit_trace,
                                       write_multi_trace, write_trace)
 from repro.telemetry.tracer import STAGES, CycleTracer, FlightTrace
 
@@ -37,7 +38,8 @@ __all__ = [
     "check_counter_consistency", "collect_machine", "collect_multi",
     "derived_from_counters", "merge_counter_snapshots",
     "set_derived_gauges",
-    "multi_trace_events", "trace_events", "validate_trace_events",
+    "jit_trace_events", "multi_trace_events", "trace_events",
+    "translate_span_events", "validate_trace_events", "write_jit_trace",
     "write_multi_trace", "write_trace",
     "STAGES", "CycleTracer", "FlightTrace",
 ]

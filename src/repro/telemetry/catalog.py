@@ -139,6 +139,41 @@ CATALOG: Tuple[MetricSpec, ...] = (
     MetricSpec("coproc.fault.busy_events", "counter", "events",
                "Injected coprocessor-busy stalls consumed (repro.faults).",
                "robustness (DESIGN.md fault model)"),
+    # ------------------------------------------- translated fast path (jit)
+    MetricSpec("core.translate.blocks.compiled", "counter", "events",
+               "Hot basic blocks translated into specialized closures.",
+               "perf (translated fast path)"),
+    MetricSpec("core.translate.blocks.rejected", "counter", "events",
+               "Hot heads the block compiler refused (constructs outside "
+               "the exact-translation subset).",
+               "perf (translated fast path)"),
+    MetricSpec("core.translate.blocks.invalidated", "counter", "events",
+               "Blocks killed by stores into their instruction words "
+               "(self-modifying code).", "perf (translated fast path)"),
+    MetricSpec("core.translate.blocks.evicted", "counter", "events",
+               "Blocks evicted LRU by the translation-cache admission "
+               "bound.", "perf (translated fast path)"),
+    MetricSpec("core.translate.entries.taken", "counter", "events",
+               "Closure activations: every entry guard held and the block "
+               "ran at least one cycle.", "perf (translated fast path)"),
+    MetricSpec("core.translate.entries.rejected", "counter", "events",
+               "Dispatch hits on a compiled block that failed an entry "
+               "guard and fell back to the interpreter.",
+               "perf (translated fast path)"),
+    MetricSpec("core.translate.cycles", "counter", "cycles",
+               "Machine cycles executed inside translated closures "
+               "(coverage numerator over pipeline.cycles).",
+               "perf (translated fast path)"),
+    MetricSpec("core.translate.instructions", "counter", "instructions",
+               "Instructions retired by translated closures.",
+               "perf (translated fast path)"),
+    MetricSpec("core.translate.bails", "counter", "events",
+               "Mid-block fallbacks to the interpreter (MMIO touch, dirty "
+               "store, cold fall-through segment).",
+               "perf (translated fast path)"),
+    MetricSpec("core.translate.side_exits", "counter", "events",
+               "Exact mid-block exits via a taken side branch.",
+               "perf (translated fast path)"),
     # ------------------------------------------------------ derived gauges
     MetricSpec("pipeline.cpi", "gauge", "ratio",
                "Cycles per retired instruction "

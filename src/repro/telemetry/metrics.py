@@ -216,9 +216,18 @@ def collect_machine(machine, metrics: Optional[Metrics] = None) -> Metrics:
     stat structs the components always maintained are read once, after
     the run.
     """
+    from repro.core.translate import TranslateStats
+
     metrics = metrics if metrics is not None else Metrics()
-    for component in (machine.pipeline.stats, machine.icache.stats,
-                      machine.ecache, machine.coprocessors):
+    components = [machine.pipeline.stats, machine.icache.stats,
+                  machine.ecache, machine.coprocessors]
+    translator = machine.pipeline._translator
+    # interpretive runs report the core.translate.* names as zeros, so
+    # every single-machine snapshot carries the full counter set and
+    # jit-vs-interpreter snapshots diff cleanly name-for-name
+    components.append(translator.stats if translator is not None
+                      else TranslateStats())
+    for component in components:
         for name, value in component.as_metrics().items():
             metrics.counter(name).inc(value)
     set_derived_gauges(metrics)

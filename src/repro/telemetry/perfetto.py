@@ -24,7 +24,16 @@ tid   track                   contents
                               exceptions
 9     Bus wait                ``X`` slices, one per bus-contention
                               episode (multiprocessor traces only)
+10    Translated blocks       ``X`` slices, one per translated-block
+                              activation (jit span exports only)
 ====  ======================  =========================================
+
+The *Translated blocks* track comes from
+:attr:`~repro.core.translate.Translator.spans` rather than the cycle
+tracer: an attached tracer forces the interpretive path (translated
+closures do not drive per-stage hooks), so block-activation spans are
+recorded on un-traced jit runs and exported separately via
+:func:`write_jit_trace`.
 
 :func:`validate_trace_events` is the schema gate the tests and the
 ``repro trace`` CLI run before writing anything to disk.
@@ -48,6 +57,8 @@ STAGE_TID_BASE = 1
 #: tids for the stall tracks and the instant-event track
 STALL_TIDS = {"icache_miss": 6, "ecache_late_miss": 7, "bus_wait": 9}
 EVENT_TID = 8
+#: tid of the translated-block activation track (jit span exports)
+TRANSLATE_TID = 10
 
 #: display names for the stall tracks
 _STALL_TRACK_NAMES = {"icache_miss": "Icache miss stall",
@@ -148,6 +159,65 @@ def multi_trace_events(tracers: Iterable[CycleTracer]) -> Dict[str, Any]:
         "otherData": {"clock": "1 us = 1 global cycle",
                       "source": "repro.telemetry.perfetto"},
     }
+
+
+def translate_span_events(spans: Iterable[Dict[str, Any]],
+                          pid: int = CORE_PID) -> List[Dict[str, Any]]:
+    """Translator activation spans as ``X`` slices on the jit track.
+
+    Each span dict (``head``/``n``/``start_cycle``/``end_cycle``/
+    ``cycles``, as recorded by ``Translator.record_spans``) becomes one
+    slice covering the machine cycles the closure executed.
+    """
+    events: List[Dict[str, Any]] = []
+    for span in spans:
+        start = span["start_cycle"]
+        events.append({
+            "name": f"block {span['head']:#x}", "ph": "X",
+            "cat": "translate", "pid": pid, "tid": TRANSLATE_TID,
+            "ts": start, "dur": max(span["end_cycle"] - start, 1),
+            "args": {"head": f"{span['head']:#x}",
+                     "words": span["n"], "cycles": span["cycles"]},
+        })
+    return events
+
+
+def jit_trace_events(spans: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Render translated-block activation spans as a trace payload.
+
+    A jit-only companion to :func:`trace_events`: process metadata plus
+    the *Translated blocks* track, on the same cycle timebase, so a jit
+    run's block coverage can be eyeballed on the Perfetto timeline.
+    """
+    events: List[Dict[str, Any]] = [
+        {"name": "process_name", "ph": "M", "pid": CORE_PID, "tid": 0,
+         "ts": 0, "args": {"name": "MIPS-X core"}},
+        {"name": "thread_name", "ph": "M", "pid": CORE_PID,
+         "tid": TRANSLATE_TID, "ts": 0,
+         "args": {"name": "Translated blocks"}},
+    ]
+    events.extend(translate_span_events(spans))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "1 us = 1 cycle",
+                      "source": "repro.telemetry.perfetto"},
+    }
+
+
+def write_jit_trace(path, spans: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Validate and write a translated-block span trace to ``path``.
+
+    Same schema gate as :func:`write_trace`; returns the payload.
+    """
+    payload = jit_trace_events(spans)
+    problems = validate_trace_events(payload)
+    if problems:
+        raise ValueError("invalid trace payload: " + "; ".join(problems))
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+    return payload
 
 
 def validate_trace_events(payload: Any) -> List[str]:

@@ -32,13 +32,18 @@ snapshot and on the suite totals.  ``--multi PATH`` validates the
 ``multi`` section a ``repro bench --multi`` run writes: every scaling
 point self-checked, results bit-equal to the single-node reference,
 ``speedup(N=1) == 1.0``, bus contention monotone in the node count, and
-a psieve speedup floor at 4 nodes.
+a psieve speedup floor at 4 nodes.  ``--jit PATH`` validates the
+``jit`` section: the translated fast path must be cycle-exact against
+the interpreter on every benchmarked workload and meet the speedup
+floors (:data:`JIT_SPEEDUP_FLOOR` aggregate,
+:data:`JIT_WORKLOAD_SPEEDUP_FLOOR` per workload).
 
 Usage::
 
     PYTHONPATH=src python -m repro.tools.check_results [--trace-length N]
         [--bench-file BENCH_pipeline.json] [--fuzz-file FUZZ_campaign.json]
         [--metrics-file METRICS_summary.json] [--multi BENCH_pipeline.json]
+        [--jit BENCH_pipeline.json]
 """
 
 from __future__ import annotations
@@ -102,6 +107,72 @@ def check_bench_file(path: pathlib.Path) -> List[str]:
                 failures.append(
                     f"bench file: section 'experiments' row '{job_id}' "
                     "has no 'status' field")
+    return failures
+
+
+#: floors for the translated fast path: aggregate and per-workload
+#: wall-clock speedup of the jit over the interpreter.  Measured values
+#: sit around 7-9x; the floors leave headroom for noisy CI runners
+#: while still catching a fast path that quietly stopped being fast.
+JIT_SPEEDUP_FLOOR = 5.0
+JIT_WORKLOAD_SPEEDUP_FLOOR = 3.0
+
+
+def check_jit_section(path: pathlib.Path) -> List[str]:
+    """Validate the ``jit`` section of a bench telemetry file.
+
+    Three gates, in order of importance:
+
+    * **equivalence** -- every workload's jit run must report the same
+      cycle and retired-instruction counts as the interpretive run
+      (``equivalent: true``); the fast path is cycle-exact or it is
+      wrong, and no speedup excuses a wrong answer;
+    * **speedup floors** -- aggregate >= ``JIT_SPEEDUP_FLOOR``x and each
+      workload >= ``JIT_WORKLOAD_SPEEDUP_FLOOR``x over the interpreter;
+    * **coverage sanity** -- blocks compiled and entries taken are
+      non-zero (a jit that never fires "passes" equivalence trivially).
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        return [f"bench file {path} does not exist (run `repro bench`)"]
+    try:
+        payload = json.loads(path.read_text())
+    except ValueError as exc:
+        return [f"bench file {path} is not valid JSON: {exc}"]
+    section = payload.get("jit") if isinstance(payload, dict) else None
+    if not isinstance(section, dict):
+        return ["bench file: section 'jit' is missing "
+                "(run `repro bench` with the translated fast path built)"]
+    failures: List[str] = []
+    if not section.get("equivalent", False):
+        failures.append("jit: aggregate 'equivalent' flag is false -- the "
+                        "translated fast path diverged from the interpreter")
+    speedup = section.get("speedup", 0.0)
+    if not isinstance(speedup, (int, float)) or speedup < JIT_SPEEDUP_FLOOR:
+        failures.append(f"jit: aggregate speedup {speedup!r} is below the "
+                        f"{JIT_SPEEDUP_FLOOR}x floor")
+    workloads = section.get("workloads")
+    if not isinstance(workloads, dict) or not workloads:
+        failures.append("jit: section has no per-workload rows")
+        return failures
+    for name, row in sorted(workloads.items()):
+        if not isinstance(row, dict):
+            failures.append(f"jit: workload '{name}' row is not an object")
+            continue
+        if not row.get("equivalent", False):
+            failures.append(f"jit: workload '{name}' is not cycle-exact "
+                            "(jit vs interpreter counts diverged)")
+        row_speedup = row.get("speedup", 0.0)
+        if row_speedup < JIT_WORKLOAD_SPEEDUP_FLOOR:
+            failures.append(
+                f"jit: workload '{name}' speedup {row_speedup} is below "
+                f"the {JIT_WORKLOAD_SPEEDUP_FLOOR}x floor")
+        if not row.get("blocks_compiled"):
+            failures.append(f"jit: workload '{name}' compiled no blocks "
+                            "(the fast path never engaged)")
+        if not row.get("cycle_coverage"):
+            failures.append(f"jit: workload '{name}' reports zero cycle "
+                            "coverage")
     return failures
 
 
@@ -553,6 +624,11 @@ def main(argv=None) -> int:
                              "(METRICS_summary.json): counter-derived CPI "
                              "must equal the analysis CPI, and the "
                              "accounting identities must hold")
+    parser.add_argument("--jit", dest="jit_file", type=pathlib.Path,
+                        default=None, metavar="PATH",
+                        help="also validate the 'jit' section of a bench "
+                             "telemetry file: cycle-exact equivalence, "
+                             "speedup floors, non-zero block coverage")
     parser.add_argument("--multi", dest="multi_file", type=pathlib.Path,
                         default=None, metavar="PATH",
                         help="also validate the 'multi' section of a bench "
@@ -580,6 +656,13 @@ def main(argv=None) -> int:
         failures = check_fuzz_file(args.fuzz_file)
         status = "ok" if not failures else "FAIL"
         print(f"[{status:>4}] fuzz campaign report")
+        for failure in failures:
+            print(f"       - {failure}")
+        all_failures.extend(failures)
+    if args.jit_file is not None:
+        failures = check_jit_section(args.jit_file)
+        status = "ok" if not failures else "FAIL"
+        print(f"[{status:>4}] translated fast path (jit) section")
         for failure in failures:
             print(f"       - {failure}")
         all_failures.extend(failures)

@@ -47,6 +47,7 @@ Both campaign commands share one exit-code taxonomy:
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import List, Optional
 
@@ -75,20 +76,37 @@ def _print_stats(machine: Machine) -> None:
           f"{snap['pipeline.stall.icache_miss']} stall cycles")
     print(f"ecache        {snap['ecache.miss_rate']:.1%} miss rate, "
           f"{snap['pipeline.stall.ecache_late_miss']} data stall cycles")
+    if snap.get("core.translate.entries.taken"):
+        coverage = (snap["core.translate.cycles"] / snap["pipeline.cycles"]
+                    if snap["pipeline.cycles"] else 0.0)
+        print(f"jit           {snap['core.translate.blocks.compiled']} "
+              f"blocks, {snap['core.translate.entries.taken']} entries, "
+              f"{coverage:.1%} cycle coverage")
     print(f"@20 MHz       {20.0 / cpi if cpi else 0.0:.1f} sustained MIPS")
 
 
 def _run_machine(program, args) -> int:
     config = perfect_memory_config() if args.ideal else MachineConfig()
+    if args.jit:
+        config = dataclasses.replace(config, jit=True)
     machine = Machine(config)
     machine.attach_coprocessor(Fpu())
     machine.load_program(program)
+    translator = machine.pipeline._translator
+    if args.jit_trace and translator is not None:
+        translator.record_spans = True
     if args.trace:
         tracer = PipelineTracer(machine)
         tracer.step(args.trace)
         print(tracer.render())
         print()
     machine.run(args.max_cycles)
+    if args.jit_trace and translator is not None:
+        from repro.telemetry import write_jit_trace
+
+        write_jit_trace(args.jit_trace, translator.spans)
+        print(f"jit trace written to {args.jit_trace} "
+              f"({len(translator.spans)} block activations)")
     if machine.console.values:
         print("console:", machine.console.values)
     if machine.console.text:
@@ -342,6 +360,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--trace", type=int, default=0, metavar="N",
                        help="pipeline diagram of the first N cycles")
         p.add_argument("--max-cycles", type=int, default=10_000_000)
+        p.add_argument("--jit", action="store_true",
+                       help="enable the translated fast path (cycle-exact; "
+                            "off by default)")
+        p.add_argument("--jit-trace", default=None, metavar="PATH",
+                       help="with --jit: write translated-block activation "
+                            "spans as Perfetto trace JSON")
 
     p_run = sub.add_parser("run", help="assemble and run a .s file")
     p_run.add_argument("file")
