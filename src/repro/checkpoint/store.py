@@ -1,0 +1,272 @@
+"""Durable, generation-laddered snapshot storage.
+
+Snapshots live next to the trace cache, one directory per run id::
+
+    .trace_cache/checkpoints/<run_id>/gen-0000000000012345.json
+    .trace_cache/checkpoints/<run_id>/gen-0000000000012345.json.sha256
+
+Every write is atomic and durable: payload to a temp file, ``fsync`` of
+the file *and* its directory entry, ``os.replace`` into place, sha256
+sidecar second (so a crash between the two leaves a data file without a
+sidecar, which :meth:`SnapshotStore.load` rejects by name).  Writers
+serialize on an ``O_CREAT|O_EXCL`` lockfile carrying the owner pid; a
+lock whose owner is dead is broken immediately, a merely *old* lock
+after :data:`LOCK_STALE_SECONDS`.
+
+Reads are validating and never trust a single generation: ``load``
+raises :class:`SnapshotIntegrityError` for truncated/corrupted bytes and
+:class:`SnapshotFormatError` for unknown versions, and ``load_latest``
+walks the generation ladder newest-first, skipping (and counting) every
+invalid generation until one verifies -- the recovery path a crashed or
+chaos-killed run resumes through.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.checkpoint.state import (
+    FORMAT,
+    SnapshotFormatError,
+    SnapshotIntegrityError,
+)
+
+#: src/repro/checkpoint/store.py -> repository root
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
+DEFAULT_ROOT = REPO_ROOT / ".trace_cache" / "checkpoints"
+
+#: a lock older than this is presumed orphaned even if the pid cannot
+#: be probed (same policy as the trace store)
+LOCK_STALE_SECONDS = 120.0
+LOCK_TIMEOUT_SECONDS = 30.0
+
+
+def _fsync_directory(directory: pathlib.Path) -> None:
+    """Flush a directory entry so a rename survives power loss."""
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _write_durable(path: pathlib.Path, data: bytes) -> None:
+    """Atomic, durable byte write: temp + fsync + replace + dir fsync."""
+    tmp = path.with_name(path.name + f".{os.getpid()}.tmp")
+    fd = os.open(tmp, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+    try:
+        try:
+            os.write(fd, data)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, path)
+    except BaseException:
+        if tmp.exists():
+            os.unlink(tmp)
+        raise
+    _fsync_directory(path.parent)
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except (OverflowError, ValueError):
+        return False
+    return True
+
+
+class SnapshotStore:
+    """Atomic, sha-verified, generation-laddered snapshot files."""
+
+    def __init__(self, root: Optional[pathlib.Path] = None):
+        self.root = pathlib.Path(root) if root is not None else DEFAULT_ROOT
+        #: invalid generations skipped by :meth:`load_latest`
+        self.fallbacks = 0
+        #: generations rejected by :meth:`load` (integrity or format)
+        self.rejects = 0
+
+    # ---------------------------------------------------------- layout
+    def run_dir(self, run_id: str) -> pathlib.Path:
+        """Directory holding one run's generation ladder."""
+        safe = "".join(ch if (ch.isalnum() or ch in "-_.") else "_"
+                       for ch in str(run_id))
+        return self.root / safe
+
+    def generations(self, run_id: str) -> List[pathlib.Path]:
+        """This run's snapshot files, oldest first."""
+        run_dir = self.run_dir(run_id)
+        if not run_dir.is_dir():
+            return []
+        return sorted(path for path in run_dir.glob("gen-*.json"))
+
+    # ----------------------------------------------------------- locks
+    def _acquire_lock(self, run_dir: pathlib.Path) -> pathlib.Path:
+        lock = run_dir / ".lock"
+        deadline = time.monotonic() + LOCK_TIMEOUT_SECONDS
+        while True:
+            try:
+                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                os.write(fd, str(os.getpid()).encode("ascii"))
+                os.close(fd)
+                return lock
+            except FileExistsError:
+                if self._lock_is_orphaned(lock):
+                    try:
+                        os.unlink(lock)
+                    except FileNotFoundError:
+                        pass
+                    continue
+                if time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"snapshot lock {lock} held for more than "
+                        f"{LOCK_TIMEOUT_SECONDS}s")
+                time.sleep(0.05)
+
+    @staticmethod
+    def _lock_is_orphaned(lock: pathlib.Path) -> bool:
+        """A lock is orphaned when its owner pid is dead (a SIGKILLed
+        writer) or when it is simply too old to be live."""
+        try:
+            raw = lock.read_text()
+            mtime = lock.stat().st_mtime
+        except (OSError, ValueError):
+            return False
+        if raw.strip().isdigit() and not _pid_alive(int(raw.strip())):
+            return True
+        return time.time() - mtime > LOCK_STALE_SECONDS
+
+    # ------------------------------------------------------------ save
+    def save(self, run_id: str, state: Dict[str, Any]) -> pathlib.Path:
+        """Commit one generation; returns the snapshot path.
+
+        The generation index is the snapshot's cycle count, so the
+        ladder sorts by progress and re-saving the same boundary is
+        idempotent.
+        """
+        cycles = state_cycles(state)
+        run_dir = self.run_dir(run_id)
+        run_dir.mkdir(parents=True, exist_ok=True)
+        path = run_dir / f"gen-{cycles:016d}.json"
+        data = json.dumps(state, sort_keys=True).encode("utf-8")
+        digest = hashlib.sha256(data).hexdigest()
+        lock = self._acquire_lock(run_dir)
+        try:
+            _write_durable(path, data)
+            _write_durable(self._sidecar(path),
+                           (digest + "\n").encode("ascii"))
+        finally:
+            try:
+                os.unlink(lock)
+            except FileNotFoundError:
+                pass
+        return path
+
+    # ------------------------------------------------------------ load
+    @staticmethod
+    def _sidecar(path: pathlib.Path) -> pathlib.Path:
+        return path.with_name(path.name + ".sha256")
+
+    def load(self, path: pathlib.Path) -> Dict[str, Any]:
+        """Read and fully validate one generation.
+
+        Raises :class:`SnapshotIntegrityError` (missing file/sidecar,
+        digest mismatch, undecodable JSON) or
+        :class:`SnapshotFormatError` (unknown format version).
+        """
+        path = pathlib.Path(path)
+        try:
+            data = path.read_bytes()
+        except OSError as exc:
+            self.rejects += 1
+            raise SnapshotIntegrityError(
+                f"snapshot {path} is unreadable: {exc}") from exc
+        try:
+            recorded = self._sidecar(path).read_text().strip()
+        except OSError as exc:
+            self.rejects += 1
+            raise SnapshotIntegrityError(
+                f"snapshot {path} has no sha256 sidecar "
+                "(interrupted write?)") from exc
+        digest = hashlib.sha256(data).hexdigest()
+        if digest != recorded:
+            self.rejects += 1
+            raise SnapshotIntegrityError(
+                f"snapshot {path} fails its sha256 check "
+                f"(recorded {recorded[:12]}..., actual {digest[:12]}...)")
+        try:
+            state = json.loads(data)
+        except ValueError as exc:
+            self.rejects += 1
+            raise SnapshotIntegrityError(
+                f"snapshot {path} is not valid JSON: {exc}") from exc
+        if not isinstance(state, dict) or state.get("format") != FORMAT:
+            self.rejects += 1
+            raise SnapshotFormatError(
+                f"snapshot {path} has format "
+                f"{state.get('format') if isinstance(state, dict) else '?'!r},"
+                f" supported format is {FORMAT}")
+        return state
+
+    def load_latest(self, run_id: str) -> Tuple[Optional[Dict[str, Any]],
+                                                Optional[pathlib.Path]]:
+        """Newest generation that verifies, or ``(None, None)``.
+
+        Invalid generations (corrupted, truncated, wrong format) are
+        skipped and counted in :attr:`fallbacks` -- the recovery ladder:
+        a damaged newest generation silently falls back to the previous
+        good one instead of failing the resume.
+        """
+        for path in reversed(self.generations(run_id)):
+            try:
+                return self.load(path), path
+            except (SnapshotIntegrityError, SnapshotFormatError):
+                self.fallbacks += 1
+        return None, None
+
+    # ----------------------------------------------------- maintenance
+    def prune(self, run_id: str, keep: int = 2) -> int:
+        """Drop all but the newest ``keep`` generations; returns the
+        number removed.  Two generations are kept by default so one
+        corrupted write still leaves a fallback."""
+        removed = 0
+        generations = self.generations(run_id)
+        for path in generations[:-keep] if keep else generations:
+            for victim in (path, self._sidecar(path)):
+                try:
+                    os.unlink(victim)
+                    removed += 1
+                except FileNotFoundError:
+                    pass
+        return removed
+
+    def delete_run(self, run_id: str) -> None:
+        """Remove a run's entire ladder (end-of-campaign cleanup)."""
+        import shutil
+
+        shutil.rmtree(self.run_dir(run_id), ignore_errors=True)
+
+
+def state_cycles(state: Dict[str, Any]) -> int:
+    """The cycle coordinate a snapshot was taken at (machine or multi)."""
+    if state.get("kind") == "multi":
+        return int(state["cycles"])
+    return int(state["pipeline"]["stats"]["cycles"])
+
+
+__all__ = [
+    "DEFAULT_ROOT",
+    "LOCK_STALE_SECONDS",
+    "LOCK_TIMEOUT_SECONDS",
+    "SnapshotStore",
+    "state_cycles",
+]

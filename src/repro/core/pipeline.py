@@ -43,7 +43,7 @@ from typing import List, Optional
 
 from repro.coproc.interface import CoprocessorSet
 from repro.core.config import MachineConfig
-from repro.core.control import CacheMissFsm, SquashFsm
+from repro.core.control import CacheMissFsm, SquashFsm, SquashState
 from repro.core.datapath import (
     Alu,
     FunnelShifter,
@@ -1016,6 +1016,30 @@ class Pipeline:
             self.stats.icache_stall_cycles += cycles
         else:
             self.stats.data_stall_cycles += cycles
+
+    # --------------------------------------------------------- quiescence
+    @property
+    def quiescent(self) -> bool:
+        """True at a squash-free, exception-free cycle boundary.
+
+        This is the snapshot contract (see :mod:`repro.checkpoint`): the
+        squash FSM is back in NORMAL, nothing in flight is squashed, no
+        memory-system stall is being serviced, no halt or interrupt-hold
+        window is open.  At such a boundary the five stage latches, the
+        PC unit and the FSMs fully determine the next cycle, so a machine
+        restored from this state replays the future bit-identically.  A
+        halted machine is trivially quiescent.
+        """
+        if self.halted:
+            return True
+        if self.squash_fsm.state is not SquashState.NORMAL:
+            return False
+        if self._stall_left or self.miss_fsm.stalled:
+            return False
+        if self._halting or self._irq_hold:
+            return False
+        return not any(flight is not None and flight.squashed
+                       for flight in self.s)
 
 
 # Stage-dispatch tables, precomputed once at import: opcode/funct

@@ -67,6 +67,34 @@ class Machine:
     def post_interrupt(self, cause_bits: int = 1, nmi: bool = False) -> None:
         self.pipeline.post_interrupt(cause_bits, nmi)
 
+    # -------------------------------------------------- checkpoint/restore
+    def snapshot(self, drain_bound: int = 4096) -> dict:
+        """Drain to a quiescent cycle boundary and capture full state.
+
+        Returns the JSON-serializable state dict of
+        :func:`repro.checkpoint.state.machine_state` (imported lazily so
+        plain simulation never loads the checkpoint layer).  Draining
+        advances the machine by however many cycles quiescence takes;
+        an uninterrupted run passes through the identical state, which
+        is what makes restore bit-exact.
+        """
+        from repro.checkpoint.state import drain_machine, machine_state
+
+        drain_machine(self, drain_bound)
+        return machine_state(self)
+
+    def restore(self, state: dict) -> None:
+        """Restore a snapshot taken on an identically configured machine.
+
+        Validates format version and configuration first (named errors,
+        see :mod:`repro.checkpoint.state`) and invalidates every derived
+        structure (decode memos, translated JIT blocks) so execution
+        resumes bit-identical to the run the snapshot was taken from.
+        """
+        from repro.checkpoint.state import restore_machine
+
+        restore_machine(self, state)
+
     # ----------------------------------------------------------- accessors
     @property
     def regs(self):

@@ -108,7 +108,8 @@ def run_campaign(seeds: int = 32,
         for r in results
     }
     unhandled = {r.job_id: (r.error or r.status) for r in results
-                 if not r.ok}
+                 if not r.ok and r.status != "interrupted"}
+    interrupted = sum(1 for r in results if r.status == "interrupted")
     classes = _aggregate(results)
     violated = sum(row["violated"] for row in classes.values())
     payload: Dict[str, Any] = {
@@ -116,6 +117,7 @@ def run_campaign(seeds: int = 32,
         "seeds": seeds,
         "quick": quick,
         "chaos_rate": chaos_rate,
+        "complete": interrupted == 0,
         "summary": {
             "runs": sum(row["runs"] for row in classes.values()),
             "absorbed": sum(row["absorbed"] for row in classes.values()),
@@ -123,6 +125,7 @@ def run_campaign(seeds: int = 32,
                                  for row in classes.values()),
             "violated": violated,
             "unhandled_jobs": len(unhandled),
+            "interrupted_jobs": interrupted,
             "retried_jobs": sum(1 for r in results
                                 if r.status == "retried-ok"),
         },
@@ -150,6 +153,8 @@ def format_summary(payload: Dict[str, Any]) -> str:
         f"  violations      {summary['violated']}",
         f"  harness         {summary['unhandled_jobs']} unhandled, "
         f"{summary['retried_jobs']} retried"
+        + (f", {summary['interrupted_jobs']} interrupted"
+           if summary.get("interrupted_jobs") else "")
         + (f" (chaos rate {payload['chaos_rate']})"
            if payload.get("chaos_rate") else ""),
         f"  {'class':<16} {'runs':>4} {'absorb':>6} {'quiet':>5} "

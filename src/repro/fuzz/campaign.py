@@ -240,6 +240,10 @@ def run_campaign(seeds: int = 50,
         results = runner.run(batch, parallel=parallel)
         records = []
         for result in results:
+            if result.status == "interrupted":
+                # not a verdict: leave the job out of the journal so a
+                # resumed campaign re-runs it
+                continue
             record: Dict[str, Any] = {"id": result.job_id,
                                       "status": result.status}
             if result.ok:
@@ -249,8 +253,12 @@ def run_campaign(seeds: int = 50,
                 record["error"] = result.error
             records.append(record)
             rows[result.job_id] = record
-        _append_journal(journal_file, records, header, fresh)
-        fresh = False
+        if records:
+            _append_journal(journal_file, records, header, fresh)
+            fresh = False
+        if runner.interrupted:
+            exhausted = True
+            break
 
     config = {"seeds": seeds, "modes": list(modes), "quick": quick,
               "mutation": mutation, "chaos_rate": chaos_rate}

@@ -1,7 +1,7 @@
 """The differential oracle: run one generated program on independent
 models of MIPS-X semantics and compare everything observable.
 
-Three model pairs, matching the repo's redundancy axes:
+Four model pairs, matching the repo's redundancy axes:
 
 * **golden-vs-pipeline** (the reorganizer contract): the *naive* program
   runs on the instruction-level golden simulator; the *reorganized*
@@ -21,6 +21,11 @@ Three model pairs, matching the repo's redundancy axes:
   bit-for-bit -- every pipeline counter (cycles included: the fast path
   is cycle-exact, not just architecturally equivalent), registers, MD,
   memory, console, and cache statistics.
+* **checkpoint-vs-straight** (the snapshot/restore contract, see
+  :mod:`repro.checkpoint`): the reorganized program runs again to a
+  seeded random cycle, drains to quiescence, snapshots through a JSON
+  round trip, restores into a fresh machine and finishes; the full
+  machine signature must match the uninterrupted run bit-for-bit.
 
 Every check returns ``None`` for agreement or a structured
 :class:`DivergenceReport`; programs that fail to terminate or assemble
@@ -52,6 +57,7 @@ from repro.traces.capture import TraceCollector
 PAIR_GOLDEN_PIPELINE = "golden-vs-pipeline"
 PAIR_LIVE_REPLAY = "live-vs-replay"
 PAIR_JIT_INTERP = "jit-vs-interpreter"
+PAIR_CHECKPOINT = "checkpoint-vs-straight"
 
 
 @dataclasses.dataclass
@@ -308,6 +314,85 @@ def check_jit_equivalence(program: Program, generated: GeneratedProgram,
                             mismatches=mismatches)
 
 
+def check_checkpoint_equivalence(program: Program,
+                                 generated: GeneratedProgram,
+                                 reference: Machine,
+                                 config: Optional[MachineConfig] = None,
+                                 jit: bool = False,
+                                 ) -> Optional[DivergenceReport]:
+    """Checkpoint-vs-straight oracle; ``None`` means bit-identical.
+
+    The program runs again to a seeded random cycle, drains to a
+    quiescent boundary, snapshots, round-trips the snapshot through
+    JSON (exactly what the on-disk store persists), restores it into a
+    *fresh* machine, and finishes.  The full machine signature -- every
+    pipeline counter, registers, MD, PSW, memory, console, cache stats
+    -- must match the uninterrupted ``reference`` run bit-for-bit.
+
+    ``jit=True`` exercises the same contract with the block translator
+    enabled (translated blocks must be invalidated on restore, never
+    resumed stale).
+    """
+    import json as _json
+    import random as _random
+
+    from repro.checkpoint.state import CheckpointError
+
+    base = config or MachineConfig()
+    if jit:
+        from repro.core.translate import Translator
+
+        if not Translator.supports(base):
+            return None
+        base = dataclasses.replace(base, jit=True, jit_threshold=2)
+    total = reference.stats.cycles
+    cut = _random.Random(generated.seed ^ 0xC0FFEE).randint(
+        1, max(1, total - 1))
+    first = Machine(base)
+    first.load_program(program)
+    first.pipeline.run(cut)
+    try:
+        state = first.snapshot()
+    except CheckpointError as exc:
+        return DivergenceReport(
+            pair=PAIR_CHECKPOINT, kind="quiescence",
+            mismatches=[{"what": "drain",
+                         "detail": f"drain to quiescence failed at cycle "
+                                   f"{cut} (seed {generated.seed}): {exc}"}])
+    state = _json.loads(_json.dumps(state))
+    restored = Machine(base)
+    try:
+        restored.restore(state)
+    except CheckpointError as exc:
+        return DivergenceReport(
+            pair=PAIR_CHECKPOINT, kind="restore-error",
+            mismatches=[{"what": "restore",
+                         "detail": f"restore rejected its own snapshot "
+                                   f"(seed {generated.seed}): {exc}"}])
+    restored.run(generated.max_cycles)
+    if not restored.halted:
+        return DivergenceReport(
+            pair=PAIR_CHECKPOINT, kind="no-halt",
+            mismatches=[{"what": "pipeline",
+                         "detail": f"restored run did not halt within "
+                                   f"{generated.max_cycles} cycles where "
+                                   f"the straight run did "
+                                   f"(seed {generated.seed})"}])
+    want = _machine_signature(reference)
+    got = _machine_signature(restored)
+    if want == got:
+        return None
+    mismatches: List[Dict[str, object]] = []
+    for key in want:
+        if want[key] != got[key]:
+            mismatches.append({
+                "what": key,
+                "detail": f"{key} (snapshot at cycle {cut}): straight "
+                          f"{want[key]!r} != restored {got[key]!r}"})
+    return DivergenceReport(pair=PAIR_CHECKPOINT, kind="state",
+                            mismatches=mismatches)
+
+
 def check_all(generated: GeneratedProgram,
               config: Optional[MachineConfig] = None,
               golden_mutator: Optional[
@@ -359,4 +444,8 @@ def check_all(generated: GeneratedProgram,
                                        config=config)
     if jit_report is not None:
         reports.append(jit_report)
+    checkpoint_report = check_checkpoint_equivalence(reorganized, generated,
+                                                     machine, config=config)
+    if checkpoint_report is not None:
+        reports.append(checkpoint_report)
     return reports

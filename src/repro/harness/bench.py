@@ -43,9 +43,13 @@ THROUGHPUT_WORKLOADS = ("sieve", "bubble")
 
 
 def write_json_atomic(path: pathlib.Path, payload: Any) -> None:
-    """Crash-safe JSON write: temp file in the target directory, then
-    ``os.replace``.  A reader (or a concurrent producer) never observes a
-    partially-written telemetry file, only the old or the new one."""
+    """Crash-durable JSON write: temp file in the target directory,
+    fsync, ``os.replace``, then fsync the directory so the *rename
+    itself* survives a power cut.  A reader (or a concurrent producer)
+    never observes a partially-written telemetry file, only the old or
+    the new one -- even if the process is killed between any two steps
+    (a leftover ``*.tmp`` is the only possible debris, and it is never
+    mistaken for the real file)."""
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
@@ -54,11 +58,20 @@ def write_json_atomic(path: pathlib.Path, payload: Any) -> None:
     try:
         with os.fdopen(fd, "w") as handle:
             handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, path)
     except BaseException:
         if os.path.exists(tmp):
             os.unlink(tmp)
         raise
+    directory_fd = os.open(path.parent, os.O_RDONLY)
+    try:
+        os.fsync(directory_fd)
+    except OSError:
+        pass  # some filesystems refuse directory fsync; rename still atomic
+    finally:
+        os.close(directory_fd)
 
 
 def measure_core_throughput(names: Sequence[str] = THROUGHPUT_WORKLOADS,

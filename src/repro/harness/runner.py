@@ -34,10 +34,20 @@ Status taxonomy (``JobResult.status``):
 ``timeout``    the watchdog killed the worker after ``timeout`` seconds
 ``crashed``    the worker died on every allowed attempt without
                reporting; ``error_kind`` is ``worker-died``
+``interrupted`` the run received SIGTERM/SIGINT before this job started;
+               in-flight jobs are drained, queued jobs get this status
 ============== ===========================================================
 
 ``JobResult.ok`` is True for both ``ok`` and ``retried-ok`` -- a retried
 job still produced its value.
+
+**Graceful shutdown**: the parallel scheduler installs SIGTERM/SIGINT
+handlers (main thread only) for the duration of a run.  On a signal it
+stops launching new work, lets the already-running workers finish and
+deliver, marks everything still queued ``"interrupted"``, and restores
+the previous handlers -- so a Ctrl-C'd campaign still journals every
+completed job and leaves no orphan processes or stale lockfiles behind.
+Callers can test :attr:`Runner.interrupted` after ``run`` returns.
 """
 
 from __future__ import annotations
@@ -47,6 +57,8 @@ import hashlib
 import importlib
 import multiprocessing
 import os
+import signal
+import threading
 import time
 import traceback
 from typing import Any, Callable, Dict, List, Optional, Sequence
@@ -95,11 +107,18 @@ class ChaosMonkey:
     ``os._exit`` *mid-job* on attempts <= ``kill_attempts``.  With
     ``kill_attempts=1`` (the default) every doomed job succeeds on its
     retry, so a chaos run must produce values identical to a serial run.
+
+    ``kill_after`` switches the kill from "between resolve and call" to
+    a genuine asynchronous mid-run SIGKILL: a doomed worker arms a
+    daemon timer that ``SIGKILL``\\ s its own process ``kill_after``
+    seconds into the job, exactly the power-loss-style death the
+    checkpoint/resume path (see :mod:`repro.checkpoint`) must survive.
     """
 
     rate: float = 0.0
     seed: int = 0
     kill_attempts: int = 1
+    kill_after: Optional[float] = None
 
     def dooms(self, job_id: str, attempt: int) -> bool:
         """Whether this (job, attempt) is selected for a chaos kill."""
@@ -120,18 +139,31 @@ def resolve(fn_spec: str) -> Callable:
 
 
 def _worker_main(fn_spec: str, params: Dict[str, Any], conn,
-                 chaos_kill: bool) -> None:
+                 chaos_kill: bool,
+                 kill_after: Optional[float] = None) -> None:
     """Worker process entry point: run the job, report over the pipe.
 
     ``chaos_kill`` kills the worker *after* the function started doing
     real work (module resolved, call under way is approximated by
     killing between resolve and call) -- the parent sees a silent death,
-    exactly like a segfault or an OOM kill.
+    exactly like a segfault or an OOM kill.  With ``kill_after`` set the
+    kill is instead a delayed SIGKILL fired from a daemon timer while
+    the job runs, so death can land anywhere in the computation.
     """
+    # The fork inherits the parent's graceful-shutdown handlers, under
+    # which SIGTERM merely sets a flag -- that would make workers immune
+    # to terminate().  Shutdown is the *scheduler's* job; workers die.
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_DFL)
     try:
         fn = resolve(fn_spec)
         if chaos_kill:
-            os._exit(CHAOS_EXIT_CODE)
+            if kill_after is None:
+                os._exit(CHAOS_EXIT_CODE)
+            timer = threading.Timer(
+                kill_after, os.kill, args=(os.getpid(), signal.SIGKILL))
+            timer.daemon = True
+            timer.start()
         value = fn(**params)
         conn.send(("ok", value, "", ""))
     except BaseException as exc:
@@ -186,6 +218,8 @@ class Runner:
         self.retry_budget = retry_budget
         self.default_timeout = default_timeout
         self.chaos = chaos or ChaosMonkey()
+        #: set when SIGTERM/SIGINT arrived during the last parallel run
+        self.interrupted = False
         self._context = multiprocessing.get_context()
 
     # ------------------------------------------------------------- serial
@@ -234,7 +268,8 @@ class Runner:
         chaos_kill = self.chaos.dooms(job.id, attempt)
         process = self._context.Process(
             target=_worker_main,
-            args=(job.fn, job.params, child_conn, chaos_kill),
+            args=(job.fn, job.params, child_conn, chaos_kill,
+                  self.chaos.kill_after),
             daemon=True)
         process.start()
         child_conn.close()   # child's end lives in the child now
@@ -246,6 +281,28 @@ class Runner:
             return 0.0
         return self.backoff_base * (2.0 ** (attempt - 2))
 
+    def _install_signal_handlers(self) -> List[tuple]:
+        """Arm graceful shutdown for the duration of a parallel run.
+
+        Returns ``(signum, previous_handler)`` pairs to restore, or an
+        empty list when not on the main thread (signal handlers can only
+        be installed there; nested runners just inherit the outer one).
+        """
+        self.interrupted = False
+
+        def _handler(signum, frame):
+            self.interrupted = True
+
+        installed: List[tuple] = []
+        try:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                installed.append((signum, signal.signal(signum, _handler)))
+        except ValueError:
+            for signum, previous in installed:
+                signal.signal(signum, previous)
+            return []
+        return installed
+
     def _run_parallel(self, jobs: List[Job]) -> Dict[str, JobResult]:
         queue: List[tuple] = [(job, 1) for job in jobs]
         queue.reverse()                      # pop() takes submission order
@@ -255,8 +312,24 @@ class Runner:
         self._retries_left = self.retry_budget
         active: List[_Active] = []
         results: Dict[str, JobResult] = {}
+        installed = self._install_signal_handlers()
         try:
             while queue or active or waiting:
+                if self.interrupted and (queue or waiting):
+                    # graceful shutdown: nothing new is launched; the
+                    # in-flight workers drain and deliver normally
+                    for job, _attempt in queue:
+                        results[job.id] = JobResult(
+                            job.id, "interrupted",
+                            error="run interrupted by signal before start",
+                            error_kind="interrupted", sweep=job.sweep)
+                    for _eligible, job, attempt in waiting:
+                        results[job.id] = JobResult(
+                            job.id, "interrupted",
+                            error="retry abandoned: run interrupted",
+                            error_kind="interrupted", attempts=attempt - 1,
+                            sweep=job.sweep)
+                    queue, waiting = [], []
                 if waiting:
                     now = time.monotonic()
                     due = [w for w in waiting if w[0] <= now]
@@ -288,6 +361,8 @@ class Runner:
                 if not made_progress and (active or waiting):
                     time.sleep(self.poll_interval)
         finally:
+            for signum, previous in installed:
+                signal.signal(signum, previous)
             for slot in active:              # interrupted: no orphans
                 slot.process.terminate()
                 slot.process.join()

@@ -215,6 +215,24 @@ class MultiMachine:
                 tracer.finalize()
         return self.cycles
 
+    # -------------------------------------------------- checkpoint/restore
+    def snapshot(self, drain_bound: int = 4096) -> dict:
+        """Drain every node to quiescence and capture the whole system:
+        shared memory once, per-node pipeline/cache/coprocessor state,
+        and the bus (owner, release cycle, counters).  See
+        :mod:`repro.checkpoint.state`."""
+        from repro.checkpoint.state import drain_multi, multi_state
+
+        drain_multi(self, drain_bound)
+        return multi_state(self)
+
+    def restore(self, state: dict) -> None:
+        """Restore a multi snapshot into an identically shaped system
+        (same config, node count, bus latency, invalidation setting)."""
+        from repro.checkpoint.state import restore_multi
+
+        restore_multi(self, state)
+
     @property
     def all_halted(self) -> bool:
         return all(machine.halted for machine in self.machines)

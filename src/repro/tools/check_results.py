@@ -43,7 +43,12 @@ Usage::
     PYTHONPATH=src python -m repro.tools.check_results [--trace-length N]
         [--bench-file BENCH_pipeline.json] [--fuzz-file FUZZ_campaign.json]
         [--metrics-file METRICS_summary.json] [--multi BENCH_pipeline.json]
-        [--jit BENCH_pipeline.json]
+        [--jit BENCH_pipeline.json] [--checkpoint CHECKPOINT_campaign.json]
+
+``--checkpoint PATH`` validates a ``CHECKPOINT_campaign.json`` recovery
+report (see :mod:`repro.checkpoint.campaign`): every restore-equivalence
+case bit-identical, the chaos gate with at least one proven resume, and
+every snapshot-corruption case rejected with its named error.
 """
 
 from __future__ import annotations
@@ -448,6 +453,79 @@ def check_fuzz_file(path: pathlib.Path) -> List[str]:
     return failures
 
 
+def check_checkpoint_file(path: pathlib.Path) -> List[str]:
+    """Validate a ``CHECKPOINT_campaign.json`` report and its verdict.
+
+    Structural problems read as named-section messages (like
+    :func:`check_bench_file`); a structurally sound report still fails
+    when any recovery gate failed:
+
+    * **equivalence** -- every restore-equivalence case bit-identical
+      (no divergences, no harness failures);
+    * **chaos** -- no diverged merges, no harness failures, and at
+      least one job *provably resumed* from a snapshot
+      (``resumes > 0``: a chaos gate where nothing ever resumes tests
+      nothing);
+    * **corruption** -- every tamper case rejected with its named error
+      and fallen back to a good generation.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        return [f"checkpoint file {path} does not exist "
+                "(run `repro checkpoint`)"]
+    try:
+        payload = json.loads(path.read_text())
+    except ValueError as exc:
+        return [f"checkpoint file {path} is not valid JSON: {exc}"]
+    if not isinstance(payload, dict):
+        return [f"checkpoint file {path}: top level must be an object, "
+                f"got {type(payload).__name__}"]
+    failures = []
+    for section in ("equivalence", "chaos", "corruption"):
+        if not isinstance(payload.get(section), dict):
+            failures.append(
+                f"checkpoint file: section '{section}' is missing or not "
+                "an object (partial or interrupted campaign?)")
+    if failures:
+        return failures
+    equivalence = payload["equivalence"]
+    if equivalence.get("diverged"):
+        failures.append(
+            f"checkpoint file: {equivalence['diverged']} restore-"
+            "equivalence case(s) diverged from the straight run "
+            "(see the report's 'equivalence.failures')")
+    if equivalence.get("harness_failures"):
+        failures.append(
+            f"checkpoint file: {equivalence['harness_failures']} "
+            "equivalence job(s) failed in the harness")
+    chaos = payload["chaos"]
+    if not chaos.get("resumes"):
+        failures.append(
+            "checkpoint file: chaos gate recorded zero resumes -- no "
+            "killed job provably restarted from a snapshot")
+    if chaos.get("diverged"):
+        failures.append(
+            f"checkpoint file: {chaos['diverged']} chaos job(s) merged "
+            "results that differ from the serial uninterrupted reference")
+    if chaos.get("harness_failures"):
+        failures.append(
+            f"checkpoint file: {chaos['harness_failures']} chaos job(s) "
+            "failed in the harness")
+    corruption = payload["corruption"]
+    cases = corruption.get("cases")
+    if not isinstance(cases, list) or not cases:
+        failures.append("checkpoint file: section 'corruption' has no "
+                        "cases")
+    else:
+        for case in cases:
+            if case.get("status") != "ok":
+                failures.append(
+                    f"checkpoint file: corruption case "
+                    f"'{case.get('case')}' ended '{case.get('status')}' "
+                    f"({case.get('error')})")
+    return failures
+
+
 def check_table1_orderings(trace_length: int) -> List[str]:
     """E1: the six branch schemes keep the paper's ordering."""
     from repro.analysis.branch_schemes import table1_rows
@@ -635,6 +713,12 @@ def main(argv=None) -> int:
                              "telemetry file: self-checks, node-count "
                              "invariant results, speedup(N=1)==1.0, "
                              "monotone bus contention, psieve N=4 speedup")
+    parser.add_argument("--checkpoint", dest="checkpoint_file",
+                        type=pathlib.Path, default=None, metavar="PATH",
+                        help="also validate a checkpoint campaign report "
+                             "(CHECKPOINT_campaign.json): restore "
+                             "equivalence, chaos resumes > 0, and every "
+                             "corruption case rejected")
     args = parser.parse_args(argv)
 
     all_failures: List[str] = []
@@ -670,6 +754,13 @@ def main(argv=None) -> int:
         failures = check_multi_file(args.multi_file)
         status = "ok" if not failures else "FAIL"
         print(f"[{status:>4}] multiprocessor scaling section")
+        for failure in failures:
+            print(f"       - {failure}")
+        all_failures.extend(failures)
+    if args.checkpoint_file is not None:
+        failures = check_checkpoint_file(args.checkpoint_file)
+        status = "ok" if not failures else "FAIL"
+        print(f"[{status:>4}] checkpoint recovery gates")
         for failure in failures:
             print(f"       - {failure}")
         all_failures.extend(failures)

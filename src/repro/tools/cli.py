@@ -12,6 +12,9 @@ Usage::
     python -m repro.tools.cli faults [--seeds N] [--quick] [--chaos R]
     python -m repro.tools.cli faults --multi-nodes 4 [--seeds N] [--quick]
     python -m repro.tools.cli fuzz [--seeds N] [--quick] [--max-seconds S]
+    python -m repro.tools.cli run program.s --checkpoint-every 100000
+    python -m repro.tools.cli run program.s --resume --checkpoint-id ID
+    python -m repro.tools.cli checkpoint [--fuzz-seeds N] [--quick]
 
 ``run`` executes assembly on the paper-configuration machine; ``compile``
 sends SPL source through the compiler + reorganizer; ``workload`` runs a
@@ -35,7 +38,15 @@ differential-fuzzing campaign (see :mod:`repro.fuzz`) cross-checking the
 golden, pipeline, and trace-replay models on generated programs, writing
 ``FUZZ_campaign.json``.
 
-Both campaign commands share one exit-code taxonomy:
+``run``/``compile``/``workload`` accept ``--checkpoint-every K`` to
+snapshot the machine every K cycles into the content-addressed store
+under ``.trace_cache/checkpoints/`` (see :mod:`repro.checkpoint`), and
+``--resume`` to continue a crashed run from its latest valid snapshot
+(``--checkpoint-id`` names the ladder).  ``checkpoint`` runs the
+standing recovery gates -- restore equivalence, chaos resume, snapshot
+corruption -- and writes ``CHECKPOINT_campaign.json``.
+
+The campaign commands share one exit-code taxonomy:
 
 * **0** -- campaign ran and found nothing wrong;
 * **1** -- harness failure: a job errored/timed out/crashed (the
@@ -100,7 +111,20 @@ def _run_machine(program, args) -> int:
         tracer.step(args.trace)
         print(tracer.render())
         print()
-    machine.run(args.max_cycles)
+    if args.checkpoint_every or args.resume:
+        from repro.checkpoint import SnapshotStore, run_with_checkpoints
+
+        store = SnapshotStore()
+        run_id = args.checkpoint_id or "cli"
+        ckpt = run_with_checkpoints(
+            machine, store, run_id, max_cycles=args.max_cycles,
+            every_cycles=args.checkpoint_every or 250_000,
+            resume=args.resume)
+        print(f"checkpoint: {ckpt.snapshots} snapshot(s), "
+              f"{ckpt.resumes} resume(s), {ckpt.bytes_written} bytes "
+              f"under {store.run_dir(run_id)}")
+    else:
+        machine.run(args.max_cycles)
     if args.jit_trace and translator is not None:
         from repro.telemetry import write_jit_trace
 
@@ -347,6 +371,28 @@ def cmd_fuzz(args) -> int:
     return code
 
 
+def cmd_checkpoint(args) -> int:
+    from repro.checkpoint.campaign import (exit_code, format_summary,
+                                           run_campaign)
+
+    payload = run_campaign(fuzz_seeds=args.fuzz_seeds,
+                           workers=args.workers,
+                           parallel=not args.serial,
+                           quick=args.quick,
+                           output=args.output)
+    print(format_summary(payload))
+    print(f"report written to {payload['report_path']}")
+    code = exit_code(payload)
+    if code == 2:
+        print("checkpoint recovery gate failed -- a restore diverged, a "
+              "killed job did not resume, or corruption was accepted "
+              "(see report)", file=sys.stderr)
+    elif code == 1:
+        print("campaign job(s) failed in the harness (see report)",
+              file=sys.stderr)
+    return code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="MIPS-X reproduction command line")
@@ -366,6 +412,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--jit-trace", default=None, metavar="PATH",
                        help="with --jit: write translated-block activation "
                             "spans as Perfetto trace JSON")
+        p.add_argument("--checkpoint-every", type=int, default=0,
+                       metavar="K",
+                       help="snapshot the machine every K cycles into "
+                            ".trace_cache/checkpoints/ (0 = off)")
+        p.add_argument("--resume", action="store_true",
+                       help="resume from the latest valid snapshot of "
+                            "--checkpoint-id before running")
+        p.add_argument("--checkpoint-id", default=None, metavar="ID",
+                       help="snapshot ladder name (default: cli)")
 
     p_run = sub.add_parser("run", help="assemble and run a .s file")
     p_run.add_argument("file")
@@ -547,6 +602,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument("--no-corpus", action="store_true",
                         help="do not file repros for divergences")
     p_fuzz.set_defaults(func=cmd_fuzz)
+
+    p_ckpt = sub.add_parser(
+        "checkpoint",
+        help="checkpoint/restore recovery gates: restore equivalence, "
+             "chaos resume, snapshot corruption; written to "
+             "CHECKPOINT_campaign.json",
+        description="Run the standing crash-recovery gates: snapshot "
+                    "mid-run + restore + finish must be bit-identical to "
+                    "an uninterrupted run (workloads, a 4-node "
+                    "multiprocessor, and fuzz seeds; JIT off and on); "
+                    "SIGKILLed checkpointed workers must resume from "
+                    "their last snapshot and merge byte-identical; "
+                    "corrupted/truncated/mis-versioned snapshots must be "
+                    "rejected with named errors and fall back a "
+                    "generation.  Exit codes: 0 = all gates green, 1 = a "
+                    "campaign job failed in the harness, 2 = a recovery "
+                    "gate failed.")
+    p_ckpt.add_argument("--fuzz-seeds", type=int, default=50,
+                        help="fuzz seeds in the equivalence gate "
+                             "(default 50)")
+    p_ckpt.add_argument("--quick", action="store_true",
+                        help="few fuzz seeds (CI smoke)")
+    p_ckpt.add_argument("--workers", type=int, default=None,
+                        help="parallel worker processes (default: CPUs)")
+    p_ckpt.add_argument("--serial", action="store_true",
+                        help="run equivalence jobs in-process")
+    p_ckpt.add_argument("--output", default=None, metavar="PATH",
+                        help="report file (default: "
+                             "CHECKPOINT_campaign.json at the repo root)")
+    p_ckpt.set_defaults(func=cmd_checkpoint)
     return parser
 
 

@@ -97,9 +97,13 @@ class TraceStore:
     """
 
     #: a lock older than this is presumed abandoned (crashed writer) and
-    #: is broken; trace captures run seconds, not minutes
+    #: is broken; trace captures run seconds, not minutes.  A lock whose
+    #: recorded pid is dead is broken immediately, whatever its age.
     LOCK_STALE_SECONDS = 120.0
     LOCK_TIMEOUT_SECONDS = 30.0
+    #: a writer SIGKILLed mid-save leaves a ``*.tmp``; ones older than
+    #: this are swept on a cache miss (a live writer finishes in seconds)
+    TMP_STALE_SECONDS = 120.0
 
     def __init__(self, root: Optional[Path] = None):
         self.root = Path(root) if root is not None else DEFAULT_ROOT
@@ -117,6 +121,7 @@ class TraceStore:
         path = self.path_for(descriptor)
         if not path.exists():
             self.misses += 1
+            self._sweep_stale_tmp()
             return None
         try:
             payload = path.read_bytes()
@@ -151,9 +156,48 @@ class TraceStore:
         self.hits += 1
         return trace
 
+    def _sweep_stale_tmp(self) -> None:
+        """Age out ``*.tmp`` debris left by writers killed mid-save.
+
+        A SIGKILL between ``mkstemp`` and ``os.replace`` orphans the
+        temp file; it can never be mistaken for an entry (entries end in
+        ``.npz``), but it would accumulate forever.  Swept lazily on a
+        miss so the hot hit path never pays for it.
+        """
+        try:
+            candidates = list(self.root.glob("*.tmp"))
+        except OSError:
+            return
+        now = time.time()
+        for tmp in candidates:
+            try:
+                if now - tmp.stat().st_mtime > self.TMP_STALE_SECONDS:
+                    tmp.unlink()
+                    logger.warning("trace store: removed orphaned temp "
+                                   "file %s (crashed writer)", tmp.name)
+            except OSError:
+                pass                        # concurrent sweep or live writer
+
     # ------------------------------------------------------------- locking
     def _lock_path(self, path: Path) -> Path:
         return path.with_suffix(".lock")
+
+    @staticmethod
+    def _lock_holder_dead(lock: Path) -> bool:
+        """True when the lock records a pid that no longer exists."""
+        try:
+            pid = int(lock.read_text().strip() or "0")
+        except (OSError, ValueError):
+            return False            # vanished, or pid not yet written
+        if pid <= 0:
+            return False
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return True
+        except PermissionError:
+            return False            # alive, owned by someone else
+        return False
 
     def _acquire_lock(self, path: Path) -> Path:
         lock = self._lock_path(path)
@@ -170,6 +214,14 @@ class TraceStore:
                     age = time.time() - lock.stat().st_mtime
                 except OSError:
                     continue                    # holder just released it
+                if self._lock_holder_dead(lock):
+                    logger.warning("trace store: breaking lock %s (holder "
+                                   "pid is dead)", lock.name)
+                    try:
+                        lock.unlink()
+                    except OSError:
+                        pass
+                    continue
                 if age > self.LOCK_STALE_SECONDS:
                     logger.warning("trace store: breaking stale lock %s "
                                    "(%.0fs old)", lock.name, age)

@@ -289,3 +289,131 @@ def test_job_result_ok_property():
     assert JobResult("x", "retried-ok").ok
     for status in ("error", "timeout", "crashed"):
         assert not JobResult("x", status).ok
+
+
+# ----------------------------------------------- graceful shutdown, chaos
+def _signal_parent_then_return(pid, value):
+    """Interrupt the parent mid-run, then finish normally ourselves."""
+    import signal
+
+    os.kill(pid, signal.SIGINT)
+    time.sleep(0.4)                  # let the parent field the signal
+    return value
+
+
+def _slow_value(value):
+    time.sleep(0.6)
+    return value
+
+
+class TestGracefulShutdown:
+    def test_sigint_drains_active_and_interrupts_queued(self):
+        # Satellite contract: on SIGINT the in-flight job finishes and
+        # is recorded normally; everything still queued is released as
+        # "interrupted" instead of being abandoned mid-state.
+        jobs = [Job(id="active", fn=f"{HERE}:_signal_parent_then_return",
+                    params={"pid": os.getpid(), "value": 42})]
+        jobs += [Job(id=f"queued/{i}", fn=f"{HERE}:_square",
+                     params={"x": i}) for i in range(3)]
+        runner = Runner(max_workers=1)
+        results = runner.run(jobs, parallel=True)
+        assert runner.interrupted
+        by_id = {r.job_id: r for r in results}
+        assert by_id["active"].status == "ok"
+        assert by_id["active"].value == 42
+        for i in range(3):
+            queued = by_id[f"queued/{i}"]
+            assert queued.status == "interrupted"
+            assert queued.error_kind == "interrupted"
+            assert not queued.ok
+        # handlers were restored: a later run is not poisoned
+        import signal
+
+        assert signal.getsignal(signal.SIGINT) is not None
+        follow_up = Runner(max_workers=1).run(
+            [Job(id="later", fn=f"{HERE}:_square", params={"x": 3})])
+        assert follow_up[0].status == "ok"
+
+    def test_interrupted_is_not_ok(self):
+        assert not JobResult("x", "interrupted").ok
+
+
+class TestChaosKillAfter:
+    def test_kill_after_sigkills_mid_run_and_retry_succeeds(self):
+        # kill_after arms an asynchronous SIGKILL *inside* the running
+        # worker -- a mid-computation crash, not a pre-call exit.  The
+        # retry is never doomed and must deliver the value.
+        chaos = ChaosMonkey(rate=1.0, seed=0, kill_after=0.1)
+        jobs = [Job(id="victim", fn=f"{HERE}:_slow_value",
+                    params={"value": 7})]
+        (result,) = Runner(max_workers=1, chaos=chaos).run(jobs)
+        assert result.status == "retried-ok"
+        assert result.value == 7
+        assert result.attempts == 2
+
+    def test_kill_after_unset_keeps_legacy_exit_kill(self):
+        chaos = ChaosMonkey(rate=1.0, seed=0, kill_attempts=2)
+        jobs = [Job(id="victim", fn=f"{HERE}:_square", params={"x": 2})]
+        (result,) = Runner(max_workers=1, chaos=chaos).run(jobs)
+        assert result.status == "crashed"
+        assert str(CHAOS_EXIT_CODE) in result.error
+
+
+# --------------------------------------------------- durable atomic JSON
+def _doomed_json_write(path):
+    """Write a payload but SIGKILL ourselves between write and rename."""
+    import signal
+
+    from repro.harness import bench
+
+    original = os.replace
+
+    def die(*args, **kwargs):
+        os.kill(os.getpid(), signal.SIGKILL)
+        return original(*args, **kwargs)  # pragma: no cover
+
+    os.replace = die
+    bench.write_json_atomic(path, {"new": True})
+
+
+class TestWriteJsonAtomic:
+    def test_failure_before_rename_preserves_target(self, tmp_path,
+                                                    monkeypatch):
+        from repro.harness.bench import write_json_atomic
+
+        target = tmp_path / "report.json"
+        write_json_atomic(target, {"generation": 1})
+
+        def boom(*args, **kwargs):
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError, match="disk on fire"):
+            write_json_atomic(target, {"generation": 2})
+        monkeypatch.undo()
+        import json
+
+        assert json.loads(target.read_text()) == {"generation": 1}
+        assert not any(".tmp" in p.name for p in tmp_path.iterdir())
+
+    def test_kill9_between_write_and_rename_preserves_target(self,
+                                                             tmp_path):
+        # the hard variant: no Python cleanup runs at all
+        import json
+        import multiprocessing
+        import signal
+
+        from repro.harness.bench import write_json_atomic
+
+        target = tmp_path / "report.json"
+        write_json_atomic(target, {"old": True})
+        worker = multiprocessing.Process(target=_doomed_json_write,
+                                         args=(target,))
+        worker.start()
+        worker.join()
+        assert worker.exitcode == -signal.SIGKILL
+        assert json.loads(target.read_text()) == {"old": True}
+        # debris is a .tmp that can never shadow the real file, and a
+        # clean write simply replaces the target
+        write_json_atomic(target, {"new": True})
+        assert json.loads(target.read_text()) == {"new": True}

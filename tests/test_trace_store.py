@@ -193,12 +193,84 @@ class TestTraceStoreIntegrity:
         assert not lock.exists()
 
     def test_held_lock_times_out(self, tmp_path):
+        import os
+
         store = TraceStore(root=tmp_path)
         store.LOCK_TIMEOUT_SECONDS = 0.2
         lock = store._lock_path(store.path_for(self._descriptor()))
-        lock.write_text("12345")                 # fresh: genuinely held
+        # our own (live) pid: genuinely held, not breakable as dead
+        lock.write_text(str(os.getpid()))
         with pytest.raises(TimeoutError, match="could not acquire"):
             self._put_one(store)
+
+    def test_dead_holder_lock_is_broken_immediately(self, tmp_path):
+        import multiprocessing
+        import time
+
+        worker = multiprocessing.Process(target=lambda: None)
+        worker.start()
+        worker.join()                            # pid now provably dead
+        store = TraceStore(root=tmp_path)
+        store.LOCK_TIMEOUT_SECONDS = 30.0
+        lock = store._lock_path(store.path_for(self._descriptor()))
+        lock.write_text(str(worker.pid))         # fresh mtime, dead pid
+        start = time.monotonic()
+        self._put_one(store)                     # must not wait for age-out
+        assert time.monotonic() - start < store.LOCK_STALE_SECONDS / 2
+        assert store.get(self._descriptor()) is not None
+        assert not lock.exists()
+
+    def test_kill9_mid_put_leaves_recoverable_store(self, tmp_path):
+        # SIGKILL a writer between the payload write and the rename: the
+        # next producer must break the dead lock, rewrite the entry, and
+        # leave no stale debris behind.
+        import multiprocessing
+        import os
+        import signal
+
+        descriptor = self._descriptor()
+
+        def doomed_put():
+            store = TraceStore(root=tmp_path)
+            original = os.replace
+
+            def die(*args, **kwargs):
+                os.kill(os.getpid(), signal.SIGKILL)
+                return original(*args, **kwargs)  # pragma: no cover
+
+            os.replace = die
+            store.put(descriptor, CapturedTrace(
+                arrays={"a": np.arange(3, dtype=np.int64)}))
+
+        worker = multiprocessing.Process(target=doomed_put)
+        worker.start()
+        worker.join()
+        assert worker.exitcode == -signal.SIGKILL
+        store = TraceStore(root=tmp_path)
+        lock = store._lock_path(store.path_for(descriptor))
+        assert lock.exists()                     # the crash orphaned it
+        assert store.get(descriptor) is None     # no entry, not garbage
+        self._put_one(store)                     # dead lock broken, rewritten
+        assert store.get(descriptor) is not None
+        assert not lock.exists()
+        store.TMP_STALE_SECONDS = 0.0
+        assert store.get({"kind": "other"}) is None  # miss sweeps debris
+        assert not any(".tmp" in p.name for p in tmp_path.iterdir())
+
+    def test_orphaned_tmp_is_aged_out_on_miss(self, tmp_path):
+        import os
+        import time
+
+        store = TraceStore(root=tmp_path)
+        old_tmp = tmp_path / "dead-writer.npz.tmp"
+        old_tmp.write_bytes(b"partial")
+        ancient = time.time() - store.TMP_STALE_SECONDS - 10
+        os.utime(old_tmp, (ancient, ancient))
+        fresh_tmp = tmp_path / "live-writer.npz.tmp"
+        fresh_tmp.write_bytes(b"in flight")
+        assert store.get(self._descriptor()) is None   # a miss sweeps
+        assert not old_tmp.exists()
+        assert fresh_tmp.exists()                # live writer untouched
 
 
 class TestCollectorMemory:
