@@ -198,6 +198,14 @@ class Runner:
       retry-once-on-crash behaviour);
     * ``backoff_base`` -- first respawn delay in seconds, doubled per
       further attempt (exponential backoff);
+    * ``backoff_jitter`` -- deterministic seeded spread on top of the
+      exponential delay: attempt ``n`` of job ``j`` waits
+      ``base * 2**(n-2) * (1 + jitter * draw(j, n))`` where ``draw`` is
+      a stable sha256 hash of ``(jitter_seed, job id, attempt)`` mapped
+      into [0, 1).  Coalesced service requests that crash together thus
+      retry *spread out* instead of thundering-herding the pool, and
+      the schedule is still exactly reproducible (and pinnable in
+      tests) because nothing consults a random source at run time;
     * ``retry_budget`` -- total respawns allowed across the whole run
       (None = unlimited); once exhausted, crashes are final;
     * ``default_timeout`` -- watchdog for jobs with ``timeout=None``;
@@ -208,6 +216,8 @@ class Runner:
                  poll_interval: float = 0.02,
                  max_retries: int = 1,
                  backoff_base: float = 0.05,
+                 backoff_jitter: float = 0.0,
+                 jitter_seed: int = 0,
                  retry_budget: Optional[int] = None,
                  default_timeout: Optional[float] = None,
                  chaos: Optional[ChaosMonkey] = None):
@@ -215,6 +225,8 @@ class Runner:
         self.poll_interval = poll_interval
         self.max_retries = max(0, max_retries)
         self.backoff_base = max(0.0, backoff_base)
+        self.backoff_jitter = max(0.0, backoff_jitter)
+        self.jitter_seed = jitter_seed
         self.retry_budget = retry_budget
         self.default_timeout = default_timeout
         self.chaos = chaos or ChaosMonkey()
@@ -275,11 +287,27 @@ class Runner:
         child_conn.close()   # child's end lives in the child now
         return _Active(job, attempt, process, parent_conn)
 
-    def _backoff(self, attempt: int) -> float:
-        """Respawn delay before ``attempt`` (exponential: base * 2^(n-2))."""
+    def _backoff(self, attempt: int, job_id: str = "") -> float:
+        """Respawn delay before ``attempt`` (exponential: base * 2^(n-2)).
+
+        With ``backoff_jitter`` > 0 the delay is stretched by a
+        deterministic per-(job, attempt) factor in
+        ``[1, 1 + backoff_jitter)`` so simultaneous crash retries
+        (coalesced service requests, a chaos-killed batch) de-correlate
+        instead of respawning in lockstep.  The draw hashes
+        ``jitter_seed``, the job id, and the attempt with sha256 --
+        never Python's salted ``hash()`` -- so the schedule is
+        reproducible across processes and pinnable in tests.
+        """
         if attempt <= 1 or self.backoff_base <= 0.0:
             return 0.0
-        return self.backoff_base * (2.0 ** (attempt - 2))
+        delay = self.backoff_base * (2.0 ** (attempt - 2))
+        if self.backoff_jitter > 0.0:
+            digest = hashlib.sha256(
+                f"{self.jitter_seed}:{job_id}:{attempt}".encode()).digest()
+            draw = int.from_bytes(digest[:8], "big") / float(1 << 64)
+            delay *= 1.0 + self.backoff_jitter * draw
+        return delay
 
     def _install_signal_handlers(self) -> List[tuple]:
         """Arm graceful shutdown for the duration of a parallel run.
@@ -354,7 +382,7 @@ class Runner:
                             self._retries_left -= 1
                         attempt = slot.attempt + 1
                         eligible = (time.monotonic()
-                                    + self._backoff(attempt))
+                                    + self._backoff(attempt, slot.job.id))
                         waiting.append((eligible, slot.job, attempt))
                     else:
                         results[slot.job.id] = outcome

@@ -1,0 +1,59 @@
+"""Resilient simulation-as-a-service: the async job server.
+
+The repo's facilities -- bench sweeps, fault campaigns, fuzzing, trace
+capture -- were all one-shot CLI invocations: nothing amortised repeated
+work across clients and nothing exercised the system under sustained
+concurrent load.  ``repro.service`` wraps the hardened
+:class:`~repro.harness.runner.Runner` in an asyncio front end:
+
+* :mod:`repro.service.protocol` -- length-prefixed JSON frames over a
+  local TCP socket;
+* :mod:`repro.service.cache` -- the content-addressed
+  :class:`ResultCache`, keyed by a sha256 hash of (request kind,
+  canonical params) exactly the way
+  :func:`repro.traces.store.descriptor_key` keys trace captures;
+* :mod:`repro.service.admission` -- token-bucket admission control with
+  per-client in-flight bounds and a global queue-depth cap;
+* :mod:`repro.service.breaker` -- the circuit breaker that sheds load
+  (fast-fail with a ``Retry-After`` hint) when the pool's failure rate
+  or the queue depth crosses its thresholds;
+* :mod:`repro.service.server` -- the server itself: request coalescing
+  (concurrent identical misses share one computation), round-robin
+  client fairness, deadline propagation into Runner job timeouts, the
+  cache-only degradation mode, and the SIGTERM drain that loses no
+  accepted job;
+* :mod:`repro.service.jobs` -- the picklable job points the pool runs
+  (assemble/run/sweep/trace/fault/fuzz);
+* :mod:`repro.service.chaos` -- the ``repro service-chaos`` campaign:
+  seeded worker SIGKILLs, injected cache corruption, overload bursts,
+  malformed frames, and slow-client attacks, asserting zero wrong
+  responses throughout;
+* :mod:`repro.service.loadgen` -- the zipf-mix load generator behind
+  ``repro service-bench`` and the committed ``BENCH_service.json``.
+
+See DESIGN.md "Simulation as a service" for the protocol, the cache
+key derivation, the breaker state machine, and the degradation ladder.
+"""
+
+from repro.service.admission import Admission, AdmissionController, TokenBucket
+from repro.service.breaker import CircuitBreaker
+from repro.service.cache import ResultCache, request_key
+from repro.service.protocol import (MAX_FRAME_BYTES, ProtocolError,
+                                    encode_frame, read_frame)
+from repro.service.server import ServiceConfig, ServiceServer, ServiceStats
+
+__all__ = [
+    "Admission",
+    "AdmissionController",
+    "CircuitBreaker",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "ResultCache",
+    "ServiceConfig",
+    "ServiceServer",
+    "ServiceStats",
+    "TokenBucket",
+    "encode_frame",
+    "read_frame",
+    "request_key",
+]

@@ -1,0 +1,129 @@
+"""Admission control: token bucket, per-client bounds, queue cap.
+
+Three independent guards decide whether a request may join the queue:
+
+* a global :class:`TokenBucket` -- sustained request *rate* is bounded
+  (bursts up to ``capacity`` are fine, steady state refills at
+  ``refill_per_s``);
+* a per-client in-flight cap -- one greedy client cannot occupy every
+  pool slot, which together with the server's round-robin dispatch is
+  what "per-client fairness" means here;
+* a global queue-depth cap -- beyond it, queueing adds latency without
+  adding throughput, so the honest answer is ``shed`` + ``Retry-After``.
+
+Every rejection carries a machine-readable reason and a retry hint, so
+well-behaved clients back off instead of hammering.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Callable, Dict, Optional
+
+
+class TokenBucket:
+    """A classic token bucket over an injectable monotonic clock."""
+
+    def __init__(self, capacity: float, refill_per_s: float,
+                 clock: Callable[[], float] = time.monotonic):
+        if capacity <= 0 or refill_per_s <= 0:
+            raise ValueError("capacity and refill_per_s must be positive")
+        self.capacity = float(capacity)
+        self.refill_per_s = float(refill_per_s)
+        self._clock = clock
+        self._tokens = float(capacity)
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._stamp)
+        self._stamp = now
+        self._tokens = min(self.capacity,
+                           self._tokens + elapsed * self.refill_per_s)
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return self._tokens
+
+    def try_take(self, count: float = 1.0) -> bool:
+        """Take ``count`` tokens if available; never blocks."""
+        self._refill()
+        if self._tokens >= count:
+            self._tokens -= count
+            return True
+        return False
+
+    def seconds_until(self, count: float = 1.0) -> float:
+        """Refill time before ``count`` tokens will be available."""
+        self._refill()
+        deficit = count - self._tokens
+        if deficit <= 0:
+            return 0.0
+        return deficit / self.refill_per_s
+
+
+@dataclasses.dataclass(frozen=True)
+class Admission:
+    """The verdict on one request: admitted, or shed with a reason."""
+
+    allowed: bool
+    reason: str = ""
+    retry_after_s: float = 0.0
+
+
+class AdmissionController:
+    """Combine the three guards into one :meth:`admit` verdict.
+
+    Callers must bracket admitted work with :meth:`start` /
+    :meth:`finish` so the per-client in-flight accounting stays honest.
+    """
+
+    def __init__(self, bucket: TokenBucket,
+                 max_inflight_per_client: int = 8,
+                 max_queue_depth: int = 256):
+        self.bucket = bucket
+        self.max_inflight_per_client = max_inflight_per_client
+        self.max_queue_depth = max_queue_depth
+        self._inflight: Dict[str, int] = {}
+
+    def inflight(self, client: str) -> int:
+        return self._inflight.get(client, 0)
+
+    def admit(self, client: str, queue_depth: int,
+              cost: float = 1.0) -> Admission:
+        """Check all three guards; sheds name the binding one."""
+        if queue_depth >= self.max_queue_depth:
+            return Admission(False, "queue-full",
+                             max(0.5, self.bucket.seconds_until(cost)))
+        if self.inflight(client) >= self.max_inflight_per_client:
+            return Admission(False, "client-inflight-limit", 0.5)
+        if not self.bucket.try_take(cost):
+            return Admission(False, "rate-limited",
+                             self.bucket.seconds_until(cost))
+        return Admission(True)
+
+    def start(self, client: str) -> None:
+        self._inflight[client] = self.inflight(client) + 1
+
+    def finish(self, client: str) -> None:
+        count = self.inflight(client) - 1
+        if count <= 0:
+            self._inflight.pop(client, None)
+        else:
+            self._inflight[client] = count
+
+
+def stable_client_id(peer: Optional[object], declared: Optional[str]) -> str:
+    """The fairness identity of a connection.
+
+    A client may declare an id in its requests (the load generator and
+    chaos campaign do, so fairness is per logical client, not per TCP
+    connection); otherwise the peer address serves.
+    """
+    if declared:
+        return str(declared)[:64]
+    if peer:
+        return str(peer)
+    return "anonymous"

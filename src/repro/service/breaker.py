@@ -1,0 +1,120 @@
+"""The circuit breaker: fail fast while the pool is unhealthy.
+
+A three-state machine over a sliding window of job outcomes:
+
+* **closed** -- normal service.  Outcomes feed the window; when at
+  least ``min_samples`` are present and the failure fraction reaches
+  ``failure_threshold``, the breaker opens.
+* **open** -- compute requests shed instantly (``Retry-After`` =
+  remaining open time); cache hits still serve, which is the
+  "cache-only degradation" rung of the ladder.  After ``open_seconds``
+  the next :meth:`allow` moves to half-open.
+* **half-open** -- exactly one probe request is admitted.  Success
+  closes the breaker (window reset); failure re-opens it for another
+  full ``open_seconds``.
+
+The server can also :meth:`trip` the breaker directly on queue-depth
+pressure -- saturation is a health signal even when no job has failed
+yet.  Every transition is recorded with its reason; ``opens`` /
+``closes`` feed the ``service.breaker.*`` metrics and the chaos
+campaign's "breaker opened and re-closed" assertion.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, List, Tuple
+
+#: gauge encoding for service.breaker.state
+STATE_CODES = {"closed": 0, "open": 1, "half-open": 2}
+
+
+class CircuitBreaker:
+    """Sliding-window failure-rate breaker with an injectable clock."""
+
+    def __init__(self, window: int = 32, failure_threshold: float = 0.5,
+                 min_samples: int = 8, open_seconds: float = 2.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if not 0.0 < failure_threshold <= 1.0:
+            raise ValueError("failure_threshold must be in (0, 1]")
+        self.window = window
+        self.failure_threshold = failure_threshold
+        self.min_samples = min_samples
+        self.open_seconds = open_seconds
+        self._clock = clock
+        self._outcomes: Deque[bool] = deque(maxlen=window)
+        self._state = "closed"
+        self._opened_at = 0.0
+        self.opens = 0
+        self.closes = 0
+        self.transitions: List[Tuple[float, str, str]] = []
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def _move(self, state: str, reason: str) -> None:
+        if state == self._state:
+            return
+        self.transitions.append((self._clock(), state, reason))
+        if state == "open":
+            self.opens += 1
+            self._opened_at = self._clock()
+        elif state == "closed":
+            self.closes += 1
+            self._outcomes.clear()
+        self._state = state
+
+    def allow(self) -> bool:
+        """May a compute request proceed right now?
+
+        In the open state this is where the open→half-open timer fires;
+        the half-open state admits exactly one probe (subsequent calls
+        return ``False`` until that probe's outcome is recorded).
+        """
+        if self._state == "closed":
+            return True
+        if self._state == "open":
+            if self._clock() - self._opened_at >= self.open_seconds:
+                self._move("half-open", "open interval elapsed")
+                return True
+            return False
+        return False                 # half-open: probe already in flight
+
+    def record(self, ok: bool) -> None:
+        """Feed one job outcome into the window and the state machine."""
+        if self._state == "half-open":
+            if ok:
+                self._move("closed", "half-open probe succeeded")
+            else:
+                self._move("open", "half-open probe failed")
+            return
+        self._outcomes.append(ok)
+        if self._state == "closed" and len(self._outcomes) >= \
+                self.min_samples:
+            failures = sum(1 for outcome in self._outcomes if not outcome)
+            if failures / len(self._outcomes) >= self.failure_threshold:
+                self._move("open",
+                           f"failure rate {failures}/{len(self._outcomes)}")
+
+    def trip(self, reason: str) -> None:
+        """Force the breaker open (queue-depth pressure, manual shed)."""
+        if self._state != "open":
+            self._move("open", reason)
+
+    def retry_after_s(self) -> float:
+        """The remaining open time -- the shed response's retry hint."""
+        if self._state != "open":
+            return 0.0
+        remaining = self.open_seconds - (self._clock() - self._opened_at)
+        return max(0.1, remaining)
+
+    def stats(self) -> Dict[str, object]:
+        """State, counters, and transition log for metrics and reports."""
+        return {"state": self._state,
+                "state_code": STATE_CODES[self._state],
+                "opens": self.opens, "closes": self.closes,
+                "transitions": [
+                    {"at": round(at, 6), "to": to, "reason": reason}
+                    for at, to, reason in self.transitions]}

@@ -1,0 +1,122 @@
+"""The content-addressed result cache behind the service.
+
+Requests are keyed by a sha256 hash of ``(kind, params)`` canonicalised
+by the *same* :func:`repro.traces.store.canonical_json` that keys trace
+captures -- one canonicalisation, two caches, no drift.  Values are the
+canonical JSON **bytes** of the response result, so a cache hit replays
+the byte-identical payload a cold computation produced: the acceptance
+oracle (full-state signature equality between cached and recomputed
+responses) falls straight out of storing text, not objects.
+
+Integrity mirrors the trace store's sidecar discipline in memory: every
+entry carries the sha256 of its payload, :meth:`ResultCache.get`
+re-verifies it on every hit, and a mismatch (bit rot, or the chaos
+campaign's deliberate :meth:`ResultCache.corrupt`) is a counted miss
+that evicts the entry -- never a silently wrong response.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from repro.traces.store import canonical_json
+
+#: bump when the response payload semantics change -- part of every
+#: request key, so stale entries from an old format are never matched
+SERVICE_FORMAT = 1
+
+
+def request_key(kind: str, params: Dict[str, object]) -> str:
+    """The content address of a service request.
+
+    Structurally equal requests -- whatever their dict insertion order,
+    and with tuples and lists interchangeable in ``params`` -- hash to
+    the same 24-hex-digit key; any semantic change to ``kind``,
+    ``params``, or :data:`SERVICE_FORMAT` changes it.
+    """
+    material = {"kind": kind, "params": params, "format": SERVICE_FORMAT}
+    return hashlib.sha256(canonical_json(material).encode()).hexdigest()[:24]
+
+
+class ResultCache:
+    """In-memory LRU of canonical response payloads, digest-verified.
+
+    ``max_entries`` bounds memory; inserts past the bound evict the
+    least-recently-used entry (``evictions`` counts them).  ``hits``,
+    ``misses``, and ``integrity_failures`` mirror the trace store's
+    accounting so ``service.cache.*`` metrics read the same way as the
+    trace-cache columns in BENCH reports.
+    """
+
+    def __init__(self, max_entries: int = 4096):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, Tuple[bytes, str]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.integrity_failures = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Optional[bytes]:
+        """The cached payload bytes, or ``None`` on miss.
+
+        Every hit re-verifies the stored sha256; a corrupt payload is
+        evicted and counted as both an integrity failure and a miss.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        payload, digest = entry
+        if hashlib.sha256(payload).hexdigest() != digest:
+            self.integrity_failures += 1
+            self.misses += 1
+            del self._entries[key]
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: bytes) -> None:
+        """Store payload bytes under ``key``, evicting LRU past the cap."""
+        self._entries[key] = (payload, hashlib.sha256(payload).hexdigest())
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def put_result(self, key: str, result: Dict[str, object]) -> bytes:
+        """Canonicalise ``result`` to bytes, store, and return them."""
+        payload = canonical_json(result).encode()
+        self.put(key, payload)
+        return payload
+
+    def corrupt(self, key: str) -> bool:
+        """Flip one payload byte *without* updating the digest.
+
+        The chaos campaign's hook: after this, the next :meth:`get` of
+        ``key`` must detect the mismatch and miss rather than serve the
+        damaged bytes.  Returns ``False`` when the key is absent.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            return False
+        payload, digest = entry
+        damaged = bytes([payload[0] ^ 0xFF]) + payload[1:]
+        self._entries[key] = (damaged, digest)
+        return True
+
+    def stats(self) -> Dict[str, int]:
+        """Counters plus current size, for metrics harvest."""
+        return {"hits": self.hits, "misses": self.misses,
+                "integrity_failures": self.integrity_failures,
+                "evictions": self.evictions, "entries": len(self._entries)}

@@ -1,0 +1,381 @@
+"""The ServiceChaos campaign: disturb the server, demand correctness.
+
+Six disturbance classes, each against a fresh server, each with the
+same two invariants: **zero wrong responses** (every non-shed response
+byte-identical to an independently computed reference) and **bounded
+p99** (no disturbance turns into an unbounded stall):
+
+========== ==========================================================
+worker-kill seeded ChaosMonkey SIGKILLs workers mid-job; retries must
+            deliver correct values (``attempts > 1`` as evidence)
+corruption  a cached payload is bit-flipped in place; the sha256
+            re-check must reject it and the recompute must match the
+            original exactly
+overload    a burst past a tiny token bucket and queue trip: sheds
+            carry Retry-After, the breaker opens, and a later probe
+            re-closes it; everything admitted is still correct
+malformed   oversize length headers, non-JSON bodies, non-object
+            JSON, truncated frames -- all rejected and counted, and
+            the server still answers a well-formed request after
+slow-client a peer stalls mid-frame past the frame timeout; it is
+            disconnected while concurrent healthy clients keep
+            getting correct answers
+drain       SIGTERM-style drain mid-flight: every accepted job
+            completes and is delivered, new work is shed, nothing is
+            lost
+========== ==========================================================
+
+Exit taxonomy (shared with ``faults`` / ``fuzz`` / ``checkpoint``, see
+README): 0 = all invariants held, 1 = the campaign harness itself
+failed, 2 = a disturbance produced a wrong response or a violated
+invariant (a real finding).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.harness.bench import write_json_atomic
+from repro.harness.runner import ChaosMonkey
+from repro.service.server import (ServiceClient, ServiceConfig,
+                                  ServiceServer)
+from repro.traces.store import canonical_json
+
+SCHEMA = 1
+#: no disturbance may push any response past this
+P99_BOUND_MS = 30_000.0
+
+
+def percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile; 0.0 for an empty sample."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1,
+                max(0, round(q / 100.0 * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _reference(kind: str, params: Dict[str, object]) -> str:
+    """The canonical text a correct response must carry, computed
+    in-process with no server in the loop."""
+    from repro.service import jobs as service_jobs
+
+    fn_spec = service_jobs._SCALAR_FNS[kind]
+    module, _, name = fn_spec.partition(":")
+    import importlib
+
+    value = getattr(importlib.import_module(module), name)(**params)
+    return canonical_json(json.loads(json.dumps(value, sort_keys=True)))
+
+
+def _wrong(response: Dict[str, object], expected: str) -> bool:
+    return canonical_json(response.get("result")) != expected
+
+
+async def _worker_kill(quick: bool, seed: int) -> Dict[str, object]:
+    """Seeded mid-job SIGKILLs; retried jobs must still be correct."""
+    count = 4 if quick else 8
+    server = ServiceServer(ServiceConfig(
+        max_workers=2, max_retries=3,
+        backoff_base=0.01, backoff_jitter=0.5, jitter_seed=seed,
+        chaos=ChaosMonkey(rate=0.7, seed=seed)))
+    await server.start()
+    latencies: List[float] = []
+    wrong = retried = 0
+    try:
+        requests = [("fuzz", {"seed": seed * 100 + index, "mode": "isa",
+                              "quick": True})
+                    for index in range(count)]
+        for kind, params in requests:
+            expected = _reference(kind, params)
+            started = time.perf_counter()
+            response = await server.handle_request(
+                {"id": kind, "kind": kind, "params": params})
+            latencies.append((time.perf_counter() - started) * 1e3)
+            if response["status"] != "ok" or _wrong(response, expected):
+                wrong += 1
+            if int(response.get("attempts", 1)) > 1:
+                retried += 1
+    finally:
+        await server.drain()
+        await server.close()
+    return {"requests": count, "wrong": wrong, "retried": retried,
+            "p99_ms": round(percentile(latencies, 99), 3),
+            "held": wrong == 0 and retried >= 1}
+
+
+async def _cache_corruption(quick: bool, seed: int) -> Dict[str, object]:
+    """Bit-flip a cached payload; the recompute must match the original."""
+    server = ServiceServer(ServiceConfig(max_workers=2))
+    await server.start()
+    latencies: List[float] = []
+    wrong = 0
+    try:
+        params = {"seed": seed + 1, "mode": "isa", "quick": True}
+        request = {"id": 1, "kind": "fuzz", "params": params}
+        first = await server.handle_request(request)
+        original = canonical_json(first["result"])
+        key = first["key"]
+        assert server.cache.corrupt(key), "prime did not populate cache"
+        started = time.perf_counter()
+        second = await server.handle_request(dict(request, id=2))
+        latencies.append((time.perf_counter() - started) * 1e3)
+        if second["cache"] != "miss":       # corrupt bytes must not serve
+            wrong += 1
+        if second["status"] != "ok" or \
+                canonical_json(second["result"]) != original:
+            wrong += 1
+        third = await server.handle_request(dict(request, id=3))
+        if third["cache"] != "hit" or \
+                canonical_json(third["result"]) != original:
+            wrong += 1                      # repaired entry serves again
+    finally:
+        await server.drain()
+        await server.close()
+    integrity = server.cache.integrity_failures
+    return {"requests": 3, "wrong": wrong,
+            "integrity_failures": integrity,
+            "p99_ms": round(percentile(latencies, 99), 3),
+            "held": wrong == 0 and integrity >= 1}
+
+
+async def _overload(quick: bool, seed: int) -> Dict[str, object]:
+    """Burst past the bucket and queue trip; breaker opens, re-closes."""
+    burst = 12 if quick else 24
+    server = ServiceServer(ServiceConfig(
+        max_workers=2, batch_max=4, max_batches=1,
+        rate_capacity=6.0, rate_per_s=4.0,
+        max_inflight_per_client=4, max_queue_depth=64,
+        queue_trip_depth=4, breaker_open_s=0.5,
+        default_deadline_s=30.0))
+    await server.start()
+    wrong = shed = 0
+    sheds_hinted = 0
+    latencies: List[float] = []
+
+    async def one(index: int) -> None:
+        nonlocal wrong, shed, sheds_hinted
+        params = {"seconds": 0.05}
+        started = time.perf_counter()
+        response = await server.handle_request(
+            {"id": index, "kind": "sleep", "params": params,
+             "client": f"burst{index % 6}", "no_cache": True})
+        latencies.append((time.perf_counter() - started) * 1e3)
+        if response["status"] == "shed":
+            shed += 1
+            if float(response.get("retry_after_s", 0)) > 0:
+                sheds_hinted += 1
+        elif response["status"] != "ok" or \
+                response["result"].get("slept_s") != 0.05:
+            wrong += 1
+
+    try:
+        await asyncio.gather(*(one(index) for index in range(burst)))
+        opened = server.breaker.opens >= 1
+        # wait out the open interval, then probe: the half-open probe
+        # must succeed and close the breaker again
+        await asyncio.sleep(0.6)
+        probe = await server.handle_request(
+            {"id": "probe", "kind": "sleep",
+             "params": {"seconds": 0.01}, "client": "probe",
+             "no_cache": True})
+        if probe["status"] != "ok":
+            wrong += 1
+        reclosed = server.breaker.state == "closed" and \
+            server.breaker.closes >= 1
+    finally:
+        await server.drain()
+        await server.close()
+    return {"requests": burst + 1, "wrong": wrong, "shed": shed,
+            "sheds_with_retry_after": sheds_hinted,
+            "breaker_opened": opened, "breaker_reclosed": reclosed,
+            "p99_ms": round(percentile(latencies, 99), 3),
+            "held": (wrong == 0 and shed >= 1 and sheds_hinted == shed
+                     and opened and reclosed)}
+
+
+async def _malformed_frames(quick: bool, seed: int) -> Dict[str, object]:
+    """Frames that lie; the server must reject, count, and survive."""
+    server = ServiceServer(ServiceConfig(max_workers=1,
+                                         frame_timeout_s=2.0))
+    await server.start()
+    wrong = rejected = 0
+    latencies: List[float] = []
+    attacks: List[Tuple[str, bytes]] = [
+        ("oversize-header", struct.pack(">I", 1 << 30)),
+        ("not-json", struct.pack(">I", 5) + b";;;;;"),
+        ("non-object", struct.pack(">I", 4) + b"1234"),
+        ("truncated-body", struct.pack(">I", 100) + b"only-this"),
+    ]
+    try:
+        for label, frame in attacks:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port)
+            writer.write(frame)
+            await writer.drain()
+            if label == "truncated-body":
+                writer.close()          # EOF mid-body, not a stall
+                await writer.wait_closed()
+            else:
+                try:
+                    await asyncio.wait_for(reader.read(1 << 16), 2.0)
+                except asyncio.TimeoutError:
+                    pass
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+            await asyncio.sleep(0.05)
+        rejected = server.stats.frames_malformed
+        # the server still serves a healthy client afterwards
+        client = ServiceClient(port=server.port)
+        await client.connect()
+        started = time.perf_counter()
+        response = await client.request("ping")
+        latencies.append((time.perf_counter() - started) * 1e3)
+        if response["status"] != "ok":
+            wrong += 1
+        await client.close()
+    finally:
+        await server.drain()
+        await server.close()
+    return {"requests": len(attacks) + 1, "wrong": wrong,
+            "rejected": rejected,
+            "p99_ms": round(percentile(latencies, 99), 3),
+            "held": wrong == 0 and rejected >= 3}
+
+
+async def _slow_client(quick: bool, seed: int) -> Dict[str, object]:
+    """A peer stalls mid-frame; healthy clients must not notice."""
+    server = ServiceServer(ServiceConfig(max_workers=1,
+                                         frame_timeout_s=0.3))
+    await server.start()
+    wrong = 0
+    latencies: List[float] = []
+    try:
+        _reader, stall_writer = await asyncio.open_connection(
+            "127.0.0.1", server.port)
+        # claim 100 bytes, deliver 10, then stall past the frame timeout
+        stall_writer.write(struct.pack(">I", 100) + b"0123456789")
+        await stall_writer.drain()
+        client = ServiceClient(port=server.port)
+        await client.connect()
+        for index in range(4 if quick else 8):
+            started = time.perf_counter()
+            response = await client.request("ping")
+            latencies.append((time.perf_counter() - started) * 1e3)
+            if response["status"] != "ok":
+                wrong += 1
+            await asyncio.sleep(0.06)
+        # the disconnect must land on its own (frame timeout), not be
+        # confused with us closing the stalled socket below
+        deadline = time.monotonic() + 5.0
+        while (server.stats.slow_disconnects < 1
+               and time.monotonic() < deadline):
+            await asyncio.sleep(0.02)
+        await client.close()
+        stall_writer.close()
+        try:
+            await stall_writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        disconnects = server.stats.slow_disconnects
+    finally:
+        await server.drain()
+        await server.close()
+    return {"requests": len(latencies), "wrong": wrong,
+            "slow_disconnects": disconnects,
+            "p99_ms": round(percentile(latencies, 99), 3),
+            "held": wrong == 0 and disconnects >= 1}
+
+
+async def _drain_mid_flight(quick: bool, seed: int) -> Dict[str, object]:
+    """Drain with work accepted: nothing accepted may be lost."""
+    accepted = 3 if quick else 6
+    server = ServiceServer(ServiceConfig(max_workers=2, batch_max=2,
+                                         max_batches=1))
+    await server.start()
+    wrong = 0
+    latencies: List[float] = []
+
+    async def one(index: int) -> Dict[str, object]:
+        started = time.perf_counter()
+        response = await server.handle_request(
+            {"id": index, "kind": "sleep",
+             "params": {"seconds": 0.2 + index * 1e-3},
+             "client": f"d{index}", "no_cache": True})
+        latencies.append((time.perf_counter() - started) * 1e3)
+        return response
+
+    try:
+        tasks = [asyncio.create_task(one(index))
+                 for index in range(accepted)]
+        await asyncio.sleep(0.05)           # all accepted, some in flight
+        await server.drain()
+        responses = await asyncio.gather(*tasks)
+        completed = sum(1 for response in responses
+                        if response["status"] == "ok")
+        wrong += sum(1 for response in responses
+                     if response["status"] not in ("ok",))
+        # post-drain work is shed, not silently dropped
+        late = await server.handle_request(
+            {"id": "late", "kind": "sleep", "params": {"seconds": 0.01},
+             "client": "late", "no_cache": True})
+        shed_after = late["status"] == "shed" and \
+            late.get("reason") == "draining"
+    finally:
+        await server.close()
+    return {"accepted": accepted, "completed": completed,
+            "lost": accepted - completed, "wrong": wrong,
+            "shed_after_drain": shed_after,
+            "p99_ms": round(percentile(latencies, 99), 3),
+            "held": (completed == accepted and wrong == 0
+                     and shed_after)}
+
+
+DISTURBANCES = (
+    ("worker-kill", _worker_kill),
+    ("cache-corruption", _cache_corruption),
+    ("overload", _overload),
+    ("malformed-frame", _malformed_frames),
+    ("slow-client", _slow_client),
+    ("drain", _drain_mid_flight),
+)
+
+
+async def _campaign(quick: bool, seed: int) -> Dict[str, object]:
+    disturbances: Dict[str, object] = {}
+    for name, disturbance in DISTURBANCES:
+        disturbances[name] = await disturbance(quick, seed)
+    rows = list(disturbances.values())
+    wrong = sum(int(row["wrong"]) for row in rows)
+    p99 = max(float(row["p99_ms"]) for row in rows)
+    held = all(bool(row["held"]) for row in rows)
+    overload = disturbances["overload"]
+    summary = {
+        "wrong_responses": wrong,
+        "all_held": held,
+        "breaker_opened": bool(overload["breaker_opened"]),
+        "breaker_reclosed": bool(overload["breaker_reclosed"]),
+        "drain_lost": int(disturbances["drain"]["lost"]),
+        "worst_p99_ms": round(p99, 3),
+        "p99_bound_ms": P99_BOUND_MS,
+        "exit_code": 0 if held and p99 <= P99_BOUND_MS else 2,
+    }
+    return {"schema": SCHEMA, "quick": quick, "seed": seed,
+            "disturbances": disturbances, "summary": summary}
+
+
+def run_campaign(quick: bool = False, seed: int = 0,
+                 output: Optional[str] = None) -> Dict[str, object]:
+    """Run every disturbance; write the report when ``output`` is set."""
+    report = asyncio.run(_campaign(quick, seed))
+    if output is not None:
+        write_json_atomic(output, report)
+    return report

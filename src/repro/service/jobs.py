@@ -1,0 +1,234 @@
+"""The picklable job points the service dispatches onto the Runner pool.
+
+Every public ``*_point`` function here is importable as
+``repro.service.jobs:<name>`` (the Runner's ``fn`` spec), takes only
+JSON-able keyword arguments, and returns a JSON-able dict -- that is
+what makes responses cacheable as canonical text and byte-identical
+between a cold computation and a cache replay.
+
+:func:`build_jobs` maps a validated request ``(kind, params)`` onto
+Runner jobs (one job for scalar kinds, one per point for sweeps) and
+:func:`assemble_result` folds the finished :class:`JobResult` rows back
+into the response ``result`` object, flagging partial sweeps with
+``incomplete`` instead of pretending.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.harness.runner import Job, JobResult
+
+#: request kinds the server accepts; "sleep" and "crash" are the chaos
+#: campaign's instrumented stand-ins for long and failing jobs
+KINDS = ("assemble", "run", "sweep", "trace", "fault", "fuzz",
+         "sleep", "crash")
+
+#: sweep experiments and their picklable point functions
+SWEEP_POINTS = {
+    "icache-organization": "repro.harness.experiments:"
+                           "icache_organization_point",
+    "ecache-size": "repro.harness.experiments:ecache_size_point",
+    "workload-cpi": "repro.harness.experiments:workload_cpi_point",
+}
+
+_RUN_CONFIG_FIELDS = ("clock_mhz", "jit", "jit_threshold", "decode_cache",
+                      "hazard_check")
+
+
+def _signature_payload(machine) -> Dict[str, object]:
+    """The oracle's full-state signature, JSON-round-tripped.
+
+    The differential oracle compares live Python objects (int-keyed
+    memory maps, tuples); a cached response replays *text*, so the
+    signature is normalised through JSON once here and both the cold
+    and the cached payload carry the identical representation.
+    """
+    from repro.fuzz.oracle import _machine_signature
+
+    return json.loads(json.dumps(_machine_signature(machine),
+                                 sort_keys=True))
+
+
+def run_point(workload: Optional[str] = None, source: Optional[str] = None,
+              max_cycles: int = 2_000_000,
+              config: Optional[Dict[str, object]] = None) -> dict:
+    """Run one workload (or assembly source) and sign the final state."""
+    from repro.core import Machine, MachineConfig
+    from repro.asm import assemble
+    from repro.workloads import get
+
+    if (workload is None) == (source is None):
+        raise ValueError("run wants exactly one of workload= or source=")
+    machine_config = MachineConfig()
+    for field, value in (config or {}).items():
+        if field not in _RUN_CONFIG_FIELDS:
+            raise ValueError(f"unsupported config override {field!r}; "
+                             f"supported: {_RUN_CONFIG_FIELDS}")
+        setattr(machine_config, field, value)
+    program = (get(workload).program() if workload is not None
+               else assemble(source))
+    machine = Machine(machine_config)
+    machine.load_program(program)
+    machine.run(int(max_cycles))
+    return {"workload": workload, "halted": machine.halted,
+            "cycles": machine.stats.cycles,
+            "retired": machine.stats.retired,
+            "console": machine.console.text,
+            "signature": _signature_payload(machine)}
+
+
+def assemble_point(source: str) -> dict:
+    """Assemble source text; the image keyed by decimal word address."""
+    from repro.asm import assemble
+
+    program = assemble(source)
+    return {"entry": program.entry,
+            "size": program.size,
+            "code_size": program.code_size,
+            "symbols": dict(program.symbols),
+            "image": {str(address): word
+                      for address, word in sorted(program.words())}}
+
+
+def trace_point(sets: int = 128, ways: int = 1, block_words: int = 4,
+                trace_length: int = 20_000) -> dict:
+    """One Icache organization over the captured synthetic fetch trace.
+
+    The point runs the replay *twice* over the same captured trace and
+    asserts agreement -- the service-level echo of the capture-once/
+    replay-many contract the trace store is built on.
+    """
+    from repro.harness.experiments import icache_organization_point
+
+    first = icache_organization_point(sets, ways, block_words,
+                                      trace_length=trace_length)
+    second = icache_organization_point(sets, ways, block_words,
+                                       trace_length=trace_length)
+    if first != second:
+        raise RuntimeError(f"trace replay disagreed with itself: "
+                           f"{first} != {second}")
+    first["replay_agreed"] = True
+    return first
+
+
+def fault_point(seed: int, fault_class: str, max_events: int = 6) -> dict:
+    """One differential fault-campaign verdict (see :mod:`repro.faults`)."""
+    from repro.faults.campaign import campaign_point
+
+    return campaign_point(int(seed), fault_class, max_events=int(max_events))
+
+
+def fuzz_check_point(seed: int, mode: str = "isa",
+                     quick: bool = True) -> dict:
+    """One fuzz verdict; shrinking stays off (interactive latency)."""
+    from repro.fuzz.campaign import fuzz_point
+
+    return fuzz_point(int(seed), mode, quick=bool(quick),
+                      shrink_failures=False)
+
+
+def sleep_point(seconds: float) -> dict:
+    """Chaos/drain stand-in for a long-running job."""
+    time.sleep(float(seconds))
+    return {"slept_s": float(seconds)}
+
+
+def crash_point(message: str = "synthetic failure") -> dict:
+    """Chaos stand-in for a job that always fails."""
+    raise RuntimeError(message)
+
+
+_SCALAR_FNS = {
+    "assemble": "repro.service.jobs:assemble_point",
+    "run": "repro.service.jobs:run_point",
+    "trace": "repro.service.jobs:trace_point",
+    "fault": "repro.service.jobs:fault_point",
+    "fuzz": "repro.service.jobs:fuzz_check_point",
+    "sleep": "repro.service.jobs:sleep_point",
+    "crash": "repro.service.jobs:crash_point",
+}
+
+
+def validate_request(kind: object, params: object) -> Optional[str]:
+    """A human-readable problem string, or ``None`` for a valid request."""
+    if kind not in KINDS:
+        return f"unknown kind {kind!r}; kinds: {', '.join(KINDS)}"
+    if not isinstance(params, dict):
+        return f"params must be an object, not {type(params).__name__}"
+    if any(not isinstance(key, str) for key in params):
+        return "params keys must be strings"
+    if kind == "sweep":
+        experiment = params.get("experiment")
+        if experiment not in SWEEP_POINTS:
+            return (f"unknown sweep experiment {experiment!r}; "
+                    f"experiments: {', '.join(sorted(SWEEP_POINTS))}")
+        points = params.get("points")
+        if not isinstance(points, list) or not points:
+            return "sweep wants a non-empty 'points' list"
+        if any(not isinstance(point, dict) for point in points):
+            return "every sweep point must be an object"
+    elif kind == "run":
+        if ("workload" in params) == ("source" in params):
+            return "run wants exactly one of 'workload' or 'source'"
+    elif kind == "assemble":
+        if not isinstance(params.get("source"), str):
+            return "assemble wants a 'source' string"
+    elif kind in ("fault", "fuzz"):
+        if not isinstance(params.get("seed"), int):
+            return f"{kind} wants an integer 'seed'"
+        if kind == "fault" and not isinstance(params.get("fault_class"),
+                                              str):
+            return "fault wants a 'fault_class' string"
+    elif kind == "sleep":
+        if not isinstance(params.get("seconds"), (int, float)):
+            return "sleep wants a 'seconds' number"
+    return None
+
+
+def build_jobs(kind: str, params: Dict[str, object], uid: str,
+               timeout: float) -> List[Job]:
+    """Map one validated request onto Runner jobs."""
+    if kind == "sweep":
+        fn = SWEEP_POINTS[str(params["experiment"])]
+        return [Job(id=f"{uid}/{index}", fn=fn, params=dict(point),
+                    timeout=timeout, sweep=str(params["experiment"]))
+                for index, point in enumerate(params["points"])]
+    return [Job(id=uid, fn=_SCALAR_FNS[kind], params=dict(params),
+                timeout=timeout, sweep=kind)]
+
+
+def assemble_result(kind: str, params: Dict[str, object],
+                    results: Sequence[JobResult],
+                    ) -> Tuple[Dict[str, object], bool, bool]:
+    """Fold job rows into ``(result, ok, complete)``.
+
+    ``ok`` means the response status is ``ok``; ``complete`` means every
+    job finished cleanly, which is what gates cache admission -- a
+    partial sweep is served (with ``incomplete: true``) but never
+    cached, so a later identical request recomputes the missing points.
+    """
+    if kind == "sweep":
+        points = []
+        failures = []
+        for row in results:
+            if row.ok:
+                points.append(row.value)
+            else:
+                failures.append({"job": row.job_id, "status": row.status,
+                                 "error": row.error})
+        complete = not failures
+        result: Dict[str, object] = {
+            "experiment": params["experiment"], "points": points,
+            "requested": len(results), "completed": len(points),
+            "incomplete": not complete}
+        if failures:
+            result["failures"] = failures
+        return result, bool(points), complete
+    (row,) = results
+    if row.ok:
+        return dict(row.value), True, True
+    return ({"job": row.job_id, "status": row.status, "error": row.error,
+             "error_kind": row.error_kind}, False, False)

@@ -1,0 +1,224 @@
+"""The zipf-mix load generator behind ``repro service-bench``.
+
+Hundreds of synthetic clients, each its own TCP connection, draw
+requests from a shared catalog under a zipf(s) popularity skew -- the
+paper's own re-run-the-suite-across-design-points methodology is
+exactly this kind of dedupable mix, which is what makes the
+content-addressed cache the headline economics.  The run publishes
+p50/p99 latency split by cache outcome, hit rate, shed rate, and
+breaker transitions into ``BENCH_service.json`` (gated by
+``check_results.py --service``), and finishes with an **equivalence
+pass**: every catalog entry is recomputed with ``no_cache`` and its
+canonical payload compared byte-for-byte against the cached response --
+the differential-oracle-backed proof that a hit replays exactly what a
+cold computation produces.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.harness.bench import write_json_atomic
+from repro.service.chaos import percentile
+from repro.service.server import (ServiceClient, ServiceConfig,
+                                  ServiceServer)
+from repro.traces.store import canonical_json
+
+SCHEMA = 1
+
+#: workloads in the hot part of the catalog (short, deterministic)
+_RUN_WORKLOADS = ("fib", "perm", "sieve", "bubble", "towers", "queens",
+                  "intmm", "quick")
+
+_ASM_SOURCE = """
+        addi r1, r0, 0
+loop:   addi r1, r1, 1
+        addi r2, r1, -6
+        beq  r2, r0, done
+        nop
+        nop
+        br   loop
+        nop
+        nop
+done:   halt
+        nop
+        nop
+"""
+
+
+def build_catalog(size: int, seed: int) -> List[Tuple[str, dict]]:
+    """``size`` deterministic (kind, params) entries, hot mix first."""
+    entries: List[Tuple[str, dict]] = []
+    for name in _RUN_WORKLOADS:
+        entries.append(("run", {"workload": name}))
+    for index in range(4):
+        entries.append(("fuzz", {"seed": seed + index, "mode": "isa",
+                                 "quick": True}))
+    entries.append(("trace", {"sets": 128, "ways": 1, "block_words": 4,
+                              "trace_length": 5_000}))
+    entries.append(("trace", {"sets": 64, "ways": 2, "block_words": 4,
+                              "trace_length": 5_000}))
+    entries.append(("sweep", {
+        "experiment": "ecache-size",
+        "points": [{"size_words": 16_384, "references": 20_000,
+                    "data_words": 40_000},
+                   {"size_words": 65_536, "references": 20_000,
+                    "data_words": 40_000}]}))
+    entries.append(("assemble", {"source": _ASM_SOURCE}))
+    entries.append(("fault", {"seed": seed,
+                              "fault_class": "icache-valid",
+                              "max_events": 2}))
+    while len(entries) < size:
+        entries.append(("fuzz", {"seed": seed + 1000 + len(entries),
+                                 "mode": "isa", "quick": True}))
+    return entries[:size]
+
+
+def zipf_weights(count: int, s: float) -> List[float]:
+    """Unnormalised zipf(s) popularity weights for ranks 1..count."""
+    return [1.0 / (rank ** s) for rank in range(1, count + 1)]
+
+
+async def _client_task(index: int, port: int,
+                       catalog: List[Tuple[str, dict]],
+                       weights: List[float], requests: int, seed: int,
+                       samples: List[dict]) -> None:
+    """One synthetic client: connect, draw from the zipf mix, record."""
+    rng = random.Random(seed * 100_003 + index)
+    client = ServiceClient(port=port)
+    await client.connect()
+    try:
+        for _ in range(requests):
+            kind, params = rng.choices(catalog, weights=weights, k=1)[0]
+            started = time.perf_counter()
+            response = await client.request(
+                kind, params, client=f"lg{index}")
+            if response["status"] == "shed":
+                # honour the hint once, like a well-behaved client
+                await asyncio.sleep(min(
+                    0.5, float(response.get("retry_after_s", 0.1))))
+                started = time.perf_counter()
+                response = await client.request(
+                    kind, params, client=f"lg{index}")
+            samples.append({
+                "status": response["status"],
+                "cache": response.get("cache", "none"),
+                "ms": (time.perf_counter() - started) * 1e3})
+    finally:
+        await client.close()
+
+
+async def _equivalence_pass(server: ServiceServer,
+                            catalog: List[Tuple[str, dict]],
+                            ) -> Dict[str, int]:
+    """Recompute every entry uncached; payloads must match the cache."""
+    checked = mismatches = 0
+    for kind, params in catalog:
+        cached = await server.handle_request(
+            {"id": "eq-cached", "kind": kind, "params": params,
+             "client": "equiv"})
+        fresh = await server.handle_request(
+            {"id": "eq-fresh", "kind": kind, "params": params,
+             "client": "equiv", "no_cache": True})
+        if cached["status"] != "ok" or fresh["status"] != "ok":
+            mismatches += 1
+            continue
+        checked += 1
+        if canonical_json(cached["result"]) != \
+                canonical_json(fresh["result"]):
+            mismatches += 1
+    return {"checked": checked, "mismatches": mismatches}
+
+
+async def _run(clients: int, requests_per_client: int, catalog_size: int,
+               zipf_s: float, seed: int, quick: bool,
+               max_workers: int) -> Dict[str, object]:
+    config = ServiceConfig(
+        max_workers=max_workers,
+        rate_capacity=max(64.0, clients * 1.5),
+        rate_per_s=max(32.0, clients / 2.0),
+        max_inflight_per_client=8,
+        max_queue_depth=max(64, clients * 2),
+        jitter_seed=seed)
+    server = ServiceServer(config)
+    await server.start()
+    catalog = build_catalog(catalog_size, seed)
+    weights = zipf_weights(len(catalog), zipf_s)
+    samples: List[dict] = []
+    wall_started = time.perf_counter()
+    try:
+        await asyncio.gather(*(
+            _client_task(index, server.port, catalog, weights,
+                         requests_per_client, seed, samples)
+            for index in range(clients)))
+        wall_s = time.perf_counter() - wall_started
+        equivalence = await _equivalence_pass(server, catalog)
+        snapshot = server.snapshot()
+    finally:
+        await server.drain()
+        await server.close()
+
+    latencies = [s["ms"] for s in samples]
+    hits = [s["ms"] for s in samples if s["cache"] == "hit"]
+    misses = [s["ms"] for s in samples if s["cache"] == "miss"]
+    coalesced = [s["ms"] for s in samples
+                 if s["cache"] == "coalesced"]
+    ok = sum(1 for s in samples if s["status"] == "ok")
+    shed = sum(1 for s in samples if s["status"] == "shed")
+    errors = len(samples) - ok - shed
+    hit_p50 = percentile(hits, 50)
+    miss_p50 = percentile(misses, 50)
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "seed": seed,
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "catalog_size": len(catalog),
+        "zipf_s": zipf_s,
+        "requests_sent": len(samples),
+        "responses": {"ok": ok, "shed": shed, "error": errors},
+        "hit_rate": round(len(hits) / len(samples), 6) if samples
+        else 0.0,
+        "shed_rate": round(
+            snapshot["service"]["shed"]
+            / max(1, snapshot["service"]["requests"]), 6),
+        "latency_ms": {
+            "p50": round(percentile(latencies, 50), 6),
+            "p99": round(percentile(latencies, 99), 6),
+            "hit_p50": round(hit_p50, 6),
+            "hit_p99": round(percentile(hits, 99), 6),
+            "miss_p50": round(miss_p50, 6),
+            "miss_p99": round(percentile(misses, 99), 6),
+            "coalesced_p50": round(percentile(coalesced, 50), 6),
+        },
+        "hit_speedup_p50": round(miss_p50 / hit_p50, 3)
+        if hit_p50 > 0 and miss_p50 > 0 else 0.0,
+        "equivalence": equivalence,
+        "breaker": snapshot["breaker"],
+        "cache": snapshot["cache"],
+        "server": snapshot["service"],
+        "wall_s": round(wall_s, 3),
+    }
+
+
+def run_loadgen(clients: int = 120, requests_per_client: int = 10,
+                catalog_size: int = 16, zipf_s: float = 1.1,
+                seed: int = 1987, quick: bool = False,
+                max_workers: int = 2,
+                output: Optional[str] = None) -> Dict[str, object]:
+    """Run the load generator; write ``{"service": ...}`` to ``output``."""
+    if quick:
+        clients = min(clients, 24)
+        requests_per_client = min(requests_per_client, 5)
+        catalog_size = min(catalog_size, 10)
+    section = asyncio.run(_run(clients, requests_per_client,
+                               catalog_size, zipf_s, seed, quick,
+                               max_workers))
+    payload = {"service": section}
+    if output is not None:
+        write_json_atomic(output, payload)
+    return payload

@@ -1,0 +1,100 @@
+"""Length-prefixed JSON framing for the service socket.
+
+A frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON encoding one object.  The framing is deliberately
+minimal -- the robustness interest is in how the *server* survives
+frames that lie: a length header larger than :data:`MAX_FRAME_BYTES`
+(memory-exhaustion attack), a connection that stalls mid-frame (slow
+client holding a reader task hostage), truncated bodies, bodies that
+are not JSON, and JSON that is not an object.  :func:`read_frame`
+classifies all of those so the server can count and shed them without
+ever crashing a connection handler.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Dict, Optional
+
+#: hard ceiling on a frame body; a header claiming more is an attack or
+#: a corrupted stream, never a legitimate request
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+HEADER = struct.Struct(">I")
+
+
+class ProtocolError(ValueError):
+    """A malformed frame: bad length, truncation, or undecodable body."""
+
+
+def encode_frame(payload: Dict[str, object]) -> bytes:
+    """Encode one JSON-able dict as a length-prefixed frame."""
+    body = json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode()
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame body of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte ceiling")
+    return HEADER.pack(len(body)) + body
+
+
+async def _read_exactly(reader: asyncio.StreamReader, count: int,
+                        timeout: Optional[float]) -> bytes:
+    if timeout is None:
+        return await reader.readexactly(count)
+    return await asyncio.wait_for(reader.readexactly(count), timeout)
+
+
+async def read_frame(reader: asyncio.StreamReader, *,
+                     max_bytes: int = MAX_FRAME_BYTES,
+                     timeout: Optional[float] = None,
+                     ) -> Optional[Dict[str, object]]:
+    """Read one frame; ``None`` on clean EOF at a frame boundary.
+
+    The *first* byte is awaited without a timeout -- an idle connection
+    between requests is healthy.  Once a frame has started, the rest of
+    the header and the whole body must arrive within ``timeout``
+    seconds; a stall raises :class:`asyncio.TimeoutError` so the caller
+    can classify the peer as a slow client and disconnect it.  A bad
+    length, a truncated body, or an undecodable/non-object body raises
+    :class:`ProtocolError`.
+    """
+    try:
+        first = await reader.readexactly(1)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None                       # clean EOF between frames
+        raise ProtocolError("connection closed inside a frame "
+                            "header") from exc
+    try:
+        rest = await _read_exactly(reader, HEADER.size - 1, timeout)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed inside a frame "
+                            "header") from exc
+    (length,) = HEADER.unpack(first + rest)
+    if length > max_bytes:
+        raise ProtocolError(
+            f"frame header claims {length} bytes; ceiling is {max_bytes}")
+    try:
+        body = await _read_exactly(reader, length, timeout)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"connection closed {len(exc.partial)}/{length} bytes into "
+            f"a frame body") from exc
+    try:
+        payload = json.loads(body.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame body is not JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame body is {type(payload).__name__}, not an object")
+    return payload
+
+
+async def write_frame(writer: asyncio.StreamWriter,
+                      payload: Dict[str, object]) -> None:
+    """Encode and send one frame, draining the transport buffer."""
+    writer.write(encode_frame(payload))
+    await writer.drain()

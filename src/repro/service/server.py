@@ -1,0 +1,587 @@
+"""The asyncio job server: cache, coalesce, admit, dispatch, degrade.
+
+One request travels this ladder (each rung is a reason the rungs below
+never run):
+
+1. **cache hit** -- the canonical payload replays in microseconds;
+2. **coalesce** -- an identical request is already computing; share its
+   future instead of paying twice;
+3. **drain** -- a SIGTERM arrived: accepted work finishes, new work is
+   shed with ``Retry-After``;
+4. **breaker** -- the pool is unhealthy: compute requests shed fast
+   (hits above still serve -- that *is* the cache-only mode);
+5. **admission** -- token bucket, per-client in-flight cap, queue cap;
+6. **dispatch** -- the request joins its client's queue; the dispatcher
+   round-robins across clients (fairness), batches jobs onto the
+   hardened :class:`~repro.harness.runner.Runner`, and propagates the
+   request deadline into each job's timeout.
+
+Responses are JSON objects ``{id, status, cache, result, ...}`` with
+``status`` one of ``ok | error | shed | bad-request`` and ``cache`` one
+of ``hit | coalesced | miss | none``.  A shed response always carries
+``retry_after_s``.  Results are cached as canonical JSON text, so a hit
+is byte-identical to the cold computation it replays.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import logging
+import time
+from collections import OrderedDict, deque
+from typing import Deque, Dict, List, Optional
+
+from repro.harness.runner import ChaosMonkey, Job, JobResult, Runner
+from repro.service import jobs as service_jobs
+from repro.service.admission import (AdmissionController, TokenBucket,
+                                     stable_client_id)
+from repro.service.breaker import CircuitBreaker
+from repro.service.cache import ResultCache, request_key
+from repro.service.protocol import (MAX_FRAME_BYTES, ProtocolError,
+                                    read_frame, write_frame)
+
+logger = logging.getLogger(__name__)
+
+
+@dataclasses.dataclass
+class ServiceConfig:
+    """Everything tunable about one server instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                       #: 0 = ephemeral; see Server.port
+    max_workers: int = 2
+    #: max Runner jobs per dispatched batch, and concurrent batches
+    batch_max: int = 8
+    max_batches: int = 2
+    #: mid-frame stall budget before a peer is a slow client
+    frame_timeout_s: float = 5.0
+    max_frame_bytes: int = MAX_FRAME_BYTES
+    #: request deadline when the client names none; propagates into the
+    #: Runner job timeout (min with job_timeout_s)
+    default_deadline_s: float = 120.0
+    job_timeout_s: float = 60.0
+    rate_capacity: float = 256.0
+    rate_per_s: float = 128.0
+    max_inflight_per_client: int = 8
+    max_queue_depth: int = 256
+    #: queue depth that trips the breaker outright (None = never);
+    #: saturation is a health signal even before anything fails
+    queue_trip_depth: Optional[int] = None
+    breaker_window: int = 32
+    breaker_failure_threshold: float = 0.5
+    breaker_min_samples: int = 8
+    breaker_open_s: float = 2.0
+    cache_entries: int = 4096
+    parallel: bool = True
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    #: seeded anti-thundering-herd spread (see Runner.backoff_jitter)
+    backoff_jitter: float = 0.5
+    jitter_seed: int = 0
+    chaos: Optional[ChaosMonkey] = None
+
+
+@dataclasses.dataclass
+class ServiceStats:
+    """The server's own counters (cache/breaker keep theirs)."""
+
+    requests: int = 0
+    responses_ok: int = 0
+    responses_error: int = 0
+    shed: int = 0
+    coalesced: int = 0
+    deadline_expired: int = 0
+    frames_malformed: int = 0
+    slow_disconnects: int = 0
+    jobs_dispatched: int = 0
+    jobs_failed: int = 0
+
+
+class _Pending:
+    """One admitted compute request waiting for (or in) a batch."""
+
+    __slots__ = ("key", "kind", "params", "jobs", "future", "client",
+                 "accepted_at", "deadline_s", "cacheable")
+
+    def __init__(self, key: Optional[str], kind: str, params: dict,
+                 jobs: List[Job], future: "asyncio.Future", client: str,
+                 deadline_s: float, cacheable: bool):
+        self.key = key
+        self.kind = kind
+        self.params = params
+        self.jobs = jobs
+        self.future = future
+        self.client = client
+        self.accepted_at = time.monotonic()
+        self.deadline_s = deadline_s
+        self.cacheable = cacheable
+
+
+class ServiceServer:
+    """The simulation service: see the module docstring for the ladder."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.config = config or ServiceConfig()
+        cfg = self.config
+        self.stats = ServiceStats()
+        self.cache = ResultCache(max_entries=cfg.cache_entries)
+        self.breaker = CircuitBreaker(
+            window=cfg.breaker_window,
+            failure_threshold=cfg.breaker_failure_threshold,
+            min_samples=cfg.breaker_min_samples,
+            open_seconds=cfg.breaker_open_s)
+        self.admission = AdmissionController(
+            TokenBucket(cfg.rate_capacity, cfg.rate_per_s),
+            max_inflight_per_client=cfg.max_inflight_per_client,
+            max_queue_depth=cfg.max_queue_depth)
+        self.runner = Runner(max_workers=cfg.max_workers,
+                             max_retries=cfg.max_retries,
+                             backoff_base=cfg.backoff_base,
+                             backoff_jitter=cfg.backoff_jitter,
+                             jitter_seed=cfg.jitter_seed,
+                             default_timeout=cfg.job_timeout_s,
+                             chaos=cfg.chaos)
+        #: request key -> the leader's future (coalescing)
+        self._inflight: Dict[str, "asyncio.Future"] = {}
+        #: client id -> its FIFO of admitted requests (round-robin)
+        self._queues: "OrderedDict[str, Deque[_Pending]]" = OrderedDict()
+        self._queued = 0
+        self._work = asyncio.Event()
+        self._batch_slots: Optional[asyncio.Semaphore] = None
+        self._batch_tasks: set = set()
+        self._request_tasks: set = set()
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._draining = False
+        self._seq = 0
+
+    # ------------------------------------------------------------ lifecycle
+    @property
+    def port(self) -> int:
+        """The bound TCP port (useful with the ephemeral port 0)."""
+        if self._server is None:
+            return 0
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def start(self) -> None:
+        """Bind the listener and start the dispatcher."""
+        self._batch_slots = asyncio.Semaphore(self.config.max_batches)
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port)
+        logger.info("service listening on %s:%d", self.config.host,
+                    self.port)
+
+    async def drain(self) -> None:
+        """Graceful shutdown: finish every accepted job, shed the rest.
+
+        New compute requests shed with ``Retry-After`` the moment this
+        is called; everything already admitted runs to completion and
+        its response is delivered.  This is the SIGTERM path -- the
+        chaos campaign asserts it loses no accepted job.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        while self._queued or self._batch_tasks or self._inflight:
+            waiting = [future for future in self._inflight.values()
+                       if not future.done()]
+            if waiting:
+                await asyncio.wait(waiting)
+            elif self._batch_tasks:
+                await asyncio.wait(set(self._batch_tasks))
+            else:
+                await asyncio.sleep(0.01)
+        if self._request_tasks:
+            await asyncio.wait(set(self._request_tasks))
+
+    async def close(self) -> None:
+        """Stop everything; pairs with :meth:`start`."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+        for task in list(self._batch_tasks) + list(self._request_tasks):
+            task.cancel()
+
+    # ------------------------------------------------------------- requests
+    async def handle_request(self, payload: Dict[str, object],
+                             peer: Optional[object] = None,
+                             ) -> Dict[str, object]:
+        """The degradation ladder for one request; always returns."""
+        started = time.perf_counter()
+        self.stats.requests += 1
+        request_id = payload.get("id")
+        kind = payload.get("kind")
+        client = stable_client_id(peer, payload.get("client"))
+
+        def reply(status: str, cache: str = "none",
+                  **extra) -> Dict[str, object]:
+            elapsed_ms = (time.perf_counter() - started) * 1e3
+            response = {"id": request_id, "status": status, "cache": cache,
+                        "elapsed_ms": round(elapsed_ms, 6)}
+            response.update(extra)
+            if status == "ok":
+                self.stats.responses_ok += 1
+            elif status == "shed":
+                self.stats.shed += 1
+            else:
+                self.stats.responses_error += 1
+            return response
+
+        if kind == "ping":
+            return reply("ok", result={"pong": True,
+                                       "draining": self._draining})
+        if kind == "stats":
+            return reply("ok", result=self.snapshot())
+        params = payload.get("params") or {}
+        problem = service_jobs.validate_request(kind, params)
+        if problem is not None:
+            return reply("bad-request", reason=problem)
+        kind = str(kind)
+        cacheable = not bool(payload.get("no_cache"))
+        key = request_key(kind, params) if cacheable else None
+
+        if key is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return reply("ok", "hit", key=key,
+                             result=json.loads(cached.decode()))
+            leader = self._inflight.get(key)
+            if leader is not None:
+                self.stats.coalesced += 1
+                shared = await asyncio.shield(leader)
+                follower = dict(shared)
+                follower["id"] = request_id
+                follower["cache"] = "coalesced"
+                follower["elapsed_ms"] = round(
+                    (time.perf_counter() - started) * 1e3, 6)
+                if shared.get("status") == "ok":
+                    self.stats.responses_ok += 1
+                else:
+                    self.stats.responses_error += 1
+                return follower
+
+        if self._draining:
+            return reply("shed", reason="draining", retry_after_s=1.0)
+        if not self.breaker.allow():
+            return reply("shed", reason="breaker-open",
+                         retry_after_s=round(self.breaker.retry_after_s(),
+                                             3))
+        verdict = self.admission.admit(client, self._queued)
+        if not verdict.allowed:
+            return reply("shed", reason=verdict.reason,
+                         retry_after_s=round(verdict.retry_after_s, 3))
+
+        deadline_s = float(payload.get("deadline_s")
+                           or self.config.default_deadline_s)
+        self._seq += 1
+        uid = f"req{self._seq}"
+        pending = _Pending(
+            key=key, kind=kind, params=dict(params),
+            jobs=service_jobs.build_jobs(
+                kind, dict(params), uid,
+                min(deadline_s, self.config.job_timeout_s)),
+            future=asyncio.get_running_loop().create_future(),
+            client=client, deadline_s=deadline_s, cacheable=cacheable)
+        self.admission.start(client)
+        if key is not None:
+            self._inflight[key] = pending.future
+        self._queues.setdefault(client, deque()).append(pending)
+        self._queued += 1
+        if (self.config.queue_trip_depth is not None
+                and self._queued >= self.config.queue_trip_depth):
+            self.breaker.trip(f"queue depth {self._queued}")
+        self._work.set()
+        envelope = await asyncio.shield(pending.future)
+        response = dict(envelope)
+        response["id"] = request_id
+        response["cache"] = "miss"
+        response["elapsed_ms"] = round(
+            (time.perf_counter() - started) * 1e3, 6)
+        if response.get("status") == "ok":
+            self.stats.responses_ok += 1
+        else:
+            self.stats.responses_error += 1
+        return response
+
+    # ------------------------------------------------------------ dispatch
+    def _take_batch(self) -> List[_Pending]:
+        """Round-robin up to ``batch_max`` jobs' worth across clients."""
+        batch: List[_Pending] = []
+        job_count = 0
+        while self._queued and job_count < self.config.batch_max:
+            progressed = False
+            for client in list(self._queues):
+                queue = self._queues[client]
+                if not queue:
+                    continue
+                head = queue[0]
+                if batch and job_count + len(head.jobs) > \
+                        self.config.batch_max:
+                    continue
+                queue.popleft()
+                self._queued -= 1
+                batch.append(head)
+                job_count += len(head.jobs)
+                progressed = True
+                # rotate the client to the back: round-robin fairness
+                self._queues.move_to_end(client)
+                if job_count >= self.config.batch_max:
+                    break
+            for client in [c for c, q in self._queues.items() if not q]:
+                del self._queues[client]
+            if not progressed:
+                break
+        return batch
+
+    async def _dispatch_loop(self) -> None:
+        assert self._batch_slots is not None
+        while True:
+            if not self._queued:
+                self._work.clear()
+                await self._work.wait()
+            await self._batch_slots.acquire()
+            batch = self._take_batch()
+            if not batch:
+                self._batch_slots.release()
+                continue
+            task = asyncio.create_task(self._run_batch(batch))
+            self._batch_tasks.add(task)
+            task.add_done_callback(self._batch_tasks.discard)
+
+    async def _run_batch(self, batch: List[_Pending]) -> None:
+        assert self._batch_slots is not None
+        try:
+            now = time.monotonic()
+            live: List[_Pending] = []
+            jobs: List[Job] = []
+            for pending in batch:
+                remaining = (pending.accepted_at + pending.deadline_s
+                             - now)
+                if remaining <= 0:
+                    self.stats.deadline_expired += 1
+                    self._settle(pending, {
+                        "status": "error", "reason": "deadline",
+                        "result": {"error_kind": "deadline",
+                                   "error": "deadline expired while "
+                                            "queued"}}, ok=False)
+                    continue
+                timeout = min(remaining, self.config.job_timeout_s)
+                pending.jobs = [dataclasses.replace(job, timeout=timeout)
+                                for job in pending.jobs]
+                live.append(pending)
+                jobs.extend(pending.jobs)
+            if not jobs:
+                return
+            self.stats.jobs_dispatched += len(jobs)
+            try:
+                results = await asyncio.to_thread(
+                    self.runner.run, jobs, self.config.parallel)
+            except BaseException as exc:    # pool malfunction, not a job
+                logger.exception("batch dispatch failed")
+                for pending in live:
+                    self._settle(pending, {
+                        "status": "error", "reason": "pool-failure",
+                        "result": {"error_kind": type(exc).__name__,
+                                   "error": str(exc)}}, ok=False)
+                return
+            by_id = {row.job_id: row for row in results}
+            for pending in live:
+                rows = [by_id[job.id] for job in pending.jobs]
+                self._finish(pending, rows)
+        finally:
+            self._batch_slots.release()
+
+    def _finish(self, pending: _Pending,
+                rows: List[JobResult]) -> None:
+        """Fold job rows into the response envelope and settle."""
+        self.stats.jobs_failed += sum(1 for row in rows if not row.ok)
+        result, ok, complete = service_jobs.assemble_result(
+            pending.kind, pending.params, rows)
+        envelope: Dict[str, object] = {
+            "status": "ok" if ok else "error",
+            "result": result,
+            "attempts": max(row.attempts for row in rows),
+        }
+        if pending.kind == "sweep" and not complete:
+            envelope["incomplete"] = True
+        if pending.key is not None:
+            envelope["key"] = pending.key
+        if ok and complete and pending.cacheable and pending.key is not \
+                None:
+            # cache the canonical text; a later hit replays these bytes
+            payload = self.cache.put_result(pending.key, result)
+            envelope["result"] = json.loads(payload.decode())
+        self._settle(pending, envelope, ok=ok and complete)
+
+    def _settle(self, pending: _Pending, envelope: Dict[str, object],
+                ok: bool) -> None:
+        """Deliver one envelope: breaker, admission, coalescers."""
+        self.breaker.record(ok)
+        self.admission.finish(pending.client)
+        if pending.key is not None and \
+                self._inflight.get(pending.key) is pending.future:
+            del self._inflight[pending.key]
+        if not pending.future.done():
+            pending.future.set_result(envelope)
+
+    # ---------------------------------------------------------- connections
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        peer = writer.get_extra_info("peername")
+        write_lock = asyncio.Lock()
+        tasks: set = set()
+        try:
+            while True:
+                try:
+                    payload = await read_frame(
+                        reader, max_bytes=self.config.max_frame_bytes,
+                        timeout=self.config.frame_timeout_s)
+                except ProtocolError as exc:
+                    self.stats.frames_malformed += 1
+                    logger.warning("malformed frame from %s: %s", peer,
+                                   exc)
+                    try:
+                        async with write_lock:
+                            await write_frame(writer, {
+                                "id": None, "status": "bad-request",
+                                "cache": "none", "reason": str(exc)})
+                    except (ConnectionError, ProtocolError, OSError):
+                        pass
+                    break
+                except (asyncio.TimeoutError, TimeoutError):
+                    self.stats.slow_disconnects += 1
+                    logger.warning("slow client %s stalled mid-frame; "
+                                   "disconnecting", peer)
+                    break
+                except (ConnectionError, OSError):
+                    break
+                if payload is None:
+                    break
+                task = asyncio.create_task(
+                    self._serve_one(payload, peer, writer, write_lock))
+                tasks.add(task)
+                self._request_tasks.add(task)
+                task.add_done_callback(tasks.discard)
+                task.add_done_callback(self._request_tasks.discard)
+        finally:
+            if tasks:
+                await asyncio.wait(tasks)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve_one(self, payload: Dict[str, object], peer,
+                         writer: asyncio.StreamWriter,
+                         write_lock: asyncio.Lock) -> None:
+        response = await self.handle_request(payload, peer)
+        try:
+            async with write_lock:
+                await write_frame(writer, response)
+        except (ConnectionError, OSError):
+            pass                      # peer vanished; response is dropped
+
+    # -------------------------------------------------------------- metrics
+    def snapshot(self) -> Dict[str, object]:
+        """Counters + component stats, JSON-able (the ``stats`` kind)."""
+        return {"service": dataclasses.asdict(self.stats),
+                "cache": self.cache.stats(),
+                "breaker": self.breaker.stats(),
+                "queue_depth": self._queued,
+                "draining": self._draining}
+
+    def metrics(self, into=None):
+        """Harvest into a strict catalogued telemetry registry."""
+        from repro.telemetry.metrics import Metrics
+
+        metrics = into or Metrics()
+        stats = self.stats
+        for name, value in (
+                ("service.requests", stats.requests),
+                ("service.responses.ok", stats.responses_ok),
+                ("service.responses.error", stats.responses_error),
+                ("service.shed", stats.shed),
+                ("service.cache.coalesced", stats.coalesced),
+                ("service.deadline.expired", stats.deadline_expired),
+                ("service.frames.malformed", stats.frames_malformed),
+                ("service.clients.slow_disconnects",
+                 stats.slow_disconnects),
+                ("service.jobs.dispatched", stats.jobs_dispatched),
+                ("service.jobs.failed", stats.jobs_failed),
+                ("service.cache.hits", self.cache.hits),
+                ("service.cache.misses", self.cache.misses),
+                ("service.cache.integrity_failures",
+                 self.cache.integrity_failures),
+                ("service.cache.evictions", self.cache.evictions),
+                ("service.breaker.opens", self.breaker.opens),
+                ("service.breaker.closes", self.breaker.closes)):
+            metrics.counter(name).inc(value)
+        from repro.service.breaker import STATE_CODES
+        metrics.gauge("service.queue.depth").set(self._queued)
+        metrics.gauge("service.breaker.state").set(
+            STATE_CODES[self.breaker.state])
+        metrics.gauge("service.cache.entries").set(len(self.cache))
+        return metrics
+
+
+class ServiceClient:
+    """A minimal async client for the frame protocol (CLI, loadgen)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._seq = 0
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self._reader = self._writer = None
+
+    async def request(self, kind: str, params: Optional[dict] = None,
+                      **extra) -> Dict[str, object]:
+        """One request/response exchange (requests are serialized)."""
+        if self._writer is None or self._reader is None:
+            raise ConnectionError("client is not connected")
+        self._seq += 1
+        payload = {"id": self._seq, "kind": kind,
+                   "params": params or {}}
+        payload.update(extra)
+        await write_frame(self._writer, payload)
+        response = await read_frame(self._reader)
+        if response is None:
+            raise ConnectionError("server closed the connection")
+        return response
+
+
+async def start_server(config: Optional[ServiceConfig] = None,
+                       ) -> ServiceServer:
+    """Build and start a server; the caller owns drain/close."""
+    server = ServiceServer(config)
+    await server.start()
+    return server

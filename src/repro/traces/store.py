@@ -76,12 +76,25 @@ class CapturedTrace:
         return cls(arrays=arrays, meta=meta)
 
 
+def canonical_json(material: object) -> str:
+    """The canonical JSON text of a JSON-able value.
+
+    Key-sorted, minimal separators, no whitespace variance: two
+    structurally equal values (whatever their dict insertion order, and
+    with tuples and lists interchangeable) canonicalise to the same
+    text.  Both the trace-store descriptor keys and the service-layer
+    request hashes (:mod:`repro.service.cache`) derive their sha256
+    content addresses from this one function, so the two caches can
+    never drift apart on canonicalisation.
+    """
+    return json.dumps(material, sort_keys=True, separators=(",", ":"))
+
+
 def descriptor_key(descriptor: Dict[str, object]) -> str:
     """The content-addressed key of a capture descriptor."""
     material = dict(descriptor)
     material["format"] = FORMAT
-    canonical = json.dumps(material, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode()).hexdigest()[:24]
+    return hashlib.sha256(canonical_json(material).encode()).hexdigest()[:24]
 
 
 class TraceStore:

@@ -239,6 +239,35 @@ class TestChaosMode:
         assert runner._backoff(3) == pytest.approx(0.10)
         assert runner._backoff(4) == pytest.approx(0.20)
 
+    def test_backoff_jitter_is_seeded_and_pinned(self):
+        # the anti-thundering-herd spread is sha256(seed:job:attempt),
+        # not wall-clock randomness: same (seed, job, attempt) -> same
+        # delay, forever.  These literals pin the formula.
+        runner = Runner(backoff_base=0.05, backoff_jitter=0.5,
+                        jitter_seed=7)
+        assert runner._backoff(1, "fuzz/isa/3") == 0.0
+        assert runner._backoff(2, "fuzz/isa/3") == pytest.approx(
+            0.05663893725295388)
+        assert runner._backoff(3, "fuzz/isa/3") == pytest.approx(
+            0.11594985577869442)
+        assert runner._backoff(4, "fuzz/isa/3") == pytest.approx(
+            0.2383458666818351)
+        # the draw decorrelates across jobs and seeds ...
+        assert runner._backoff(2, "fuzz/isa/4") == pytest.approx(
+            0.05753798873202048)
+        other = Runner(backoff_base=0.05, backoff_jitter=0.5,
+                       jitter_seed=8)
+        assert other._backoff(2, "fuzz/isa/3") == pytest.approx(
+            0.0691103987344543)
+        # ... stays within [delay, delay * (1 + jitter)] ...
+        for attempt, base in ((2, 0.05), (3, 0.10), (4, 0.20)):
+            for job_id in ("a", "b", "c"):
+                delay = runner._backoff(attempt, job_id)
+                assert base <= delay <= base * 1.5
+        # ... and jitter=0 (the default) keeps the exact old schedule
+        assert Runner(backoff_base=0.05)._backoff(3, "any") == \
+            pytest.approx(0.10)
+
 
 # ------------------------------------------------------- experiment grids
 class TestExperimentGrids:

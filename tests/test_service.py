@@ -1,0 +1,562 @@
+"""The simulation service: protocol, cache keys, robustness, ladder.
+
+Five claims are pinned here:
+
+* the frame protocol classifies every way a frame can lie -- oversize
+  headers, truncation, non-JSON, non-objects -- without ever crashing
+  a connection handler;
+* content addresses are *semantic*: ``request_key`` and the trace
+  store's ``descriptor_key`` are invariant under dict insertion order
+  and tuple/list spelling (hypothesis), and sensitive to every actual
+  value change -- equal keys mean equal computations, nothing else;
+* the admission layer (token bucket, per-client cap, queue cap) and
+  the circuit breaker are deterministic state machines under a fake
+  clock;
+* a cache hit replays the *byte-identical* canonical payload of the
+  cold computation it memoises, corruption is detected and healed, and
+  LRU eviction is bounded;
+* the server's degradation ladder holds end-to-end: coalescing,
+  shed-with-Retry-After, breaker-open cache-only mode, partial sweeps
+  flagged ``incomplete`` and never cached, drain losing no accepted
+  job, malformed frames and slow clients disconnected without
+  collateral damage.
+"""
+
+import asyncio
+import time
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.service.admission import (AdmissionController, TokenBucket,
+                                     stable_client_id)
+from repro.service.breaker import STATE_CODES, CircuitBreaker
+from repro.service.cache import ResultCache, request_key
+from repro.service.protocol import (MAX_FRAME_BYTES, HEADER, ProtocolError,
+                                    encode_frame, read_frame)
+from repro.service.server import ServiceConfig, ServiceServer
+from repro.traces.store import canonical_json, descriptor_key
+
+
+# --------------------------------------------------------------- protocol
+def _read(data: bytes, **kwargs):
+    """Run read_frame over a pre-fed reader."""
+    async def inner():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_frame(reader, **kwargs)
+    return asyncio.run(inner())
+
+
+class TestProtocol:
+    def test_roundtrip_and_clean_eof(self):
+        frame = encode_frame({"kind": "ping", "id": 7})
+
+        async def inner():
+            reader = asyncio.StreamReader()
+            reader.feed_data(frame + frame)
+            reader.feed_eof()
+            first = await read_frame(reader)
+            second = await read_frame(reader)
+            third = await read_frame(reader)
+            return first, second, third
+
+        first, second, third = asyncio.run(inner())
+        assert first == {"kind": "ping", "id": 7}
+        assert second == first
+        assert third is None               # clean EOF between frames
+
+    def test_oversize_header_is_rejected_before_reading(self):
+        with pytest.raises(ProtocolError, match="ceiling"):
+            _read(HEADER.pack(1 << 30), max_bytes=MAX_FRAME_BYTES)
+
+    def test_truncated_header_and_body_are_classified(self):
+        with pytest.raises(ProtocolError, match="frame header"):
+            _read(b"\x00\x00")
+        with pytest.raises(ProtocolError, match="10/100 bytes"):
+            _read(HEADER.pack(100) + b"x" * 10)
+
+    def test_non_json_and_non_object_bodies_are_classified(self):
+        with pytest.raises(ProtocolError, match="not JSON"):
+            _read(HEADER.pack(4) + b"{nop")
+        with pytest.raises(ProtocolError, match="not an object"):
+            _read(HEADER.pack(4) + b"1234")
+
+    def test_encode_frame_refuses_oversize_payloads(self):
+        with pytest.raises(ProtocolError, match="ceiling"):
+            encode_frame({"blob": "x" * (MAX_FRAME_BYTES + 1)})
+
+
+# ----------------------------------------------------------- content keys
+_scalars = (st.integers(min_value=-2**31, max_value=2**31) | st.booleans()
+            | st.text(max_size=8) | st.floats(allow_nan=False,
+                                              allow_infinity=False))
+_params = st.dictionaries(
+    st.text(min_size=1, max_size=8), _scalars | st.lists(_scalars,
+                                                         max_size=4),
+    max_size=6)
+
+
+def _reversed_dict(mapping: dict) -> dict:
+    return {key: mapping[key] for key in reversed(list(mapping))}
+
+
+class TestContentKeys:
+    """The content address is semantic, not syntactic (satellite 3)."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(params=_params)
+    def test_request_key_ignores_dict_insertion_order(self, params):
+        assert request_key("run", params) == \
+            request_key("run", _reversed_dict(params))
+
+    @settings(max_examples=50, deadline=None)
+    @given(params=_params)
+    def test_descriptor_key_ignores_dict_insertion_order(self, params):
+        assert descriptor_key(params) == \
+            descriptor_key(_reversed_dict(params))
+
+    @settings(max_examples=50, deadline=None)
+    @given(values=st.lists(_scalars, min_size=1, max_size=5))
+    def test_tuples_and_lists_are_interchangeable(self, values):
+        assert request_key("sweep", {"points": tuple(values)}) == \
+            request_key("sweep", {"points": list(values)})
+        assert descriptor_key({"points": tuple(values)}) == \
+            descriptor_key({"points": list(values)})
+
+    @settings(max_examples=50, deadline=None)
+    @given(params=_params, key=st.text(min_size=1, max_size=8),
+           bump=st.integers(min_value=1, max_value=99))
+    def test_any_value_change_changes_the_key(self, params, key, bump):
+        changed = dict(params)
+        changed[key] = (changed.get(key, 0) + bump
+                        if isinstance(changed.get(key, 0), int) else bump)
+        assert request_key("run", params) != request_key("run", changed)
+
+    def test_kind_is_part_of_the_address(self):
+        assert request_key("run", {"seed": 1}) != \
+            request_key("fuzz", {"seed": 1})
+
+    def test_canonical_json_is_the_shared_canonicalizer(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == \
+            '{"a":[1,2],"b":1}'
+
+
+# ------------------------------------------------------- admission control
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestTokenBucket:
+    def test_drains_and_refills_deterministically(self):
+        clock = FakeClock()
+        bucket = TokenBucket(capacity=2.0, refill_per_s=1.0, clock=clock)
+        assert bucket.try_take() and bucket.try_take()
+        assert not bucket.try_take()
+        assert bucket.seconds_until(1.0) == pytest.approx(1.0)
+        clock.now += 0.5
+        assert not bucket.try_take()       # only half a token back
+        clock.now += 0.5
+        assert bucket.try_take()
+
+    def test_never_exceeds_capacity(self):
+        clock = FakeClock()
+        bucket = TokenBucket(capacity=2.0, refill_per_s=100.0, clock=clock)
+        clock.now += 3600.0
+        assert bucket.tokens == pytest.approx(2.0)
+
+
+class TestAdmissionController:
+    def _controller(self, **kwargs):
+        clock = FakeClock()
+        bucket = TokenBucket(capacity=4.0, refill_per_s=2.0, clock=clock)
+        return AdmissionController(bucket, **kwargs), clock
+
+    def test_shed_reasons_are_ordered_and_named(self):
+        controller, _ = self._controller(max_inflight_per_client=1,
+                                         max_queue_depth=2)
+        # queue-full outranks everything
+        verdict = controller.admit("a", queue_depth=2)
+        assert (not verdict.allowed and verdict.reason == "queue-full"
+                and verdict.retry_after_s > 0)
+        # then the per-client in-flight cap
+        controller.start("a")
+        verdict = controller.admit("a", queue_depth=0)
+        assert verdict.reason == "client-inflight-limit"
+        # another client is unaffected by a's cap: fairness isolation
+        assert controller.admit("b", queue_depth=0).allowed
+
+    def test_rate_limit_sheds_with_retry_after(self):
+        controller, clock = self._controller()
+        for _ in range(4):
+            assert controller.admit("a", queue_depth=0).allowed
+        verdict = controller.admit("a", queue_depth=0)
+        assert verdict.reason == "rate-limited"
+        assert verdict.retry_after_s == pytest.approx(0.5)
+        clock.now += 0.5
+        assert controller.admit("a", queue_depth=0).allowed
+
+    def test_finish_releases_the_inflight_slot(self):
+        controller, _ = self._controller(max_inflight_per_client=1)
+        controller.start("a")
+        assert controller.inflight("a") == 1
+        controller.finish("a")
+        assert controller.inflight("a") == 0
+        assert controller.admit("a", queue_depth=0).allowed
+
+    def test_stable_client_id(self):
+        assert stable_client_id(("127.0.0.1", 4), "alice") == "alice"
+        assert stable_client_id(("127.0.0.1", 4), None) == \
+            str(("127.0.0.1", 4))
+        assert stable_client_id(None, None) == "anonymous"
+        assert len(stable_client_id(None, "x" * 200)) == 64
+
+
+class TestCircuitBreaker:
+    def _breaker(self, **kwargs):
+        clock = FakeClock()
+        defaults = dict(window=8, failure_threshold=0.5, min_samples=4,
+                        open_seconds=2.0, clock=clock)
+        defaults.update(kwargs)
+        return CircuitBreaker(**defaults), clock
+
+    def test_opens_on_failure_fraction_and_recovers(self):
+        breaker, clock = self._breaker()
+        for ok in (True, False, False, False):
+            breaker.record(ok)
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert 0.0 < breaker.retry_after_s() <= 2.0
+        # after the open interval one probe is admitted (half-open) ...
+        clock.now += 2.1
+        assert breaker.allow()
+        assert breaker.state == "half-open"
+        assert not breaker.allow()         # ... and only one
+        # a probe success closes; the window restarts clean
+        breaker.record(True)
+        assert breaker.state == "closed" and breaker.allow()
+        assert breaker.closes == 1
+
+    def test_probe_failure_reopens(self):
+        breaker, clock = self._breaker()
+        breaker.trip("saturated")
+        clock.now += 2.1
+        assert breaker.allow()
+        breaker.record(False)
+        assert breaker.state == "open"
+        assert breaker.opens == 2
+
+    def test_too_few_samples_never_trip(self):
+        breaker, _ = self._breaker(min_samples=4)
+        for _ in range(3):
+            breaker.record(False)
+        assert breaker.state == "closed"
+
+    def test_state_codes_cover_the_fsm(self):
+        assert STATE_CODES == {"closed": 0, "open": 1, "half-open": 2}
+
+
+# ------------------------------------------------------------ result cache
+class TestResultCache:
+    def test_hit_replays_canonical_bytes(self):
+        cache = ResultCache(max_entries=4)
+        key = request_key("run", {"workload": "fib"})
+        payload = cache.put_result(key, {"b": 2, "a": [1, 2]})
+        assert payload == b'{"a":[1,2],"b":2}'
+        assert cache.get(key) == payload
+        assert (cache.hits, cache.misses) == (1, 0)
+
+    def test_lru_evicts_the_coldest_entry(self):
+        cache = ResultCache(max_entries=2)
+        cache.put_result("k1", {"v": 1})
+        cache.put_result("k2", {"v": 2})
+        assert cache.get("k1") is not None     # refresh k1
+        cache.put_result("k3", {"v": 3})       # evicts k2, the coldest
+        assert cache.get("k2") is None
+        assert cache.get("k1") is not None
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_corruption_is_a_detected_miss_never_a_wrong_hit(self):
+        cache = ResultCache(max_entries=4)
+        key = "deadbeef"
+        cache.put_result(key, {"v": 42})
+        cache.corrupt(key)
+        assert cache.get(key) is None
+        assert cache.integrity_failures == 1
+        assert key not in cache                # purged, ready to heal
+        cache.put_result(key, {"v": 42})
+        assert cache.get(key) == b'{"v":42}'
+
+
+# ------------------------------------------------------ server end-to-end
+_ASM = """
+        addi r1, r0, 5
+        halt
+        nop
+        nop
+"""
+
+
+def _config(**overrides) -> ServiceConfig:
+    """In-process config: serial Runner, tight timeouts, no TCP noise."""
+    defaults = dict(parallel=False, max_workers=1, batch_max=4,
+                    max_batches=2, job_timeout_s=30.0,
+                    rate_capacity=64.0, rate_per_s=64.0)
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+def _serve(coro_fn, **config_overrides):
+    """Start a server, run the test coroutine against it, close."""
+    async def inner():
+        server = ServiceServer(_config(**config_overrides))
+        await server.start()
+        try:
+            return await coro_fn(server)
+        finally:
+            await server.close()
+    return asyncio.run(inner())
+
+
+class TestServerLadder:
+    def test_hit_is_byte_identical_to_the_cold_computation(self):
+        async def scenario(server):
+            cold = await server.handle_request(
+                {"id": 1, "kind": "assemble",
+                 "params": {"source": _ASM}})
+            hit = await server.handle_request(
+                {"id": 2, "kind": "assemble",
+                 "params": {"source": _ASM}})
+            return cold, hit, server.cache.stats()
+
+        cold, hit, cache = _serve(scenario)
+        assert (cold["status"], cold["cache"]) == ("ok", "miss")
+        assert (hit["status"], hit["cache"]) == ("ok", "hit")
+        assert canonical_json(cold["result"]) == \
+            canonical_json(hit["result"])
+        assert cold["key"] == hit["key"]
+        assert (cache["hits"], cache["misses"]) == (1, 1)
+
+    def test_identical_inflight_requests_coalesce_onto_one_job(self):
+        async def scenario(server):
+            request = {"kind": "sleep", "params": {"seconds": 0.2}}
+            first, second = await asyncio.gather(
+                server.handle_request(dict(request, id=1)),
+                server.handle_request(dict(request, id=2)))
+            return first, second, server.stats
+
+        first, second, stats = _serve(scenario)
+        assert {first["cache"], second["cache"]} == {"miss", "coalesced"}
+        assert first["status"] == second["status"] == "ok"
+        assert stats.jobs_dispatched == 1      # one computation, not two
+        assert stats.coalesced == 1
+
+    def test_admission_sheds_with_retry_after(self):
+        async def scenario(server):
+            responses = []
+            for index in range(4):
+                responses.append(await server.handle_request(
+                    {"id": index, "kind": "sleep",
+                     "params": {"seconds": 0.0}, "no_cache": True,
+                     "client": "greedy"}))
+            return responses
+
+        responses = _serve(scenario, rate_capacity=2.0, rate_per_s=0.5)
+        shed = [r for r in responses if r["status"] == "shed"]
+        assert len(shed) == 2
+        assert all(r["reason"] == "rate-limited" and
+                   r["retry_after_s"] > 0 for r in shed)
+
+    def test_breaker_open_is_cache_only_mode_then_recloses(self):
+        async def scenario(server):
+            primed = await server.handle_request(
+                {"id": 0, "kind": "assemble",
+                 "params": {"source": _ASM}})
+            for index in range(4):             # crash jobs open the breaker
+                await server.handle_request(
+                    {"id": index, "kind": "crash", "params": {},
+                     "no_cache": True})
+            assert server.breaker.state == "open"
+            shed = await server.handle_request(
+                {"id": 10, "kind": "sleep", "params": {"seconds": 0.0},
+                 "no_cache": True})
+            hit = await server.handle_request(
+                {"id": 11, "kind": "assemble",
+                 "params": {"source": _ASM}})
+            await asyncio.sleep(0.35)          # open interval elapses
+            probe = await server.handle_request(
+                {"id": 12, "kind": "sleep", "params": {"seconds": 0.0},
+                 "no_cache": True})
+            return primed, shed, hit, probe, server.breaker
+
+        primed, shed, hit, probe, breaker = _serve(
+            scenario, breaker_min_samples=4, breaker_window=8,
+            breaker_open_s=0.3)
+        assert primed["status"] == "ok"
+        assert (shed["status"], shed["reason"]) == ("shed", "breaker-open")
+        assert shed["retry_after_s"] > 0
+        # the cache still serves while the pool is quarantined
+        assert (hit["status"], hit["cache"]) == ("ok", "hit")
+        # and the half-open probe's success re-closes the breaker
+        assert probe["status"] == "ok"
+        assert breaker.state == "closed"
+        assert breaker.opens >= 1 and breaker.closes >= 1
+
+    def test_deadline_expires_while_queued(self):
+        async def scenario(server):
+            blocker, victim = await asyncio.gather(
+                server.handle_request(
+                    {"id": 1, "kind": "sleep", "params": {"seconds": 0.4},
+                     "no_cache": True, "client": "a"}),
+                server.handle_request(
+                    {"id": 2, "kind": "sleep", "params": {"seconds": 0.3},
+                     "no_cache": True, "client": "b",
+                     "deadline_s": 0.05}))
+            return blocker, victim, server.stats
+
+        # batch_max=1 + max_batches=1 forces the victim to queue behind
+        # the blocker past its 50 ms deadline
+        blocker, victim, stats = _serve(scenario, batch_max=1,
+                                        max_batches=1)
+        assert blocker["status"] == "ok"
+        assert victim["status"] == "error"
+        assert victim["result"]["error_kind"] == "deadline"
+        assert stats.deadline_expired == 1
+
+    def test_partial_sweep_is_flagged_incomplete_and_never_cached(self):
+        request = {"kind": "sweep", "params": {
+            "experiment": "ecache-size",
+            "points": [{"size_words": 4096, "references": 2_000,
+                        "data_words": 8_000},
+                       {"size_words": -1, "references": 2_000,
+                        "data_words": 8_000}]}}          # -1 cannot build
+
+        async def scenario(server):
+            first = await server.handle_request(dict(request, id=1))
+            second = await server.handle_request(dict(request, id=2))
+            return first, second, server.cache.stats()
+
+        first, second, cache = _serve(scenario)
+        assert first["status"] == "ok"         # the good point is served
+        assert first["incomplete"] is True
+        assert first["result"]["completed"] == 1
+        assert len(first["result"]["failures"]) == 1
+        # an incomplete sweep is never cached: the retry recomputes
+        assert second["cache"] == "miss"
+        assert cache["hits"] == 0
+
+    def test_drain_finishes_accepted_work_and_sheds_new(self):
+        async def scenario(server):
+            accepted = asyncio.create_task(server.handle_request(
+                {"id": 1, "kind": "sleep", "params": {"seconds": 0.3},
+                 "no_cache": True}))
+            await asyncio.sleep(0.05)          # let it be admitted
+            drain = asyncio.create_task(server.drain())
+            await asyncio.sleep(0.01)
+            late = await server.handle_request(
+                {"id": 2, "kind": "sleep", "params": {"seconds": 0.0},
+                 "no_cache": True})
+            await drain
+            return await accepted, late
+
+        accepted, late = _serve(scenario)
+        assert accepted["status"] == "ok"      # no accepted job is lost
+        assert (late["status"], late["reason"]) == ("shed", "draining")
+
+    def test_bad_requests_are_named_not_crashed(self):
+        async def scenario(server):
+            unknown = await server.handle_request(
+                {"id": 1, "kind": "divide", "params": {}})
+            missing = await server.handle_request(
+                {"id": 2, "kind": "run", "params": {}})
+            return unknown, missing
+
+        unknown, missing = _serve(scenario)
+        assert unknown["status"] == "bad-request"
+        assert "unknown kind" in unknown["reason"]
+        assert missing["status"] == "bad-request"
+        assert "workload" in missing["reason"]
+
+    def test_metrics_harvest_is_strict_and_catalogued(self):
+        from repro.telemetry import CATALOG_BY_NAME
+
+        async def scenario(server):
+            await server.handle_request(
+                {"id": 1, "kind": "assemble",
+                 "params": {"source": _ASM}})
+            return server.metrics().snapshot()
+
+        snapshot = _serve(scenario)
+        assert all(name in CATALOG_BY_NAME for name in snapshot)
+        service_names = {name for name in snapshot
+                         if name.startswith("service.")}
+        assert len(service_names) == 19
+        assert snapshot["service.requests"] == 1
+        assert snapshot["service.breaker.state"] == 0   # closed
+
+
+class TestServerOverTcp:
+    def test_malformed_frame_disconnects_only_the_offender(self):
+        async def scenario(server):
+            reader, writer = await asyncio.open_connection(
+                port=server.port)
+            writer.write(HEADER.pack(8) + b"not json")
+            await writer.drain()
+            rejection = await read_frame(reader)
+            assert await read_frame(reader) is None    # disconnected
+            writer.close()
+            # a well-behaved client on a fresh connection is unaffected
+            good_r, good_w = await asyncio.open_connection(
+                port=server.port)
+            good_w.write(encode_frame({"id": 1, "kind": "ping"}))
+            await good_w.drain()
+            pong = await read_frame(good_r)
+            good_w.close()
+            return rejection, pong, server.stats
+
+        rejection, pong, stats = _serve(scenario)
+        assert rejection["status"] == "bad-request"
+        assert pong["status"] == "ok"
+        assert stats.frames_malformed == 1
+
+    def test_slow_client_is_disconnected_mid_frame(self):
+        async def scenario(server):
+            reader, writer = await asyncio.open_connection(
+                port=server.port)
+            writer.write(HEADER.pack(100) + b"only-ten..")   # then stall
+            await writer.drain()
+            deadline = time.monotonic() + 5.0
+            while (server.stats.slow_disconnects < 1
+                   and time.monotonic() < deadline):
+                await asyncio.sleep(0.02)
+            assert await read_frame(reader) is None    # server hung up
+            writer.close()
+            return server.stats
+
+        stats = _serve(scenario, frame_timeout_s=0.15)
+        assert stats.slow_disconnects == 1
+        assert stats.frames_malformed == 0     # a stall is not an attack
+
+    def test_chaos_killed_worker_retries_to_the_right_answer(self):
+        from repro.harness.runner import ChaosMonkey
+        from repro.service.jobs import assemble_point
+
+        async def scenario(server):
+            response = await server.handle_request(
+                {"id": 1, "kind": "assemble",
+                 "params": {"source": _ASM}})
+            return response
+
+        response = _serve(scenario, parallel=True, max_workers=2,
+                          max_retries=3, backoff_base=0.01,
+                          chaos=ChaosMonkey(rate=1.0, seed=3))
+        assert response["status"] == "ok"
+        assert response["attempts"] >= 2       # the kill really happened
+        assert canonical_json(response["result"]) == \
+            canonical_json(assemble_point(_ASM))
